@@ -1,0 +1,287 @@
+//! The per-node epoch clocks: EC, LCE, and LSE.
+//!
+//! Each node maintains three atomic counters (Section III-B):
+//!
+//! * **EC** (Epoch Clock) — the epoch the *next* local RW transaction
+//!   will receive. Initialized to the node's 1-based index and
+//!   advanced by `num_nodes`, so two nodes can never issue the same
+//!   epoch (Section IV-A, Table IV).
+//! * **LCE** (Latest Committed Epoch) — the newest epoch `e` such that
+//!   every transaction with epoch `<= e` has finished and `e` itself
+//!   committed. Read-only transactions run at LCE with no dependency
+//!   tracking.
+//! * **LSE** (Latest Safe Epoch) — the newest epoch below which all
+//!   history is finished, unread, and durable; purge operates at LSE.
+//!
+//! Invariant at all times: `EC > LCE >= LSE`.
+//!
+//! Lamport merging ([`EpochClock::observe`]) implements the rule of
+//! Table IV: on receiving a remote clock value `r`, a node bumps its
+//! EC to the smallest epoch it is allowed to issue that is `> r`,
+//! preserving its residue class so strided epochs stay collision-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::epoch::{Epoch, NO_EPOCH};
+
+/// The three per-node epoch counters.
+///
+/// All operations are lock-free; EC advancement and Lamport merges
+/// are CAS loops, LCE/LSE are stores guarded by the owning
+/// [`TxnManager`](crate::TxnManager)'s bookkeeping.
+#[derive(Debug)]
+pub struct EpochClock {
+    ec: AtomicU64,
+    lce: AtomicU64,
+    lse: AtomicU64,
+    node_idx: u64,
+    num_nodes: u64,
+}
+
+impl EpochClock {
+    /// Creates the clock for node `node_idx` (1-based) of `num_nodes`.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= node_idx <= num_nodes`.
+    pub fn new(node_idx: u64, num_nodes: u64) -> Self {
+        assert!(num_nodes >= 1, "cluster must have at least one node");
+        assert!(
+            (1..=num_nodes).contains(&node_idx),
+            "node_idx {node_idx} out of range 1..={num_nodes}"
+        );
+        EpochClock {
+            ec: AtomicU64::new(node_idx),
+            lce: AtomicU64::new(NO_EPOCH),
+            lse: AtomicU64::new(NO_EPOCH),
+            node_idx,
+            num_nodes,
+        }
+    }
+
+    /// Clock for a single-node deployment (epochs `1, 2, 3, …`).
+    pub fn single_node() -> Self {
+        EpochClock::new(1, 1)
+    }
+
+    /// This node's 1-based index.
+    pub fn node_idx(&self) -> u64 {
+        self.node_idx
+    }
+
+    /// Cluster size (the epoch stride).
+    pub fn num_nodes(&self) -> u64 {
+        self.num_nodes
+    }
+
+    /// Atomically fetches the next epoch and advances EC by the
+    /// stride. Called when a RW transaction begins.
+    pub fn next_epoch(&self) -> Epoch {
+        self.ec.fetch_add(self.num_nodes, Ordering::SeqCst)
+    }
+
+    /// Current EC (the epoch the next RW transaction would get).
+    pub fn current_ec(&self) -> Epoch {
+        self.ec.load(Ordering::SeqCst)
+    }
+
+    /// Lamport merge: after observing a remote clock value `remote`,
+    /// ensure every epoch this node issues from now on is greater
+    /// than `remote`, without leaving the node's residue class.
+    ///
+    /// Returns the (possibly updated) local EC.
+    pub fn observe(&self, remote: Epoch) -> Epoch {
+        let target = self.smallest_issuable_above(remote);
+        let mut current = self.ec.load(Ordering::SeqCst);
+        loop {
+            if current >= target {
+                return current;
+            }
+            match self
+                .ec
+                .compare_exchange_weak(current, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return target,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The smallest epoch `> remote` congruent to `node_idx` modulo
+    /// `num_nodes`.
+    fn smallest_issuable_above(&self, remote: Epoch) -> Epoch {
+        let n = self.num_nodes;
+        let residue = self.node_idx % n;
+        let base = remote + 1;
+        let rem = base % n;
+        if rem == residue {
+            base
+        } else {
+            // Distance to the next value in our residue class.
+            base + (residue + n - rem) % n
+        }
+    }
+
+    /// Latest Committed Epoch.
+    pub fn lce(&self) -> Epoch {
+        self.lce.load(Ordering::SeqCst)
+    }
+
+    /// Latest Safe Epoch.
+    pub fn lse(&self) -> Epoch {
+        self.lse.load(Ordering::SeqCst)
+    }
+
+    /// Advances LCE. Only the transaction manager calls this, after
+    /// verifying all prior transactions finished.
+    ///
+    /// # Panics
+    /// Panics if the move would regress LCE or violate `EC > LCE`.
+    pub(crate) fn store_lce(&self, value: Epoch) {
+        let prev = self.lce.swap(value, Ordering::SeqCst);
+        debug_assert!(value >= prev, "LCE must be monotonic ({prev} -> {value})");
+        debug_assert!(
+            self.current_ec() > value,
+            "invariant EC > LCE violated (EC={}, LCE={value})",
+            self.current_ec()
+        );
+    }
+
+    /// Advances LSE. Callers (the manager, on behalf of the
+    /// flush/replication machinery) must have verified the paper's
+    /// three conditions first.
+    ///
+    /// # Panics
+    /// Panics if the move would regress LSE or violate `LCE >= LSE`.
+    pub(crate) fn store_lse(&self, value: Epoch) {
+        let prev = self.lse.swap(value, Ordering::SeqCst);
+        debug_assert!(value >= prev, "LSE must be monotonic ({prev} -> {value})");
+        debug_assert!(
+            self.lce() >= value,
+            "invariant LCE >= LSE violated (LCE={}, LSE={value})",
+            self.lce()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_issues_consecutive_epochs() {
+        let c = EpochClock::single_node();
+        assert_eq!(c.next_epoch(), 1);
+        assert_eq!(c.next_epoch(), 2);
+        assert_eq!(c.next_epoch(), 3);
+        assert_eq!(c.current_ec(), 4);
+    }
+
+    #[test]
+    fn strided_nodes_never_collide() {
+        let c1 = EpochClock::new(1, 3);
+        let c2 = EpochClock::new(2, 3);
+        let c3 = EpochClock::new(3, 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(c1.next_epoch()));
+            assert!(seen.insert(c2.next_epoch()));
+            assert!(seen.insert(c3.next_epoch()));
+        }
+    }
+
+    #[test]
+    fn initial_values_match_paper() {
+        // Table IV: a 3-node cluster starts with ECs 1, 2, 3.
+        for i in 1..=3 {
+            let c = EpochClock::new(i, 3);
+            assert_eq!(c.current_ec(), i);
+            assert_eq!(c.lce(), NO_EPOCH);
+            assert_eq!(c.lse(), NO_EPOCH);
+        }
+    }
+
+    #[test]
+    fn observe_follows_table_iv() {
+        // Table IV walkthrough: n1 issues T1 (EC 1 -> 4); its append
+        // carries EC=4; n2 merges 2 -> 5 and n3 merges 3 -> 6.
+        let n1 = EpochClock::new(1, 3);
+        let n2 = EpochClock::new(2, 3);
+        let n3 = EpochClock::new(3, 3);
+        assert_eq!(n1.next_epoch(), 1);
+        assert_eq!(n1.current_ec(), 4);
+        assert_eq!(n2.observe(n1.current_ec()), 5);
+        assert_eq!(n3.observe(n1.current_ec()), 6);
+        // n3 then starts T6 (EC 6 -> 9), n2 starts T5 (EC 5 -> 8).
+        assert_eq!(n3.next_epoch(), 6);
+        assert_eq!(n2.next_epoch(), 5);
+        // T1's commit broadcast returns n2's and n3's ECs; n1 merges
+        // up to max(8, 9) = 9 and lands on 10.
+        n1.observe(n2.current_ec());
+        assert_eq!(n1.observe(n3.current_ec()), 10);
+    }
+
+    #[test]
+    fn observe_is_noop_when_already_ahead() {
+        let c = EpochClock::new(2, 3);
+        c.next_epoch(); // EC = 5
+        assert_eq!(c.observe(3), 5);
+    }
+
+    #[test]
+    fn observe_preserves_residue_class() {
+        let c = EpochClock::new(2, 4);
+        for remote in 0..50u64 {
+            let ec = c.observe(remote);
+            assert_eq!(ec % 4, 2, "EC {ec} left residue class");
+            assert!(ec > remote || remote < 2);
+        }
+    }
+
+    #[test]
+    fn observe_with_residue_zero_node() {
+        // Node 4 of 4 issues 4, 8, 12, ... (residue 0).
+        let c = EpochClock::new(4, 4);
+        assert_eq!(c.observe(5), 8);
+        assert_eq!(c.observe(8), 12);
+        assert_eq!(c.next_epoch(), 12);
+    }
+
+    #[test]
+    fn lce_lse_advance() {
+        let c = EpochClock::single_node();
+        c.next_epoch();
+        c.next_epoch();
+        c.store_lce(2);
+        c.store_lse(1);
+        assert_eq!(c.lce(), 2);
+        assert_eq!(c.lse(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node_idx")]
+    fn zero_node_idx_rejected() {
+        EpochClock::new(0, 3);
+    }
+
+    #[test]
+    fn concurrent_next_epoch_is_unique() {
+        use std::sync::Arc;
+        let c = Arc::new(EpochClock::new(1, 2));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| c.next_epoch()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<Epoch> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len, "duplicate epochs issued");
+        assert!(all.iter().all(|e| e % 2 == 1), "node 1 of 2 issues odds");
+    }
+}

@@ -1,0 +1,178 @@
+//! Epoch timestamps and the packed epochs-vector entry.
+//!
+//! An *epoch* is the transaction timestamp of AOSI. Epoch `0` is
+//! reserved ([`NO_EPOCH`]): it is the initial Latest Committed Epoch
+//! of an empty database — "nothing has committed yet" — and real
+//! transactions always receive epochs `>= 1`.
+//!
+//! [`EpochEntry`] is the unit of the per-partition epochs vector. The
+//! paper stores "a pair of integers per transaction" and reserves
+//! "one bit from one of the integers on the tuple to use as the
+//! is-delete flag" (Section III-C2). We do the same: a 16-byte entry
+//! holding the epoch and a packed word whose top bit is the delete
+//! flag and whose low 63 bits are a row index.
+
+/// A transaction timestamp.
+pub type Epoch = u64;
+
+/// Reserved "before any transaction" epoch.
+pub const NO_EPOCH: Epoch = 0;
+
+const DELETE_BIT: u64 = 1 << 63;
+const IDX_MASK: u64 = DELETE_BIT - 1;
+
+/// One entry of a partition's epochs vector.
+///
+/// * For an **insert** entry, `end()` is the *exclusive* end row index
+///   of the run appended by `epoch()`; the run's start is the previous
+///   insert entry's end. (The paper stores the inclusive index of the
+///   last inserted record; we store the exclusive end so an empty run
+///   needs no special case. `last_idx()` recovers the paper's view.)
+/// * For a **delete** entry, `end()` is the *delete point*: the
+///   partition row count at the moment the delete was executed.
+///   Everything the deleting transaction could see — rows of earlier
+///   transactions anywhere, plus its own rows below the delete point —
+///   is logically removed for transactions that see the delete.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct EpochEntry {
+    epoch: Epoch,
+    packed: u64,
+}
+
+impl EpochEntry {
+    /// Creates an insert entry covering rows up to `end` (exclusive).
+    pub fn insert(epoch: Epoch, end: u64) -> Self {
+        assert!(end <= IDX_MASK, "row index overflow");
+        EpochEntry { epoch, packed: end }
+    }
+
+    /// Creates a partition-delete marker at `delete_point`.
+    pub fn delete(epoch: Epoch, delete_point: u64) -> Self {
+        assert!(delete_point <= IDX_MASK, "row index overflow");
+        EpochEntry {
+            epoch,
+            packed: delete_point | DELETE_BIT,
+        }
+    }
+
+    /// The transaction that produced this entry.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// `true` if this entry is a partition-delete marker.
+    pub fn is_delete(&self) -> bool {
+        self.packed & DELETE_BIT != 0
+    }
+
+    /// Exclusive end row index (insert) or delete point (delete).
+    pub fn end(&self) -> u64 {
+        self.packed & IDX_MASK
+    }
+
+    /// The paper's `idx` field: the inclusive index of the last row
+    /// covered by an insert entry, or `None` for an empty run or a
+    /// delete marker.
+    pub fn last_idx(&self) -> Option<u64> {
+        if self.is_delete() || self.end() == 0 {
+            None
+        } else {
+            Some(self.end() - 1)
+        }
+    }
+
+    /// Extends an insert entry's end (same-transaction append run).
+    ///
+    /// # Panics
+    /// Panics on delete markers or non-monotonic ends.
+    pub(crate) fn extend_to(&mut self, end: u64) {
+        assert!(!self.is_delete(), "cannot extend a delete marker");
+        assert!(end >= self.end(), "epochs vector ends must be monotonic");
+        assert!(end <= IDX_MASK, "row index overflow");
+        self.packed = end;
+    }
+}
+
+impl std::fmt::Debug for EpochEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_delete() {
+            write!(f, "(T{}, DELETE@{})", self.epoch, self.end())
+        } else {
+            write!(f, "(T{}, {})", self.epoch, self.end())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_is_sixteen_bytes() {
+        // The paper's memory-overhead claim rests on one small entry
+        // per (transaction x partition) run; keep it at two words.
+        assert_eq!(std::mem::size_of::<EpochEntry>(), 16);
+    }
+
+    #[test]
+    fn insert_entry_roundtrip() {
+        let e = EpochEntry::insert(7, 42);
+        assert_eq!(e.epoch(), 7);
+        assert_eq!(e.end(), 42);
+        assert!(!e.is_delete());
+        assert_eq!(e.last_idx(), Some(41));
+    }
+
+    #[test]
+    fn delete_entry_roundtrip() {
+        let e = EpochEntry::delete(9, 100);
+        assert_eq!(e.epoch(), 9);
+        assert_eq!(e.end(), 100);
+        assert!(e.is_delete());
+        assert_eq!(e.last_idx(), None);
+    }
+
+    #[test]
+    fn delete_flag_does_not_corrupt_large_indexes() {
+        let idx = (1u64 << 62) + 12345;
+        let e = EpochEntry::delete(1, idx);
+        assert!(e.is_delete());
+        assert_eq!(e.end(), idx);
+        let i = EpochEntry::insert(1, idx);
+        assert!(!i.is_delete());
+        assert_eq!(i.end(), idx);
+    }
+
+    #[test]
+    fn empty_run_has_no_last_idx() {
+        assert_eq!(EpochEntry::insert(1, 0).last_idx(), None);
+    }
+
+    #[test]
+    fn extend_moves_end_forward() {
+        let mut e = EpochEntry::insert(3, 5);
+        e.extend_to(9);
+        assert_eq!(e.end(), 9);
+        assert_eq!(e.epoch(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend a delete marker")]
+    fn extend_delete_panics() {
+        let mut e = EpochEntry::delete(3, 5);
+        e.extend_to(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn extend_backwards_panics() {
+        let mut e = EpochEntry::insert(3, 5);
+        e.extend_to(4);
+    }
+
+    #[test]
+    fn debug_format_matches_paper_notation() {
+        assert_eq!(format!("{:?}", EpochEntry::insert(1, 3)), "(T1, 3)");
+        assert_eq!(format!("{:?}", EpochEntry::delete(5, 5)), "(T5, DELETE@5)");
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for protocol operations.
+
+use crate::epoch::Epoch;
+
+/// Errors surfaced by the AOSI protocol layer.
+///
+/// The protocol has no deterministic isolation conflicts (that is its
+/// point), so the error surface is small: misuse of transaction
+/// handles and invalid LSE movements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AosiError {
+    /// The transaction was already committed or rolled back.
+    TxnFinished(Epoch),
+    /// A read-only transaction was asked to perform a write.
+    ReadOnlyTxn(Epoch),
+    /// LSE may not pass LCE or regress.
+    InvalidLseAdvance {
+        /// Requested LSE.
+        requested: Epoch,
+        /// Current LCE ceiling.
+        lce: Epoch,
+        /// Current LSE floor.
+        lse: Epoch,
+    },
+    /// LSE advancement blocked by an active reader below the target.
+    ActiveReaderBelow {
+        /// Requested LSE.
+        requested: Epoch,
+        /// Epoch of the oldest active read snapshot.
+        oldest_reader: Epoch,
+    },
+}
+
+impl std::fmt::Display for AosiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AosiError::TxnFinished(e) => {
+                write!(f, "transaction T{e} already finished")
+            }
+            AosiError::ReadOnlyTxn(e) => {
+                write!(f, "transaction T{e} is read-only")
+            }
+            AosiError::InvalidLseAdvance {
+                requested,
+                lce,
+                lse,
+            } => write!(
+                f,
+                "cannot advance LSE to {requested}: must satisfy {lse} <= LSE <= LCE ({lce})"
+            ),
+            AosiError::ActiveReaderBelow {
+                requested,
+                oldest_reader,
+            } => write!(
+                f,
+                "cannot advance LSE to {requested}: active reader at epoch {oldest_reader}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AosiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AosiError::TxnFinished(3).to_string().contains("T3"));
+        assert!(AosiError::ReadOnlyTxn(4).to_string().contains("read-only"));
+        let e = AosiError::InvalidLseAdvance {
+            requested: 9,
+            lce: 5,
+            lse: 2,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('5'));
+        let e = AosiError::ActiveReaderBelow {
+            requested: 4,
+            oldest_reader: 2,
+        };
+        assert!(e.to_string().contains("reader"));
+    }
+}

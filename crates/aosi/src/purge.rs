@@ -1,0 +1,292 @@
+//! Garbage collection: the purge procedure (Section III-C4, Figure 3).
+//!
+//! "Purge always operates over LSE, since it is guaranteed that all
+//! data prior to it is safely stored on disk … and that there are no
+//! pending read transactions over an epoch prior to LSE." Purge has
+//! two jobs: **(a)** compacting transactional history — merging
+//! adjacent epochs-vector entries at or below LSE into single entries
+//! — and **(b)** applying partition-deletes whose epoch is at or below
+//! LSE, physically removing the rows they logically deleted.
+//!
+//! Purge is copy-based: it produces a brand-new epochs vector plus a
+//! *keep bitmap* describing which old rows survive; the storage engine
+//! rebuilds the partition's data vectors from the bitmap and swaps old
+//! for new atomically, exactly as the paper describes.
+//!
+//! ## Why merging at LSE is safe
+//!
+//! Every reader the system will ever admit from now on has a snapshot
+//! epoch `>= LSE` and no excluded dependency `< LSE` (the transaction
+//! manager's LSE gate enforces both), so all such readers agree on the
+//! visibility of every entry at or below LSE. Relabeling a merged run
+//! with the largest constituent epoch (still `<= LSE`) is therefore
+//! observationally identical — including under any *future* delete
+//! `k`, since `k > LSE >=` every merged epoch means the whole merged
+//! run is uniformly below `k`.
+
+use crate::epoch::{Epoch, EpochEntry};
+use crate::epochs::EpochsVector;
+use columnar::Bitmap;
+
+/// Outcome of purging one partition.
+#[derive(Clone, Debug)]
+pub struct PurgeResult {
+    /// The replacement epochs vector (row indexes recomputed over the
+    /// surviving rows).
+    pub vector: EpochsVector,
+    /// Which *old* rows survive; the storage layer filters each data
+    /// vector with this and swaps.
+    pub keep: Bitmap,
+    /// Rows physically removed by applied deletes.
+    pub purged_rows: u64,
+    /// Entries removed by merging/dropping.
+    pub entries_reclaimed: usize,
+    /// `false` if purge found nothing to do (the caller can skip the
+    /// partition, as the paper's purge does).
+    pub changed: bool,
+}
+
+/// Purges `partition` at `lse`.
+pub fn purge(partition: &EpochsVector, lse: Epoch) -> PurgeResult {
+    let rows = usize::try_from(partition.row_count()).expect("partition too large");
+    let mut keep = Bitmap::new_set(rows);
+
+    // (b) Apply the dominant delete at or below LSE. A later delete
+    // subsumes earlier ones (see `visibility`), so one suffices.
+    let dominant = partition
+        .entries()
+        .iter()
+        .filter(|e| e.is_delete() && e.epoch() <= lse)
+        .map(|e| (e.epoch(), e.end()))
+        .max();
+    if let Some((k, p)) = dominant {
+        let mut start = 0usize;
+        for entry in partition.entries() {
+            if entry.is_delete() {
+                continue;
+            }
+            let end = entry.end() as usize;
+            if entry.epoch() < k {
+                keep.clear_range(start, end);
+            } else if entry.epoch() == k {
+                let cut = end.min(p as usize);
+                if start < cut {
+                    keep.clear_range(start, cut);
+                }
+            }
+            start = end;
+        }
+    }
+
+    // (a) Rebuild the vector over surviving rows, merging adjacent
+    // entries that every future reader sees identically.
+    let mut new_entries: Vec<EpochEntry> = Vec::new();
+    let mut old_start = 0usize;
+    let mut new_rows = 0u64;
+    for entry in partition.entries() {
+        if entry.is_delete() {
+            if entry.epoch() > lse {
+                // Still pending for some future reader: retain, with
+                // its delete point remapped onto surviving rows.
+                let new_point = keep.count_ones_in_range(0, entry.end() as usize) as u64;
+                new_entries.push(EpochEntry::delete(entry.epoch(), new_point));
+            }
+            continue;
+        }
+        let old_end = entry.end() as usize;
+        let surviving = keep.count_ones_in_range(old_start, old_end) as u64;
+        old_start = old_end;
+        if surviving == 0 {
+            continue;
+        }
+        new_rows += surviving;
+        match new_entries.last_mut() {
+            Some(last)
+                if !last.is_delete()
+                    && (last.epoch() == entry.epoch()
+                        || (last.epoch() <= lse && entry.epoch() <= lse)) =>
+            {
+                *last = EpochEntry::insert(last.epoch().max(entry.epoch()), new_rows);
+            }
+            _ => new_entries.push(EpochEntry::insert(entry.epoch(), new_rows)),
+        }
+    }
+
+    let purged_rows = rows as u64 - new_rows;
+    let entries_reclaimed = partition.entries().len() - new_entries.len();
+    let changed = purged_rows > 0 || entries_reclaimed > 0;
+    PurgeResult {
+        vector: EpochsVector::from_parts(new_entries, new_rows),
+        keep,
+        purged_rows,
+        entries_reclaimed,
+        changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+
+    fn render(v: &EpochsVector) -> String {
+        v.entries().iter().map(|e| format!("{e:?}")).collect()
+    }
+
+    /// Figure 2(a)'s schedule (reconstructed; see `visibility` tests).
+    fn schedule_a() -> EpochsVector {
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.append(3, 2);
+        v.append(1, 1);
+        v.mark_delete(5);
+        v.append(3, 4);
+        v.append(7, 1);
+        v
+    }
+
+    #[test]
+    fn figure_3a_purge_at_lse_3() {
+        // "Purging when LSE = 3 allows (a) to merge all pointers on
+        // epochs prior to LSE into a single entry (when contiguous).
+        // However, the pending delete still cannot be applied since it
+        // comes from a transaction later than LSE."
+        let result = purge(&schedule_a(), 3);
+        assert!(result.changed);
+        assert_eq!(result.purged_rows, 0);
+        assert_eq!(
+            render(&result.vector),
+            "(T3, 5)(T5, DELETE@5)(T3, 9)(T7, 10)"
+        );
+        assert_eq!(result.entries_reclaimed, 2);
+        assert_eq!(result.vector.row_count(), 10);
+    }
+
+    #[test]
+    fn figure_3b_purge_at_lse_5_applies_delete() {
+        // "In (b), however, when LSE = 5, all data prior to 5 can be
+        // safely deleted, even if it was inserted after the delete
+        // operation chronologically. Hence, the only record and epoch
+        // entry required is the one inserted by T7."
+        let result = purge(&schedule_a(), 5);
+        assert!(result.changed);
+        assert_eq!(result.purged_rows, 9);
+        assert_eq!(render(&result.vector), "(T7, 1)");
+        assert_eq!(result.vector.row_count(), 1);
+        // Only the last old row (T7's) survives.
+        assert_eq!(result.keep.to_bit_string(), "0000000001");
+    }
+
+    #[test]
+    fn purge_in_two_steps_equals_one_step() {
+        let one_shot = purge(&schedule_a(), 5);
+        let step1 = purge(&schedule_a(), 3);
+        let step2 = purge(&step1.vector, 5);
+        assert_eq!(render(&step2.vector), render(&one_shot.vector));
+        assert_eq!(step2.vector.row_count(), one_shot.vector.row_count());
+    }
+
+    #[test]
+    fn noop_purge_reports_unchanged() {
+        let mut v = EpochsVector::new();
+        v.append(4, 3);
+        let result = purge(&v, 2);
+        assert!(!result.changed);
+        assert_eq!(result.vector, v);
+        // And `needs_purge` agrees there is nothing to do.
+        assert!(!v.needs_purge(2));
+    }
+
+    #[test]
+    fn purge_preserves_visibility_for_future_readers() {
+        // Any snapshot with epoch >= LSE and no deps below LSE must
+        // see the same rows before and after purge (modulo the row
+        // remapping given by `keep`).
+        let v = schedule_a();
+        for lse in [0u64, 1, 3, 5, 7] {
+            let result = purge(&v, lse);
+            for reader in lse.max(1)..=9 {
+                let snap = Snapshot::committed(reader);
+                let before = v.visible_bitmap(&snap);
+                let after = result.vector.visible_bitmap(&snap);
+                // Map the old bitmap through `keep` and compare.
+                let mut expected = String::new();
+                for old_row in 0..v.row_count() as usize {
+                    if result.keep.get(old_row) {
+                        expected.push(if before.get(old_row) { '1' } else { '0' });
+                    } else {
+                        assert!(
+                            !before.get(old_row),
+                            "purge at lse={lse} dropped a row visible to reader {reader}"
+                        );
+                    }
+                }
+                assert_eq!(after.to_bit_string(), expected, "lse={lse} reader={reader}");
+            }
+        }
+    }
+
+    #[test]
+    fn retained_delete_point_is_remapped() {
+        // T2 inserts 4 rows; T4 inserts 2; T2 deleted at point 4 is
+        // applied (LSE 3), T6's delete at point 6 is retained and must
+        // now point at the 2 surviving rows.
+        let mut v = EpochsVector::new();
+        v.append(2, 4);
+        v.mark_delete(2); // point 4: kills T2's own four rows
+        v.append(4, 2);
+        v.mark_delete(6); // point 6
+        let result = purge(&v, 4);
+        assert_eq!(render(&result.vector), "(T4, 2)(T6, DELETE@2)");
+        // A reader seeing T6's delete still sees nothing.
+        let bm = result.vector.visible_bitmap(&Snapshot::committed(7));
+        assert!(bm.is_all_zero());
+    }
+
+    #[test]
+    fn merge_does_not_cross_retained_delete_marker() {
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.mark_delete(9); // far-future delete, retained
+        v.append(2, 2);
+        let result = purge(&v, 3);
+        assert_eq!(render(&result.vector), "(T1, 2)(T9, DELETE@2)(T2, 4)");
+    }
+
+    #[test]
+    fn adjacent_same_epoch_entries_merge_even_above_lse() {
+        // T7's two runs split by an applied delete marker collapse.
+        let mut v = EpochsVector::new();
+        v.append(7, 2);
+        v.mark_delete(1); // ancient delete, applied; kills nothing (<1)
+        v.append(7, 2);
+        let result = purge(&v, 2);
+        assert_eq!(render(&result.vector), "(T7, 4)");
+        assert_eq!(result.purged_rows, 0);
+    }
+
+    #[test]
+    fn delete_on_empty_partition_is_reclaimed() {
+        let mut v = EpochsVector::new();
+        v.mark_delete(1);
+        let result = purge(&v, 1);
+        assert!(result.changed);
+        assert!(result.vector.is_empty());
+        assert_eq!(result.purged_rows, 0);
+    }
+
+    #[test]
+    fn long_history_collapses_to_one_entry() {
+        let mut v = EpochsVector::new();
+        for epoch in 1..=100 {
+            v.append(epoch, 10);
+        }
+        assert_eq!(v.entries().len(), 100);
+        let result = purge(&v, 100);
+        assert_eq!(result.vector.entries().len(), 1);
+        assert_eq!(result.vector.row_count(), 1000);
+        assert_eq!(result.entries_reclaimed, 99);
+        assert_eq!(result.purged_rows, 0);
+        assert_eq!(result.vector.entries()[0].epoch(), 100);
+    }
+}

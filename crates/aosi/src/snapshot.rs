@@ -1,0 +1,113 @@
+//! The visibility predicate handed to scans.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::epoch::Epoch;
+
+/// An immutable snapshot of the database as of one transaction.
+///
+/// A transaction `i` "is only allowed to see operations made by all
+/// transactions `j`, such that `j < i` and `j ∉ Ti.deps`"
+/// (Section III-B) — plus its own operations. `deps` is the set of
+/// RW transactions that were still pending when `i` began, captured
+/// from `pendingTxs` (unioned across the cluster for distributed
+/// transactions, Section IV-C).
+///
+/// Read-only transactions run at the Latest Committed Epoch with an
+/// empty `deps` set: the delayed-LCE commit rule guarantees every
+/// transaction at or below LCE has finished (Section IV-C).
+///
+/// Snapshots are cheap to clone (the deps set is shared).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    epoch: Epoch,
+    deps: Arc<BTreeSet<Epoch>>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot at `epoch` excluding `deps`.
+    pub fn new(epoch: Epoch, deps: BTreeSet<Epoch>) -> Self {
+        debug_assert!(
+            deps.iter().all(|&d| d < epoch),
+            "deps must all precede the snapshot epoch"
+        );
+        Snapshot {
+            epoch,
+            deps: Arc::new(deps),
+        }
+    }
+
+    /// A snapshot at a committed epoch with no pending dependencies
+    /// (what read-only transactions use).
+    pub fn committed(epoch: Epoch) -> Self {
+        Snapshot {
+            epoch,
+            deps: Arc::new(BTreeSet::new()),
+        }
+    }
+
+    /// The snapshot's epoch. Operations by this exact epoch are
+    /// visible (a transaction reads its own writes).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Pending transactions excluded from this snapshot.
+    pub fn deps(&self) -> &BTreeSet<Epoch> {
+        &self.deps
+    }
+
+    /// The visibility predicate: does this snapshot see operations
+    /// performed by transaction `j`?
+    #[inline]
+    pub fn sees(&self, j: Epoch) -> bool {
+        j <= self.epoch && (j == self.epoch || !self.deps.contains(&j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(epoch: Epoch, deps: &[Epoch]) -> Snapshot {
+        Snapshot::new(epoch, deps.iter().copied().collect())
+    }
+
+    #[test]
+    fn sees_prior_non_pending() {
+        let s = snap(5, &[2, 4]);
+        assert!(s.sees(1));
+        assert!(!s.sees(2));
+        assert!(s.sees(3));
+        assert!(!s.sees(4));
+    }
+
+    #[test]
+    fn sees_own_epoch() {
+        let s = snap(5, &[2]);
+        assert!(s.sees(5), "a transaction reads its own writes");
+    }
+
+    #[test]
+    fn never_sees_future() {
+        let s = snap(5, &[]);
+        assert!(!s.sees(6));
+        assert!(!s.sees(u64::MAX));
+    }
+
+    #[test]
+    fn committed_snapshot_sees_everything_at_or_below() {
+        let s = Snapshot::committed(3);
+        assert!(s.sees(1) && s.sees(2) && s.sees(3));
+        assert!(!s.sees(4));
+    }
+
+    #[test]
+    fn clone_shares_deps() {
+        let s = snap(10, &[3, 7]);
+        let c = s.clone();
+        assert!(Arc::ptr_eq(&s.deps, &c.deps));
+        assert_eq!(c.epoch(), 10);
+    }
+}

@@ -1,0 +1,87 @@
+//! Transaction handles.
+
+use crate::epoch::Epoch;
+use crate::snapshot::Snapshot;
+
+/// Whether a transaction may write.
+///
+/// "Implicit transactions initialized by a read operation (query) are
+/// always RO … RO transactions are always assigned to the latest
+/// committed epoch, whereas RW transactions generate a new
+/// uncommitted epoch and advance the system's clock" (Section III-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Read-only: runs at LCE, never enters `pendingTxs`.
+    ReadOnly,
+    /// Read-write: owns a fresh epoch, tracked in `pendingTxs`.
+    ReadWrite,
+}
+
+/// Lifecycle state of a read-write transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnState {
+    /// Started but not yet finished.
+    Pending,
+    /// Committed (possibly still awaiting LCE advancement).
+    Committed,
+    /// Rolled back; its rows are garbage to be reclaimed.
+    RolledBack,
+}
+
+/// A transaction handle.
+///
+/// The handle is a passive token: all state transitions go through
+/// the [`TxnManager`](crate::TxnManager) that issued it, keeping the
+/// handle `Send + Sync` and trivially cloneable for fan-out to the
+/// shards executing the transaction's operations.
+#[derive(Clone, Debug)]
+pub struct Txn {
+    epoch: Epoch,
+    kind: TxnKind,
+    snapshot: Snapshot,
+}
+
+impl Txn {
+    pub(crate) fn new(epoch: Epoch, kind: TxnKind, snapshot: Snapshot) -> Self {
+        Txn {
+            epoch,
+            kind,
+            snapshot,
+        }
+    }
+
+    /// The transaction's timestamp.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// RO or RW.
+    pub fn kind(&self) -> TxnKind {
+        self.kind
+    }
+
+    /// `true` for read-write transactions.
+    pub fn is_rw(&self) -> bool {
+        self.kind == TxnKind::ReadWrite
+    }
+
+    /// The snapshot this transaction reads from.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_exposes_epoch_and_kind() {
+        let t = Txn::new(7, TxnKind::ReadWrite, Snapshot::committed(7));
+        assert_eq!(t.epoch(), 7);
+        assert!(t.is_rw());
+        assert_eq!(t.snapshot().epoch(), 7);
+        let r = Txn::new(3, TxnKind::ReadOnly, Snapshot::committed(3));
+        assert!(!r.is_rw());
+    }
+}

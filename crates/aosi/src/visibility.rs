@@ -1,0 +1,375 @@
+//! Visibility-bitmap generation (Section III-C3, Table III).
+//!
+//! "Prior to scan execution, a per-partition bitmap is generated for
+//! `Ti` based on the epochs vector by setting bits to one whenever a
+//! record was inserted by `j`, such that `j <= i` and `j ∉ Ti.deps`.
+//! … Every time a delete on `Tk` is found by `Ti`, such that `k < i`
+//! and `k ∉ Ti.deps`, `Ti` must do another pass and clean up all bits
+//! related to transactions smaller than `k`, as well as records from
+//! `k` up to the delete point."
+//!
+//! Two implementations live here:
+//!
+//! * [`visible_bitmap`] — the production path. It exploits the fact
+//!   that when several deletes are visible, the one with the largest
+//!   epoch subsumes all earlier ones (everything an earlier delete
+//!   removes has an epoch smaller than the later delete's), so a
+//!   single cleanup pass with the dominant delete suffices.
+//! * [`visible_bitmap_naive`] — the paper's prose verbatim: one
+//!   cleanup pass per visible delete. Kept as the reference oracle
+//!   for property tests and as an ablation target.
+
+use crate::epoch::Epoch;
+use crate::epochs::EpochsVector;
+use crate::snapshot::Snapshot;
+use columnar::Bitmap;
+
+/// Builds the scan bitmap for `snapshot` over `partition`.
+pub fn visible_bitmap(partition: &EpochsVector, snapshot: &Snapshot) -> Bitmap {
+    let rows = usize::try_from(partition.row_count()).expect("partition too large");
+    let mut bitmap = Bitmap::new(rows);
+
+    // Pass 1: set every run appended by a visible transaction.
+    let mut start = 0usize;
+    for entry in partition.entries() {
+        if entry.is_delete() {
+            continue;
+        }
+        let end = entry.end() as usize;
+        if snapshot.sees(entry.epoch()) {
+            bitmap.set_range(start, end);
+        }
+        start = end;
+    }
+
+    // Pass 2: apply the dominant visible delete, if any.
+    if let Some((k, p)) = dominant_delete(partition, snapshot) {
+        cleanup_delete(partition, &mut bitmap, k, p);
+    }
+    bitmap
+}
+
+/// The visible delete with the greatest epoch (and, among markers from
+/// that same epoch, the greatest delete point).
+fn dominant_delete(partition: &EpochsVector, snapshot: &Snapshot) -> Option<(Epoch, u64)> {
+    let mut dominant: Option<(Epoch, u64)> = None;
+    for entry in partition.entries() {
+        if entry.is_delete() && snapshot.sees(entry.epoch()) {
+            let candidate = (entry.epoch(), entry.end());
+            if dominant.is_none_or(|d| candidate > d) {
+                dominant = Some(candidate);
+            }
+        }
+    }
+    dominant
+}
+
+/// Clears all rows of transactions `< k` (wherever they sit — "even if
+/// … inserted after the delete operation chronologically", Fig. 3) and
+/// `k`'s own rows below the delete point `p`.
+fn cleanup_delete(partition: &EpochsVector, bitmap: &mut Bitmap, k: Epoch, p: u64) {
+    let mut start = 0usize;
+    for entry in partition.entries() {
+        if entry.is_delete() {
+            continue;
+        }
+        let end = entry.end() as usize;
+        if entry.epoch() < k {
+            bitmap.clear_range(start, end);
+        } else if entry.epoch() == k {
+            let cut = end.min(p as usize);
+            if start < cut {
+                bitmap.clear_range(start, cut);
+            }
+        }
+        start = end;
+    }
+}
+
+/// Computes the visible rows as a list of disjoint, ascending
+/// half-open ranges — without materializing a bitmap.
+///
+/// Scans that only need a row count (or can iterate ranges directly)
+/// skip the bitmap allocation entirely: the work is `O(entries)`
+/// instead of `O(rows / 64)`. Exactly equivalent to
+/// [`visible_bitmap`] (property-tested).
+pub fn visible_ranges(partition: &EpochsVector, snapshot: &Snapshot) -> Vec<std::ops::Range<u64>> {
+    let dominant = dominant_delete(partition, snapshot);
+    let mut ranges: Vec<std::ops::Range<u64>> = Vec::new();
+    let mut start = 0u64;
+    for entry in partition.entries() {
+        if entry.is_delete() {
+            continue;
+        }
+        let end = entry.end();
+        let run = start..end;
+        start = end;
+        if !snapshot.sees(entry.epoch()) {
+            continue;
+        }
+        // Apply the dominant visible delete inline.
+        let surviving = match dominant {
+            Some((k, _)) if entry.epoch() < k => continue,
+            Some((k, p)) if entry.epoch() == k => run.start.max(p)..run.end,
+            _ => run,
+        };
+        if surviving.start >= surviving.end {
+            continue;
+        }
+        match ranges.last_mut() {
+            Some(last) if last.end == surviving.start => last.end = surviving.end,
+            _ => ranges.push(surviving),
+        }
+    }
+    ranges
+}
+
+/// Number of rows `snapshot` sees, via [`visible_ranges`] (no bitmap
+/// allocation).
+pub fn visible_row_count(partition: &EpochsVector, snapshot: &Snapshot) -> u64 {
+    visible_ranges(partition, snapshot)
+        .iter()
+        .map(|r| r.end - r.start)
+        .sum()
+}
+
+/// Reference implementation: literally one cleanup pass per visible
+/// delete, in epochs-vector order. Semantically identical to
+/// [`visible_bitmap`]; quadratic in the number of deletes.
+pub fn visible_bitmap_naive(partition: &EpochsVector, snapshot: &Snapshot) -> Bitmap {
+    let rows = usize::try_from(partition.row_count()).expect("partition too large");
+    let mut bitmap = Bitmap::new(rows);
+    let mut start = 0usize;
+    for entry in partition.entries() {
+        if entry.is_delete() {
+            continue;
+        }
+        let end = entry.end() as usize;
+        if snapshot.sees(entry.epoch()) {
+            bitmap.set_range(start, end);
+        }
+        start = end;
+    }
+    for entry in partition.entries() {
+        if entry.is_delete() && snapshot.sees(entry.epoch()) {
+            cleanup_delete(partition, &mut bitmap, entry.epoch(), entry.end());
+        }
+    }
+    bitmap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn snap(epoch: Epoch, deps: &[Epoch]) -> Snapshot {
+        Snapshot::new(epoch, deps.iter().copied().collect::<BTreeSet<_>>())
+    }
+
+    /// Table II / Figure 2, schedule (a), reconstructed from the
+    /// Table III bitmaps and the Figure 3 prose (see EXPERIMENTS.md):
+    /// T1 +2, T3 +2, T1 +1, T5 deletes, T3 +4, T7 +1.
+    fn schedule_a() -> EpochsVector {
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.append(3, 2);
+        v.append(1, 1);
+        v.mark_delete(5);
+        v.append(3, 4);
+        v.append(7, 1);
+        v
+    }
+
+    /// Schedule (b): T1 +2, T3 +2, T1 +3, T3 +2, T3 deletes, T3 +3,
+    /// T1 +12, T3 +1.
+    fn schedule_b() -> EpochsVector {
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.append(3, 2);
+        v.append(1, 3);
+        v.append(3, 2);
+        v.mark_delete(3);
+        v.append(3, 3);
+        v.append(1, 12);
+        v.append(3, 1);
+        v
+    }
+
+    #[test]
+    fn table_iii_schedule_a() {
+        let v = schedule_a();
+        assert_eq!(v.row_count(), 10);
+        let cases = [
+            (2u64, "1100100000"),
+            (4, "1111111110"),
+            (6, "0000000000"),
+            (8, "0000000001"),
+        ];
+        for (epoch, expected) in cases {
+            let bm = visible_bitmap(&v, &snap(epoch, &[]));
+            assert_eq!(bm.to_bit_string(), expected, "read txn {epoch}");
+        }
+    }
+
+    #[test]
+    fn table_iii_schedule_b() {
+        let v = schedule_b();
+        assert_eq!(v.row_count(), 25);
+        let cases = [
+            (2u64, "1100111000001111111111110"),
+            (4, "0000000001110000000000001"),
+            (6, "0000000001110000000000001"),
+            (8, "0000000001110000000000001"),
+        ];
+        for (epoch, expected) in cases {
+            let bm = visible_bitmap(&v, &snap(epoch, &[]));
+            assert_eq!(bm.to_bit_string(), expected, "read txn {epoch}");
+        }
+    }
+
+    #[test]
+    fn pending_transactions_are_invisible() {
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.append(2, 3);
+        // Reader at epoch 3 with T2 still pending at its begin time.
+        let bm = visible_bitmap(&v, &snap(3, &[2]));
+        assert_eq!(bm.to_bit_string(), "11000");
+    }
+
+    #[test]
+    fn pending_delete_is_invisible() {
+        let mut v = EpochsVector::new();
+        v.append(1, 3);
+        v.mark_delete(2);
+        // T2's delete pending when the reader began: data survives.
+        let bm = visible_bitmap(&v, &snap(3, &[2]));
+        assert_eq!(bm.to_bit_string(), "111");
+        // Once visible, it wipes T1.
+        let bm = visible_bitmap(&v, &snap(3, &[]));
+        assert_eq!(bm.to_bit_string(), "000");
+    }
+
+    #[test]
+    fn transaction_sees_own_rows_and_own_delete() {
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.append(3, 1); // T3's pre-delete row
+        v.mark_delete(3);
+        v.append(3, 2); // T3 reloads after deleting
+                        // T3 itself: own delete kills T1's rows and its own row below
+                        // the delete point; the two reloaded rows survive.
+        let bm = visible_bitmap(&v, &snap(3, &[]));
+        assert_eq!(bm.to_bit_string(), "00011");
+    }
+
+    #[test]
+    fn rows_of_older_txns_after_delete_point_are_deleted() {
+        // The Figure 3 subtlety: a delete also kills rows inserted by
+        // older transactions *after* the delete chronologically.
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.mark_delete(4);
+        v.append(1, 3); // T1 straggler appends after T4's delete
+        let bm = visible_bitmap(&v, &snap(5, &[]));
+        assert_eq!(bm.to_bit_string(), "00000");
+    }
+
+    #[test]
+    fn rows_of_newer_txns_survive_visible_delete() {
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.mark_delete(3);
+        v.append(5, 2);
+        let bm = visible_bitmap(&v, &snap(6, &[]));
+        assert_eq!(bm.to_bit_string(), "0011");
+    }
+
+    #[test]
+    fn dominant_delete_subsumes_earlier_ones() {
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.mark_delete(2);
+        v.append(3, 2);
+        v.mark_delete(4);
+        v.append(5, 2);
+        let bm = visible_bitmap(&v, &snap(6, &[]));
+        assert_eq!(bm.to_bit_string(), "000011");
+        assert_eq!(
+            bm,
+            visible_bitmap_naive(&v, &snap(6, &[])),
+            "optimized and naive cleanup must agree"
+        );
+    }
+
+    #[test]
+    fn later_delete_in_deps_falls_back_to_earlier() {
+        let mut v = EpochsVector::new();
+        v.append(1, 2);
+        v.mark_delete(2);
+        v.append(3, 2);
+        v.mark_delete(4);
+        v.append(5, 2);
+        // T4's delete pending at reader begin: only T2's applies.
+        let bm = visible_bitmap(&v, &snap(6, &[4]));
+        assert_eq!(bm.to_bit_string(), "001111");
+    }
+
+    #[test]
+    fn same_epoch_double_delete_uses_larger_point() {
+        let mut v = EpochsVector::new();
+        v.append(2, 2);
+        v.mark_delete(2);
+        v.append(2, 2);
+        v.mark_delete(2);
+        v.append(2, 1);
+        let bm = visible_bitmap(&v, &snap(3, &[]));
+        assert_eq!(bm.to_bit_string(), "00001");
+    }
+
+    #[test]
+    fn ranges_agree_with_bitmap_on_the_table_iii_schedules() {
+        for v in [schedule_a(), schedule_b()] {
+            for reader in 0..10u64 {
+                let snap = snap(reader, &[]);
+                let bitmap = visible_bitmap(&v, &snap);
+                let ranges = visible_ranges(&v, &snap);
+                // Disjoint, ascending, non-adjacent.
+                for pair in ranges.windows(2) {
+                    assert!(pair[0].end < pair[1].start);
+                }
+                let mut from_ranges = columnar::Bitmap::new(bitmap.len());
+                for r in &ranges {
+                    from_ranges.set_range(r.start as usize, r.end as usize);
+                }
+                assert_eq!(from_ranges.to_bit_string(), bitmap.to_bit_string());
+                assert_eq!(visible_row_count(&v, &snap), bitmap.count_ones() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_respect_own_delete_point() {
+        let mut v = EpochsVector::new();
+        v.append(3, 4);
+        v.mark_delete(3); // point 4 kills its own first run
+        v.append(3, 2);
+        let ranges = visible_ranges(&v, &snap(3, &[]));
+        assert_eq!(ranges, vec![4..6]);
+    }
+
+    #[test]
+    fn empty_partition_yields_empty_bitmap() {
+        let v = EpochsVector::new();
+        let bm = visible_bitmap(&v, &snap(5, &[]));
+        assert!(bm.is_empty());
+    }
+
+    #[test]
+    fn reader_before_everything_sees_nothing() {
+        let v = schedule_a();
+        let bm = visible_bitmap(&v, &snap(0, &[]));
+        assert!(bm.is_all_zero());
+    }
+}

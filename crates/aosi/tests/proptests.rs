@@ -1,0 +1,346 @@
+//! Property-based tests for the AOSI protocol core.
+//!
+//! The oracle is a deliberately dumb per-row model: every row carries
+//! the epoch that inserted it (exactly the per-record metadata AOSI
+//! avoids storing), and visibility/delete semantics are evaluated row
+//! by row. Whatever schedule proptest generates, the epochs-vector
+//! implementation must agree with the model.
+
+use std::collections::BTreeSet;
+
+use aosi::{purge, rollback, visibility, Epoch, EpochsVector, Snapshot};
+use proptest::prelude::*;
+
+/// One generated partition operation.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `(epoch, rows)` append.
+    Append(Epoch, u64),
+    /// Partition delete by `epoch`.
+    Delete(Epoch),
+}
+
+/// Per-row reference model.
+#[derive(Clone, Debug, Default)]
+struct Model {
+    /// Inserting epoch of each row, in physical order.
+    row_epochs: Vec<Epoch>,
+    /// All delete events as `(epoch, delete_point)`.
+    deletes: Vec<(Epoch, u64)>,
+}
+
+impl Model {
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Append(epoch, rows) => {
+                self.row_epochs
+                    .extend(std::iter::repeat_n(epoch, rows as usize));
+            }
+            Op::Delete(epoch) => {
+                self.deletes.push((epoch, self.row_epochs.len() as u64));
+            }
+        }
+    }
+
+    /// Row-by-row visibility under `snapshot`.
+    fn visible(&self, snapshot: &Snapshot) -> Vec<bool> {
+        let dominant = self
+            .deletes
+            .iter()
+            .filter(|(k, _)| snapshot.sees(*k))
+            .max()
+            .copied();
+        self.row_epochs
+            .iter()
+            .enumerate()
+            .map(|(idx, &epoch)| {
+                if !snapshot.sees(epoch) {
+                    return false;
+                }
+                match dominant {
+                    Some((k, p)) => !(epoch < k || (epoch == k && (idx as u64) < p)),
+                    None => true,
+                }
+            })
+            .collect()
+    }
+}
+
+fn build(ops: &[Op]) -> (EpochsVector, Model) {
+    let mut vector = EpochsVector::new();
+    let mut model = Model::default();
+    for op in ops {
+        match *op {
+            Op::Append(epoch, rows) => {
+                vector.append(epoch, rows);
+            }
+            Op::Delete(epoch) => vector.mark_delete(epoch),
+        }
+        model.apply(op);
+    }
+    (vector, model)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (1u64..20, 0u64..6).prop_map(|(e, n)| Op::Append(e, n)),
+        2 => (1u64..20).prop_map(Op::Delete),
+    ]
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(op_strategy(), 0..40)
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    (1u64..25, prop::collection::btree_set(1u64..25, 0..6)).prop_map(|(epoch, deps)| {
+        let deps: BTreeSet<Epoch> = deps.into_iter().filter(|&d| d < epoch).collect();
+        Snapshot::new(epoch, deps)
+    })
+}
+
+proptest! {
+    /// The epochs-vector bitmap equals the per-row model for any
+    /// schedule and any snapshot.
+    #[test]
+    fn bitmap_matches_row_model(ops in schedule_strategy(), snap in snapshot_strategy()) {
+        let (vector, model) = build(&ops);
+        let bitmap = vector.visible_bitmap(&snap);
+        let expected = model.visible(&snap);
+        prop_assert_eq!(bitmap.len(), expected.len());
+        for (idx, &want) in expected.iter().enumerate() {
+            prop_assert_eq!(bitmap.get(idx), want, "row {} epoch {}", idx, model.row_epochs[idx]);
+        }
+    }
+
+    /// The optimized single-cleanup-pass implementation agrees with
+    /// the paper's literal one-pass-per-delete formulation.
+    #[test]
+    fn optimized_equals_naive(ops in schedule_strategy(), snap in snapshot_strategy()) {
+        let (vector, _) = build(&ops);
+        prop_assert_eq!(
+            visibility::visible_bitmap(&vector, &snap).to_bit_string(),
+            visibility::visible_bitmap_naive(&vector, &snap).to_bit_string()
+        );
+    }
+
+    /// The range-based fast path is exactly the bitmap, for any
+    /// schedule and snapshot.
+    #[test]
+    fn ranges_equal_bitmap(ops in schedule_strategy(), snap in snapshot_strategy()) {
+        let (vector, _) = build(&ops);
+        let bitmap = vector.visible_bitmap(&snap);
+        let ranges = vector.visible_ranges(&snap);
+        let mut covered = 0u64;
+        let mut prev_end = 0u64;
+        for r in &ranges {
+            prop_assert!(r.start < r.end, "empty range emitted");
+            prop_assert!(r.start >= prev_end, "ranges out of order");
+            prop_assert!(r.start > prev_end || prev_end == 0,
+                "adjacent ranges not merged: {:?}", ranges);
+            for row in r.clone() {
+                prop_assert!(bitmap.get(row as usize), "range covers hidden row {}", row);
+            }
+            covered += r.end - r.start;
+            prev_end = r.end;
+        }
+        prop_assert_eq!(covered, bitmap.count_ones() as u64);
+        prop_assert_eq!(vector.visible_rows(&snap), covered);
+    }
+
+    /// Purge never changes what a legal post-purge reader sees.
+    /// Legal readers have epoch >= LSE and no deps <= LSE.
+    #[test]
+    fn purge_is_invisible_to_legal_readers(
+        ops in schedule_strategy(),
+        lse in 0u64..25,
+        reader in 0u64..30,
+        deps in prop::collection::btree_set(1u64..30, 0..4),
+    ) {
+        let (vector, _) = build(&ops);
+        let reader = reader.max(lse);
+        let deps: BTreeSet<Epoch> = deps.into_iter().filter(|&d| d < reader && d > lse).collect();
+        let snap = Snapshot::new(reader, deps);
+
+        let result = purge::purge(&vector, lse);
+        let before = vector.visible_bitmap(&snap);
+        let after = result.vector.visible_bitmap(&snap);
+
+        // Project the old bitmap through the keep mask; purge must
+        // only ever drop rows invisible to the reader.
+        let mut projected = String::with_capacity(after.len());
+        for old_row in 0..before.len() {
+            if result.keep.get(old_row) {
+                projected.push(if before.get(old_row) { '1' } else { '0' });
+            } else {
+                prop_assert!(!before.get(old_row),
+                    "purge at lse={} dropped row {} visible to reader {}", lse, old_row, reader);
+            }
+        }
+        prop_assert_eq!(after.to_bit_string(), projected);
+    }
+
+    /// Purge bookkeeping is internally consistent.
+    #[test]
+    fn purge_accounting_consistent(ops in schedule_strategy(), lse in 0u64..25) {
+        let (vector, _) = build(&ops);
+        let result = purge::purge(&vector, lse);
+        prop_assert_eq!(result.keep.len() as u64, vector.row_count());
+        prop_assert_eq!(
+            result.keep.count_ones() as u64,
+            result.vector.row_count()
+        );
+        prop_assert_eq!(
+            result.purged_rows,
+            vector.row_count() - result.vector.row_count()
+        );
+        // Purge never grows the metadata.
+        prop_assert!(result.vector.entries().len() <= vector.entries().len());
+        // Idempotence: purging again at the same LSE is a no-op.
+        let again = purge::purge(&result.vector, lse);
+        prop_assert!(!again.changed, "purge not idempotent: {:?} -> {:?}",
+            result.vector.entries(), again.vector.entries());
+    }
+
+    /// `needs_purge` exactly predicts whether purge changes anything.
+    #[test]
+    fn needs_purge_predicts_changed(ops in schedule_strategy(), lse in 0u64..25) {
+        let (vector, _) = build(&ops);
+        let result = purge::purge(&vector, lse);
+        prop_assert_eq!(vector.needs_purge(lse), result.changed);
+    }
+
+    /// Rolling back a transaction leaves the partition exactly as if
+    /// the transaction never ran.
+    #[test]
+    fn rollback_equals_never_ran(ops in schedule_strategy(), aborted in 1u64..20) {
+        let (with, _) = build(&ops);
+        let without_ops: Vec<Op> = ops
+            .iter()
+            .filter(|op| match op {
+                Op::Append(e, _) => *e != aborted,
+                Op::Delete(e) => *e != aborted,
+            })
+            .cloned()
+            .collect();
+        let result = rollback::rollback_partition(&with, aborted);
+        let (reference, _) = build(&without_ops);
+        // Visibility must agree for every snapshot (entry layout may
+        // differ: adjacent runs merge when the aborted rows between
+        // them vanish, and the reference build merges them eagerly).
+        for reader in 1..22 {
+            let snap = Snapshot::committed(reader);
+            prop_assert_eq!(
+                result.vector.visible_bitmap(&snap).to_bit_string(),
+                reference.visible_bitmap(&snap).to_bit_string(),
+                "reader {}", reader
+            );
+        }
+        prop_assert_eq!(result.vector.row_count(), reference.row_count());
+    }
+
+    /// Append returns the exact physical range the caller must fill.
+    #[test]
+    fn append_ranges_tile_the_partition(ops in schedule_strategy()) {
+        let mut vector = EpochsVector::new();
+        let mut next = 0u64;
+        for op in &ops {
+            if let Op::Append(e, n) = *op {
+                let range = vector.append(e, n);
+                prop_assert_eq!(range.start, next);
+                prop_assert_eq!(range.end, next + n);
+                next = range.end;
+            }
+        }
+        prop_assert_eq!(vector.row_count(), next);
+    }
+
+    /// Entry count is bounded by the number of run-breaking events,
+    /// never by row count — the memory claim of the paper.
+    #[test]
+    fn entry_count_bounded_by_ops(ops in schedule_strategy()) {
+        let (vector, _) = build(&ops);
+        prop_assert!(vector.entries().len() <= ops.len());
+        prop_assert_eq!(vector.used_bytes(), vector.entries().len() * 16);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random single-node transaction schedules keep the manager's
+    /// promises: LCE equals the largest committed prefix point, RO
+    /// snapshots never see unfinished transactions, and the
+    /// `EC > LCE >= LSE` invariant never breaks.
+    #[test]
+    fn manager_invariants_under_random_schedules(
+        actions in prop::collection::vec(0u8..10, 1..80),
+    ) {
+        let mgr = aosi::TxnManager::single_node();
+        let mut open: Vec<aosi::Txn> = Vec::new();
+        let mut committed: BTreeSet<Epoch> = BTreeSet::new();
+        for a in actions {
+            match a {
+                0..=4 => open.push(mgr.begin_rw()),
+                5..=6 if !open.is_empty() => {
+                    let idx = (a as usize) % open.len();
+                    let txn = open.remove(idx);
+                    mgr.commit(&txn).unwrap();
+                    committed.insert(txn.epoch());
+                }
+                7 if !open.is_empty() => {
+                    let txn = open.remove(0);
+                    mgr.rollback(&txn).unwrap();
+                }
+                _ => {
+                    // RO probe.
+                    let snap = mgr.begin_ro();
+                    for t in &open {
+                        prop_assert!(!snap.sees(t.epoch()),
+                            "RO at {} sees open T{}", snap.epoch(), t.epoch());
+                    }
+                }
+            }
+            // LCE = largest committed epoch below the oldest open txn.
+            let min_open = open.iter().map(|t| t.epoch()).min().unwrap_or(Epoch::MAX);
+            let expected_lce = committed
+                .iter()
+                .copied()
+                .filter(|&c| c < min_open)
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(mgr.lce(), expected_lce);
+            prop_assert!(mgr.clock().current_ec() > mgr.lce());
+            prop_assert!(mgr.lce() >= mgr.lse());
+        }
+        // Drain and confirm convergence.
+        for txn in open.drain(..) {
+            mgr.commit(&txn).unwrap();
+            committed.insert(txn.epoch());
+        }
+        prop_assert_eq!(mgr.lce(), committed.iter().copied().max().unwrap_or(0));
+        mgr.advance_lse(mgr.lce()).unwrap();
+        prop_assert_eq!(mgr.lse(), mgr.lce());
+    }
+
+    /// Strided epoch clocks never issue colliding epochs and Lamport
+    /// merges keep residues intact.
+    #[test]
+    fn clocks_never_collide(
+        num_nodes in 1u64..6,
+        events in prop::collection::vec((0usize..6, 0u64..200), 1..60),
+    ) {
+        let clocks: Vec<aosi::EpochClock> =
+            (1..=num_nodes).map(|i| aosi::EpochClock::new(i, num_nodes)).collect();
+        let mut issued = BTreeSet::new();
+        for (who, remote) in events {
+            let clock = &clocks[who % num_nodes as usize];
+            clock.observe(remote);
+            let epoch = clock.next_epoch();
+            prop_assert!(issued.insert(epoch), "epoch {} issued twice", epoch);
+            prop_assert_eq!(epoch % num_nodes, clock.node_idx() % num_nodes);
+            prop_assert!(epoch > remote || remote >= clock.current_ec(),
+                "issued epoch {} not past observed {}", epoch, remote);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the epochs vector: the per-partition metadata
+//! structure whose cheapness is AOSI's core claim.
+
+use aosi::EpochsVector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Appends by a single transaction: every call extends the back
+/// entry in place (Figure 1(b)) — the common bulk-load path.
+fn bench_append_same_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epochs_append_same_epoch");
+    for appends in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(appends));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(appends),
+            &appends,
+            |b, &appends| {
+                b.iter(|| {
+                    let mut v = EpochsVector::new();
+                    for _ in 0..appends {
+                        v.append(black_box(1), 10);
+                    }
+                    black_box(v.entries().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Appends alternating between two transactions: every call pushes a
+/// new entry (Figure 1(c)/(d)) — the worst-case metadata growth.
+fn bench_append_alternating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epochs_append_alternating");
+    for appends in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(appends));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(appends),
+            &appends,
+            |b, &appends| {
+                b.iter(|| {
+                    let mut v = EpochsVector::new();
+                    for i in 0..appends {
+                        v.append(black_box(1 + (i % 2)), 10);
+                    }
+                    black_box(v.entries().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Memory accounting cost (called per timeline sample in the
+/// figures).
+fn bench_memory_accounting(c: &mut Criterion) {
+    let mut v = EpochsVector::new();
+    for i in 0..10_000 {
+        v.append(1 + (i % 7), 5);
+    }
+    c.bench_function("epochs_heap_bytes", |b| {
+        b.iter(|| black_box(v.heap_bytes() + v.used_bytes()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_append_same_epoch,
+    bench_append_alternating,
+    bench_memory_accounting
+);
+criterion_main!(benches);

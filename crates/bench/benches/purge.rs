@@ -1,0 +1,66 @@
+//! Purge (garbage collection) cost vs. history length and delete
+//! presence.
+
+use std::hint::black_box;
+
+use aosi::{purge, EpochsVector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn history(entries: u64, rows_per_entry: u64, with_delete: bool) -> EpochsVector {
+    let mut v = EpochsVector::new();
+    for epoch in 1..=entries {
+        v.append(epoch, rows_per_entry);
+    }
+    if with_delete {
+        v.mark_delete(entries / 2);
+    }
+    v
+}
+
+/// Compaction-only purge (no deletes): merging old entries.
+fn bench_purge_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("purge_compaction");
+    for entries in [64u64, 1024, 16384] {
+        let v = history(entries, 100, false);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &v, |b, v| {
+            b.iter(|| black_box(purge::purge(v, entries).vector.entries().len()));
+        });
+    }
+    group.finish();
+}
+
+/// Purge applying a partition delete: builds the keep bitmap and
+/// recomputes entry boundaries.
+fn bench_purge_with_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("purge_apply_delete");
+    for entries in [64u64, 1024, 16384] {
+        let v = history(entries, 100, true);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &v, |b, v| {
+            b.iter(|| black_box(purge::purge(v, entries).purged_rows));
+        });
+    }
+    group.finish();
+}
+
+/// The `needs_purge` pre-check that lets the background procedure
+/// skip untouched partitions.
+fn bench_needs_purge(c: &mut Criterion) {
+    let clean = history(1, 100_000, false);
+    let dirty = history(4096, 25, false);
+    let mut group = c.benchmark_group("needs_purge");
+    group.bench_function("skippable", |b| {
+        b.iter(|| black_box(clean.needs_purge(100)))
+    });
+    group.bench_function("compactable", |b| {
+        b.iter(|| black_box(dirty.needs_purge(100_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_purge_compaction,
+    bench_purge_with_delete,
+    bench_needs_purge
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Transaction manager throughput: the shared-atomic-counter design
+//! the paper argues is sufficient for OLAP transaction rates
+//! (Section III-B), plus Lamport clock operations.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use aosi::{EpochClock, TxnManager};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Single-threaded begin/commit cycle.
+fn bench_begin_commit(c: &mut Criterion) {
+    let mgr = TxnManager::single_node();
+    c.bench_function("txn_begin_commit", |b| {
+        b.iter(|| {
+            let txn = mgr.begin_rw();
+            mgr.commit(&txn).unwrap();
+            black_box(txn.epoch())
+        })
+    });
+}
+
+/// RO begin: a single atomic load (the LCE rule's payoff).
+fn bench_begin_ro(c: &mut Criterion) {
+    let mgr = TxnManager::single_node();
+    let t = mgr.begin_rw();
+    mgr.commit(&t).unwrap();
+    c.bench_function("txn_begin_ro", |b| {
+        b.iter(|| black_box(mgr.begin_ro().epoch()))
+    });
+}
+
+/// Begin cost as the pending set grows (deps snapshotting).
+fn bench_begin_with_pending(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_begin_with_pending");
+    for pending in [0usize, 16, 256] {
+        let mgr = TxnManager::single_node();
+        let held: Vec<_> = (0..pending).map(|_| mgr.begin_rw()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(pending), &mgr, |b, mgr| {
+            b.iter(|| {
+                let txn = mgr.begin_rw();
+                mgr.commit(&txn).unwrap();
+                black_box(txn.epoch())
+            })
+        });
+        drop(held);
+    }
+    group.finish();
+}
+
+/// Multi-threaded begin/commit contention on the shared counters.
+fn bench_concurrent_begin_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_concurrent_begin_commit");
+    for threads in [1usize, 4, 8] {
+        group.throughput(Throughput::Elements(1000 * threads as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mgr = Arc::new(TxnManager::single_node());
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let mgr = Arc::clone(&mgr);
+                            std::thread::spawn(move || {
+                                for _ in 0..1000 {
+                                    let txn = mgr.begin_rw();
+                                    mgr.commit(&txn).unwrap();
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                    black_box(mgr.lce())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Lamport clock primitives.
+fn bench_clock_ops(c: &mut Criterion) {
+    let clock = EpochClock::new(2, 16);
+    let mut group = c.benchmark_group("epoch_clock");
+    group.bench_function("next_epoch", |b| b.iter(|| black_box(clock.next_epoch())));
+    group.bench_function("observe_behind", |b| {
+        b.iter(|| black_box(clock.observe(black_box(5))))
+    });
+    let mut remote = 0u64;
+    group.bench_function("observe_ahead", |b| {
+        b.iter(|| {
+            remote += 17;
+            black_box(clock.observe(black_box(remote)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_begin_commit,
+    bench_begin_ro,
+    bench_begin_with_pending,
+    bench_concurrent_begin_commit,
+    bench_clock_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Visibility-bitmap generation cost (the SI work a scan pays before
+//! touching data) as a function of epochs-vector shape.
+
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+use aosi::{visibility, EpochsVector, Snapshot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn vector_with(entries: u64, rows_per_entry: u64, deletes: u64) -> EpochsVector {
+    let mut v = EpochsVector::new();
+    let mut epoch = 1;
+    for i in 0..entries {
+        v.append(epoch, rows_per_entry);
+        epoch += 1;
+        if deletes > 0 && i % (entries / deletes).max(1) == (entries / deletes).max(1) - 1 {
+            v.mark_delete(epoch);
+            epoch += 1;
+        }
+    }
+    v
+}
+
+/// Bitmap generation over a clean (insert-only) history.
+fn bench_bitmap_by_entries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("visibility_bitmap_by_entries");
+    for entries in [16u64, 256, 4096] {
+        let rows_per_entry = 1_000_000 / entries;
+        let v = vector_with(entries, rows_per_entry, 0);
+        let snap = Snapshot::committed(entries / 2);
+        group.throughput(Throughput::Elements(v.row_count()));
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &v, |b, v| {
+            b.iter(|| black_box(v.visible_bitmap(&snap).count_ones()));
+        });
+    }
+    group.finish();
+}
+
+/// Bitmap generation with visible deletes: exercises the cleanup
+/// pass.
+fn bench_bitmap_with_deletes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("visibility_bitmap_with_deletes");
+    for deletes in [0u64, 4, 64] {
+        let v = vector_with(1024, 1000, deletes);
+        let snap = Snapshot::committed(10_000);
+        group.bench_with_input(BenchmarkId::from_parameter(deletes), &v, |b, v| {
+            b.iter(|| black_box(v.visible_bitmap(&snap).count_ones()));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the dominant-delete optimization vs. the paper's literal
+/// one-cleanup-pass-per-delete.
+fn bench_optimized_vs_naive(c: &mut Criterion) {
+    let v = vector_with(1024, 1000, 32);
+    let snap = Snapshot::committed(10_000);
+    let mut group = c.benchmark_group("visibility_cleanup_ablation");
+    group.bench_function("dominant_delete", |b| {
+        b.iter(|| black_box(visibility::visible_bitmap(&v, &snap).count_ones()))
+    });
+    group.bench_function("pass_per_delete", |b| {
+        b.iter(|| black_box(visibility::visible_bitmap_naive(&v, &snap).count_ones()))
+    });
+    group.finish();
+}
+
+/// Deps-set probing cost: snapshots with growing pending sets.
+fn bench_deps_probing(c: &mut Criterion) {
+    let v = vector_with(4096, 100, 0);
+    let mut group = c.benchmark_group("visibility_deps_size");
+    for deps_size in [0u64, 16, 256] {
+        let deps: BTreeSet<u64> = (1..=deps_size).map(|i| i * 2).collect();
+        let snap = Snapshot::new(100_000, deps);
+        group.bench_with_input(BenchmarkId::from_parameter(deps_size), &snap, |b, snap| {
+            b.iter(|| black_box(v.visible_bitmap(snap).count_ones()));
+        });
+    }
+    group.finish();
+}
+
+/// Bitmap materialization vs. the range fast path when the consumer
+/// only needs a count.
+fn bench_bitmap_vs_ranges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("visibility_count_path");
+    for entries in [16u64, 4096] {
+        let rows_per_entry = 1_000_000 / entries;
+        let v = vector_with(entries, rows_per_entry, 4);
+        let snap = Snapshot::committed(entries);
+        group.bench_with_input(BenchmarkId::new("bitmap", entries), &v, |b, v| {
+            b.iter(|| black_box(v.visible_bitmap(&snap).count_ones()))
+        });
+        group.bench_with_input(BenchmarkId::new("ranges", entries), &v, |b, v| {
+            b.iter(|| black_box(v.visible_rows(&snap)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitmap_by_entries,
+    bench_bitmap_with_deletes,
+    bench_optimized_vs_naive,
+    bench_deps_probing,
+    bench_bitmap_vs_ranges
+);
+criterion_main!(benches);

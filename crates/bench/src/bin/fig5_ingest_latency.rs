@@ -1,0 +1,138 @@
+//! Figure 5: latency distribution of load requests on a cluster
+//! under continuous ingestion.
+//!
+//! Paper observation: "Parse and flush latency are usually small and
+//! the total time is dominated by network latency incurred in order
+//! to forward records to remote nodes." We run a simulated cluster
+//! with a datacenter-ish latency model and report the per-stage
+//! distribution of load requests, expecting the same dominance of
+//! the forward stage.
+
+use std::time::Instant;
+
+use cluster::{LatencyModel, SimulatedNetwork};
+use cubrick::DistributedEngine;
+use workload::{Dataset, LatencyRecorder, SingleColumnDataset};
+
+fn main() {
+    let nodes = bench::env_u64("AOSI_NODES", 8);
+    let clients = bench::env_usize("AOSI_CLIENTS", 4);
+    let requests = bench::env_u64("AOSI_REQUESTS", 100);
+    let batch = bench::env_usize("AOSI_BATCH", 5000);
+    let shards = bench::env_usize("AOSI_SHARDS", 2);
+    let hop_us = bench::env_u64("AOSI_HOP_US", 300);
+    bench::banner(
+        "Figure 5",
+        "load-request latency distribution (parse / forward / flush / total)",
+        &[
+            ("nodes", nodes.to_string()),
+            ("clients", clients.to_string()),
+            ("requests per client", requests.to_string()),
+            ("batch", batch.to_string()),
+            ("one-way hop", format!("{hop_us}us (+50% jitter)")),
+        ],
+    );
+
+    let network = SimulatedNetwork::new(LatencyModel::datacenter(
+        std::time::Duration::from_micros(hop_us),
+    ));
+    let cluster = DistributedEngine::new(nodes, shards, network);
+    let dataset = SingleColumnDataset::default();
+    cluster.create_cube(dataset.schema()).expect("cube");
+
+    struct Stage {
+        parse: LatencyRecorder,
+        forward: LatencyRecorder,
+        flush: LatencyRecorder,
+        total: LatencyRecorder,
+    }
+    let mut merged = Stage {
+        parse: LatencyRecorder::new(),
+        forward: LatencyRecorder::new(),
+        flush: LatencyRecorder::new(),
+        total: LatencyRecorder::new(),
+    };
+
+    let started = Instant::now();
+    let stages: Vec<Stage> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let cluster = &cluster;
+                let dataset = &dataset;
+                scope.spawn(move || {
+                    let origin = (client as u64 % cluster.num_nodes()) + 1;
+                    let mut stage = Stage {
+                        parse: LatencyRecorder::new(),
+                        forward: LatencyRecorder::new(),
+                        flush: LatencyRecorder::new(),
+                        total: LatencyRecorder::new(),
+                    };
+                    for request in 0..requests {
+                        let batch_id = client as u64 * requests + request;
+                        let rows = dataset.batch(55, batch_id, batch);
+                        let outcome = cluster
+                            .load(origin, "single_column", &rows, 0)
+                            .expect("load");
+                        stage.parse.record(outcome.timings.parse);
+                        stage.forward.record(outcome.timings.forward);
+                        stage.flush.record(outcome.timings.flush);
+                        stage.total.record(outcome.timings.total);
+                    }
+                    stage
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for stage in stages {
+        merged.parse.merge(stage.parse);
+        merged.forward.merge(stage.forward);
+        merged.flush.merge(stage.flush);
+        merged.total.merge(stage.total);
+    }
+    let elapsed = started.elapsed();
+
+    println!("\nstage    p50(ms)   p90(ms)   p99(ms)   mean(ms)");
+    for (name, rec) in [
+        ("parse", &merged.parse),
+        ("forward", &merged.forward),
+        ("flush", &merged.flush),
+        ("total", &merged.total),
+    ] {
+        let p = rec.percentiles();
+        println!(
+            "{name:<9}{:<10.3}{:<10.3}{:<10.3}{:.3}",
+            p.p50.as_secs_f64() * 1e3,
+            p.p90.as_secs_f64() * 1e3,
+            p.p99.as_secs_f64() * 1e3,
+            p.mean.as_secs_f64() * 1e3,
+        );
+    }
+    let stats = cluster.network().stats();
+    println!(
+        "\nnetwork: {} messages, {}",
+        stats.messages,
+        workload::human_bytes(stats.bytes)
+    );
+    let total_mean = merged.total.percentiles().mean.as_secs_f64();
+    let forward_share = merged.forward.percentiles().mean.as_secs_f64() / total_mean * 100.0;
+    // Everything that is neither parse nor flush is network time:
+    // the forward fan-out plus the commit broadcast roundtrip.
+    let network_share = (1.0
+        - (merged.parse.percentiles().mean.as_secs_f64()
+            + merged.flush.percentiles().mean.as_secs_f64())
+            / total_mean)
+        * 100.0;
+    println!(
+        "rows/s: {}",
+        workload::human_rate(
+            (clients as u64 * requests * batch as u64) as f64 / elapsed.as_secs_f64()
+        )
+    );
+    println!("forward share of total latency: {forward_share:.0}%");
+    println!("network share of total latency (forward + commit): {network_share:.0}%");
+    println!(
+        "paper shape check: total dominated by forwarding, parse and flush \
+         small — see EXPERIMENTS.md"
+    );
+}

@@ -1,0 +1,101 @@
+//! Figure 8: query latency under Snapshot Isolation vs.
+//! read-uncommitted, full scans over the whole dataset.
+//!
+//! Paper setup: "a single thread of execution running the same query
+//! successively, alternating between SI and RU in order to evaluate
+//! the overhead … observed when controlling which records each
+//! transaction is supposed to see using the epochs vector, pendingTxs
+//! set and bitmap generation." The claim to reproduce: the SI/RU gap
+//! is minor.
+//!
+//! Ingestion keeps running in the background (as in the paper's
+//! production cluster) so the epochs vectors keep churning.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use cubrick::{Engine, IsolationMode};
+use workload::{Dataset, LatencyRecorder, QueryMix, WideDataset};
+
+fn main() {
+    let rows = bench::env_u64("AOSI_ROWS", 1_000_000);
+    let queries = bench::env_usize("AOSI_QUERIES", 200);
+    let shards = bench::env_usize("AOSI_SHARDS", 4);
+    let batch = bench::env_usize("AOSI_BATCH", 5000);
+    bench::banner(
+        "Figure 8",
+        "full-scan query latency: Snapshot Isolation vs. read-uncommitted",
+        &[
+            ("rows", rows.to_string()),
+            ("queries per mode", queries.to_string()),
+            ("shards", shards.to_string()),
+        ],
+    );
+
+    let dataset = WideDataset::default();
+    let engine = Engine::new(shards);
+    engine.create_cube(dataset.schema()).expect("cube");
+
+    // Preload.
+    let mut batch_id = 0u64;
+    let mut loaded = 0u64;
+    while loaded < rows {
+        let rows_batch = dataset.batch(77, batch_id, batch);
+        loaded += engine.load("wide", &rows_batch, 0).expect("load").accepted as u64;
+        batch_id += 1;
+    }
+    println!("preloaded {loaded} rows");
+
+    // Background ingestion churns the epochs vectors while we query.
+    let stop = AtomicBool::new(false);
+    let query = QueryMix::wide_full_scan();
+    let (si, ru) = std::thread::scope(|scope| {
+        let ingest = scope.spawn(|| {
+            let mut id = 1_000_000u64;
+            while !stop.load(Ordering::Relaxed) {
+                let rows_batch = dataset.batch(78, id, 1000);
+                engine.load("wide", &rows_batch, 0).expect("load");
+                id += 1;
+            }
+        });
+        let mut si = LatencyRecorder::new();
+        let mut ru = LatencyRecorder::new();
+        for _ in 0..queries {
+            // Alternate SI and RU, exactly as the paper does.
+            let started = Instant::now();
+            let si_result = engine
+                .query("wide", &query, IsolationMode::Snapshot)
+                .expect("query");
+            si.record(started.elapsed());
+            let started = Instant::now();
+            let ru_result = engine
+                .query("wide", &query, IsolationMode::ReadUncommitted)
+                .expect("query");
+            ru.record(started.elapsed());
+            assert!(ru_result.stats.rows_visible >= si_result.stats.rows_visible);
+        }
+        stop.store(true, Ordering::Relaxed);
+        ingest.join().unwrap();
+        (si, ru)
+    });
+
+    let si_p = si.percentiles();
+    let ru_p = ru.percentiles();
+    println!("\nmode  p50(ms)   p90(ms)   p99(ms)   mean(ms)  n");
+    for (name, p) in [("SI", si_p), ("RU", ru_p)] {
+        println!(
+            "{name:<6}{:<10.3}{:<10.3}{:<10.3}{:<10.3}{}",
+            p.p50.as_secs_f64() * 1e3,
+            p.p90.as_secs_f64() * 1e3,
+            p.p99.as_secs_f64() * 1e3,
+            p.mean.as_secs_f64() * 1e3,
+            p.count
+        );
+    }
+    let overhead = (si_p.mean.as_secs_f64() / ru_p.mean.as_secs_f64() - 1.0) * 100.0;
+    println!("\nSI mean overhead vs RU: {overhead:+.1}%");
+    println!(
+        "paper shape check: the SI/RU gap should be minor (single-digit \
+         percent) — see EXPERIMENTS.md"
+    );
+}

@@ -1,0 +1,55 @@
+//! Shared plumbing for the figure binaries.
+//!
+//! Every `fig*` binary reads its scale knobs from environment
+//! variables so the paper-scale runs and quick smoke runs use the
+//! same code path:
+//!
+//! * `AOSI_ROWS` — total rows to ingest (figures 6/7/10).
+//! * `AOSI_NODES` — simulated cluster size (figures 5/10).
+//! * `AOSI_CLIENTS` — parallel load clients.
+//! * `AOSI_BATCH` — rows per load request (paper: 5000).
+//! * `AOSI_QUERIES` — query repetitions (figures 8/9).
+//! * `AOSI_SHARDS` — shard threads per node.
+
+/// Reads a `usize` knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` knob from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a figure banner with the experiment id and its knobs.
+pub fn banner(figure: &str, description: &str, knobs: &[(&str, String)]) {
+    println!("================================================================");
+    println!("{figure}: {description}");
+    for (name, value) in knobs {
+        println!("  {name} = {value}");
+    }
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_fall_back_to_defaults() {
+        std::env::remove_var("AOSI_TEST_KNOB_X");
+        assert_eq!(env_usize("AOSI_TEST_KNOB_X", 7), 7);
+        assert_eq!(env_u64("AOSI_TEST_KNOB_X", 9), 9);
+        std::env::set_var("AOSI_TEST_KNOB_X", "42");
+        assert_eq!(env_usize("AOSI_TEST_KNOB_X", 7), 42);
+        std::env::set_var("AOSI_TEST_KNOB_X", "not-a-number");
+        assert_eq!(env_usize("AOSI_TEST_KNOB_X", 7), 7);
+        std::env::remove_var("AOSI_TEST_KNOB_X");
+    }
+}

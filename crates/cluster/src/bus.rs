@@ -1,0 +1,168 @@
+//! The simulated network: latency injection and traffic accounting.
+//!
+//! Replaces the production cluster's RPC fabric. A "send" is a
+//! synchronous delivery that optionally sleeps a sampled latency
+//! first, then returns; callers that want concurrent fan-out use
+//! scoped threads, exactly like an async RPC layer with a join at the
+//! end. The Figure 5 harness reads [`NetworkStats`] to report how
+//! much of a load request's life is spent "on the wire".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Latency model for one simulated hop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed one-way latency per message.
+    pub base: Duration,
+    /// Extra uniform jitter in `[0, jitter]`.
+    pub jitter: Duration,
+}
+
+impl LatencyModel {
+    /// Zero-latency model (pure protocol tests).
+    pub fn instant() -> Self {
+        LatencyModel {
+            base: Duration::ZERO,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// A datacenter-ish model: `base` one-way latency, 50% jitter.
+    pub fn datacenter(base: Duration) -> Self {
+        LatencyModel {
+            base,
+            jitter: base / 2,
+        }
+    }
+
+    fn sample(&self, entropy: u64) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        let jitter_nanos = self.jitter.as_nanos() as u64;
+        // Cheap deterministic hash of the message counter: good
+        // enough spread for latency jitter without threading an RNG
+        // through every call site.
+        let h = entropy
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(31)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        self.base + Duration::from_nanos(h % (jitter_nanos + 1))
+    }
+}
+
+/// Cumulative traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// Nanoseconds of injected latency (sum over messages).
+    pub injected_latency_nanos: u64,
+}
+
+/// The shared in-process "wire".
+#[derive(Clone, Debug)]
+pub struct SimulatedNetwork {
+    latency: LatencyModel,
+    messages: Arc<AtomicU64>,
+    bytes: Arc<AtomicU64>,
+    injected: Arc<AtomicU64>,
+}
+
+impl SimulatedNetwork {
+    /// A network with the given latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        SimulatedNetwork {
+            latency,
+            messages: Arc::new(AtomicU64::new(0)),
+            bytes: Arc::new(AtomicU64::new(0)),
+            injected: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Zero-latency network.
+    pub fn instant() -> Self {
+        SimulatedNetwork::new(LatencyModel::instant())
+    }
+
+    /// Accounts for and "transmits" a message of `payload_bytes`,
+    /// sleeping the sampled latency. Returns the injected latency so
+    /// callers can subtract it from measurements if needed.
+    pub fn transmit(&self, payload_bytes: usize) -> Duration {
+        let seq = self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(payload_bytes as u64, Ordering::Relaxed);
+        let delay = self.latency.sample(seq);
+        if !delay.is_zero() {
+            self.injected
+                .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+            std::thread::sleep(delay);
+        }
+        delay
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            injected_latency_nanos: self.injected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_network_does_not_sleep() {
+        let net = SimulatedNetwork::instant();
+        let start = std::time::Instant::now();
+        for _ in 0..100 {
+            net.transmit(64);
+        }
+        assert!(start.elapsed() < Duration::from_millis(50));
+        let s = net.stats();
+        assert_eq!(s.messages, 100);
+        assert_eq!(s.bytes, 6400);
+        assert_eq!(s.injected_latency_nanos, 0);
+    }
+
+    #[test]
+    fn latency_is_injected_and_accounted() {
+        let net = SimulatedNetwork::new(LatencyModel {
+            base: Duration::from_millis(2),
+            jitter: Duration::ZERO,
+        });
+        let start = std::time::Instant::now();
+        let d = net.transmit(10);
+        assert_eq!(d, Duration::from_millis(2));
+        assert!(start.elapsed() >= Duration::from_millis(2));
+        assert_eq!(net.stats().injected_latency_nanos, 2_000_000);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let model = LatencyModel::datacenter(Duration::from_micros(100));
+        for seq in 0..1000 {
+            let d = model.sample(seq);
+            assert!(d >= Duration::from_micros(100));
+            assert!(d <= Duration::from_micros(150));
+        }
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let net = SimulatedNetwork::instant();
+        let net2 = net.clone();
+        net.transmit(5);
+        net2.transmit(7);
+        assert_eq!(net.stats().messages, 2);
+        assert_eq!(net.stats().bytes, 12);
+    }
+}

@@ -1,0 +1,48 @@
+//! Simulated distributed substrate for the AOSI reproduction.
+//!
+//! The paper evaluates AOSI on Facebook production clusters (up to
+//! 200 nodes). This crate substitutes an **in-process simulated
+//! cluster**: every node is an ordinary struct owning its own
+//! [`TxnManager`](aosi::TxnManager) (and, one level up, its own
+//! Cubrick engine); the "network" is a [`SimulatedNetwork`] that
+//! counts messages/bytes and injects configurable latency before
+//! delivering. The protocol logic — Lamport clock piggybacking,
+//! pending-set unioning at begin, single-roundtrip commit — is the
+//! paper's verbatim (Section IV); only the transport is simulated,
+//! which does not change protocol behaviour, only absolute latencies.
+//!
+//! Pieces:
+//!
+//! * [`SimulatedNetwork`] / [`LatencyModel`] — message accounting and
+//!   latency injection.
+//! * [`Ring`] — the consistent-hashing ring Cubrick uses to place
+//!   bricks on nodes (Section V-A).
+//! * [`ProtocolCluster`] — the distributed transaction flow of
+//!   Section IV-C: begin broadcasts that union `pendingTxs` and merge
+//!   clocks, commit broadcasts with no consensus round.
+//! * [`ReplicationTracker`] — per-node flush watermarks; the
+//!   cluster-wide safe epoch is their minimum, gating LSE
+//!   (Section III-D: "LSE needs to be prevented from advancing if
+//!   data is not safely stored on all replicas").
+
+//! # Example
+//!
+//! ```
+//! use cluster::{ProtocolCluster, SimulatedNetwork};
+//!
+//! let cluster = ProtocolCluster::new(3, SimulatedNetwork::instant());
+//! let mut txn = cluster.begin_rw(1);          // epoch 1 (node 1 of 3)
+//! cluster.broadcast_begin(&mut txn, 1024);    // piggybacked on the first op
+//! cluster.commit(&txn).unwrap();              // single roundtrip, no consensus
+//! assert_eq!(cluster.manager(2).lce(), txn.epoch);
+//! ```
+
+mod bus;
+mod protocol;
+mod replication;
+mod ring;
+
+pub use bus::{LatencyModel, NetworkStats, SimulatedNetwork};
+pub use protocol::{DistributedTxn, NodeId, ProtocolCluster};
+pub use replication::ReplicationTracker;
+pub use ring::Ring;

@@ -1,0 +1,385 @@
+//! The distributed transaction flow of Section IV.
+//!
+//! Epochs are assigned purely locally (strided clocks, Section IV-A);
+//! the begin broadcast — piggybacked on the transaction's first
+//! fan-out operation — updates every remote Epoch Clock past the new
+//! epoch and returns each node's `pendingTxs`, whose union becomes
+//! the transaction's deps (Section IV-C). Commits are a single
+//! roundtrip with no consensus: "since there is no deterministic
+//! reason why a transaction could fail once it starts execution …
+//! the commit message can be implemented using a single roundtrip to
+//! each node."
+//!
+//! Clock piggybacking follows Table IV exactly: operation fan-outs
+//! push the origin's clock outward (one-way merge at the receivers);
+//! commit responses additionally merge the remotes' clocks back into
+//! the origin.
+
+use std::collections::BTreeSet;
+
+use aosi::{Epoch, Snapshot, TxnManager};
+
+use crate::bus::SimulatedNetwork;
+
+/// 1-based node identifier (matches the epoch stride residues).
+pub type NodeId = u64;
+
+/// Approximate wire size of a protocol message header.
+const HEADER_BYTES: usize = 24;
+
+/// A RW transaction coordinated from one node of the cluster.
+#[derive(Debug)]
+pub struct DistributedTxn {
+    /// Coordinator node.
+    pub origin: NodeId,
+    /// The transaction's epoch.
+    pub epoch: Epoch,
+    deps: BTreeSet<Epoch>,
+    broadcasted: bool,
+}
+
+impl DistributedTxn {
+    /// The snapshot this transaction reads from.
+    ///
+    /// # Panics
+    /// Panics if called before the begin broadcast: without the
+    /// remote pending sets the snapshot would not be SI-consistent.
+    pub fn snapshot(&self) -> Snapshot {
+        assert!(
+            self.broadcasted,
+            "snapshot requested before the begin broadcast completed"
+        );
+        Snapshot::new(self.epoch, self.deps.clone())
+    }
+
+    /// Deps gathered so far (local until broadcast, then global).
+    pub fn deps(&self) -> &BTreeSet<Epoch> {
+        &self.deps
+    }
+
+    /// `true` once the begin broadcast has run.
+    pub fn is_broadcasted(&self) -> bool {
+        self.broadcasted
+    }
+}
+
+/// All the per-node transaction managers plus the simulated wire.
+///
+/// Higher layers (the multi-node Cubrick engine) hold one of these
+/// and route data operations themselves; this type owns only the
+/// concurrency-control traffic.
+pub struct ProtocolCluster {
+    managers: Vec<TxnManager>,
+    network: SimulatedNetwork,
+}
+
+impl ProtocolCluster {
+    /// A cluster of `num_nodes` nodes sharing `network`.
+    pub fn new(num_nodes: u64, network: SimulatedNetwork) -> Self {
+        let managers = (1..=num_nodes)
+            .map(|i| TxnManager::new(i, num_nodes))
+            .collect();
+        ProtocolCluster { managers, network }
+    }
+
+    /// Cluster size.
+    pub fn num_nodes(&self) -> u64 {
+        self.managers.len() as u64
+    }
+
+    /// The manager of `node` (1-based).
+    pub fn manager(&self, node: NodeId) -> &TxnManager {
+        &self.managers[(node - 1) as usize]
+    }
+
+    /// The shared network (for traffic stats).
+    pub fn network(&self) -> &SimulatedNetwork {
+        &self.network
+    }
+
+    /// Begins a RW transaction on `node`. Purely local: the begin
+    /// broadcast rides on the first operation (see
+    /// [`ProtocolCluster::broadcast_begin`]).
+    pub fn begin_rw(&self, node: NodeId) -> DistributedTxn {
+        let (epoch, deps) = self.manager(node).begin_rw_parts();
+        DistributedTxn {
+            origin: node,
+            epoch,
+            deps,
+            broadcasted: self.num_nodes() == 1,
+        }
+    }
+
+    /// Runs the begin broadcast for `txn`, piggybacked on an
+    /// operation carrying `payload_bytes` to every other node:
+    /// registers the epoch remotely, merges the origin's clock into
+    /// each remote (one-way, as in Table IV's append event), and
+    /// unions the remote pending sets into the deps.
+    pub fn broadcast_begin(&self, txn: &mut DistributedTxn, payload_bytes: usize) {
+        if txn.broadcasted {
+            return;
+        }
+        let origin_ec = self.manager(txn.origin).clock().current_ec();
+        for node in 1..=self.num_nodes() {
+            if node == txn.origin {
+                continue;
+            }
+            self.network.transmit(HEADER_BYTES + payload_bytes);
+            let remote = self.manager(node);
+            remote.clock().observe(origin_ec);
+            remote.register_remote(txn.epoch);
+            // Response: the remote's pendingTxs (and its EC, which
+            // Table IV shows the origin does not merge here).
+            let pending = remote.pending_txs();
+            self.network
+                .transmit(HEADER_BYTES + pending.len() * std::mem::size_of::<Epoch>());
+            txn.deps
+                .extend(pending.into_iter().filter(|&p| p < txn.epoch));
+        }
+        txn.broadcasted = true;
+    }
+
+    /// Simulates forwarding an operation of `payload_bytes` from the
+    /// coordinator to `targets`, carrying the origin's clock
+    /// (one-way merge, Table IV's `append(T1)` row). The begin
+    /// broadcast must already have run.
+    pub fn forward_op(&self, txn: &DistributedTxn, targets: &[NodeId], payload_bytes: usize) {
+        assert!(txn.broadcasted, "operations require the begin broadcast");
+        let origin_ec = self.manager(txn.origin).clock().current_ec();
+        for &node in targets {
+            if node == txn.origin {
+                continue;
+            }
+            self.network.transmit(HEADER_BYTES + payload_bytes);
+            self.manager(node).clock().observe(origin_ec);
+        }
+    }
+
+    /// Commits `txn`: single roundtrip to every node, no consensus.
+    /// Responses merge the remote clocks back into the origin
+    /// (Table IV's `commit(T1)` row).
+    pub fn commit(&self, txn: &DistributedTxn) -> Result<(), aosi::AosiError> {
+        let origin = self.manager(txn.origin);
+        origin.commit_remote(txn.epoch)?;
+        let origin_ec = origin.clock().current_ec();
+        let deps_bytes = txn.deps.len() * std::mem::size_of::<Epoch>();
+        for node in 1..=self.num_nodes() {
+            if node == txn.origin {
+                continue;
+            }
+            self.network.transmit(HEADER_BYTES + deps_bytes);
+            let remote = self.manager(node);
+            remote.clock().observe(origin_ec);
+            if txn.broadcasted {
+                remote.commit_remote(txn.epoch)?;
+            }
+            let remote_ec = remote.clock().current_ec();
+            self.network.transmit(HEADER_BYTES);
+            origin.clock().observe(remote_ec);
+        }
+        Ok(())
+    }
+
+    /// Rolls `txn` back everywhere (same message pattern as commit).
+    pub fn rollback(&self, txn: &DistributedTxn) -> Result<(), aosi::AosiError> {
+        let origin = self.manager(txn.origin);
+        origin.rollback_remote(txn.epoch)?;
+        let origin_ec = origin.clock().current_ec();
+        for node in 1..=self.num_nodes() {
+            if node == txn.origin {
+                continue;
+            }
+            self.network.transmit(HEADER_BYTES);
+            let remote = self.manager(node);
+            remote.clock().observe(origin_ec);
+            if txn.broadcasted {
+                remote.rollback_remote(txn.epoch)?;
+            }
+            let remote_ec = remote.clock().current_ec();
+            self.network.transmit(HEADER_BYTES);
+            origin.clock().observe(remote_ec);
+        }
+        Ok(())
+    }
+
+    /// Begins a read-only transaction on `node`: runs on the node's
+    /// LCE with no network traffic at all (Section IV-C: "RO
+    /// transactions do not require this step").
+    pub fn begin_ro(&self, node: NodeId) -> Snapshot {
+        self.manager(node).begin_ro()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: u64) -> ProtocolCluster {
+        ProtocolCluster::new(n, SimulatedNetwork::instant())
+    }
+
+    /// Reproduces Table IV: epoch clocks advancing on a 3-node
+    /// cluster.
+    #[test]
+    fn table_iv_walkthrough() {
+        let c = cluster(3);
+        let ec = |n: NodeId| c.manager(n).clock().current_ec();
+        assert_eq!((ec(1), ec(2), ec(3)), (1, 2, 3));
+
+        // create(n1) -> T1: only n1's clock moves (1 -> 4).
+        let mut t1 = c.begin_rw(1);
+        assert_eq!(t1.epoch, 1);
+        assert_eq!((ec(1), ec(2), ec(3)), (4, 2, 3));
+
+        // append(T1): forwards to all nodes, pushing n1's clock out;
+        // n2: 2 -> 5, n3: 3 -> 6; n1 unchanged.
+        c.broadcast_begin(&mut t1, 1024);
+        assert_eq!((ec(1), ec(2), ec(3)), (4, 5, 6));
+
+        // create(n3) -> T6 (EC 6 -> 9), create(n2) -> T5 (EC 5 -> 8).
+        let t6 = c.begin_rw(3);
+        assert_eq!(t6.epoch, 6);
+        assert_eq!((ec(1), ec(2), ec(3)), (4, 5, 9));
+        let t5 = c.begin_rw(2);
+        assert_eq!(t5.epoch, 5);
+        assert_eq!((ec(1), ec(2), ec(3)), (4, 8, 9));
+
+        // commit(T1): n1 pushes EC=4 (no-op remotely) and merges the
+        // responses 8 and 9, landing on 10.
+        c.commit(&t1).unwrap();
+        assert_eq!((ec(1), ec(2), ec(3)), (10, 8, 9));
+    }
+
+    #[test]
+    fn begin_broadcast_unions_remote_pending() {
+        let c = cluster(2);
+        // A txn on node 2, begun and broadcast.
+        let mut t2 = c.begin_rw(2);
+        c.broadcast_begin(&mut t2, 0);
+        // A later txn on node 1 must pick up T2 as a dep even though
+        // node 1 never began it.
+        let mut t = c.begin_rw(1);
+        c.broadcast_begin(&mut t, 0);
+        assert!(t.epoch > t2.epoch);
+        assert!(t.deps().contains(&t2.epoch), "deps: {:?}", t.deps());
+        let snap = t.snapshot();
+        assert!(!snap.sees(t2.epoch));
+        c.commit(&t2).unwrap();
+        c.commit(&t).unwrap();
+    }
+
+    #[test]
+    fn commit_advances_lce_on_every_node() {
+        let c = cluster(3);
+        let mut t = c.begin_rw(1);
+        c.broadcast_begin(&mut t, 0);
+        c.commit(&t).unwrap();
+        for node in 1..=3 {
+            assert_eq!(c.manager(node).lce(), t.epoch, "node {node}");
+        }
+    }
+
+    #[test]
+    fn remote_lce_stalls_until_dep_commits() {
+        let c = cluster(2);
+        let mut t1 = c.begin_rw(1); // epoch 1
+        c.broadcast_begin(&mut t1, 0);
+        let mut t2 = c.begin_rw(2); // epoch > 1
+        c.broadcast_begin(&mut t2, 0);
+        c.commit(&t2).unwrap();
+        for node in 1..=2 {
+            assert_eq!(
+                c.manager(node).lce(),
+                0,
+                "T1 still pending; LCE must stall on node {node}"
+            );
+        }
+        c.commit(&t1).unwrap();
+        for node in 1..=2 {
+            assert_eq!(c.manager(node).lce(), t2.epoch, "node {node}");
+        }
+    }
+
+    #[test]
+    fn ro_transactions_generate_no_traffic() {
+        let c = cluster(3);
+        let before = c.network().stats().messages;
+        let snap = c.begin_ro(2);
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(c.network().stats().messages, before);
+    }
+
+    #[test]
+    fn rollback_disappears_everywhere() {
+        let c = cluster(2);
+        let mut t1 = c.begin_rw(1);
+        c.broadcast_begin(&mut t1, 0);
+        let mut t2 = c.begin_rw(2);
+        c.broadcast_begin(&mut t2, 0);
+        c.commit(&t2).unwrap();
+        c.rollback(&t1).unwrap();
+        for node in 1..=2 {
+            assert_eq!(c.manager(node).lce(), t2.epoch, "node {node}");
+            assert!(c.manager(node).pending_txs().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_needs_no_broadcast() {
+        let c = cluster(1);
+        let t = c.begin_rw(1);
+        assert!(t.is_broadcasted());
+        let _ = t.snapshot();
+        c.commit(&t).unwrap();
+        assert_eq!(c.manager(1).lce(), t.epoch);
+        assert_eq!(c.network().stats().messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin broadcast")]
+    fn snapshot_before_broadcast_panics() {
+        let c = cluster(2);
+        let t = c.begin_rw(1);
+        let _ = t.snapshot();
+    }
+
+    #[test]
+    fn write_skew_window_is_si_not_serializable() {
+        // Section IV-B: two concurrent transactions where neither
+        // sees the other — allowed under SI (write-skew shape).
+        let c = cluster(2);
+        let mut tk = c.begin_rw(1);
+        c.broadcast_begin(&mut tk, 0);
+        let mut tl = c.begin_rw(2);
+        c.broadcast_begin(&mut tl, 0);
+        let (k, l) = (tk.epoch.min(tl.epoch), tk.epoch.max(tl.epoch));
+        let snap_k = if tk.epoch == k {
+            tk.snapshot()
+        } else {
+            tl.snapshot()
+        };
+        let snap_l = if tl.epoch == l {
+            tl.snapshot()
+        } else {
+            tk.snapshot()
+        };
+        assert!(!snap_k.sees(l), "k < l: timestamp ordering hides l");
+        assert!(!snap_l.sees(k), "k pending when l began: deps hide k");
+        c.commit(&tk).unwrap();
+        c.commit(&tl).unwrap();
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let c = ProtocolCluster::new(3, SimulatedNetwork::instant());
+        let mut t = c.begin_rw(1);
+        c.broadcast_begin(&mut t, 500);
+        let begin_msgs = c.network().stats().messages;
+        assert_eq!(begin_msgs, 4, "2 remotes x (request + response)");
+        c.forward_op(&t, &[2, 3], 500);
+        assert_eq!(c.network().stats().messages, begin_msgs + 2);
+        c.commit(&t).unwrap();
+        assert_eq!(c.network().stats().messages, begin_msgs + 6);
+        assert!(c.network().stats().bytes > 1500);
+    }
+}

@@ -1,0 +1,142 @@
+//! Replica flush tracking: the durability gate for LSE.
+//!
+//! Section III-D: LSE may only advance once "all data is safely
+//! flushed to disk on all replicas", and "LSE needs to be prevented
+//! from advancing if data is not safely stored on all replicas or if
+//! any replica is offline". The tracker keeps one durable-epoch
+//! watermark per node; the cluster-safe epoch is their minimum, and
+//! it is withheld entirely while any node is offline.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use aosi::Epoch;
+
+use crate::protocol::NodeId;
+
+/// Cluster-wide flush watermarks.
+#[derive(Debug, Default)]
+pub struct ReplicationTracker {
+    state: RwLock<TrackerState>,
+}
+
+#[derive(Debug, Default)]
+struct TrackerState {
+    /// Highest epoch durably flushed per node.
+    flushed: BTreeMap<NodeId, Epoch>,
+    /// Nodes currently unreachable.
+    offline: Vec<NodeId>,
+}
+
+impl ReplicationTracker {
+    /// Tracker over nodes `1..=num_nodes`, all at epoch 0 and online.
+    pub fn new(num_nodes: u64) -> Self {
+        let tracker = ReplicationTracker::default();
+        {
+            let mut st = tracker.state.write();
+            for node in 1..=num_nodes {
+                st.flushed.insert(node, 0);
+            }
+        }
+        tracker
+    }
+
+    /// Records that `node` has durably flushed everything up to
+    /// `epoch`. Watermarks are monotonic; stale reports are ignored.
+    pub fn mark_flushed(&self, node: NodeId, epoch: Epoch) {
+        let mut st = self.state.write();
+        let slot = st.flushed.entry(node).or_insert(0);
+        if epoch > *slot {
+            *slot = epoch;
+        }
+    }
+
+    /// Marks `node` unreachable: the safe epoch is withheld until it
+    /// returns.
+    pub fn mark_offline(&self, node: NodeId) {
+        let mut st = self.state.write();
+        if !st.offline.contains(&node) {
+            st.offline.push(node);
+        }
+    }
+
+    /// Marks `node` reachable again.
+    pub fn mark_online(&self, node: NodeId) {
+        self.state.write().offline.retain(|&n| n != node);
+    }
+
+    /// The largest epoch durable on *every* node, or `None` while any
+    /// node is offline. This is the ceiling the flush machinery may
+    /// pass to [`TxnManager::advance_lse`](aosi::TxnManager::advance_lse).
+    pub fn safe_epoch(&self) -> Option<Epoch> {
+        let st = self.state.read();
+        if !st.offline.is_empty() {
+            return None;
+        }
+        st.flushed.values().copied().min()
+    }
+
+    /// Per-node watermarks (instrumentation).
+    pub fn watermarks(&self) -> Vec<(NodeId, Epoch)> {
+        self.state
+            .read()
+            .flushed
+            .iter()
+            .map(|(&n, &e)| (n, e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_epoch_is_the_minimum_watermark() {
+        let t = ReplicationTracker::new(3);
+        assert_eq!(t.safe_epoch(), Some(0));
+        t.mark_flushed(1, 10);
+        t.mark_flushed(2, 7);
+        t.mark_flushed(3, 12);
+        assert_eq!(t.safe_epoch(), Some(7));
+        t.mark_flushed(2, 11);
+        assert_eq!(t.safe_epoch(), Some(10));
+    }
+
+    #[test]
+    fn offline_node_withholds_safe_epoch() {
+        let t = ReplicationTracker::new(2);
+        t.mark_flushed(1, 5);
+        t.mark_flushed(2, 5);
+        assert_eq!(t.safe_epoch(), Some(5));
+        t.mark_offline(2);
+        assert_eq!(t.safe_epoch(), None, "paper: LSE must not advance");
+        t.mark_online(2);
+        assert_eq!(t.safe_epoch(), Some(5));
+    }
+
+    #[test]
+    fn watermarks_are_monotonic() {
+        let t = ReplicationTracker::new(1);
+        t.mark_flushed(1, 9);
+        t.mark_flushed(1, 4); // stale report
+        assert_eq!(t.safe_epoch(), Some(9));
+    }
+
+    #[test]
+    fn double_offline_and_online_are_idempotent() {
+        let t = ReplicationTracker::new(2);
+        t.mark_offline(1);
+        t.mark_offline(1);
+        t.mark_online(1);
+        assert_eq!(t.safe_epoch(), Some(0));
+    }
+
+    #[test]
+    fn watermarks_snapshot() {
+        let t = ReplicationTracker::new(2);
+        t.mark_flushed(2, 3);
+        assert_eq!(t.watermarks(), vec![(1, 0), (2, 3)]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Order-of-arrival dictionary encoding for string columns.
+//!
+//! Cubrick maintains "an auxiliary map ... associated to each string
+//! column in order to dictionary encode all string values into a more
+//! compact representation", encoding each distinct string "to a
+//! monotonically increasing counter" (Section V-A). This keeps the
+//! aggregation engine purely numeric.
+
+use std::collections::HashMap;
+
+/// A bidirectional string ↔ id mapping.
+///
+/// Ids are dense and assigned in first-seen order starting at zero, so
+/// they double as indexes into the reverse table.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    forward: HashMap<String, u32>,
+    reverse: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `s`, inserting it if unseen.
+    pub fn encode(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.forward.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.reverse.len()).expect("dictionary overflow: > u32::MAX keys");
+        self.forward.insert(s.to_owned(), id);
+        self.reverse.push(s.to_owned());
+        id
+    }
+
+    /// Returns the id for `s` without inserting.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.forward.get(s).copied()
+    }
+
+    /// Returns the string for `id`.
+    pub fn decode(&self, id: u32) -> Option<&str> {
+        self.reverse.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// The strings with ids `>= start`, in id order — the incremental
+    /// slice a flush round persists so recovery can rebuild the
+    /// dictionary with identical ids.
+    pub fn entries_from(&self, start: u32) -> Vec<String> {
+        self.reverse
+            .get(start as usize..)
+            .map(|s| s.to_vec())
+            .unwrap_or_default()
+    }
+
+    /// `true` if no string has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.reverse.is_empty()
+    }
+
+    /// Approximate heap bytes used by the dictionary.
+    pub fn heap_bytes(&self) -> usize {
+        let strings: usize = self.reverse.iter().map(|s| s.capacity() * 2).sum();
+        let map_entries = self.forward.capacity() * (std::mem::size_of::<(String, u32)>() + 8);
+        let vec = self.reverse.capacity() * std::mem::size_of::<String>();
+        strings + map_entries + vec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_assigns_dense_first_seen_ids() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode("us"), 0);
+        assert_eq!(d.encode("br"), 1);
+        assert_eq!(d.encode("us"), 0);
+        assert_eq!(d.encode("mx"), 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn decode_reverses_encode() {
+        let mut d = Dictionary::new();
+        let id = d.encode("hello");
+        assert_eq!(d.decode(id), Some("hello"));
+        assert_eq!(d.decode(id + 1), None);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.lookup("a"), None);
+        assert!(d.is_empty());
+        d.encode("a");
+        assert_eq!(d.lookup("a"), Some(0));
+    }
+
+    #[test]
+    fn entries_from_returns_incremental_slices() {
+        let mut d = Dictionary::new();
+        d.encode("a");
+        d.encode("b");
+        d.encode("c");
+        assert_eq!(d.entries_from(0), vec!["a", "b", "c"]);
+        assert_eq!(d.entries_from(2), vec!["c"]);
+        assert!(d.entries_from(3).is_empty());
+        assert!(d.entries_from(99).is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let mut d = Dictionary::new();
+        let empty = d.heap_bytes();
+        for i in 0..100 {
+            d.encode(&format!("value-{i}"));
+        }
+        assert!(d.heap_bytes() > empty);
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal schema metadata shared across the workspace.
+
+use crate::value::Value;
+
+/// Physical type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// Dictionary-encoded string.
+    Str,
+}
+
+impl ColumnType {
+    /// `true` if a [`Value`] is storable in a column of this type.
+    pub fn accepts(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (ColumnType::I64, Value::I64(_))
+                | (ColumnType::F64, Value::F64(_))
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// A named, typed column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Physical type.
+    pub column_type: ColumnType,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, column_type: ColumnType) -> Self {
+        Field {
+            name: name.into(),
+            column_type,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema from fields.
+    ///
+    /// # Panics
+    /// Panics if two fields share a name.
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|g| g.name == f.name),
+                "duplicate field name {:?}",
+                f.name
+            );
+        }
+        Schema { fields }
+    }
+
+    /// The fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the field called `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Validates that `row` matches the schema arity and types.
+    pub fn validates(&self, row: &[Value]) -> bool {
+        row.len() == self.fields.len()
+            && row
+                .iter()
+                .zip(&self.fields)
+                .all(|(v, f)| f.column_type.accepts(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("region", ColumnType::Str),
+            Field::new("likes", ColumnType::I64),
+            Field::new("score", ColumnType::F64),
+        ])
+    }
+
+    #[test]
+    fn index_of_finds_fields() {
+        let s = sample();
+        assert_eq!(s.index_of("region"), Some(0));
+        assert_eq!(s.index_of("score"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            Field::new("a", ColumnType::I64),
+            Field::new("a", ColumnType::F64),
+        ]);
+    }
+
+    #[test]
+    fn validates_checks_arity_and_types() {
+        let s = sample();
+        assert!(s.validates(&[Value::from("us"), Value::from(3i64), Value::from(0.5)]));
+        assert!(!s.validates(&[Value::from("us"), Value::from(3i64)]));
+        assert!(!s.validates(&[Value::from(1i64), Value::from(3i64), Value::from(0.5)]));
+    }
+
+    #[test]
+    fn accepts_matches_types() {
+        assert!(ColumnType::I64.accepts(&Value::I64(1)));
+        assert!(!ColumnType::I64.accepts(&Value::F64(1.0)));
+        assert!(ColumnType::Str.accepts(&Value::Str("x".into())));
+    }
+}

@@ -1,0 +1,125 @@
+//! Row-wise record representation used at the ingestion boundary.
+//!
+//! Records enter the system row-wise (a load request carries batches
+//! of rows) and are shredded into columns by the ingestion pipeline.
+//! `Value` is deliberately small: Cubrick's data model only needs
+//! integers, floats, and dictionary-encodable strings (Section V-A).
+
+use std::fmt;
+
+/// A single cell value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer (dimension coordinate or integer metric).
+    I64(i64),
+    /// 64-bit float metric.
+    F64(f64),
+    /// String dimension/metric; dictionary-encoded on ingestion.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an `I64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this is an `F64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Any numeric payload widened to `f64` (used by aggregations).
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One record, ordered by schema field position.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::I64(7).as_i64(), Some(7));
+        assert_eq!(Value::I64(7).as_f64(), None);
+        assert_eq!(Value::F64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Str("x".into()).as_i64(), None);
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert_eq!(Value::I64(3).as_numeric(), Some(3.0));
+        assert_eq!(Value::F64(2.5).as_numeric(), Some(2.5));
+        assert_eq!(Value::Str("a".into()).as_numeric(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(4i64), Value::I64(4));
+        assert_eq!(Value::from(0.5f64), Value::F64(0.5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::I64(-2).to_string(), "-2");
+        assert_eq!(Value::Str("us".into()).to_string(), "us");
+    }
+}

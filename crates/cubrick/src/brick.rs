@@ -1,0 +1,407 @@
+//! Bricks: sparse columnar partitions (Section V-A, Figure 4(c)).
+//!
+//! "Within each brick, data is stored column-wise using one vector
+//! per column and implicit record ids." Dimension coordinates are
+//! `u32` (already dictionary-encoded for string dimensions); metrics
+//! are typed columns. The only concurrency-control state is the AOSI
+//! epochs vector — no per-record timestamps anywhere.
+
+use aosi::{purge, rollback, Epoch, EpochsVector, Snapshot};
+use columnar::{BessVector, Bitmap, Column, ColumnType};
+
+use crate::ddl::{CubeSchema, MetricType};
+use crate::ingest::ParsedRecord;
+
+/// How a brick stores its dimension coordinates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DimStorage {
+    /// One `Vec<u32>` per dimension (simple, fastest access).
+    #[default]
+    Plain,
+    /// All dimensions bit-packed into one bess vector (the paper's
+    /// footnote-3 layout; far smaller for low-cardinality schemas).
+    Bess,
+}
+
+/// Memory breakdown of one brick.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BrickMemory {
+    /// Bytes of dimension + metric payload.
+    pub data_bytes: usize,
+    /// Bytes of AOSI metadata (the epochs vector).
+    pub aosi_bytes: usize,
+    /// Rows stored.
+    pub rows: u64,
+}
+
+#[derive(Clone, Debug)]
+enum DimStore {
+    Plain(Vec<Vec<u32>>),
+    Bess(BessVector),
+}
+
+/// One materialized partition.
+#[derive(Clone, Debug)]
+pub struct Brick {
+    dims: DimStore,
+    metrics: Vec<Column>,
+    epochs: EpochsVector,
+}
+
+impl Brick {
+    /// Materializes an empty brick for `schema` with plain dimension
+    /// storage.
+    pub fn new(schema: &CubeSchema) -> Self {
+        Brick::with_storage(schema, DimStorage::Plain)
+    }
+
+    /// Materializes an empty brick with the chosen dimension layout.
+    pub fn with_storage(schema: &CubeSchema, storage: DimStorage) -> Self {
+        let dims = match storage {
+            DimStorage::Plain => DimStore::Plain(vec![Vec::new(); schema.dimensions.len()]),
+            DimStorage::Bess => {
+                let cards: Vec<u32> = schema.dimensions.iter().map(|d| d.cardinality).collect();
+                DimStore::Bess(BessVector::new(&cards))
+            }
+        };
+        Brick {
+            dims,
+            metrics: schema
+                .metrics
+                .iter()
+                .map(|m| {
+                    Column::new(match m.metric_type {
+                        MetricType::I64 => ColumnType::I64,
+                        MetricType::F64 => ColumnType::F64,
+                    })
+                })
+                .collect(),
+            epochs: EpochsVector::new(),
+        }
+    }
+
+    /// Appends parsed records on behalf of transaction `epoch`.
+    ///
+    /// Applied by the owning shard thread only, so the append is
+    /// lock-free by construction (Section V-B).
+    pub fn append(&mut self, epoch: Epoch, records: &[ParsedRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let range = self.epochs.append(epoch, records.len() as u64);
+        debug_assert_eq!(range.end - range.start, records.len() as u64);
+        for rec in records {
+            debug_assert_eq!(rec.coords.len(), self.num_dims());
+            match &mut self.dims {
+                DimStore::Plain(dims) => {
+                    for (dim, &coord) in dims.iter_mut().zip(&rec.coords) {
+                        dim.push(coord);
+                    }
+                }
+                DimStore::Bess(bess) => bess.push(&rec.coords),
+            }
+            for (col, value) in self.metrics.iter_mut().zip(&rec.metrics) {
+                let ok = col.push_value(value);
+                debug_assert!(ok, "metric type mismatch survived parsing");
+            }
+        }
+    }
+
+    /// Marks the whole brick deleted by transaction `epoch`.
+    pub fn mark_delete(&mut self, epoch: Epoch) {
+        self.epochs.mark_delete(epoch);
+    }
+
+    /// Rows physically stored (including not-yet-visible and
+    /// logically deleted ones).
+    pub fn row_count(&self) -> u64 {
+        self.epochs.row_count()
+    }
+
+    /// The AOSI visibility bitmap for `snapshot`.
+    pub fn visibility(&self, snapshot: &Snapshot) -> Bitmap {
+        self.epochs.visible_bitmap(snapshot)
+    }
+
+    /// A read-uncommitted "bitmap": every stored row.
+    pub fn all_rows(&self) -> Bitmap {
+        Bitmap::new_set(self.row_count() as usize)
+    }
+
+    /// Number of dimension columns.
+    pub fn num_dims(&self) -> usize {
+        match &self.dims {
+            DimStore::Plain(dims) => dims.len(),
+            DimStore::Bess(bess) => bess.num_dims(),
+        }
+    }
+
+    /// Number of metric columns.
+    pub fn num_metrics(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Coordinate of dimension `dim` at `row` (works for either
+    /// layout).
+    #[inline]
+    pub fn dim_value(&self, dim: usize, row: usize) -> u32 {
+        match &self.dims {
+            DimStore::Plain(dims) => dims[dim][row],
+            DimStore::Bess(bess) => bess.get(row, dim),
+        }
+    }
+
+    /// Dimension coordinates of column `dim` as a slice.
+    ///
+    /// # Panics
+    /// Panics for bess-packed bricks, which have no per-dimension
+    /// slices — use [`Brick::dim_value`].
+    pub fn dim_column(&self, dim: usize) -> &[u32] {
+        match &self.dims {
+            DimStore::Plain(dims) => &dims[dim],
+            DimStore::Bess(_) => {
+                panic!("dim_column on a bess-packed brick; use dim_value")
+            }
+        }
+    }
+
+    /// Metric column `metric`.
+    pub fn metric_column(&self, metric: usize) -> &Column {
+        &self.metrics[metric]
+    }
+
+    /// The brick's epochs vector (protocol-level inspection).
+    pub fn epochs(&self) -> &EpochsVector {
+        &self.epochs
+    }
+
+    /// Whether purge at `lse` would change this brick.
+    pub fn needs_purge(&self, lse: Epoch) -> bool {
+        self.epochs.needs_purge(lse)
+    }
+
+    /// Purges the brick at `lse`: applies safe deletes, compacts
+    /// history, rebuilds the data vectors, and swaps in place.
+    /// Returns `(rows_purged, entries_reclaimed)`.
+    pub fn purge(&mut self, lse: Epoch) -> (u64, usize) {
+        let result = purge::purge(&self.epochs, lse);
+        if !result.changed {
+            return (0, 0);
+        }
+        if result.purged_rows > 0 {
+            self.rebuild_data(&result.keep);
+        }
+        self.epochs = result.vector;
+        self.epochs.shrink_to_fit();
+        (result.purged_rows, result.entries_reclaimed)
+    }
+
+    /// Removes an aborted transaction's rows. Returns rows removed.
+    pub fn rollback(&mut self, aborted: Epoch) -> u64 {
+        let result = rollback::rollback_partition(&self.epochs, aborted);
+        if !result.changed {
+            return 0;
+        }
+        if result.removed_rows > 0 {
+            self.rebuild_data(&result.keep);
+        }
+        self.epochs = result.vector;
+        result.removed_rows
+    }
+
+    fn rebuild_data(&mut self, keep: &Bitmap) {
+        match &mut self.dims {
+            DimStore::Plain(dims) => {
+                for dim in dims {
+                    let mut new_dim = Vec::with_capacity(keep.count_ones());
+                    new_dim.extend(keep.iter_ones().map(|row| dim[row]));
+                    *dim = new_dim;
+                }
+            }
+            DimStore::Bess(bess) => *bess = bess.retain_by_bitmap(keep),
+        }
+        for col in &mut self.metrics {
+            *col = col.retain_by_bitmap(keep);
+        }
+    }
+
+    /// Metric-column bytes only (test support for layout
+    /// comparisons).
+    #[doc(hidden)]
+    pub fn metric_bytes_for_test(&self) -> usize {
+        self.metrics.iter().map(Column::heap_bytes).sum()
+    }
+
+    /// Memory accounting for the overhead experiments.
+    pub fn memory(&self) -> BrickMemory {
+        let dim_bytes: usize = match &self.dims {
+            DimStore::Plain(dims) => dims
+                .iter()
+                .map(|d| d.capacity() * std::mem::size_of::<u32>())
+                .sum(),
+            DimStore::Bess(bess) => bess.heap_bytes(),
+        };
+        let metric_bytes: usize = self.metrics.iter().map(Column::heap_bytes).sum();
+        BrickMemory {
+            data_bytes: dim_bytes + metric_bytes,
+            aosi_bytes: self.epochs.heap_bytes(),
+            rows: self.row_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::{CubeSchema, Dimension, Metric};
+    use columnar::Value;
+
+    fn schema() -> CubeSchema {
+        CubeSchema::new(
+            "t",
+            vec![Dimension::int("d", 8, 2)],
+            vec![Metric::int("m"), Metric::float("f")],
+        )
+        .unwrap()
+    }
+
+    fn rec(coord: u32, m: i64, f: f64) -> ParsedRecord {
+        ParsedRecord {
+            bid: 0,
+            coords: vec![coord],
+            metrics: vec![Value::I64(m), Value::F64(f)],
+        }
+    }
+
+    #[test]
+    fn append_fills_all_columns() {
+        let mut b = Brick::new(&schema());
+        b.append(1, &[rec(0, 10, 0.5), rec(1, 20, 1.5)]);
+        assert_eq!(b.row_count(), 2);
+        assert_eq!(b.dim_column(0), &[0, 1]);
+        assert_eq!(b.metric_column(0).get_i64(1), Some(20));
+        assert_eq!(b.metric_column(1).get_f64(0), Some(0.5));
+    }
+
+    #[test]
+    fn visibility_respects_snapshots() {
+        let mut b = Brick::new(&schema());
+        b.append(1, &[rec(0, 1, 0.0)]);
+        b.append(3, &[rec(1, 2, 0.0)]);
+        let bm = b.visibility(&Snapshot::committed(1));
+        assert_eq!(bm.to_bit_string(), "10");
+        let bm = b.visibility(&Snapshot::committed(3));
+        assert_eq!(bm.to_bit_string(), "11");
+        assert_eq!(b.all_rows().count_ones(), 2, "RU sees everything");
+    }
+
+    #[test]
+    fn purge_rebuilds_data_vectors() {
+        let mut b = Brick::new(&schema());
+        b.append(1, &[rec(0, 1, 0.0), rec(1, 2, 0.0)]);
+        b.mark_delete(2);
+        b.append(3, &[rec(2, 3, 0.0)]);
+        let (purged, _) = b.purge(3);
+        assert_eq!(purged, 2);
+        assert_eq!(b.row_count(), 1);
+        assert_eq!(b.dim_column(0), &[2]);
+        assert_eq!(b.metric_column(0).get_i64(0), Some(3));
+        assert_eq!(b.epochs().entries().len(), 1);
+    }
+
+    #[test]
+    fn rollback_rebuilds_data_vectors() {
+        let mut b = Brick::new(&schema());
+        b.append(1, &[rec(0, 1, 0.0)]);
+        b.append(2, &[rec(1, 2, 0.0), rec(2, 3, 0.0)]);
+        b.append(1, &[rec(3, 4, 0.0)]);
+        assert_eq!(b.rollback(2), 2);
+        assert_eq!(b.row_count(), 2);
+        assert_eq!(b.dim_column(0), &[0, 3]);
+        assert_eq!(b.metric_column(0).get_i64(1), Some(4));
+        assert_eq!(b.rollback(9), 0, "unknown epoch is a no-op");
+    }
+
+    #[test]
+    fn memory_counts_payload_and_metadata_separately() {
+        let mut b = Brick::new(&schema());
+        let recs: Vec<ParsedRecord> = (0..100).map(|i| rec(i % 8, i as i64, 0.0)).collect();
+        b.append(1, &recs);
+        let m = b.memory();
+        assert_eq!(m.rows, 100);
+        // 100 x (4B dim + 8B + 8B metrics), capacities may round up.
+        assert!(m.data_bytes >= 2000);
+        // One epochs entry regardless of row count.
+        assert!(m.aosi_bytes >= 16 && m.aosi_bytes < 1024);
+    }
+
+    #[test]
+    fn empty_append_is_noop() {
+        let mut b = Brick::new(&schema());
+        b.append(1, &[]);
+        assert_eq!(b.row_count(), 0);
+        assert!(b.epochs().is_empty());
+    }
+
+    #[test]
+    fn bess_brick_behaves_like_plain() {
+        let schema = schema();
+        let mut plain = Brick::with_storage(&schema, DimStorage::Plain);
+        let mut bess = Brick::with_storage(&schema, DimStorage::Bess);
+        let recs: Vec<ParsedRecord> = (0..200).map(|i| rec(i % 8, i as i64, 0.5)).collect();
+        for b in [&mut plain, &mut bess] {
+            b.append(1, &recs[..100]);
+            b.append(2, &recs[100..150]);
+            b.mark_delete(3);
+            b.append(4, &recs[150..]);
+        }
+        assert_eq!(plain.row_count(), bess.row_count());
+        for row in 0..plain.row_count() as usize {
+            assert_eq!(plain.dim_value(0, row), bess.dim_value(0, row), "row {row}");
+        }
+        for reader in 1..=5 {
+            let snap = Snapshot::committed(reader);
+            assert_eq!(
+                plain.visibility(&snap).to_bit_string(),
+                bess.visibility(&snap).to_bit_string(),
+                "reader {reader}"
+            );
+        }
+        // Purge rebuilds both layouts identically.
+        let (p_rows, _) = plain.purge(5);
+        let (b_rows, _) = bess.purge(5);
+        assert_eq!(p_rows, b_rows);
+        assert_eq!(plain.row_count(), bess.row_count());
+        for row in 0..plain.row_count() as usize {
+            assert_eq!(plain.dim_value(0, row), bess.dim_value(0, row));
+            assert_eq!(
+                plain.metric_column(0).get_i64(row),
+                bess.metric_column(0).get_i64(row)
+            );
+        }
+    }
+
+    #[test]
+    fn bess_brick_is_smaller_for_low_cardinality_dims() {
+        // 8-value dimension: 3 bits packed vs 32 bits plain.
+        let schema = schema();
+        let mut plain = Brick::with_storage(&schema, DimStorage::Plain);
+        let mut bess = Brick::with_storage(&schema, DimStorage::Bess);
+        let recs: Vec<ParsedRecord> = (0..10_000).map(|i| rec(i % 8, 0, 0.0)).collect();
+        plain.append(1, &recs);
+        bess.append(1, &recs);
+        let plain_dims = plain.memory().data_bytes - plain.metric_bytes_for_test();
+        let bess_dims = bess.memory().data_bytes - bess.metric_bytes_for_test();
+        assert!(
+            bess_dims * 5 < plain_dims,
+            "bess {bess_dims} B vs plain {plain_dims} B"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bess-packed")]
+    fn dim_column_on_bess_panics() {
+        let b = Brick::with_storage(&schema(), DimStorage::Bess);
+        b.dim_column(0);
+    }
+}

@@ -1,0 +1,471 @@
+//! The multi-node Cubrick cluster (Sections IV and V-B).
+//!
+//! One [`Engine`] per node, one shared [`ProtocolCluster`] for the
+//! transaction traffic, one consistent-hashing [`Ring`] assigning
+//! bricks to nodes, and one [`SimulatedNetwork`] accounting every
+//! hop. The load pipeline is the paper's:
+//!
+//! 1. **Parse** on the node that received the buffer (any node).
+//! 2. **Validate & forward**: check `max_rejected`; create the
+//!    transaction; forward per-bid record groups to the owning nodes,
+//!    piggybacking the begin broadcast (pending sets + clocks) on the
+//!    same messages.
+//! 3. **Flush**: each owning node applies the appends on its shard
+//!    threads.
+//!
+//! Commit is a single roundtrip: "all remote nodes are required to
+//! commit the transaction and no consensus protocol is required".
+//!
+//! Distributed queries take one snapshot at the coordinator, register
+//! it as an active reader on *every* node (so no node's purge can
+//! disturb the scan), fan out, and merge partial aggregates before
+//! finalizing.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use aosi::{ReadGuard, Snapshot};
+use cluster::{NodeId, ProtocolCluster, Ring, SimulatedNetwork};
+use columnar::Row;
+
+use crate::cube::Cube;
+use crate::ddl::CubeSchema;
+use crate::engine::{Engine, EngineMemory, IsolationMode, LoadStageTimings, PurgeStats};
+use crate::error::CubrickError;
+use crate::ingest::{parse_rows, ParsedBatch};
+use crate::query::{PartialResult, Query, QueryResult, ResolvedQuery};
+
+/// Result of a distributed load request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistributedLoadOutcome {
+    /// The transaction's epoch.
+    pub epoch: aosi::Epoch,
+    /// Records stored.
+    pub accepted: usize,
+    /// Records rejected during parsing.
+    pub rejected: usize,
+    /// Nodes that received data.
+    pub nodes_touched: usize,
+    /// Stage latencies (parse / forward / flush / total).
+    pub timings: LoadStageTimings,
+}
+
+/// An N-node Cubrick cluster in one process.
+pub struct DistributedEngine {
+    protocol: ProtocolCluster,
+    engines: Vec<Engine>,
+    ring: Ring,
+}
+
+impl DistributedEngine {
+    /// Builds a cluster of `num_nodes` nodes, each with
+    /// `shards_per_node` shard threads, over `network`.
+    pub fn new(num_nodes: u64, shards_per_node: usize, network: SimulatedNetwork) -> Self {
+        let protocol = ProtocolCluster::new(num_nodes, network);
+        let engines = (1..=num_nodes)
+            .map(|node| Engine::with_manager(protocol.manager(node).clone(), shards_per_node))
+            .collect();
+        DistributedEngine {
+            protocol,
+            engines,
+            ring: Ring::new(num_nodes, 64),
+        }
+    }
+
+    /// Cluster size.
+    pub fn num_nodes(&self) -> u64 {
+        self.engines.len() as u64
+    }
+
+    /// The engine running on `node` (1-based).
+    pub fn engine(&self, node: NodeId) -> &Engine {
+        &self.engines[(node - 1) as usize]
+    }
+
+    /// The shared network (traffic stats).
+    pub fn network(&self) -> &SimulatedNetwork {
+        self.protocol.network()
+    }
+
+    /// The protocol cluster (clock/pending inspection).
+    pub fn protocol(&self) -> &ProtocolCluster {
+        &self.protocol
+    }
+
+    /// Cluster DDL: creates the cube on every node with shared
+    /// metadata (schema + dictionaries distributed at DDL time).
+    pub fn create_cube(&self, schema: CubeSchema) -> Result<Cube, CubrickError> {
+        let cube = Cube::new(schema);
+        for engine in &self.engines {
+            engine.register_cube(cube.clone())?;
+        }
+        Ok(cube)
+    }
+
+    /// Loads `rows` through coordinator `origin` in one implicit
+    /// distributed transaction.
+    pub fn load(
+        &self,
+        origin: NodeId,
+        cube_name: &str,
+        rows: &[Row],
+        max_rejected: usize,
+    ) -> Result<DistributedLoadOutcome, CubrickError> {
+        let started = Instant::now();
+        let cube = self.engine(origin).cube(cube_name)?;
+
+        // 1. Parse at the receiving node.
+        let parse_started = Instant::now();
+        let batch = parse_rows(cube.schema(), cube.layout(), cube.dictionaries(), rows);
+        let parse = parse_started.elapsed();
+        if batch.rejected > max_rejected {
+            return Err(CubrickError::TooManyRejected {
+                rejected: batch.rejected,
+                max_rejected,
+            });
+        }
+        let (accepted, rejected) = (batch.accepted, batch.rejected);
+
+        // 2. Validate & forward: transaction + routing.
+        let mut txn = self.protocol.begin_rw(origin);
+        let forward_started = Instant::now();
+        // The begin broadcast rides on the data fan-out.
+        self.protocol.broadcast_begin(&mut txn, 0);
+        let mut per_node: HashMap<NodeId, ParsedBatch> = HashMap::new();
+        for (bid, records) in batch.by_bid {
+            let node = self.ring.node_for(bid);
+            let target = per_node.entry(node).or_default();
+            target.accepted += records.len();
+            target.by_bid.insert(bid, records);
+        }
+        let nodes_touched = per_node.len();
+        // Account the forwarded bytes (records that stay on the
+        // origin do not cross the wire).
+        for (&node, node_batch) in &per_node {
+            if node != origin {
+                let bytes: usize = node_batch
+                    .by_bid
+                    .values()
+                    .map(|recs| recs.len() * approx_record_bytes(&cube))
+                    .sum();
+                self.network().transmit(bytes);
+            }
+        }
+        let forward = forward_started.elapsed();
+
+        // 3. Flush on each owning node.
+        let flush_started = Instant::now();
+        std::thread::scope(|scope| {
+            for (node, node_batch) in per_node {
+                let engine = self.engine(node);
+                let cube = cube.clone();
+                let epoch = txn.epoch;
+                scope.spawn(move || engine.flush_batch(&cube, epoch, node_batch));
+            }
+        });
+        let flush = flush_started.elapsed();
+
+        self.protocol.commit(&txn)?;
+        Ok(DistributedLoadOutcome {
+            epoch: txn.epoch,
+            accepted,
+            rejected,
+            nodes_touched,
+            timings: LoadStageTimings {
+                parse,
+                forward,
+                flush,
+                total: started.elapsed(),
+            },
+        })
+    }
+
+    /// Runs a query from coordinator `origin` under `mode`, fanning
+    /// out to every node and merging partial aggregates.
+    pub fn query(
+        &self,
+        origin: NodeId,
+        cube_name: &str,
+        query: &Query,
+        mode: IsolationMode,
+    ) -> Result<QueryResult, CubrickError> {
+        let cube = self.engine(origin).cube(cube_name)?;
+        let resolved = ResolvedQuery::resolve(&cube, query)?;
+        let (snapshot, _guards): (Option<Snapshot>, Vec<ReadGuard>) = match mode {
+            IsolationMode::Snapshot => {
+                let snapshot = self.protocol.begin_ro(origin);
+                // Pin the snapshot on every node for the scan's
+                // lifetime: no purge anywhere may pass it.
+                let guards = self
+                    .engines
+                    .iter()
+                    .map(|e| e.manager().guard_snapshot(snapshot.clone()))
+                    .collect();
+                (Some(snapshot), guards)
+            }
+            IsolationMode::ReadUncommitted => (None, Vec::new()),
+        };
+        let mut merged = PartialResult::default();
+        let partials: Vec<PartialResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .engines
+                .iter()
+                .enumerate()
+                .map(|(idx, engine)| {
+                    let node = idx as u64 + 1;
+                    if node != origin {
+                        // Query shipping + result return.
+                        self.network().transmit(128);
+                    }
+                    let cube = cube.clone();
+                    let resolved = resolved.clone();
+                    let snapshot = snapshot.clone();
+                    scope.spawn(move || engine.execute_partial(&cube, &resolved, snapshot))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for partial in partials {
+            merged.merge(partial);
+        }
+        Ok(QueryResult::finalize(&cube, &resolved, merged))
+    }
+
+    /// Distributed partition delete from coordinator `origin`
+    /// (Section IV: "delete operations must test the user's
+    /// predicates against each partition on every node").
+    pub fn delete_where(
+        &self,
+        origin: NodeId,
+        cube_name: &str,
+        filters: &[crate::query::DimFilter],
+    ) -> Result<(aosi::Epoch, u64), CubrickError> {
+        // The engine-level delete runs its own local implicit
+        // transaction; the distributed version needs one shared
+        // epoch, so it drives the brick marking directly.
+        let cube = self.engine(origin).cube(cube_name)?;
+        let mut txn = self.protocol.begin_rw(origin);
+        self.protocol.broadcast_begin(&mut txn, 64);
+        let mut marked_total = 0u64;
+        for (idx, engine) in self.engines.iter().enumerate() {
+            let node = idx as u64 + 1;
+            if node != origin {
+                self.network().transmit(64);
+            }
+            marked_total += engine.mark_delete_where(&cube, filters, txn.epoch)?;
+        }
+        self.protocol.commit(&txn)?;
+        Ok((txn.epoch, marked_total))
+    }
+
+    /// Advances LSE to LCE and purges on every node. Returns the
+    /// aggregate stats.
+    pub fn purge_all(&self) -> PurgeStats {
+        self.engines.iter().map(Engine::advance_lse_and_purge).fold(
+            PurgeStats::default(),
+            |mut a, s| {
+                a.rows_purged += s.rows_purged;
+                a.entries_reclaimed += s.entries_reclaimed;
+                a.bricks_changed += s.bricks_changed;
+                a
+            },
+        )
+    }
+
+    /// Aggregate memory accounting across nodes.
+    pub fn memory(&self) -> EngineMemory {
+        let mut total = EngineMemory::default();
+        for engine in &self.engines {
+            let m = engine.memory();
+            total.data_bytes += m.data_bytes;
+            total.aosi_bytes += m.aosi_bytes;
+            total.rows += m.rows;
+            total.bricks += m.bricks;
+        }
+        // Dictionaries are shared cluster-wide: count them once.
+        total.dictionary_bytes = self.engines[0].memory().dictionary_bytes;
+        total.mvcc_baseline_bytes = total.rows * 16;
+        total
+    }
+}
+
+/// Rough wire size of one parsed record for traffic accounting.
+fn approx_record_bytes(cube: &Cube) -> usize {
+    cube.schema().dimensions.len() * 4 + cube.schema().metrics.len() * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::{Dimension, Metric};
+    use crate::query::{AggFn, Aggregation, DimFilter};
+    use columnar::Value;
+
+    fn cluster(nodes: u64) -> DistributedEngine {
+        let d = DistributedEngine::new(nodes, 2, SimulatedNetwork::instant());
+        d.create_cube(
+            CubeSchema::new(
+                "events",
+                vec![
+                    Dimension::string("region", 8, 1),
+                    Dimension::int("day", 32, 4),
+                ],
+                vec![Metric::int("likes")],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d
+    }
+
+    fn row(region: &str, day: i64, likes: i64) -> Row {
+        vec![Value::from(region), Value::from(day), Value::from(likes)]
+    }
+
+    fn total_likes(d: &DistributedEngine, origin: NodeId, mode: IsolationMode) -> f64 {
+        d.query(
+            origin,
+            "events",
+            &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]),
+            mode,
+        )
+        .unwrap()
+        .scalar()
+        .unwrap_or(0.0)
+    }
+
+    #[test]
+    fn load_spreads_data_across_nodes() {
+        let d = cluster(4);
+        let rows: Vec<Row> = (0..256)
+            .map(|i| row(["us", "br", "mx", "ca"][i % 4], (i % 32) as i64, 1))
+            .collect();
+        let outcome = d.load(1, "events", &rows, 0).unwrap();
+        assert_eq!(outcome.accepted, 256);
+        assert!(outcome.nodes_touched >= 2, "data should spread");
+        // Every node's engine holds some subset; the union is all.
+        let stored: u64 = (1..=4).map(|n| d.engine(n).memory().rows).sum();
+        assert_eq!(stored, 256);
+        assert_eq!(total_likes(&d, 2, IsolationMode::Snapshot), 256.0);
+    }
+
+    #[test]
+    fn query_from_any_coordinator_sees_committed_data() {
+        let d = cluster(3);
+        d.load(1, "events", &[row("us", 0, 10)], 0).unwrap();
+        d.load(2, "events", &[row("br", 1, 20)], 0).unwrap();
+        for origin in 1..=3 {
+            assert_eq!(
+                total_likes(&d, origin, IsolationMode::Snapshot),
+                30.0,
+                "coordinator {origin}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_query_merges_across_nodes() {
+        let d = cluster(3);
+        let rows: Vec<Row> = (0..60)
+            .map(|i| row(["us", "br"][i % 2], (i % 32) as i64, (i % 2) as i64 + 1))
+            .collect();
+        d.load(1, "events", &rows, 0).unwrap();
+        let result = d
+            .query(
+                2,
+                "events",
+                &Query::aggregate(vec![
+                    Aggregation::new(AggFn::Sum, "likes"),
+                    Aggregation::new(AggFn::Avg, "likes"),
+                ])
+                .grouped_by("region"),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        assert_eq!(result.rows.len(), 2);
+        let by_key: std::collections::HashMap<String, Vec<f64>> = result
+            .rows
+            .iter()
+            .map(|(k, v)| (k[0].to_string(), v.clone()))
+            .collect();
+        assert_eq!(by_key["us"], vec![30.0, 1.0], "30 rows of 1");
+        assert_eq!(by_key["br"], vec![60.0, 2.0], "30 rows of 2");
+    }
+
+    #[test]
+    fn distributed_delete_marks_everywhere() {
+        let d = cluster(3);
+        let rows: Vec<Row> = (0..64).map(|i| row("us", (i % 32) as i64, 1)).collect();
+        d.load(1, "events", &rows, 0).unwrap();
+        let (_, marked) = d.delete_where(2, "events", &[]).unwrap();
+        assert!(marked >= 1);
+        assert_eq!(total_likes(&d, 1, IsolationMode::Snapshot), 0.0);
+        let stats = d.purge_all();
+        assert_eq!(stats.rows_purged, 64);
+        assert_eq!(d.memory().rows, 0);
+    }
+
+    #[test]
+    fn ru_sees_uncommitted_distributed_load() {
+        let d = cluster(2);
+        // Build a distributed txn manually: begin, flush, don't commit.
+        let cube = d.engine(1).cube("events").unwrap();
+        let mut txn = d.protocol().begin_rw(1);
+        d.protocol().broadcast_begin(&mut txn, 0);
+        let batch = parse_rows(
+            cube.schema(),
+            cube.layout(),
+            cube.dictionaries(),
+            &[row("us", 0, 7)],
+        );
+        let node = d.ring.node_for(*batch.by_bid.keys().next().unwrap());
+        d.engine(node).flush_batch(&cube, txn.epoch, batch);
+        assert_eq!(total_likes(&d, 1, IsolationMode::Snapshot), 0.0);
+        assert_eq!(total_likes(&d, 1, IsolationMode::ReadUncommitted), 7.0);
+        d.protocol().commit(&txn).unwrap();
+        assert_eq!(total_likes(&d, 1, IsolationMode::Snapshot), 7.0);
+    }
+
+    #[test]
+    fn filtered_delete_respects_containment() {
+        let d = cluster(2);
+        let rows: Vec<Row> = (0..32).map(|i| row("us", i as i64, 1)).collect();
+        d.load(1, "events", &rows, 0).unwrap();
+        let (_, marked) = d
+            .delete_where(
+                1,
+                "events",
+                &[DimFilter::new(
+                    "day",
+                    (0..4).map(|v| Value::from(v as i64)).collect(),
+                )],
+            )
+            .unwrap();
+        assert!(marked >= 1);
+        assert_eq!(total_likes(&d, 1, IsolationMode::Snapshot), 28.0);
+    }
+
+    #[test]
+    fn network_traffic_is_accounted() {
+        let d = cluster(4);
+        let before = d.network().stats();
+        let rows: Vec<Row> = (0..100).map(|i| row("us", (i % 32) as i64, 1)).collect();
+        d.load(1, "events", &rows, 0).unwrap();
+        let after_load = d.network().stats();
+        assert!(after_load.messages > before.messages);
+        assert!(after_load.bytes > before.bytes);
+        let _ = total_likes(&d, 1, IsolationMode::Snapshot);
+        assert!(d.network().stats().messages > after_load.messages);
+    }
+
+    #[test]
+    fn memory_aggregates_cluster_wide() {
+        let d = cluster(3);
+        let rows: Vec<Row> = (0..300).map(|i| row("us", (i % 32) as i64, 1)).collect();
+        d.load(1, "events", &rows, 0).unwrap();
+        let m = d.memory();
+        assert_eq!(m.rows, 300);
+        assert_eq!(m.mvcc_baseline_bytes, 4800);
+        assert!(m.aosi_bytes > 0);
+    }
+}

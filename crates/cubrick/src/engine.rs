@@ -1,0 +1,1121 @@
+//! The single-node Cubrick engine: transaction manager + cubes +
+//! shard pool.
+//!
+//! Operation flow mirrors Section V-B:
+//!
+//! * **Load**: parse (CPU-only, caller thread) → validate against
+//!   `max_rejected` → implicit RW transaction → per-bid append tasks
+//!   on the owning shards → flush barrier → commit. "At this point,
+//!   all deterministic reasons why a transaction could fail are
+//!   already discarded", so commit cannot fail.
+//! * **Query**: read-only snapshot at LCE (or the caller's RW
+//!   transaction snapshot), registered as an active reader so purge
+//!   cannot pull rows out from under the scan; fan-out over shards;
+//!   merge partial aggregates. [`IsolationMode::ReadUncommitted`]
+//!   skips the snapshot and scans every stored row — the paper's
+//!   Figure 8/9 comparison point.
+//! * **Delete**: partition-level only. A brick is deleted when its
+//!   entire coordinate range is contained in the predicate, so a
+//!   delete never removes rows outside the predicate (predicates must
+//!   align with partition ranges, the paper's retention use case).
+//! * **Purge / rollback**: shard-local rebuilds driven by the
+//!   protocol-level `purge`/`rollback` results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aosi::{Epoch, Snapshot, Txn, TxnManager, TxnPartitionIndex};
+use columnar::Row;
+use parking_lot::RwLock;
+
+use crate::brick::{Brick, DimStorage};
+use crate::cube::{Cube, CubeMemory};
+use crate::ddl::CubeSchema;
+use crate::error::CubrickError;
+use crate::ingest::{parse_rows, ParsedBatch};
+use crate::query::{PartialResult, Query, QueryResult, ResolvedQuery};
+use crate::shard::ShardPool;
+
+/// Which rows a query may see.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IsolationMode {
+    /// Snapshot isolation through the AOSI protocol.
+    Snapshot,
+    /// Best-effort: scan every stored row, committed or not
+    /// (the paper's "RU" comparison mode, Section VI-B).
+    ReadUncommitted,
+}
+
+/// Per-stage timings of one load request (Figure 5's breakdown).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadStageTimings {
+    /// Parse + validate + route.
+    pub parse: Duration,
+    /// Forwarding to remote nodes (zero on a single node).
+    pub forward: Duration,
+    /// Queue + apply on the shard threads.
+    pub flush: Duration,
+    /// End-to-end.
+    pub total: Duration,
+}
+
+/// Result of a load request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// The implicit transaction's epoch.
+    pub epoch: Epoch,
+    /// Records stored.
+    pub accepted: usize,
+    /// Records rejected by parsing.
+    pub rejected: usize,
+    /// Bricks touched.
+    pub bricks_touched: usize,
+    /// Stage latencies.
+    pub timings: LoadStageTimings,
+}
+
+/// Node-level memory accounting (Figures 6 and 7).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineMemory {
+    /// Record payload bytes.
+    pub data_bytes: usize,
+    /// AOSI epochs-vector bytes — the protocol's whole footprint.
+    pub aosi_bytes: usize,
+    /// Dictionary bytes.
+    pub dictionary_bytes: usize,
+    /// Rows stored.
+    pub rows: u64,
+    /// Bricks materialized.
+    pub bricks: usize,
+    /// What a traditional MVCC system would pay for the same rows:
+    /// two 8-byte timestamps per record (the paper's baseline).
+    pub mvcc_baseline_bytes: u64,
+}
+
+/// Cumulative engine operation counters (`SHOW STATS`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineOpStats {
+    /// Load requests accepted.
+    pub loads: u64,
+    /// Rows ingested.
+    pub rows_loaded: u64,
+    /// Queries executed.
+    pub queries: u64,
+    /// Partition-delete statements.
+    pub deletes: u64,
+    /// Purge cycles run.
+    pub purges: u64,
+    /// Transactions rolled back.
+    pub rollbacks: u64,
+}
+
+#[derive(Debug, Default)]
+struct OpCounters {
+    loads: AtomicU64,
+    rows_loaded: AtomicU64,
+    queries: AtomicU64,
+    deletes: AtomicU64,
+    purges: AtomicU64,
+    rollbacks: AtomicU64,
+}
+
+/// Outcome of one purge cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PurgeStats {
+    /// Rows physically reclaimed.
+    pub rows_purged: u64,
+    /// Epochs-vector entries reclaimed.
+    pub entries_reclaimed: u64,
+    /// Bricks that needed work.
+    pub bricks_changed: u64,
+}
+
+/// One Cubrick node.
+pub struct Engine {
+    manager: TxnManager,
+    cubes: RwLock<HashMap<String, Cube>>,
+    shards: Arc<ShardPool>,
+    dim_storage: DimStorage,
+    rollback_index: Option<TxnPartitionIndex>,
+    ops: OpCounters,
+}
+
+impl Engine {
+    /// A standalone single-node engine.
+    pub fn new(num_shards: usize) -> Self {
+        Engine::with_manager(TxnManager::single_node(), num_shards)
+    }
+
+    /// An engine wired to an existing transaction manager (one node
+    /// of a cluster).
+    pub fn with_manager(manager: TxnManager, num_shards: usize) -> Self {
+        Engine {
+            manager,
+            cubes: RwLock::new(HashMap::new()),
+            shards: Arc::new(ShardPool::new(num_shards)),
+            dim_storage: DimStorage::Plain,
+            rollback_index: None,
+            ops: OpCounters::default(),
+        }
+    }
+
+    /// Cumulative operation counters.
+    pub fn op_stats(&self) -> EngineOpStats {
+        EngineOpStats {
+            loads: self.ops.loads.load(Ordering::Relaxed),
+            rows_loaded: self.ops.rows_loaded.load(Ordering::Relaxed),
+            queries: self.ops.queries.load(Ordering::Relaxed),
+            deletes: self.ops.deletes.load(Ordering::Relaxed),
+            purges: self.ops.purges.load(Ordering::Relaxed),
+            rollbacks: self.ops.rollbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Enables the transaction-to-partition index the paper describes
+    /// as an alternative rollback accelerator (Section III-C5) and
+    /// rejects for its memory footprint. Off by default, matching the
+    /// paper's choice; the `ablations` bench quantifies the trade.
+    pub fn with_rollback_index(mut self) -> Self {
+        self.rollback_index = Some(TxnPartitionIndex::new());
+        self
+    }
+
+    /// The rollback index, if enabled (instrumentation).
+    pub fn rollback_index(&self) -> Option<&TxnPartitionIndex> {
+        self.rollback_index.as_ref()
+    }
+
+    /// Selects the dimension layout for bricks materialized from now
+    /// on (the paper's bess packing vs. plain vectors). Choose before
+    /// loading data.
+    pub fn with_dim_storage(mut self, storage: DimStorage) -> Self {
+        self.dim_storage = storage;
+        self
+    }
+
+    /// The configured dimension layout.
+    pub fn dim_storage(&self) -> DimStorage {
+        self.dim_storage
+    }
+
+    /// The node's transaction manager.
+    pub fn manager(&self) -> &TxnManager {
+        &self.manager
+    }
+
+    /// The shard pool (crate-internal: persistence walks bricks).
+    pub(crate) fn shards(&self) -> &ShardPool {
+        &self.shards
+    }
+
+    /// Creates a cube from a schema (local DDL).
+    pub fn create_cube(&self, schema: CubeSchema) -> Result<Cube, CubrickError> {
+        self.register_cube(Cube::new(schema))
+    }
+
+    /// Registers shared cube metadata (cluster DDL: every node holds
+    /// the same `Cube`, including its dictionaries).
+    pub fn register_cube(&self, cube: Cube) -> Result<Cube, CubrickError> {
+        let mut cubes = self.cubes.write();
+        if cubes.contains_key(cube.name()) {
+            return Err(CubrickError::CubeExists(cube.name().to_owned()));
+        }
+        cubes.insert(cube.name().to_owned(), cube.clone());
+        Ok(cube)
+    }
+
+    /// Drops a cube: unregisters its metadata and removes its bricks
+    /// from every shard. Data is reclaimed immediately (dropping a
+    /// cube is DDL, not a transactional delete — the paper's
+    /// transactional path for data removal is the partition delete).
+    pub fn drop_cube(&self, name: &str) -> Result<(), CubrickError> {
+        let removed = self.cubes.write().remove(name);
+        if removed.is_none() {
+            return Err(CubrickError::UnknownCube(name.to_owned()));
+        }
+        let name = name.to_owned();
+        let dropped = self.shards.map_shards(|_| {
+            let name = name.clone();
+            Box::new(move |bricks: &mut crate::shard::ShardBricks| {
+                bricks.remove(&name).map(|b| b.len()).unwrap_or(0)
+            })
+        });
+        let _ = dropped;
+        Ok(())
+    }
+
+    /// Names of all registered cubes.
+    pub fn cube_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.cubes.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Looks a cube up.
+    pub fn cube(&self, name: &str) -> Result<Cube, CubrickError> {
+        self.cubes
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CubrickError::UnknownCube(name.to_owned()))
+    }
+
+    /// Loads `rows` into `cube` in one implicit transaction
+    /// (Section V-B's pipeline on a single node).
+    pub fn load(
+        &self,
+        cube: &str,
+        rows: &[Row],
+        max_rejected: usize,
+    ) -> Result<LoadOutcome, CubrickError> {
+        let started = Instant::now();
+        let cube = self.cube(cube)?;
+
+        // Parse.
+        let parse_started = Instant::now();
+        let batch = parse_rows(cube.schema(), cube.layout(), cube.dictionaries(), rows);
+        let parse = parse_started.elapsed();
+        if batch.rejected > max_rejected {
+            return Err(CubrickError::TooManyRejected {
+                rejected: batch.rejected,
+                max_rejected,
+            });
+        }
+
+        // Validate & create the implicit transaction. From here on,
+        // nothing can deterministically fail.
+        let txn = self.manager.begin_rw();
+        let (accepted, rejected, bricks_touched) =
+            (batch.accepted, batch.rejected, batch.bricks_touched());
+
+        // Flush: enqueue per-brick appends, then barrier.
+        let flush_started = Instant::now();
+        self.flush_batch(&cube, txn.epoch(), batch);
+        let flush = flush_started.elapsed();
+
+        self.manager.commit(&txn)?;
+        if let Some(index) = &self.rollback_index {
+            index.forget(txn.epoch());
+        }
+        self.ops.loads.fetch_add(1, Ordering::Relaxed);
+        self.ops
+            .rows_loaded
+            .fetch_add(accepted as u64, Ordering::Relaxed);
+        Ok(LoadOutcome {
+            epoch: txn.epoch(),
+            accepted,
+            rejected,
+            bricks_touched,
+            timings: LoadStageTimings {
+                parse,
+                forward: Duration::ZERO,
+                flush,
+                total: started.elapsed(),
+            },
+        })
+    }
+
+    /// Enqueues a parsed batch under `epoch` and waits for the shard
+    /// threads to apply it. Used by `load`, explicit transactions,
+    /// and the distributed engine's flush step.
+    pub(crate) fn flush_batch(&self, cube: &Cube, epoch: Epoch, batch: ParsedBatch) {
+        let mut touched: Vec<usize> = Vec::new();
+        for (bid, records) in batch.by_bid {
+            if let Some(index) = &self.rollback_index {
+                index.record(epoch, bid);
+            }
+            let shard = self.shards.shard_of(bid);
+            if !touched.contains(&shard) {
+                touched.push(shard);
+            }
+            let cube = cube.clone();
+            let storage = self.dim_storage;
+            self.shards.submit(shard, move |bricks| {
+                let brick = bricks
+                    .entry(cube.name().to_owned())
+                    .or_default()
+                    .entry(bid)
+                    .or_insert_with(|| Brick::with_storage(cube.schema(), storage));
+                brick.append(epoch, &records);
+            });
+        }
+        // Barrier only on the shards we touched.
+        for shard in touched {
+            self.shards.submit_and_wait(shard, |_| ());
+        }
+    }
+
+    /// Begins an explicit RW transaction.
+    pub fn begin(&self) -> Txn {
+        self.manager.begin_rw()
+    }
+
+    /// Appends rows within an explicit transaction. Rejected rows are
+    /// returned (the transaction stays usable).
+    pub fn append(
+        &self,
+        cube: &str,
+        rows: &[Row],
+        txn: &Txn,
+    ) -> Result<(usize, usize), CubrickError> {
+        let cube = self.cube(cube)?;
+        let batch = parse_rows(cube.schema(), cube.layout(), cube.dictionaries(), rows);
+        let (accepted, rejected) = (batch.accepted, batch.rejected);
+        self.flush_batch(&cube, txn.epoch(), batch);
+        Ok((accepted, rejected))
+    }
+
+    /// Commits an explicit transaction.
+    pub fn commit(&self, txn: &Txn) -> Result<(), CubrickError> {
+        self.manager.commit(txn)?;
+        if let Some(index) = &self.rollback_index {
+            index.forget(txn.epoch());
+        }
+        Ok(())
+    }
+
+    /// Rolls an explicit transaction back and physically reclaims its
+    /// rows from every brick (Section III-C5: scan every partition,
+    /// rebuild, swap).
+    pub fn rollback(&self, txn: &Txn) -> Result<u64, CubrickError> {
+        self.ops.rollbacks.fetch_add(1, Ordering::Relaxed);
+        self.manager.rollback(txn)?;
+        let removed = self.reclaim_epoch(txn.epoch());
+        self.manager.clear_rolled_back(&[txn.epoch()]);
+        Ok(removed)
+    }
+
+    fn reclaim_epoch(&self, epoch: Epoch) -> u64 {
+        // With the (optional) index, visit only the touched bricks;
+        // otherwise scan "the epochs vector in every single partition
+        // in the system", the paper's default.
+        if let Some(index) = &self.rollback_index {
+            let bids = index.partitions_of(epoch);
+            index.forget(epoch);
+            let mut by_shard: HashMap<usize, Vec<u64>> = HashMap::new();
+            for bid in bids {
+                by_shard
+                    .entry(self.shards.shard_of(bid))
+                    .or_default()
+                    .push(bid);
+            }
+            let mut removed = 0u64;
+            for (shard, bids) in by_shard {
+                removed += self.shards.submit_and_wait(shard, move |bricks| {
+                    let mut removed = 0u64;
+                    for cube_bricks in bricks.values_mut() {
+                        for bid in &bids {
+                            if let Some(brick) = cube_bricks.get_mut(bid) {
+                                removed += brick.rollback(epoch);
+                            }
+                        }
+                    }
+                    removed
+                });
+            }
+            return removed;
+        }
+        let removed = self.shards.map_shards(|_| {
+            Box::new(move |bricks: &mut crate::shard::ShardBricks| {
+                let mut removed = 0u64;
+                for cube_bricks in bricks.values_mut() {
+                    for brick in cube_bricks.values_mut() {
+                        removed += brick.rollback(epoch);
+                    }
+                }
+                removed
+            })
+        });
+        removed.into_iter().sum()
+    }
+
+    /// Runs a query under `mode`.
+    pub fn query(
+        &self,
+        cube: &str,
+        query: &Query,
+        mode: IsolationMode,
+    ) -> Result<QueryResult, CubrickError> {
+        let cube = self.cube(cube)?;
+        let resolved = ResolvedQuery::resolve(&cube, query)?;
+        self.ops.queries.fetch_add(1, Ordering::Relaxed);
+        match mode {
+            IsolationMode::Snapshot => {
+                // Register the snapshot so LSE (and purge) cannot pass
+                // it mid-scan.
+                let guard = self.manager.begin_read();
+                let snapshot = guard.snapshot().clone();
+                Ok(self.execute(&cube, &resolved, Some(snapshot)))
+            }
+            IsolationMode::ReadUncommitted => Ok(self.execute(&cube, &resolved, None)),
+        }
+    }
+
+    /// Runs a query inside an explicit transaction (sees its own
+    /// uncommitted appends).
+    pub fn query_in_txn(
+        &self,
+        cube: &str,
+        query: &Query,
+        txn: &Txn,
+    ) -> Result<QueryResult, CubrickError> {
+        let cube = self.cube(cube)?;
+        let resolved = ResolvedQuery::resolve(&cube, query)?;
+        let guard = self.manager.guard_snapshot(txn.snapshot().clone());
+        Ok(self.execute(&cube, &resolved, Some(guard.snapshot().clone())))
+    }
+
+    /// Time travel: runs a query against the committed snapshot as of
+    /// `epoch` — any epoch still inside the readable window
+    /// `[LSE, LCE]`. AOSI gets this almost for free: a committed
+    /// epoch *is* a consistent snapshot (the LCE rule guarantees
+    /// everything at or below it finished), and purge has not yet
+    /// merged history above LSE. The read is guarded so LSE cannot
+    /// pass it mid-scan.
+    pub fn query_as_of(
+        &self,
+        cube: &str,
+        query: &Query,
+        epoch: Epoch,
+    ) -> Result<QueryResult, CubrickError> {
+        let (lse, lce) = (self.manager.lse(), self.manager.lce());
+        if epoch < lse || epoch > lce {
+            return Err(CubrickError::EpochOutOfRange {
+                requested: epoch,
+                lse,
+                lce,
+            });
+        }
+        let guard = self.manager.guard_snapshot(Snapshot::committed(epoch));
+        self.query_at(cube, query, guard.snapshot())
+    }
+
+    /// Runs a query against an externally supplied snapshot (the
+    /// distributed engine uses this: one consistent snapshot, many
+    /// nodes). The caller is responsible for guarding the snapshot.
+    pub fn query_at(
+        &self,
+        cube: &str,
+        query: &Query,
+        snapshot: &Snapshot,
+    ) -> Result<QueryResult, CubrickError> {
+        let cube = self.cube(cube)?;
+        let resolved = ResolvedQuery::resolve(&cube, query)?;
+        Ok(self.execute(&cube, &resolved, Some(snapshot.clone())))
+    }
+
+    fn execute(
+        &self,
+        cube: &Cube,
+        resolved: &ResolvedQuery,
+        snapshot: Option<Snapshot>,
+    ) -> QueryResult {
+        let merged = self.execute_partial(cube, resolved, snapshot);
+        QueryResult::finalize(cube, resolved, merged)
+    }
+
+    /// Shard fan-out producing mergeable partial aggregates; the
+    /// distributed engine merges partials across nodes before
+    /// finalizing (so `Avg` stays correct).
+    pub(crate) fn execute_partial(
+        &self,
+        cube: &Cube,
+        resolved: &ResolvedQuery,
+        snapshot: Option<Snapshot>,
+    ) -> PartialResult {
+        let partials = self.shards.map_shards(|_| {
+            let cube = cube.clone();
+            let resolved = resolved.clone();
+            let snapshot = snapshot.clone();
+            Box::new(move |bricks: &mut crate::shard::ShardBricks| {
+                let mut partial = PartialResult::default();
+                let Some(cube_bricks) = bricks.get(cube.name()) else {
+                    return partial;
+                };
+                for (&bid, brick) in cube_bricks {
+                    if !resolved.brick_can_match(&cube, bid) {
+                        partial.stats.bricks_pruned += 1;
+                        continue;
+                    }
+                    if resolved.filters.is_empty() {
+                        // Unfiltered scans never need a bitmap: walk
+                        // the visible ranges (SI) or the whole brick
+                        // (RU) directly.
+                        let ranges = match &snapshot {
+                            Some(snap) => brick.epochs().visible_ranges(snap),
+                            #[allow(clippy::single_range_in_vec_init)]
+                            None => vec![0..brick.row_count()],
+                        };
+                        partial.merge(crate::query::scan_brick_ranges(brick, &ranges, &resolved));
+                    } else {
+                        let visibility = match &snapshot {
+                            Some(snap) => brick.visibility(snap),
+                            None => brick.all_rows(),
+                        };
+                        partial.merge(crate::query::scan_brick(brick, visibility, &resolved));
+                    }
+                }
+                partial
+            })
+        });
+        let mut merged = PartialResult::default();
+        for partial in partials {
+            merged.merge(partial);
+        }
+        merged
+    }
+
+    /// Partition-level delete: marks every brick whose entire
+    /// coordinate range is contained in `filters` as deleted, in one
+    /// implicit transaction. Empty `filters` deletes every brick of
+    /// the cube. Returns the transaction's epoch and the number of
+    /// bricks marked.
+    pub fn delete_where(
+        &self,
+        cube: &str,
+        filters: &[crate::query::DimFilter],
+    ) -> Result<(Epoch, u64), CubrickError> {
+        let cube = self.cube(cube)?;
+        let txn = self.manager.begin_rw();
+        let marked = self.mark_delete_where(&cube, filters, txn.epoch())?;
+        self.manager.commit(&txn)?;
+        self.ops.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok((txn.epoch(), marked))
+    }
+
+    /// Marks matching bricks deleted under an existing transaction
+    /// epoch (the distributed delete flow shares one epoch across
+    /// nodes). Returns bricks marked on this node.
+    pub(crate) fn mark_delete_where(
+        &self,
+        cube: &Cube,
+        filters: &[crate::query::DimFilter],
+        epoch: Epoch,
+    ) -> Result<u64, CubrickError> {
+        // Resolve filter values to coordinate sets.
+        let mut resolved: Vec<(usize, std::collections::HashSet<u32>)> = Vec::new();
+        for f in filters {
+            let dim = cube
+                .schema()
+                .dim_index(&f.dim)
+                .ok_or_else(|| CubrickError::UnknownColumn(f.dim.clone()))?;
+            let coords = f
+                .values
+                .iter()
+                .filter_map(|v| cube.encode_filter_value(dim, v))
+                .collect();
+            resolved.push((dim, coords));
+        }
+        let marked = self.shards.map_shards(|_| {
+            let cube = cube.clone();
+            let resolved = resolved.clone();
+            Box::new(move |bricks: &mut crate::shard::ShardBricks| {
+                let mut marked = 0u64;
+                let Some(cube_bricks) = bricks.get_mut(cube.name()) else {
+                    return marked;
+                };
+                let layout = cube.layout();
+                for (&bid, brick) in cube_bricks.iter_mut() {
+                    let ranges = layout.range_indexes_of_bid(bid);
+                    let contained = resolved.iter().all(|(dim, coords)| {
+                        let (lo, hi) = layout.range_bounds(*dim, ranges[*dim]);
+                        (lo..hi).all(|c| coords.contains(&c))
+                    });
+                    if contained {
+                        brick.mark_delete(epoch);
+                        marked += 1;
+                    }
+                }
+                marked
+            })
+        });
+        Ok(marked.into_iter().sum())
+    }
+
+    /// Runs one purge cycle at the current LSE over every brick
+    /// (Section III-C4).
+    pub fn purge(&self) -> PurgeStats {
+        self.ops.purges.fetch_add(1, Ordering::Relaxed);
+        let lse = self.manager.lse();
+        let stats = self.shards.map_shards(|_| {
+            Box::new(move |bricks: &mut crate::shard::ShardBricks| {
+                let mut stats = PurgeStats::default();
+                for cube_bricks in bricks.values_mut() {
+                    for brick in cube_bricks.values_mut() {
+                        if !brick.needs_purge(lse) {
+                            continue;
+                        }
+                        let (rows, entries) = brick.purge(lse);
+                        stats.rows_purged += rows;
+                        stats.entries_reclaimed += entries as u64;
+                        stats.bricks_changed += 1;
+                    }
+                }
+                stats
+            })
+        });
+        stats.into_iter().fold(PurgeStats::default(), |mut a, s| {
+            a.rows_purged += s.rows_purged;
+            a.entries_reclaimed += s.entries_reclaimed;
+            a.bricks_changed += s.bricks_changed;
+            a
+        })
+    }
+
+    /// Convenience used by the flush machinery and the benches:
+    /// advance LSE as far as the manager allows (up to LCE), then
+    /// purge. Durability gating belongs to the `wal` crate.
+    pub fn advance_lse_and_purge(&self) -> PurgeStats {
+        let lce = self.manager.lce();
+        if self.manager.advance_lse(lce).is_ok() {
+            self.purge()
+        } else {
+            PurgeStats::default()
+        }
+    }
+
+    /// Memory accounting across all bricks of all cubes.
+    pub fn memory(&self) -> EngineMemory {
+        let per_shard: Vec<CubeMemory> = self.shards.map_shards(|_| {
+            Box::new(|bricks: &mut crate::shard::ShardBricks| {
+                let mut memory = CubeMemory::default();
+                for cube_bricks in bricks.values() {
+                    for brick in cube_bricks.values() {
+                        let m = brick.memory();
+                        memory.data_bytes += m.data_bytes;
+                        memory.aosi_bytes += m.aosi_bytes;
+                        memory.rows += m.rows;
+                        memory.bricks += 1;
+                    }
+                }
+                memory
+            })
+        });
+        let mut total = EngineMemory::default();
+        for m in per_shard {
+            total.data_bytes += m.data_bytes;
+            total.aosi_bytes += m.aosi_bytes;
+            total.rows += m.rows;
+            total.bricks += m.bricks;
+        }
+        total.dictionary_bytes = self.cubes.read().values().map(Cube::dictionary_bytes).sum();
+        total.mvcc_baseline_bytes = total.rows * 16;
+        total
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cubes", &self.cubes.read().len())
+            .field("shards", &self.shards.num_shards())
+            .field("manager", &self.manager)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::{Dimension, Metric};
+    use crate::query::{AggFn, Aggregation, DimFilter};
+    use columnar::Value;
+
+    fn engine() -> Engine {
+        let engine = Engine::new(4);
+        engine
+            .create_cube(
+                CubeSchema::new(
+                    "events",
+                    vec![
+                        Dimension::string("region", 8, 2),
+                        Dimension::int("day", 16, 4),
+                    ],
+                    vec![Metric::int("likes"), Metric::float("score")],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        engine
+    }
+
+    fn row(region: &str, day: i64, likes: i64, score: f64) -> Row {
+        vec![
+            Value::from(region),
+            Value::from(day),
+            Value::from(likes),
+            Value::from(score),
+        ]
+    }
+
+    fn sum_likes(engine: &Engine, mode: IsolationMode) -> f64 {
+        engine
+            .query(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]),
+                mode,
+            )
+            .unwrap()
+            .scalar()
+            .unwrap_or(0.0)
+    }
+
+    #[test]
+    fn load_then_query_roundtrip() {
+        let engine = engine();
+        let outcome = engine
+            .load(
+                "events",
+                &[
+                    row("us", 0, 10, 1.0),
+                    row("br", 1, 20, 2.0),
+                    row("us", 9, 30, 3.0),
+                ],
+                0,
+            )
+            .unwrap();
+        assert_eq!(outcome.accepted, 3);
+        assert_eq!(outcome.rejected, 0);
+        assert!(outcome.bricks_touched >= 2);
+        assert_eq!(sum_likes(&engine, IsolationMode::Snapshot), 60.0);
+    }
+
+    #[test]
+    fn max_rejected_discards_whole_batch() {
+        let engine = engine();
+        let result = engine.load(
+            "events",
+            &[row("us", 0, 1, 0.0), row("us", 99, 2, 0.0)], // day 99 invalid
+            0,
+        );
+        assert!(matches!(
+            result,
+            Err(CubrickError::TooManyRejected { rejected: 1, .. })
+        ));
+        assert_eq!(sum_likes(&engine, IsolationMode::ReadUncommitted), 0.0);
+        // With tolerance, the valid row lands.
+        let outcome = engine
+            .load("events", &[row("us", 0, 1, 0.0), row("us", 99, 2, 0.0)], 1)
+            .unwrap();
+        assert_eq!(outcome.accepted, 1);
+        assert_eq!(sum_likes(&engine, IsolationMode::Snapshot), 1.0);
+    }
+
+    #[test]
+    fn uncommitted_txn_invisible_to_si_visible_to_ru() {
+        let engine = engine();
+        engine.load("events", &[row("us", 0, 5, 0.0)], 0).unwrap();
+        let txn = engine.begin();
+        engine
+            .append("events", &[row("br", 1, 100, 0.0)], &txn)
+            .unwrap();
+        assert_eq!(sum_likes(&engine, IsolationMode::Snapshot), 5.0);
+        assert_eq!(sum_likes(&engine, IsolationMode::ReadUncommitted), 105.0);
+        // The transaction itself sees its own append.
+        let own = engine
+            .query_in_txn(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]),
+                &txn,
+            )
+            .unwrap();
+        assert_eq!(own.scalar(), Some(105.0));
+        engine.commit(&txn).unwrap();
+        assert_eq!(sum_likes(&engine, IsolationMode::Snapshot), 105.0);
+    }
+
+    #[test]
+    fn rollback_physically_removes_rows() {
+        let engine = engine();
+        engine.load("events", &[row("us", 0, 5, 0.0)], 0).unwrap();
+        let txn = engine.begin();
+        engine
+            .append(
+                "events",
+                &[row("br", 1, 100, 0.0), row("mx", 2, 200, 0.0)],
+                &txn,
+            )
+            .unwrap();
+        let removed = engine.rollback(&txn).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(sum_likes(&engine, IsolationMode::ReadUncommitted), 5.0);
+        assert!(engine.manager().rolled_back_epochs().is_empty());
+    }
+
+    #[test]
+    fn delete_where_marks_only_contained_bricks() {
+        let engine = engine();
+        // day ranges are [0,4), [4,8), [8,12), [12,16).
+        engine
+            .load(
+                "events",
+                &[
+                    row("us", 0, 1, 0.0),
+                    row("us", 5, 2, 0.0),
+                    row("us", 9, 4, 0.0),
+                ],
+                0,
+            )
+            .unwrap();
+        // Predicate covering exactly day-range [4,8).
+        let (epoch, marked) = engine
+            .delete_where(
+                "events",
+                &[DimFilter::new(
+                    "day",
+                    (4..8).map(|d| Value::from(d as i64)).collect(),
+                )],
+            )
+            .unwrap();
+        assert!(epoch > 0);
+        assert_eq!(marked, 1);
+        assert_eq!(sum_likes(&engine, IsolationMode::Snapshot), 5.0);
+        // A predicate not covering a whole range deletes nothing.
+        let (_, marked) = engine
+            .delete_where("events", &[DimFilter::new("day", vec![Value::from(0i64)])])
+            .unwrap();
+        assert_eq!(marked, 0);
+    }
+
+    #[test]
+    fn delete_everything_then_purge_reclaims() {
+        let engine = engine();
+        engine
+            .load(
+                "events",
+                &(0..100)
+                    .map(|i| row("us", i % 16, i, 0.0))
+                    .collect::<Vec<_>>(),
+                0,
+            )
+            .unwrap();
+        let (_, marked) = engine.delete_where("events", &[]).unwrap();
+        assert!(marked >= 1);
+        assert_eq!(sum_likes(&engine, IsolationMode::Snapshot), 0.0);
+        let before = engine.memory();
+        assert_eq!(before.rows, 100);
+        let stats = engine.advance_lse_and_purge();
+        assert_eq!(stats.rows_purged, 100);
+        let after = engine.memory();
+        assert_eq!(after.rows, 0);
+    }
+
+    #[test]
+    fn purge_compacts_epoch_history() {
+        let engine = engine();
+        for i in 0..50 {
+            engine
+                .load("events", &[row("us", i % 16, i, 0.0)], 0)
+                .unwrap();
+        }
+        let before = engine.memory();
+        let stats = engine.advance_lse_and_purge();
+        assert!(stats.entries_reclaimed > 0);
+        let after = engine.memory();
+        assert!(after.aosi_bytes <= before.aosi_bytes);
+        assert_eq!(after.rows, 50);
+        assert_eq!(
+            sum_likes(&engine, IsolationMode::Snapshot),
+            (0..50).sum::<i64>() as f64
+        );
+    }
+
+    #[test]
+    fn memory_reports_baseline_comparison() {
+        let engine = engine();
+        engine
+            .load(
+                "events",
+                &(0..1000)
+                    .map(|i| row("us", i % 16, i, 0.5))
+                    .collect::<Vec<_>>(),
+                0,
+            )
+            .unwrap();
+        let m = engine.memory();
+        assert_eq!(m.rows, 1000);
+        assert_eq!(m.mvcc_baseline_bytes, 16_000);
+        assert!(m.aosi_bytes < m.mvcc_baseline_bytes as usize);
+        assert!(m.data_bytes > 0);
+        assert!(m.dictionary_bytes > 0);
+    }
+
+    #[test]
+    fn grouped_filtered_query_end_to_end() {
+        let engine = engine();
+        engine
+            .load(
+                "events",
+                &[
+                    row("us", 0, 10, 1.0),
+                    row("us", 5, 20, 2.0),
+                    row("br", 0, 40, 4.0),
+                    row("mx", 0, 80, 8.0),
+                ],
+                0,
+            )
+            .unwrap();
+        let result = engine
+            .query(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+                    .filter(DimFilter::new(
+                        "region",
+                        vec![Value::from("us"), Value::from("br")],
+                    ))
+                    .grouped_by("region"),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        assert_eq!(result.rows.len(), 2);
+        let by_key: std::collections::HashMap<String, f64> = result
+            .rows
+            .iter()
+            .map(|(k, v)| (k[0].to_string(), v[0]))
+            .collect();
+        assert_eq!(by_key["us"], 30.0);
+        assert_eq!(by_key["br"], 40.0);
+    }
+
+    #[test]
+    fn unknown_cube_errors() {
+        let engine = engine();
+        assert!(matches!(
+            engine.load("nope", &[], 0),
+            Err(CubrickError::UnknownCube(_))
+        ));
+        assert!(matches!(
+            engine.query("nope", &Query::default(), IsolationMode::Snapshot),
+            Err(CubrickError::UnknownCube(_))
+        ));
+        assert!(matches!(
+            engine.create_cube(
+                CubeSchema::new("events", vec![Dimension::int("d", 2, 1)], vec![]).unwrap()
+            ),
+            Err(CubrickError::CubeExists(_))
+        ));
+    }
+
+    #[test]
+    fn rollback_index_produces_identical_results() {
+        // Same schedule, with and without the Section III-C5 index:
+        // identical visible state, and the indexed engine forgets
+        // entries on commit (bounded footprint).
+        let plain = engine();
+        let indexed = Engine::new(4).with_rollback_index();
+        indexed
+            .create_cube(
+                CubeSchema::new(
+                    "events",
+                    vec![
+                        Dimension::string("region", 8, 2),
+                        Dimension::int("day", 16, 4),
+                    ],
+                    vec![Metric::int("likes"), Metric::float("score")],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        for engine in [&plain, &indexed] {
+            engine
+                .load("events", &[row("us", 0, 5, 0.0), row("br", 9, 7, 0.0)], 0)
+                .unwrap();
+            let txn = engine.begin();
+            engine
+                .append("events", &[row("mx", 3, 100, 0.0)], &txn)
+                .unwrap();
+            assert_eq!(engine.rollback(&txn).unwrap(), 1);
+        }
+        assert_eq!(
+            sum_likes(&plain, IsolationMode::ReadUncommitted),
+            sum_likes(&indexed, IsolationMode::ReadUncommitted)
+        );
+        let index = indexed.rollback_index().unwrap();
+        assert!(
+            index.is_empty(),
+            "commit/rollback must forget index entries"
+        );
+    }
+
+    #[test]
+    fn time_travel_reads_historical_snapshots() {
+        let engine = engine();
+        engine.load("events", &[row("us", 0, 10, 0.0)], 0).unwrap(); // T1
+        engine.load("events", &[row("us", 1, 20, 0.0)], 0).unwrap(); // T2
+        engine.delete_where("events", &[]).unwrap(); // T3
+        engine.load("events", &[row("us", 2, 40, 0.0)], 0).unwrap(); // T4
+
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]);
+        let at = |epoch| {
+            engine
+                .query_as_of("events", &q, epoch)
+                .unwrap()
+                .scalar()
+                .unwrap_or(0.0)
+        };
+        assert_eq!(at(1), 10.0);
+        assert_eq!(at(2), 30.0);
+        assert_eq!(at(3), 0.0, "the delete is visible at its own epoch");
+        assert_eq!(at(4), 40.0);
+
+        // Out of window: above LCE or below LSE.
+        assert!(matches!(
+            engine.query_as_of("events", &q, 99),
+            Err(CubrickError::EpochOutOfRange { .. })
+        ));
+        engine.manager().advance_lse(3).unwrap();
+        engine.purge();
+        assert!(matches!(
+            engine.query_as_of("events", &q, 2),
+            Err(CubrickError::EpochOutOfRange { .. })
+        ));
+        assert_eq!(at(4), 40.0, "window floor moved, newest still readable");
+    }
+
+    #[test]
+    fn time_travel_read_blocks_purge_past_it() {
+        let engine = engine();
+        engine.load("events", &[row("us", 0, 1, 0.0)], 0).unwrap();
+        engine.load("events", &[row("us", 1, 2, 0.0)], 0).unwrap();
+        // Hold a guard at epoch 1 (simulating a long historical scan).
+        let guard = engine
+            .manager()
+            .guard_snapshot(aosi::Snapshot::committed(1));
+        assert!(engine.manager().advance_lse(2).is_err());
+        drop(guard);
+        engine.manager().advance_lse(2).unwrap();
+    }
+
+    #[test]
+    fn concurrent_loads_and_queries() {
+        use std::sync::Arc;
+        let engine = Arc::new(engine());
+        let mut handles = Vec::new();
+        for client in 0..4 {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    engine
+                        .load("events", &[row("us", (client * 50 + i) % 16, 1, 0.0)], 0)
+                        .unwrap();
+                }
+            }));
+        }
+        let reader = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let v = sum_likes(&engine, IsolationMode::Snapshot);
+                    assert!((0.0..=200.0).contains(&v));
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(sum_likes(&engine, IsolationMode::Snapshot), 200.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Engine error type.
+
+/// Errors surfaced by the Cubrick engine layers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CubrickError {
+    /// No cube with that name.
+    UnknownCube(String),
+    /// A cube with that name already exists.
+    CubeExists(String),
+    /// Schema construction failed.
+    InvalidSchema(String),
+    /// The request referenced a column that does not exist or has the
+    /// wrong role (dimension vs. metric).
+    UnknownColumn(String),
+    /// Too many input records were rejected (`max_rejected`
+    /// exceeded): the whole batch is discarded (Section V-B).
+    TooManyRejected {
+        /// Records rejected during parsing.
+        rejected: usize,
+        /// The request's tolerance.
+        max_rejected: usize,
+    },
+    /// The combined group-by dimensions exceed the 64-bit packed
+    /// group key.
+    GroupKeyTooWide {
+        /// Bits the requested grouping would need.
+        bits: u32,
+        /// The offending dimension list.
+        dims: Vec<String>,
+    },
+    /// A time-travel query targeted an epoch outside the readable
+    /// window `[LSE, LCE]`.
+    EpochOutOfRange {
+        /// Requested read epoch.
+        requested: aosi::Epoch,
+        /// Oldest readable epoch (purge floor).
+        lse: aosi::Epoch,
+        /// Newest consistent epoch.
+        lce: aosi::Epoch,
+    },
+    /// A protocol-layer error bubbled up.
+    Protocol(aosi::AosiError),
+}
+
+impl std::fmt::Display for CubrickError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CubrickError::UnknownCube(name) => write!(f, "unknown cube {name:?}"),
+            CubrickError::CubeExists(name) => write!(f, "cube {name:?} already exists"),
+            CubrickError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            CubrickError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            CubrickError::TooManyRejected {
+                rejected,
+                max_rejected,
+            } => write!(
+                f,
+                "batch discarded: {rejected} records rejected (max_rejected = {max_rejected})"
+            ),
+            CubrickError::GroupKeyTooWide { bits, dims } => {
+                write!(f, "GROUP BY {dims:?} needs {bits} key bits (max 64)")
+            }
+            CubrickError::EpochOutOfRange {
+                requested,
+                lse,
+                lce,
+            } => write!(
+                f,
+                "epoch {requested} outside the readable window [{lse}, {lce}]"
+            ),
+            CubrickError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CubrickError {}
+
+impl From<aosi::AosiError> for CubrickError {
+    fn from(e: aosi::AosiError) -> Self {
+        CubrickError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(CubrickError::UnknownCube("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(CubrickError::TooManyRejected {
+            rejected: 5,
+            max_rejected: 2
+        }
+        .to_string()
+        .contains("discarded"));
+        let e: CubrickError = aosi::AosiError::TxnFinished(1).into();
+        assert!(e.to_string().contains("protocol"));
+    }
+}

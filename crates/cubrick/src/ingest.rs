@@ -1,0 +1,226 @@
+//! The ingestion pipeline's parse step (Section V-B).
+//!
+//! "During the parsing phase, input records are extracted and
+//! validated regarding number of columns, metric data types,
+//! dimensional cardinality and string to id encoding. Records that do
+//! not comply to these criteria are rejected and skipped. After all
+//! valid input records are extracted, based on each input record's
+//! coordinates the target bid … [is] computed."
+//!
+//! Parsing is a CPU-only step that can run on any node; the output is
+//! a batch of per-bid record groups ready to forward to the owning
+//! nodes/shards.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use columnar::{Dictionary, Row, Value};
+use parking_lot::Mutex;
+
+use crate::bid::BidLayout;
+use crate::ddl::{CubeSchema, MetricType};
+
+/// A validated, encoded record: coordinates plus metric payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedRecord {
+    /// Target brick.
+    pub bid: u64,
+    /// One encoded coordinate per dimension.
+    pub coords: Vec<u32>,
+    /// Metric values, in schema order.
+    pub metrics: Vec<Value>,
+}
+
+/// The outcome of parsing one input buffer.
+#[derive(Debug, Default)]
+pub struct ParsedBatch {
+    /// Accepted records, grouped by target brick.
+    pub by_bid: HashMap<u64, Vec<ParsedRecord>>,
+    /// Records accepted.
+    pub accepted: usize,
+    /// Records rejected (bad arity, type, cardinality).
+    pub rejected: usize,
+}
+
+impl ParsedBatch {
+    /// Total bricks touched.
+    pub fn bricks_touched(&self) -> usize {
+        self.by_bid.len()
+    }
+}
+
+/// Parses `rows` against `schema`, encoding string dimensions through
+/// the cube's shared `dictionaries` (one slot per dimension, `None`
+/// for integer dimensions).
+///
+/// Invalid records are counted in [`ParsedBatch::rejected`] and
+/// skipped — enforcement of `max_rejected` happens at the request
+/// level, where the whole batch can still be discarded.
+pub fn parse_rows(
+    schema: &CubeSchema,
+    layout: &BidLayout,
+    dictionaries: &[Option<Arc<Mutex<Dictionary>>>],
+    rows: &[Row],
+) -> ParsedBatch {
+    debug_assert_eq!(dictionaries.len(), schema.dimensions.len());
+    let mut batch = ParsedBatch::default();
+    let num_dims = schema.dimensions.len();
+    'rows: for row in rows {
+        if row.len() != schema.arity() {
+            batch.rejected += 1;
+            continue;
+        }
+        let mut coords = Vec::with_capacity(num_dims);
+        for (idx, dim) in schema.dimensions.iter().enumerate() {
+            let coord = match (&row[idx], &dictionaries[idx]) {
+                (Value::Str(s), Some(dict)) => {
+                    let mut dict = dict.lock();
+                    // Encoding may mint a new id; ids beyond the
+                    // declared cardinality are rejected, matching the
+                    // paper's "dimensional cardinality" validation.
+                    let id = dict.encode(s);
+                    if id >= dim.cardinality {
+                        batch.rejected += 1;
+                        continue 'rows;
+                    }
+                    id
+                }
+                (Value::I64(v), None) => {
+                    if *v < 0 || *v >= dim.cardinality as i64 {
+                        batch.rejected += 1;
+                        continue 'rows;
+                    }
+                    *v as u32
+                }
+                _ => {
+                    batch.rejected += 1;
+                    continue 'rows;
+                }
+            };
+            coords.push(coord);
+        }
+        let mut metrics = Vec::with_capacity(schema.metrics.len());
+        for (metric, value) in schema.metrics.iter().zip(&row[num_dims..]) {
+            match (metric.metric_type, value) {
+                (MetricType::I64, Value::I64(_)) | (MetricType::F64, Value::F64(_)) => {
+                    metrics.push(value.clone());
+                }
+                _ => {
+                    batch.rejected += 1;
+                    continue 'rows;
+                }
+            }
+        }
+        let bid = layout.bid_for_coords(&coords);
+        batch.by_bid.entry(bid).or_default().push(ParsedRecord {
+            bid,
+            coords,
+            metrics,
+        });
+        batch.accepted += 1;
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::{Dimension, Metric};
+
+    fn schema() -> CubeSchema {
+        CubeSchema::new(
+            "t",
+            vec![
+                Dimension::string("region", 4, 2),
+                Dimension::int("day", 8, 4),
+            ],
+            vec![Metric::int("likes")],
+        )
+        .unwrap()
+    }
+
+    fn dicts(schema: &CubeSchema) -> Vec<Option<Arc<Mutex<Dictionary>>>> {
+        schema
+            .dimensions
+            .iter()
+            .map(|d| d.is_string.then(|| Arc::new(Mutex::new(Dictionary::new()))))
+            .collect()
+    }
+
+    #[test]
+    fn valid_rows_are_grouped_by_bid() {
+        let schema = schema();
+        let layout = BidLayout::new(&schema);
+        let dicts = dicts(&schema);
+        let rows = vec![
+            vec![Value::from("us"), Value::from(0i64), Value::from(10i64)],
+            vec![Value::from("br"), Value::from(1i64), Value::from(20i64)],
+            vec![Value::from("us"), Value::from(5i64), Value::from(30i64)],
+        ];
+        let batch = parse_rows(&schema, &layout, &dicts, &rows);
+        assert_eq!(batch.accepted, 3);
+        assert_eq!(batch.rejected, 0);
+        // us(0) day0 and br(1) day1 share region-range 0 / day-range 0;
+        // us day5 lands in day-range 1.
+        assert_eq!(batch.bricks_touched(), 2);
+        let total: usize = batch.by_bid.values().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn arity_and_type_violations_reject() {
+        let schema = schema();
+        let layout = BidLayout::new(&schema);
+        let dicts = dicts(&schema);
+        let rows = vec![
+            vec![Value::from("us"), Value::from(0i64)], // short
+            vec![Value::from(1i64), Value::from(0i64), Value::from(1i64)], // int for string dim
+            vec![Value::from("us"), Value::from("x"), Value::from(1i64)], // string for int dim
+            vec![Value::from("us"), Value::from(0i64), Value::from(0.5f64)], // float for int metric
+        ];
+        let batch = parse_rows(&schema, &layout, &dicts, &rows);
+        assert_eq!(batch.accepted, 0);
+        assert_eq!(batch.rejected, 4);
+    }
+
+    #[test]
+    fn cardinality_violations_reject() {
+        let schema = schema();
+        let layout = BidLayout::new(&schema);
+        let dicts = dicts(&schema);
+        let rows = vec![
+            vec![Value::from("a"), Value::from(0i64), Value::from(1i64)],
+            vec![Value::from("b"), Value::from(0i64), Value::from(1i64)],
+            vec![Value::from("c"), Value::from(0i64), Value::from(1i64)],
+            vec![Value::from("d"), Value::from(0i64), Value::from(1i64)],
+            vec![Value::from("e"), Value::from(0i64), Value::from(1i64)], // 5th > card 4
+            vec![Value::from("a"), Value::from(8i64), Value::from(1i64)], // day out of range
+            vec![Value::from("a"), Value::from(-1i64), Value::from(1i64)],
+        ];
+        let batch = parse_rows(&schema, &layout, &dicts, &rows);
+        assert_eq!(batch.accepted, 4);
+        assert_eq!(batch.rejected, 3);
+    }
+
+    #[test]
+    fn shared_dictionary_keeps_ids_stable_across_batches() {
+        let schema = schema();
+        let layout = BidLayout::new(&schema);
+        let dicts = dicts(&schema);
+        let rows1 = vec![vec![
+            Value::from("us"),
+            Value::from(0i64),
+            Value::from(1i64),
+        ]];
+        let rows2 = vec![vec![
+            Value::from("us"),
+            Value::from(0i64),
+            Value::from(2i64),
+        ]];
+        let b1 = parse_rows(&schema, &layout, &dicts, &rows1);
+        let b2 = parse_rows(&schema, &layout, &dicts, &rows2);
+        let c1 = b1.by_bid.values().next().unwrap()[0].coords[0];
+        let c2 = b2.by_bid.values().next().unwrap()[0].coords[0];
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,907 @@
+//! The scan/aggregation query engine.
+//!
+//! OLAP queries here are filtered aggregations with an optional
+//! group-by — the workload shape of the paper's Section VI-B
+//! experiments. Execution is bitmap-driven: the AOSI visibility
+//! bitmap (or an all-ones bitmap in read-uncommitted mode) seeds the
+//! scan mask, dimension filters clear further bits, and the
+//! aggregation loop walks the surviving rows. "Records skipped due to
+//! concurrency control may never be reintroduced" (Section III-C3) —
+//! filters only ever clear bits.
+//!
+//! Partitions are pruned before scanning when a filter excludes the
+//! brick's entire coordinate range — the Granular Partitioning
+//! benefit of Section V-A.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use columnar::{Bitmap, Value};
+
+use crate::brick::Brick;
+use crate::cube::Cube;
+use crate::error::CubrickError;
+
+/// Aggregation function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFn {
+    /// Sum of a metric.
+    Sum,
+    /// Count of visible rows.
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arithmetic mean.
+    Avg,
+}
+
+/// One aggregation request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Aggregation {
+    /// Function to apply.
+    pub func: AggFn,
+    /// Metric column name (ignored for `Count`; use any metric).
+    pub metric: String,
+}
+
+impl Aggregation {
+    /// Shorthand constructor.
+    pub fn new(func: AggFn, metric: impl Into<String>) -> Self {
+        Aggregation {
+            func,
+            metric: metric.into(),
+        }
+    }
+}
+
+/// An IN-list filter on one dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DimFilter {
+    /// Dimension column name.
+    pub dim: String,
+    /// Accepted values (strings for string dimensions, integers for
+    /// integer dimensions).
+    pub values: Vec<Value>,
+}
+
+impl DimFilter {
+    /// Shorthand constructor.
+    pub fn new(dim: impl Into<String>, values: Vec<Value>) -> Self {
+        DimFilter {
+            dim: dim.into(),
+            values,
+        }
+    }
+}
+
+/// What a query's result rows are ordered by.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OrderBy {
+    /// By the `i`-th requested aggregation's value.
+    Aggregation(usize),
+    /// By the named group-by dimension's decoded value.
+    Dimension(String),
+}
+
+/// A query: filters, aggregations, group-by dimensions, and optional
+/// result shaping (top-k dashboards).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Query {
+    /// Conjunctive dimension filters.
+    pub filters: Vec<DimFilter>,
+    /// Aggregations to compute.
+    pub aggregations: Vec<Aggregation>,
+    /// Group results by these dimensions (empty = one global group).
+    pub group_by: Vec<String>,
+    /// Result ordering; `None` keeps the deterministic group-key
+    /// order.
+    pub order_by: Option<(OrderBy, bool)>,
+    /// Keep only the first `n` result rows after ordering.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// A query computing `aggregations` over the whole cube.
+    pub fn aggregate(aggregations: Vec<Aggregation>) -> Self {
+        Query {
+            filters: Vec::new(),
+            aggregations,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a filter.
+    pub fn filter(mut self, filter: DimFilter) -> Self {
+        self.filters.push(filter);
+        self
+    }
+
+    /// Adds a group-by dimension (call repeatedly for roll-ups over
+    /// several dimensions).
+    pub fn grouped_by(mut self, dim: impl Into<String>) -> Self {
+        self.group_by.push(dim.into());
+        self
+    }
+
+    /// Orders the result rows (descending when `desc`).
+    pub fn ordered_by(mut self, order: OrderBy, desc: bool) -> Self {
+        self.order_by = Some((order, desc));
+        self
+    }
+
+    /// Keeps only the first `n` result rows (after ordering).
+    pub fn limited(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+}
+
+/// Scan-side counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Bricks whose rows were scanned.
+    pub bricks_scanned: u64,
+    /// Bricks skipped by range pruning.
+    pub bricks_pruned: u64,
+    /// Rows stored in scanned bricks.
+    pub rows_scanned: u64,
+    /// Rows that survived visibility + filters.
+    pub rows_visible: u64,
+}
+
+/// Mergeable aggregation accumulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct Acc {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Acc {
+    fn default() -> Self {
+        Acc {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Acc {
+    fn observe(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &Acc) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn finalize(&self, func: AggFn) -> f64 {
+        match func {
+            AggFn::Sum => self.sum,
+            AggFn::Count => self.count as f64,
+            AggFn::Min => self.min,
+            AggFn::Max => self.max,
+            AggFn::Avg => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+        }
+    }
+}
+
+/// The packed group-key layout: every group dimension contributes
+/// `ceil(log2(cardinality))` bits of a single `u64` key, exactly like
+/// a bid. Grouping by up to ~64 bits of combined cardinality needs no
+/// per-row allocation at all.
+#[derive(Clone, Debug)]
+pub(crate) struct GroupSpec {
+    /// `(dimension index, bit shift, bit width)` per group dimension.
+    pub(crate) dims: Vec<(usize, u32, u32)>,
+}
+
+impl GroupSpec {
+    #[inline]
+    pub(crate) fn pack(&self, brick: &Brick, row: usize) -> u64 {
+        let mut key = 0u64;
+        for &(dim, shift, _) in &self.dims {
+            key |= (brick.dim_value(dim, row) as u64) << shift;
+        }
+        key
+    }
+
+    pub(crate) fn unpack(&self, key: u64) -> Vec<(usize, u32)> {
+        self.dims
+            .iter()
+            .map(|&(dim, shift, width)| {
+                let mask = if width >= 64 {
+                    !0u64
+                } else {
+                    (1u64 << width) - 1
+                };
+                (dim, ((key >> shift) & mask) as u32)
+            })
+            .collect()
+    }
+}
+
+/// A query resolved against a cube's schema: names replaced by column
+/// indexes and filter values by coordinate sets. Cheap to clone into
+/// shard tasks.
+#[derive(Clone, Debug)]
+pub struct ResolvedQuery {
+    pub(crate) filters: Vec<(usize, HashSet<u32>)>,
+    pub(crate) aggs: Vec<(AggFn, usize)>,
+    pub(crate) group_by: Option<GroupSpec>,
+    /// `(key position or agg index, descending)` — key positions are
+    /// offsets into the decoded group-key vector.
+    pub(crate) order_by: Option<(ResolvedOrder, bool)>,
+    pub(crate) limit: Option<usize>,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ResolvedOrder {
+    Aggregation(usize),
+    GroupKey(usize),
+}
+
+impl ResolvedQuery {
+    /// Resolves `query` against `cube`. Unknown string filter values
+    /// resolve to nothing (they cannot match), unknown column names
+    /// are errors.
+    pub fn resolve(cube: &Cube, query: &Query) -> Result<Self, CubrickError> {
+        let schema = cube.schema();
+        let mut filters = Vec::with_capacity(query.filters.len());
+        for f in &query.filters {
+            let dim = schema
+                .dim_index(&f.dim)
+                .ok_or_else(|| CubrickError::UnknownColumn(f.dim.clone()))?;
+            let coords: HashSet<u32> = f
+                .values
+                .iter()
+                .filter_map(|v| cube.encode_filter_value(dim, v))
+                .collect();
+            filters.push((dim, coords));
+        }
+        let mut aggs = Vec::with_capacity(query.aggregations.len());
+        for a in &query.aggregations {
+            // COUNT needs no metric column: `COUNT(*)` arrives with an
+            // empty metric name and never dereferences the index.
+            let metric = if a.func == AggFn::Count && a.metric.is_empty() {
+                0
+            } else {
+                schema
+                    .metric_index(&a.metric)
+                    .ok_or_else(|| CubrickError::UnknownColumn(a.metric.clone()))?
+            };
+            aggs.push((a.func, metric));
+        }
+        let group_by = if query.group_by.is_empty() {
+            None
+        } else {
+            let mut dims = Vec::with_capacity(query.group_by.len());
+            let mut shift = 0u32;
+            for name in &query.group_by {
+                let dim = schema
+                    .dim_index(name)
+                    .ok_or_else(|| CubrickError::UnknownColumn(name.clone()))?;
+                let card = schema.dimensions[dim].cardinality;
+                let width = if card <= 1 {
+                    1
+                } else {
+                    32 - (card - 1).leading_zeros()
+                };
+                dims.push((dim, shift, width));
+                shift += width;
+            }
+            if shift > 64 {
+                return Err(CubrickError::GroupKeyTooWide {
+                    bits: shift,
+                    dims: query.group_by.clone(),
+                });
+            }
+            Some(GroupSpec { dims })
+        };
+        let order_by = match &query.order_by {
+            None => None,
+            Some((OrderBy::Aggregation(idx), desc)) => {
+                if *idx >= query.aggregations.len() {
+                    return Err(CubrickError::UnknownColumn(format!(
+                        "ORDER BY aggregation #{idx} (only {} requested)",
+                        query.aggregations.len()
+                    )));
+                }
+                Some((ResolvedOrder::Aggregation(*idx), *desc))
+            }
+            Some((OrderBy::Dimension(name), desc)) => {
+                let position = query
+                    .group_by
+                    .iter()
+                    .position(|g| g == name)
+                    .ok_or_else(|| {
+                        CubrickError::UnknownColumn(format!("ORDER BY {name} (not in GROUP BY)"))
+                    })?;
+                Some((ResolvedOrder::GroupKey(position), *desc))
+            }
+        };
+        Ok(ResolvedQuery {
+            filters,
+            aggs,
+            group_by,
+            order_by,
+            limit: query.limit,
+        })
+    }
+
+    /// Can a brick whose dimension `dim` covers range `range_idx`
+    /// (coordinates `[lo, hi)`) contain any filter match?
+    pub(crate) fn brick_can_match(&self, cube: &Cube, bid: u64) -> bool {
+        if self.filters.is_empty() {
+            return true;
+        }
+        let layout = cube.layout();
+        let ranges = layout.range_indexes_of_bid(bid);
+        for (dim, coords) in &self.filters {
+            let (lo, hi) = layout.range_bounds(*dim, ranges[*dim]);
+            if !coords.iter().any(|&c| c >= lo && c < hi) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Per-group partial aggregates produced by one brick/shard/node and
+/// merged upward.
+#[derive(Clone, Debug, Default)]
+pub struct PartialResult {
+    /// Packed group key -> accumulators (key 0 for ungrouped).
+    pub(crate) groups: HashMap<u64, Vec<Acc>>,
+    /// Scan counters.
+    pub stats: ScanStats,
+}
+
+impl PartialResult {
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: PartialResult) {
+        for (key, accs) in other.groups {
+            match self.groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (mine, theirs) in e.get_mut().iter_mut().zip(&accs) {
+                        mine.merge(theirs);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
+            }
+        }
+        self.stats.bricks_scanned += other.stats.bricks_scanned;
+        self.stats.bricks_pruned += other.stats.bricks_pruned;
+        self.stats.rows_scanned += other.stats.rows_scanned;
+        self.stats.rows_visible += other.stats.rows_visible;
+    }
+}
+
+/// Scans one brick: seeds from `visibility`, applies the resolved
+/// filters, accumulates aggregates.
+pub(crate) fn scan_brick(
+    brick: &Brick,
+    mut visibility: Bitmap,
+    resolved: &ResolvedQuery,
+) -> PartialResult {
+    // Filters clear bits; never set (isolation bits are final).
+    let rows = brick.row_count() as usize;
+    for (dim, coords) in &resolved.filters {
+        for row in 0..rows {
+            if visibility.get(row) && !coords.contains(&brick.dim_value(*dim, row)) {
+                visibility.clear(row);
+            }
+        }
+    }
+    accumulate(brick, visibility.iter_ones(), resolved)
+}
+
+/// The unfiltered-scan fast path: iterate the snapshot's visible
+/// ranges directly — no bitmap is ever materialized. Equivalent to
+/// [`scan_brick`] with an unfiltered visibility bitmap (the ranges
+/// are proven bitmap-equivalent by property test in `aosi`).
+pub(crate) fn scan_brick_ranges(
+    brick: &Brick,
+    ranges: &[std::ops::Range<u64>],
+    resolved: &ResolvedQuery,
+) -> PartialResult {
+    debug_assert!(resolved.filters.is_empty(), "ranges path is unfiltered");
+    let rows = ranges
+        .iter()
+        .flat_map(|r| (r.start as usize)..(r.end as usize));
+    accumulate(brick, rows, resolved)
+}
+
+fn accumulate(
+    brick: &Brick,
+    rows: impl Iterator<Item = usize>,
+    resolved: &ResolvedQuery,
+) -> PartialResult {
+    let mut result = PartialResult {
+        stats: ScanStats {
+            bricks_scanned: 1,
+            bricks_pruned: 0,
+            rows_scanned: brick.row_count(),
+            rows_visible: 0,
+        },
+        ..Default::default()
+    };
+    let num_aggs = resolved.aggs.len();
+    match &resolved.group_by {
+        // Ungrouped: accumulate into a flat local vector — no hash
+        // lookup per row.
+        None => {
+            let mut accs = vec![Acc::default(); num_aggs];
+            for row in rows {
+                result.stats.rows_visible += 1;
+                for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
+                    let v = match func {
+                        AggFn::Count => 0.0,
+                        _ => brick.metric_column(metric).get_numeric(row).unwrap_or(0.0),
+                    };
+                    acc.observe(v);
+                }
+            }
+            if result.stats.rows_visible > 0 {
+                result.groups.insert(0, accs);
+            }
+        }
+        Some(spec) => {
+            // Grouped: one packed-key hash lookup per row, with a
+            // one-entry cache for runs of identical keys (sorted or
+            // clustered data hits it constantly).
+            let mut cached: Option<(u64, Vec<Acc>)> = None;
+            for row in rows {
+                result.stats.rows_visible += 1;
+                let key = spec.pack(brick, row);
+                let accs = match &mut cached {
+                    Some((cached_key, accs)) if *cached_key == key => accs,
+                    _ => {
+                        if let Some((old_key, old_accs)) = cached.take() {
+                            merge_accs(&mut result.groups, old_key, old_accs);
+                        }
+                        cached = Some((
+                            key,
+                            result
+                                .groups
+                                .remove(&key)
+                                .unwrap_or_else(|| vec![Acc::default(); num_aggs]),
+                        ));
+                        &mut cached.as_mut().expect("just set").1
+                    }
+                };
+                for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
+                    let v = match func {
+                        AggFn::Count => 0.0,
+                        _ => brick.metric_column(metric).get_numeric(row).unwrap_or(0.0),
+                    };
+                    acc.observe(v);
+                }
+            }
+            if let Some((key, accs)) = cached.take() {
+                merge_accs(&mut result.groups, key, accs);
+            }
+        }
+    }
+    result
+}
+
+fn merge_accs(groups: &mut HashMap<u64, Vec<Acc>>, key: u64, accs: Vec<Acc>) {
+    match groups.entry(key) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            for (mine, theirs) in e.get_mut().iter_mut().zip(&accs) {
+                mine.merge(theirs);
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(accs);
+        }
+    }
+}
+
+fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => a
+            .as_numeric()
+            .partial_cmp(&b.as_numeric())
+            .unwrap_or(std::cmp::Ordering::Equal),
+    }
+}
+
+/// A finalized query result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    /// One row per group: the decoded group-key values (one per
+    /// group-by dimension, empty for global aggregation) and the
+    /// aggregation values in request order.
+    pub rows: Vec<(Vec<Value>, Vec<f64>)>,
+    /// Scan counters.
+    pub stats: ScanStats,
+}
+
+impl QueryResult {
+    /// Finalizes partial aggregates, decoding group coordinates
+    /// through `cube`.
+    pub(crate) fn finalize(cube: &Cube, resolved: &ResolvedQuery, partial: PartialResult) -> Self {
+        // Deterministic output order: by packed group key.
+        let ordered: BTreeMap<u64, Vec<Acc>> = partial.groups.into_iter().collect();
+        let mut rows: Vec<(Vec<Value>, Vec<f64>)> = ordered
+            .into_iter()
+            .map(|(key, accs)| {
+                let decoded = match &resolved.group_by {
+                    Some(spec) => spec
+                        .unpack(key)
+                        .into_iter()
+                        .map(|(dim, coord)| cube.decode_coord(dim, coord))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                let values = accs
+                    .iter()
+                    .zip(&resolved.aggs)
+                    .map(|(acc, &(func, _))| acc.finalize(func))
+                    .collect();
+                (decoded, values)
+            })
+            .collect();
+        if let Some((order, desc)) = &resolved.order_by {
+            match order {
+                ResolvedOrder::Aggregation(idx) => rows.sort_by(|a, b| {
+                    a.1[*idx]
+                        .partial_cmp(&b.1[*idx])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                }),
+                ResolvedOrder::GroupKey(pos) => {
+                    rows.sort_by(|a, b| compare_values(&a.0[*pos], &b.0[*pos]))
+                }
+            }
+            if *desc {
+                rows.reverse();
+            }
+        }
+        if let Some(limit) = resolved.limit {
+            rows.truncate(limit);
+        }
+        QueryResult {
+            rows,
+            stats: partial.stats,
+        }
+    }
+
+    /// The single value of an ungrouped single-aggregation query.
+    pub fn scalar(&self) -> Option<f64> {
+        match self.rows.as_slice() {
+            [(keys, values)] if keys.is_empty() && values.len() == 1 => Some(values[0]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::{CubeSchema, Dimension, Metric};
+    use crate::ingest::ParsedRecord;
+    use aosi::Snapshot;
+
+    fn cube() -> Cube {
+        Cube::new(
+            CubeSchema::new(
+                "t",
+                vec![
+                    Dimension::string("region", 4, 2),
+                    Dimension::int("day", 8, 4),
+                ],
+                vec![Metric::int("likes"), Metric::float("score")],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn brick_with_data(cube: &Cube) -> Brick {
+        // Encode us=0, br=1.
+        let dict = cube.dictionaries()[0].as_ref().unwrap();
+        dict.lock().encode("us");
+        dict.lock().encode("br");
+        let mut brick = Brick::new(cube.schema());
+        let recs = vec![
+            ParsedRecord {
+                bid: 0,
+                coords: vec![0, 0],
+                metrics: vec![Value::I64(10), Value::F64(1.0)],
+            },
+            ParsedRecord {
+                bid: 0,
+                coords: vec![1, 1],
+                metrics: vec![Value::I64(20), Value::F64(2.0)],
+            },
+            ParsedRecord {
+                bid: 0,
+                coords: vec![0, 2],
+                metrics: vec![Value::I64(30), Value::F64(3.0)],
+            },
+        ];
+        brick.append(1, &recs);
+        brick
+    }
+
+    fn resolved(cube: &Cube, q: &Query) -> ResolvedQuery {
+        ResolvedQuery::resolve(cube, q).unwrap()
+    }
+
+    #[test]
+    fn global_sum_and_count() {
+        let cube = cube();
+        let brick = brick_with_data(&cube);
+        let q = Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Count, "likes"),
+            Aggregation::new(AggFn::Avg, "score"),
+        ]);
+        let r = resolved(&cube, &q);
+        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let result = QueryResult::finalize(&cube, &r, partial);
+        assert_eq!(result.rows.len(), 1);
+        let (key, values) = &result.rows[0];
+        assert!(key.is_empty());
+        assert_eq!(values[0], 60.0);
+        assert_eq!(values[1], 3.0);
+        assert_eq!(values[2], 2.0);
+        assert_eq!(result.stats.rows_visible, 3);
+    }
+
+    #[test]
+    fn filter_restricts_rows() {
+        let cube = cube();
+        let brick = brick_with_data(&cube);
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .filter(DimFilter::new("region", vec![Value::from("us")]));
+        let r = resolved(&cube, &q);
+        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let result = QueryResult::finalize(&cube, &r, partial);
+        assert_eq!(result.scalar(), Some(40.0));
+        assert_eq!(result.stats.rows_visible, 2);
+    }
+
+    #[test]
+    fn unknown_filter_value_matches_nothing() {
+        let cube = cube();
+        let brick = brick_with_data(&cube);
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")])
+            .filter(DimFilter::new("region", vec![Value::from("atlantis")]));
+        let r = resolved(&cube, &q);
+        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        assert_eq!(partial.stats.rows_visible, 0);
+    }
+
+    #[test]
+    fn group_by_decodes_keys_in_order() {
+        let cube = cube();
+        let brick = brick_with_data(&cube);
+        let q = Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Min, "score"),
+            Aggregation::new(AggFn::Max, "score"),
+        ])
+        .grouped_by("region");
+        let r = resolved(&cube, &q);
+        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let result = QueryResult::finalize(&cube, &r, partial);
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].0, vec![Value::Str("us".into())]);
+        assert_eq!(result.rows[0].1, vec![40.0, 1.0, 3.0]);
+        assert_eq!(result.rows[1].0, vec![Value::Str("br".into())]);
+        assert_eq!(result.rows[1].1, vec![20.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn multi_dimension_group_by_packs_and_decodes() {
+        let cube = cube();
+        let brick = brick_with_data(&cube);
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .grouped_by("region")
+            .grouped_by("day");
+        let r = resolved(&cube, &q);
+        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let result = QueryResult::finalize(&cube, &r, partial);
+        // Three rows, three distinct (region, day) pairs.
+        assert_eq!(result.rows.len(), 3);
+        let find = |region: &str, day: i64| {
+            result
+                .rows
+                .iter()
+                .find(|(k, _)| k[0] == Value::Str(region.into()) && k[1] == Value::I64(day))
+                .map(|(_, v)| v[0])
+        };
+        assert_eq!(find("us", 0), Some(10.0));
+        assert_eq!(find("br", 1), Some(20.0));
+        assert_eq!(find("us", 2), Some(30.0));
+    }
+
+    #[test]
+    fn group_key_too_wide_is_rejected() {
+        let cube = Cube::new(
+            CubeSchema::new(
+                "wide",
+                vec![
+                    Dimension::int("a", u32::MAX, 1 << 20),
+                    Dimension::int("b", u32::MAX, 1 << 20),
+                    Dimension::int("c", 4, 1),
+                ],
+                vec![Metric::int("m")],
+            )
+            .unwrap(),
+        );
+        // 32 + 32 + 2 = 66 bits > 64.
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "m")])
+            .grouped_by("a")
+            .grouped_by("b")
+            .grouped_by("c");
+        assert!(matches!(
+            ResolvedQuery::resolve(&cube, &q),
+            Err(CubrickError::GroupKeyTooWide { bits: 66, .. })
+        ));
+        // 64 bits exactly is fine.
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "m")])
+            .grouped_by("a")
+            .grouped_by("b");
+        assert!(ResolvedQuery::resolve(&cube, &q).is_ok());
+    }
+
+    #[test]
+    fn order_by_and_limit_shape_results() {
+        let cube = cube();
+        let brick = brick_with_data(&cube);
+        // Top groups by sum(likes), descending, limited to 2.
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .grouped_by("day")
+            .ordered_by(OrderBy::Aggregation(0), true)
+            .limited(2);
+        let r = resolved(&cube, &q);
+        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let result = QueryResult::finalize(&cube, &r, partial);
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].1[0], 30.0, "largest sum first");
+        assert_eq!(result.rows[1].1[0], 20.0);
+
+        // Ascending by dimension value.
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .grouped_by("day")
+            .ordered_by(OrderBy::Dimension("day".into()), false);
+        let r = resolved(&cube, &q);
+        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let result = QueryResult::finalize(&cube, &r, partial);
+        let days: Vec<String> = result.rows.iter().map(|(k, _)| k[0].to_string()).collect();
+        assert_eq!(days, vec!["0", "1", "2"]);
+    }
+
+    #[test]
+    fn order_by_validation() {
+        let cube = cube();
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .ordered_by(OrderBy::Aggregation(5), false);
+        assert!(matches!(
+            ResolvedQuery::resolve(&cube, &q),
+            Err(CubrickError::UnknownColumn(_))
+        ));
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .grouped_by("region")
+            .ordered_by(OrderBy::Dimension("day".into()), false);
+        assert!(matches!(
+            ResolvedQuery::resolve(&cube, &q),
+            Err(CubrickError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn visibility_bitmap_gates_the_scan() {
+        let cube = cube();
+        let mut brick = brick_with_data(&cube);
+        brick.append(
+            3,
+            &[ParsedRecord {
+                bid: 0,
+                coords: vec![0, 0],
+                metrics: vec![Value::I64(1000), Value::F64(0.0)],
+            }],
+        );
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]);
+        let r = resolved(&cube, &q);
+        // Snapshot at epoch 1 must not see T3's row...
+        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        assert_eq!(
+            QueryResult::finalize(&cube, &r, partial).scalar(),
+            Some(60.0)
+        );
+        // ...while read-uncommitted sees it.
+        let partial = scan_brick(&brick, brick.all_rows(), &r);
+        assert_eq!(
+            QueryResult::finalize(&cube, &r, partial).scalar(),
+            Some(1060.0)
+        );
+    }
+
+    #[test]
+    fn merge_combines_partials() {
+        let cube = cube();
+        let brick = brick_with_data(&cube);
+        let q = Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Min, "likes"),
+        ])
+        .grouped_by("region");
+        let r = resolved(&cube, &q);
+        let snap = Snapshot::committed(1);
+        let mut a = scan_brick(&brick, brick.visibility(&snap), &r);
+        let b = scan_brick(&brick, brick.visibility(&snap), &r);
+        a.merge(b);
+        let result = QueryResult::finalize(&cube, &r, a);
+        assert_eq!(result.rows[0].1, vec![80.0, 10.0], "sums add, mins hold");
+        assert_eq!(result.stats.bricks_scanned, 2);
+        assert_eq!(result.stats.rows_visible, 6);
+    }
+
+    #[test]
+    fn brick_pruning_by_filter_range() {
+        let cube = cube();
+        // day=5 lives in day-range 1; a filter on day=1 (range 0) can
+        // prune any brick in day-range 1.
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")])
+            .filter(DimFilter::new("day", vec![Value::from(1i64)]));
+        let r = resolved(&cube, &q);
+        let bid_day0 = cube.layout().bid_for_coords(&[0, 1]);
+        let bid_day1 = cube.layout().bid_for_coords(&[0, 5]);
+        assert!(r.brick_can_match(&cube, bid_day0));
+        assert!(!r.brick_can_match(&cube, bid_day1));
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let cube = cube();
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "nope")]);
+        assert!(matches!(
+            ResolvedQuery::resolve(&cube, &q),
+            Err(CubrickError::UnknownColumn(_))
+        ));
+        let q = Query::default().filter(DimFilter::new("nope", vec![]));
+        assert!(matches!(
+            ResolvedQuery::resolve(&cube, &q),
+            Err(CubrickError::UnknownColumn(_))
+        ));
+        let q = Query::default().grouped_by("nope");
+        assert!(matches!(
+            ResolvedQuery::resolve(&cube, &q),
+            Err(CubrickError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_on_empty_result_is_none() {
+        let cube = cube();
+        let brick = Brick::new(cube.schema());
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]);
+        let r = resolved(&cube, &q);
+        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let result = QueryResult::finalize(&cube, &r, partial);
+        assert_eq!(result.scalar(), None);
+    }
+}

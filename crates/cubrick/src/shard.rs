@@ -1,0 +1,228 @@
+//! Bid-sharded single-writer execution (Section V-B, "Flushing").
+//!
+//! "In order to avoid synchronization when multiple parallel
+//! transactions are required to append records to the same bricks,
+//! all bricks are sharded based on bid … Each shard has an input
+//! queue where all brick operations should be placed, such as
+//! queries, insertions, deletions and purges, and a single thread
+//! consumes and applies the operations to the in-memory objects.
+//! Furthermore, since all operations on a brick (shard) are applied
+//! by a single thread, no low-level locking is required."
+//!
+//! A [`ShardPool`] is exactly that: N worker threads, each owning the
+//! bricks whose `bid % N` equals its index, fed through an unbounded
+//! channel of boxed operations. Scans parallelize naturally across
+//! shards; appends to one brick serialize in queue order, which is
+//! also what gives the transaction manager its ordering assumption.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use crate::brick::Brick;
+
+/// The bricks owned by one shard thread: `cube name -> bid -> brick`.
+pub type ShardBricks = HashMap<String, HashMap<u64, Brick>>;
+
+type Task = Box<dyn FnOnce(&mut ShardBricks) + Send>;
+
+/// A pool of single-writer shard threads.
+pub struct ShardPool {
+    senders: Vec<Sender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `num_shards` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero.
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        let mut senders = Vec::with_capacity(num_shards);
+        let mut handles = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            let (tx, rx) = unbounded::<Task>();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cubrick-shard-{shard}"))
+                    .spawn(move || {
+                        let mut bricks = ShardBricks::new();
+                        // Channel closure (all senders dropped) ends
+                        // the shard.
+                        while let Ok(task) = rx.recv() {
+                            task(&mut bricks);
+                        }
+                    })
+                    .expect("spawn shard thread"),
+            );
+        }
+        ShardPool { senders, handles }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard owning `bid`.
+    pub fn shard_of(&self, bid: u64) -> usize {
+        (bid % self.senders.len() as u64) as usize
+    }
+
+    /// Enqueues `task` on `shard` without waiting (loads use this:
+    /// the flush step is asynchronous within a request).
+    pub fn submit(&self, shard: usize, task: impl FnOnce(&mut ShardBricks) + Send + 'static) {
+        self.senders[shard]
+            .send(Box::new(task))
+            .expect("shard thread alive");
+    }
+
+    /// Runs `task` on `shard` and waits for its result.
+    pub fn submit_and_wait<R: Send + 'static>(
+        &self,
+        shard: usize,
+        task: impl FnOnce(&mut ShardBricks) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = unbounded();
+        self.submit(shard, move |bricks| {
+            let _ = tx.send(task(bricks));
+        });
+        rx.recv().expect("shard thread alive")
+    }
+
+    /// Runs `make_task(shard)` on every shard concurrently and
+    /// collects the results in shard order. This is how scans fan
+    /// out: each shard walks its own bricks in parallel.
+    pub fn map_shards<R, F>(&self, make_task: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> Box<dyn FnOnce(&mut ShardBricks) -> R + Send>,
+    {
+        let mut receivers = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let task = make_task(shard);
+            let (tx, rx) = unbounded();
+            self.submit(shard, move |bricks| {
+                let _ = tx.send(task(bricks));
+            });
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard thread alive"))
+            .collect()
+    }
+
+    /// Blocks until every operation enqueued before this call has
+    /// been applied (a queue barrier across all shards).
+    pub fn drain(&self) {
+        for shard in 0..self.senders.len() {
+            self.submit_and_wait(shard, |_| ());
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::{CubeSchema, Dimension, Metric};
+    use crate::ingest::ParsedRecord;
+    use columnar::Value;
+
+    fn schema() -> CubeSchema {
+        CubeSchema::new(
+            "t",
+            vec![Dimension::int("d", 16, 1)],
+            vec![Metric::int("m")],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shard_of_partitions_bids() {
+        let pool = ShardPool::new(4);
+        assert_eq!(pool.shard_of(0), 0);
+        assert_eq!(pool.shard_of(5), 1);
+        assert_eq!(pool.shard_of(7), 3);
+        assert_eq!(pool.num_shards(), 4);
+    }
+
+    #[test]
+    fn submit_and_wait_roundtrips() {
+        let pool = ShardPool::new(2);
+        let answer = pool.submit_and_wait(1, |_| 42);
+        assert_eq!(answer, 42);
+    }
+
+    #[test]
+    fn operations_on_one_shard_apply_in_order() {
+        let pool = ShardPool::new(1);
+        let schema = schema();
+        for i in 0..100i64 {
+            let schema = schema.clone();
+            pool.submit(0, move |bricks| {
+                let brick = bricks
+                    .entry("t".into())
+                    .or_default()
+                    .entry(0)
+                    .or_insert_with(|| Brick::new(&schema));
+                brick.append(
+                    1,
+                    &[ParsedRecord {
+                        bid: 0,
+                        coords: vec![(i % 16) as u32],
+                        metrics: vec![Value::I64(i)],
+                    }],
+                );
+            });
+        }
+        let values = pool.submit_and_wait(0, |bricks| {
+            let brick = &bricks["t"][&0];
+            (0..brick.row_count() as usize)
+                .map(|r| brick.metric_column(0).get_i64(r).unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(values, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn map_shards_collects_from_all() {
+        let pool = ShardPool::new(3);
+        let ids = pool.map_shards(|shard| Box::new(move |_: &mut ShardBricks| shard * 10));
+        assert_eq!(ids, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn drain_flushes_pending_work() {
+        let pool = ShardPool::new(2);
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for shard in 0..2 {
+            let flag = std::sync::Arc::clone(&flag);
+            pool.submit(shard, move |_| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let pool = ShardPool::new(4);
+        pool.submit(0, |_| ());
+        drop(pool);
+    }
+}

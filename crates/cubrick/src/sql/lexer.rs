@@ -1,0 +1,197 @@
+//! Tokenizer for the SQL subset.
+
+use super::SqlError;
+
+/// One token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at the parser).
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=` (recognized so that rejected statements like UPDATE lex
+    /// cleanly and fail with the right explanation).
+    Eq,
+}
+
+impl Token {
+    /// The identifier payload, if this token is one.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Case-insensitive keyword match.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        self.as_ident().is_some_and(|s| s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' | ';' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '\'' => {
+                let mut out = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::Lex("unterminated string literal".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            out.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            out.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(out));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(|b| b.is_ascii_digit()) {
+                        return Err(SqlError::Lex("dangling '-'".into()));
+                    }
+                }
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !is_float))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| SqlError::Lex(format!("bad float {text:?}")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| SqlError::Lex(format!("bad integer {text:?}")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => return Err(SqlError::Lex(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_mixed_statement() {
+        let tokens =
+            tokenize("SELECT SUM(likes), COUNT(*) FROM test WHERE region IN ('us', 'it''s')")
+                .unwrap();
+        assert_eq!(tokens[0], Token::Ident("SELECT".into()));
+        assert!(tokens.contains(&Token::Star));
+        assert!(tokens.contains(&Token::Str("us".into())));
+        assert!(tokens.contains(&Token::Str("it's".into())));
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        let tokens = tokenize("(4, 2, -7, 0.5, -1.25)").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::LParen,
+                Token::Int(4),
+                Token::Comma,
+                Token::Int(2),
+                Token::Comma,
+                Token::Int(-7),
+                Token::Comma,
+                Token::Float(0.5),
+                Token::Comma,
+                Token::Float(-1.25),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let tokens = tokenize("select From").unwrap();
+        assert!(tokens[0].is_kw("SELECT"));
+        assert!(tokens[1].is_kw("from"));
+        assert!(!tokens[1].is_kw("select"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex(_))));
+        assert!(matches!(tokenize("a @ b"), Err(SqlError::Lex(_))));
+        assert!(matches!(tokenize("- x"), Err(SqlError::Lex(_))));
+    }
+
+    #[test]
+    fn semicolons_and_whitespace_are_skipped() {
+        let tokens = tokenize("  PURGE ;\n").unwrap();
+        assert_eq!(tokens, vec![Token::Ident("PURGE".into())]);
+    }
+}

@@ -1,0 +1,566 @@
+//! Recursive-descent parser producing [`Statement`]s.
+
+use columnar::Value;
+
+use super::lexer::{tokenize, Token};
+use super::SqlError;
+use crate::ddl::{CubeSchema, Dimension, Metric};
+use crate::query::{AggFn, Aggregation, DimFilter, OrderBy, Query};
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `CREATE CUBE …`
+    CreateCube(CubeSchema),
+    /// `INSERT INTO cube VALUES …`
+    Insert {
+        /// Target cube.
+        cube: String,
+        /// Row literals.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `SELECT … FROM cube … [AS OF epoch]`
+    Select {
+        /// Target cube.
+        cube: String,
+        /// The resolved query shape.
+        query: Query,
+        /// Time-travel epoch (`AS OF n`).
+        as_of: Option<u64>,
+    },
+    /// `DELETE FROM cube [WHERE …]`
+    Delete {
+        /// Target cube.
+        cube: String,
+        /// Partition predicate.
+        filters: Vec<DimFilter>,
+    },
+    /// `DROP CUBE name`
+    DropCube(String),
+    /// `PURGE`
+    Purge,
+    /// `SHOW MEMORY`
+    ShowMemory,
+    /// `SHOW CUBES`
+    ShowCubes,
+    /// `SHOW STATS`
+    ShowStats,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, SqlError> {
+        let token = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqlError::Parse("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(token)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        let token = self.next()?;
+        if token.is_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {kw}, found {token:?}")))
+        }
+    }
+
+    fn expect(&mut self, expected: Token) -> Result<(), SqlError> {
+        let token = self.next()?;
+        if token == expected {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {expected:?}, found {token:?}"
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, SqlError> {
+        match self.next()? {
+            Token::Int(v) => Ok(v),
+            other => Err(SqlError::Parse(format!(
+                "expected integer, found {other:?}"
+            ))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.tokens.len()
+    }
+}
+
+/// Parses one statement.
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let mut p = Parser {
+        tokens: tokenize(sql)?,
+        pos: 0,
+    };
+    let head = p.next()?;
+    let statement = if head.is_kw("CREATE") {
+        parse_create(&mut p)?
+    } else if head.is_kw("INSERT") {
+        parse_insert(&mut p)?
+    } else if head.is_kw("SELECT") {
+        parse_select(&mut p)?
+    } else if head.is_kw("DELETE") {
+        parse_delete(&mut p)?
+    } else if head.is_kw("DROP") {
+        p.expect_kw("CUBE")?;
+        Statement::DropCube(p.ident()?)
+    } else if head.is_kw("PURGE") {
+        Statement::Purge
+    } else if head.is_kw("SHOW") {
+        let what = p.ident()?;
+        if what.eq_ignore_ascii_case("MEMORY") {
+            Statement::ShowMemory
+        } else if what.eq_ignore_ascii_case("CUBES") {
+            Statement::ShowCubes
+        } else if what.eq_ignore_ascii_case("STATS") {
+            Statement::ShowStats
+        } else {
+            return Err(SqlError::Parse(format!(
+                "expected MEMORY, CUBES or STATS after SHOW, found {what}"
+            )));
+        }
+    } else if head.is_kw("UPDATE") {
+        return Err(SqlError::Unsupported(
+            "UPDATE: AOSI drops record updates by design; model the change \
+             as a new fact, or re-run the idempotent ETL (paper, Section II-A)"
+                .into(),
+        ));
+    } else {
+        return Err(SqlError::Parse(format!("unknown statement {head:?}")));
+    };
+    if !p.done() {
+        return Err(SqlError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.tokens[p.pos..].to_vec()
+        )));
+    }
+    Ok(statement)
+}
+
+/// `CREATE CUBE name (col STRING DIM(card, range), col INT METRIC, …)`
+fn parse_create(p: &mut Parser) -> Result<Statement, SqlError> {
+    p.expect_kw("CUBE")?;
+    let name = p.ident()?;
+    p.expect(Token::LParen)?;
+    let mut dimensions = Vec::new();
+    let mut metrics = Vec::new();
+    loop {
+        let col = p.ident()?;
+        let col_type = p.ident()?;
+        let role = p.ident()?;
+        if role.eq_ignore_ascii_case("DIM") {
+            p.expect(Token::LParen)?;
+            let cardinality = p.int()?;
+            p.expect(Token::Comma)?;
+            let range = p.int()?;
+            p.expect(Token::RParen)?;
+            if cardinality <= 0 || range <= 0 {
+                return Err(SqlError::Parse(
+                    "cardinality and range size must be positive".into(),
+                ));
+            }
+            let dim = if col_type.eq_ignore_ascii_case("STRING") {
+                Dimension::string(col, cardinality as u32, range as u32)
+            } else if col_type.eq_ignore_ascii_case("INT") {
+                Dimension::int(col, cardinality as u32, range as u32)
+            } else {
+                return Err(SqlError::Parse(format!(
+                    "dimension type must be STRING or INT, found {col_type}"
+                )));
+            };
+            dimensions.push(dim);
+        } else if role.eq_ignore_ascii_case("METRIC") {
+            let metric = if col_type.eq_ignore_ascii_case("INT") {
+                Metric::int(col)
+            } else if col_type.eq_ignore_ascii_case("FLOAT") {
+                Metric::float(col)
+            } else {
+                return Err(SqlError::Parse(format!(
+                    "metric type must be INT or FLOAT, found {col_type}"
+                )));
+            };
+            metrics.push(metric);
+        } else {
+            return Err(SqlError::Parse(format!(
+                "expected DIM or METRIC, found {role}"
+            )));
+        }
+        match p.next()? {
+            Token::Comma => continue,
+            Token::RParen => break,
+            other => return Err(SqlError::Parse(format!("expected , or ), found {other:?}"))),
+        }
+    }
+    let schema =
+        CubeSchema::new(name, dimensions, metrics).map_err(|e| SqlError::Parse(e.to_string()))?;
+    Ok(Statement::CreateCube(schema))
+}
+
+fn parse_value(p: &mut Parser) -> Result<Value, SqlError> {
+    match p.next()? {
+        Token::Str(s) => Ok(Value::Str(s)),
+        Token::Int(v) => Ok(Value::I64(v)),
+        Token::Float(v) => Ok(Value::F64(v)),
+        other => Err(SqlError::Parse(format!(
+            "expected literal, found {other:?}"
+        ))),
+    }
+}
+
+/// `INSERT INTO cube VALUES (…), (…)`
+fn parse_insert(p: &mut Parser) -> Result<Statement, SqlError> {
+    p.expect_kw("INTO")?;
+    let cube = p.ident()?;
+    p.expect_kw("VALUES")?;
+    let mut rows = Vec::new();
+    loop {
+        p.expect(Token::LParen)?;
+        let mut row = Vec::new();
+        loop {
+            row.push(parse_value(p)?);
+            match p.next()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => return Err(SqlError::Parse(format!("expected , or ), found {other:?}"))),
+            }
+        }
+        rows.push(row);
+        if p.peek() == Some(&Token::Comma) {
+            p.pos += 1;
+            continue;
+        }
+        break;
+    }
+    Ok(Statement::Insert { cube, rows })
+}
+
+fn parse_where(p: &mut Parser) -> Result<Vec<DimFilter>, SqlError> {
+    let mut filters = Vec::new();
+    if !p.eat_kw("WHERE") {
+        return Ok(filters);
+    }
+    loop {
+        let dim = p.ident()?;
+        p.expect_kw("IN")?;
+        p.expect(Token::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(parse_value(p)?);
+            match p.next()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => return Err(SqlError::Parse(format!("expected , or ), found {other:?}"))),
+            }
+        }
+        filters.push(DimFilter::new(dim, values));
+        if !p.eat_kw("AND") {
+            break;
+        }
+    }
+    Ok(filters)
+}
+
+/// `SELECT agg(col)[, …] FROM cube [WHERE …] [GROUP BY dim]`
+fn parse_select(p: &mut Parser) -> Result<Statement, SqlError> {
+    let mut aggregations = Vec::new();
+    loop {
+        let func_name = p.ident()?;
+        let func = match func_name.to_ascii_uppercase().as_str() {
+            "SUM" => AggFn::Sum,
+            "COUNT" => AggFn::Count,
+            "MIN" => AggFn::Min,
+            "MAX" => AggFn::Max,
+            "AVG" => AggFn::Avg,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "unknown aggregation {other} (SUM/COUNT/MIN/MAX/AVG)"
+                )))
+            }
+        };
+        p.expect(Token::LParen)?;
+        let metric = match p.next()? {
+            Token::Star if func == AggFn::Count => String::new(),
+            Token::Ident(name) => name,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected metric name (or * for COUNT), found {other:?}"
+                )))
+            }
+        };
+        p.expect(Token::RParen)?;
+        aggregations.push(Aggregation { func, metric });
+        if p.peek() == Some(&Token::Comma) {
+            p.pos += 1;
+            continue;
+        }
+        break;
+    }
+    p.expect_kw("FROM")?;
+    let cube = p.ident()?;
+    let filters = parse_where(p)?;
+    let mut group_by = Vec::new();
+    if p.eat_kw("GROUP") {
+        p.expect_kw("BY")?;
+        loop {
+            group_by.push(p.ident()?);
+            if p.peek() == Some(&Token::Comma) {
+                p.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    // ORDER BY agg(metric) | dimension [ASC|DESC]
+    let mut order_by = None;
+    if p.eat_kw("ORDER") {
+        p.expect_kw("BY")?;
+        let name = p.ident()?;
+        let target = if p.peek() == Some(&Token::LParen) {
+            // An aggregation reference: must match one in the SELECT
+            // list.
+            p.pos += 1;
+            let metric = match p.next()? {
+                Token::Star => String::new(),
+                Token::Ident(m) => m,
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected metric in ORDER BY, found {other:?}"
+                    )))
+                }
+            };
+            p.expect(Token::RParen)?;
+            let idx = aggregations
+                .iter()
+                .position(|a| {
+                    format!("{:?}", a.func).eq_ignore_ascii_case(&name) && a.metric == metric
+                })
+                .ok_or_else(|| {
+                    SqlError::Parse(format!(
+                        "ORDER BY {name}({metric}) must appear in the SELECT list"
+                    ))
+                })?;
+            OrderBy::Aggregation(idx)
+        } else {
+            OrderBy::Dimension(name)
+        };
+        let desc = if p.eat_kw("DESC") {
+            true
+        } else {
+            p.eat_kw("ASC");
+            false
+        };
+        order_by = Some((target, desc));
+    }
+    // LIMIT n
+    let limit = if p.eat_kw("LIMIT") {
+        let n = p.int()?;
+        if n < 0 {
+            return Err(SqlError::Parse("LIMIT must be non-negative".into()));
+        }
+        Some(n as usize)
+    } else {
+        None
+    };
+    let as_of = if p.eat_kw("AS") {
+        p.expect_kw("OF")?;
+        let epoch = p.int()?;
+        if epoch < 0 {
+            return Err(SqlError::Parse("AS OF epoch must be non-negative".into()));
+        }
+        Some(epoch as u64)
+    } else {
+        None
+    };
+    Ok(Statement::Select {
+        cube,
+        query: Query {
+            filters,
+            aggregations,
+            group_by,
+            order_by,
+            limit,
+        },
+        as_of,
+    })
+}
+
+/// `DELETE FROM cube [WHERE …]`
+fn parse_delete(p: &mut Parser) -> Result<Statement, SqlError> {
+    p.expect_kw("FROM")?;
+    let cube = p.ident()?;
+    let filters = parse_where(p)?;
+    Ok(Statement::Delete { cube, filters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_ddl() {
+        let stmt = parse(
+            "CREATE CUBE test (region STRING DIM(4, 2), gender STRING DIM(4, 1), \
+             likes INT METRIC, comments INT METRIC)",
+        )
+        .unwrap();
+        let Statement::CreateCube(schema) = stmt else {
+            panic!("not a create");
+        };
+        assert_eq!(schema.name, "test");
+        assert_eq!(schema.dimensions.len(), 2);
+        assert_eq!(schema.dimensions[0].cardinality, 4);
+        assert_eq!(schema.dimensions[0].range_size, 2);
+        assert!(schema.dimensions[0].is_string);
+        assert_eq!(schema.metrics.len(), 2);
+        assert_eq!(schema.max_bricks(), 8);
+    }
+
+    #[test]
+    fn parses_insert_with_multiple_rows() {
+        let stmt = parse("INSERT INTO test VALUES ('us', 'male', 12, 3), ('br', 'female', 5, 0.5)")
+            .unwrap();
+        let Statement::Insert { cube, rows } = stmt else {
+            panic!("not an insert");
+        };
+        assert_eq!(cube, "test");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Str("us".into()));
+        assert_eq!(rows[1][3], Value::F64(0.5));
+    }
+
+    #[test]
+    fn parses_select_with_filters_and_group_by() {
+        let stmt = parse(
+            "SELECT SUM(likes), COUNT(*), AVG(comments) FROM test \
+             WHERE region IN ('us', 'br') AND gender IN ('male') GROUP BY region",
+        )
+        .unwrap();
+        let Statement::Select { cube, query, as_of } = stmt else {
+            panic!("not a select");
+        };
+        assert_eq!(cube, "test");
+        assert_eq!(query.aggregations.len(), 3);
+        assert_eq!(query.aggregations[0].func, AggFn::Sum);
+        assert_eq!(query.aggregations[1].func, AggFn::Count);
+        assert_eq!(query.filters.len(), 2);
+        assert_eq!(query.filters[0].values.len(), 2);
+        assert_eq!(query.group_by, vec!["region".to_string()]);
+        assert_eq!(as_of, None);
+    }
+
+    #[test]
+    fn parses_time_travel_and_ddl_extras() {
+        let stmt = parse("SELECT COUNT(*) FROM t AS OF 7").unwrap();
+        let Statement::Select { as_of, .. } = stmt else {
+            panic!("not a select");
+        };
+        assert_eq!(as_of, Some(7));
+        assert_eq!(
+            parse("DROP CUBE old_data").unwrap(),
+            Statement::DropCube("old_data".into())
+        );
+        assert_eq!(parse("SHOW CUBES").unwrap(), Statement::ShowCubes);
+        assert!(matches!(parse("SHOW TABLES"), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            parse("SELECT COUNT(*) FROM t AS OF -1"),
+            Err(SqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn parses_delete_and_purge() {
+        let stmt = parse("DELETE FROM test WHERE day IN (0, 1, 2, 3)").unwrap();
+        let Statement::Delete { cube, filters } = stmt else {
+            panic!("not a delete");
+        };
+        assert_eq!(cube, "test");
+        assert_eq!(filters[0].values.len(), 4);
+        assert_eq!(parse("PURGE;").unwrap(), Statement::Purge);
+        assert_eq!(parse("SHOW MEMORY").unwrap(), Statement::ShowMemory);
+        assert_eq!(
+            parse("DELETE FROM test").unwrap(),
+            Statement::Delete {
+                cube: "test".into(),
+                filters: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn update_is_rejected_with_rationale() {
+        let err = parse("UPDATE test SET likes = 5").unwrap_err();
+        match err {
+            SqlError::Unsupported(msg) => {
+                assert!(msg.contains("new fact"), "{msg}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(matches!(parse("SELECT"), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            parse("SELECT MEDIAN(x) FROM t"),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("CREATE CUBE t (a BLOB DIM(4, 2))"),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("CREATE CUBE t (a INT DIM(0, 1))"),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("SELECT SUM(x) FROM t extra"),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(parse("FROB"), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            parse("SELECT COUNT(*) FROM t GROUP region"),
+            Err(SqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn count_star_requires_count() {
+        assert!(matches!(
+            parse("SELECT SUM(*) FROM t"),
+            Err(SqlError::Parse(_))
+        ));
+    }
+}

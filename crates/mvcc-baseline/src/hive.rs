@@ -1,0 +1,311 @@
+//! A Hive-ACID-style delta-file baseline (paper, Section VII).
+//!
+//! "Since HDFS does not support in-place changes to files, Hive's
+//! concurrency control protocol works by creating a delta file per
+//! transaction containing updates and deletes, and merging them at
+//! query time to build the visible dataset. Periodically, smaller
+//! deltas are merged together as well as deltas are merged into the
+//! main files. Hive relies on Zookeeper to control shared and
+//! exclusive distributed locks in a protocol similar to 2PL."
+//!
+//! This module reproduces that shape in memory: a base file, one
+//! immutable delta per committed transaction, query-time merging, a
+//! compaction pass, and the [`LockManager`](crate::LockManager)
+//! standing in for ZooKeeper. The benchmark harness uses it to show
+//! what query-time delta merging costs as deltas accumulate —
+//! the behaviour AOSI's single-version layout avoids.
+
+use std::collections::HashSet;
+
+use columnar::{Bitmap, Row, Schema};
+
+use crate::lock::{LockManager, LockMode};
+
+/// Global row id: `(file, offset)` — base file is 0, delta `i` is
+/// `i + 1`.
+pub type RowId = (u32, u32);
+
+#[derive(Debug, Default, Clone)]
+struct DataFile {
+    rows: Vec<Row>,
+    /// Row ids (anywhere) this delta deletes.
+    deletes: Vec<RowId>,
+}
+
+/// Counters describing one merged read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HiveScanStats {
+    /// Delta files merged to build the view.
+    pub deltas_merged: usize,
+    /// Rows examined across base + deltas.
+    pub rows_examined: u64,
+    /// Rows visible after applying deletes.
+    pub rows_visible: u64,
+}
+
+/// An ACID table in the Hive style.
+pub struct HiveAcidTable {
+    schema: Schema,
+    base: DataFile,
+    deltas: Vec<DataFile>,
+    locks: LockManager,
+    /// The lock-table resource id standing in for the table's
+    /// ZooKeeper znode.
+    lock_resource: u64,
+    next_txn: u64,
+}
+
+impl HiveAcidTable {
+    /// Empty table over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        HiveAcidTable {
+            schema,
+            base: DataFile::default(),
+            deltas: Vec::new(),
+            locks: LockManager::new(),
+            lock_resource: 1,
+            next_txn: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of delta files awaiting compaction.
+    pub fn delta_count(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Writes one transaction: its inserts and deletes become one new
+    /// delta file, created under an exclusive table lock (Hive's
+    /// write path).
+    ///
+    /// # Panics
+    /// Panics if a row does not match the schema.
+    pub fn write_txn(&mut self, inserts: Vec<Row>, deletes: Vec<RowId>) -> u64 {
+        for row in &inserts {
+            assert!(self.schema.validates(row), "row does not match schema");
+        }
+        self.next_txn += 1;
+        let txn = self.next_txn;
+        assert!(
+            self.locks
+                .acquire(txn, self.lock_resource, LockMode::Exclusive),
+            "single-writer test harness never deadlocks"
+        );
+        self.deltas.push(DataFile {
+            rows: inserts,
+            deletes,
+        });
+        self.locks.release_all(txn);
+        txn
+    }
+
+    /// Builds the visible dataset: walks base + every delta under a
+    /// shared lock, applying all delete sets — the query-time merge
+    /// the paper describes. Returns visible `(RowId, &Row)` pairs.
+    pub fn read_merged(&mut self) -> (Vec<(RowId, &Row)>, HiveScanStats) {
+        self.next_txn += 1;
+        let txn = self.next_txn;
+        assert!(self
+            .locks
+            .acquire(txn, self.lock_resource, LockMode::Shared));
+
+        let mut deleted: HashSet<RowId> = HashSet::new();
+        for delta in &self.deltas {
+            deleted.extend(delta.deletes.iter().copied());
+        }
+        deleted.extend(self.base.deletes.iter().copied());
+
+        let mut visible = Vec::new();
+        let mut examined = 0u64;
+        for (file_idx, file) in std::iter::once(&self.base).chain(&self.deltas).enumerate() {
+            for (offset, row) in file.rows.iter().enumerate() {
+                examined += 1;
+                let id = (file_idx as u32, offset as u32);
+                if !deleted.contains(&id) {
+                    visible.push((id, row));
+                }
+            }
+        }
+        let stats = HiveScanStats {
+            deltas_merged: self.deltas.len(),
+            rows_examined: examined,
+            rows_visible: visible.len() as u64,
+        };
+        self.locks.release_all(txn);
+        (visible, stats)
+    }
+
+    /// Sums a numeric column over the merged view (the benchmark's
+    /// aggregation shape).
+    pub fn aggregate_sum(&mut self, column: usize) -> (f64, HiveScanStats) {
+        let (rows, stats) = self.read_merged();
+        let sum = rows
+            .iter()
+            .filter_map(|(_, row)| row[column].as_numeric())
+            .sum();
+        (sum, stats)
+    }
+
+    /// Major compaction: merges every delta into a new base file
+    /// under an exclusive lock; row ids are re-assigned into the base
+    /// file. Returns the number of deltas merged away.
+    pub fn compact(&mut self) -> usize {
+        self.next_txn += 1;
+        let txn = self.next_txn;
+        assert!(self
+            .locks
+            .acquire(txn, self.lock_resource, LockMode::Exclusive));
+        let merged = self.deltas.len();
+
+        let mut deleted: HashSet<RowId> = HashSet::new();
+        for delta in &self.deltas {
+            deleted.extend(delta.deletes.iter().copied());
+        }
+        deleted.extend(self.base.deletes.iter().copied());
+
+        let mut new_base = DataFile::default();
+        let old_deltas = std::mem::take(&mut self.deltas);
+        for (file_idx, file) in std::iter::once(&self.base).chain(&old_deltas).enumerate() {
+            for (offset, row) in file.rows.iter().enumerate() {
+                if !deleted.contains(&(file_idx as u32, offset as u32)) {
+                    new_base.rows.push(row.clone());
+                }
+            }
+        }
+        self.base = new_base;
+        self.locks.release_all(txn);
+        merged
+    }
+
+    /// An update in the Hive model: delete the old row id, insert the
+    /// new version, in one delta.
+    pub fn update(&mut self, old: RowId, new_row: Row) -> u64 {
+        self.write_txn(vec![new_row], vec![old])
+    }
+
+    /// Builds a bitmap over the merged view (for apples-to-apples
+    /// comparison with the other engines' scan outputs).
+    pub fn visibility_bitmap(&mut self) -> Bitmap {
+        let total: usize = std::iter::once(&self.base)
+            .chain(&self.deltas)
+            .map(|f| f.rows.len())
+            .sum();
+        let (rows, _) = self.read_merged();
+        let ids: HashSet<RowId> = rows.iter().map(|&(id, _)| id).collect();
+        let mut bitmap = Bitmap::new(total);
+        let mut linear = 0usize;
+        let files: Vec<(u32, usize)> = std::iter::once(&self.base)
+            .chain(&self.deltas)
+            .enumerate()
+            .map(|(idx, f)| (idx as u32, f.rows.len()))
+            .collect();
+        for (file_idx, len) in files {
+            for offset in 0..len {
+                if ids.contains(&(file_idx, offset as u32)) {
+                    bitmap.set(linear);
+                }
+                linear += 1;
+            }
+        }
+        bitmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::{ColumnType, Field, Value};
+
+    fn table() -> HiveAcidTable {
+        HiveAcidTable::new(Schema::new(vec![
+            Field::new("k", ColumnType::I64),
+            Field::new("v", ColumnType::I64),
+        ]))
+    }
+
+    fn row(k: i64, v: i64) -> Row {
+        vec![Value::I64(k), Value::I64(v)]
+    }
+
+    #[test]
+    fn each_write_creates_one_delta() {
+        let mut t = table();
+        t.write_txn(vec![row(1, 10), row(2, 20)], vec![]);
+        t.write_txn(vec![row(3, 30)], vec![]);
+        assert_eq!(t.delta_count(), 2);
+        let (sum, stats) = t.aggregate_sum(1);
+        assert_eq!(sum, 60.0);
+        assert_eq!(stats.deltas_merged, 2);
+        assert_eq!(stats.rows_visible, 3);
+    }
+
+    #[test]
+    fn deletes_in_later_deltas_mask_earlier_rows() {
+        let mut t = table();
+        t.write_txn(vec![row(1, 10), row(2, 20)], vec![]);
+        // Delete row 0 of delta 1 (file id 1).
+        t.write_txn(vec![row(3, 30)], vec![(1, 0)]);
+        let (sum, stats) = t.aggregate_sum(1);
+        assert_eq!(sum, 50.0);
+        assert_eq!(stats.rows_visible, 2);
+    }
+
+    #[test]
+    fn update_is_delete_plus_insert_delta() {
+        let mut t = table();
+        t.write_txn(vec![row(1, 10)], vec![]);
+        t.update((1, 0), row(1, 99));
+        let (sum, _) = t.aggregate_sum(1);
+        assert_eq!(sum, 99.0);
+        assert_eq!(t.delta_count(), 2);
+    }
+
+    #[test]
+    fn compaction_folds_deltas_into_base() {
+        let mut t = table();
+        for i in 0..10 {
+            t.write_txn(vec![row(i, i)], vec![]);
+        }
+        t.write_txn(vec![], vec![(1, 0), (2, 0)]); // delete rows 0 and 1
+        let (before, stats) = t.aggregate_sum(1);
+        assert_eq!(stats.deltas_merged, 11);
+        let merged = t.compact();
+        assert_eq!(merged, 11);
+        assert_eq!(t.delta_count(), 0);
+        let (after, stats) = t.aggregate_sum(1);
+        assert_eq!(before, after, "compaction must not change the view");
+        assert_eq!(stats.deltas_merged, 0);
+        assert_eq!(stats.rows_examined, 8, "deleted rows physically gone");
+    }
+
+    #[test]
+    fn visibility_bitmap_matches_merged_view() {
+        let mut t = table();
+        t.write_txn(vec![row(1, 1), row(2, 2)], vec![]);
+        t.write_txn(vec![row(3, 3)], vec![(1, 1)]);
+        let bm = t.visibility_bitmap();
+        assert_eq!(bm.len(), 3);
+        assert_eq!(bm.count_ones(), 2);
+        assert!(bm.get(0) && !bm.get(1) && bm.get(2));
+    }
+
+    #[test]
+    fn scan_cost_grows_with_delta_count() {
+        // The structural point of the baseline: rows_examined stays
+        // flat but the merge set grows per delta until compaction.
+        let mut t = table();
+        for i in 0..100 {
+            t.write_txn(vec![row(i, 1)], vec![]);
+        }
+        let (_, stats) = t.aggregate_sum(1);
+        assert_eq!(stats.deltas_merged, 100);
+        t.compact();
+        let (_, stats) = t.aggregate_sum(1);
+        assert_eq!(stats.deltas_merged, 0);
+        assert_eq!(stats.rows_visible, 100);
+    }
+}

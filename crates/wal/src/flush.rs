@@ -1,0 +1,271 @@
+//! Background flush rounds and LSE advancement (Section III-D).
+//!
+//! "Every time a disk flush round is initialized, a new candidate LSE
+//! (LSE') is selected and data between LSE and LSE' is flushed on
+//! every single partition. … After the flush procedure finishes, LSE
+//! is eventually updated to LSE'." LSE is only allowed to move once
+//! the replication tracker confirms every replica holds the epoch
+//! durably and the transaction manager confirms no active reader
+//! would be disturbed.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use aosi::{AosiError, Epoch};
+use cluster::{NodeId, ReplicationTracker};
+use cubrick::Engine;
+
+use crate::codec::{self, DictDelta, FlushRound, WalError};
+
+/// What one flush round accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushOutcome {
+    /// The round's inclusive upper epoch (candidate LSE').
+    pub lse_prime: Epoch,
+    /// Bytes written to the round file (0 if the round was empty and
+    /// skipped).
+    pub bytes_written: u64,
+    /// Brick deltas persisted.
+    pub deltas: usize,
+    /// Whether the node's LSE advanced as a result.
+    pub lse_advanced: bool,
+}
+
+/// Drives flush rounds for one node.
+pub struct FlushController {
+    dir: PathBuf,
+    node: NodeId,
+    next_seq: u64,
+    /// Upper bound of the last persisted round (exclusive lower bound
+    /// of the next).
+    flushed_through: Epoch,
+    /// Dictionary lengths already persisted, per `(cube, dim)`: the
+    /// next round only ships the new entries.
+    dict_watermarks: HashMap<(String, u16), u32>,
+}
+
+impl FlushController {
+    /// A controller writing round files into `dir` for `node`.
+    pub fn new(dir: impl Into<PathBuf>, node: NodeId) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(FlushController {
+            dir,
+            node,
+            next_seq: 0,
+            flushed_through: 0,
+            dict_watermarks: HashMap::new(),
+        })
+    }
+
+    /// Directory holding this node's round files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Highest epoch durably flushed by this controller.
+    pub fn flushed_through(&self) -> Epoch {
+        self.flushed_through
+    }
+
+    /// Runs one flush round against `engine` and reports it to
+    /// `tracker`; advances the node's LSE if every replica (per the
+    /// tracker) is caught up and no active reader blocks it.
+    pub fn flush_round(
+        &mut self,
+        engine: &Engine,
+        tracker: &ReplicationTracker,
+    ) -> Result<FlushOutcome, WalError> {
+        // Candidate LSE': everything committed so far. All
+        // transactions at or below LCE are finished by the LCE rule.
+        let candidate = engine.manager().lce();
+        let mut outcome = FlushOutcome {
+            lse_prime: candidate,
+            ..Default::default()
+        };
+        if candidate > self.flushed_through {
+            let deltas = engine.export_delta(self.flushed_through, candidate);
+            let dictionaries = self.export_dictionaries(engine);
+            let round = FlushRound {
+                lse: self.flushed_through,
+                lse_prime: candidate,
+                deltas,
+                dictionaries,
+            };
+            outcome.deltas = round.deltas.len();
+            let bytes = codec::encode(&round);
+            let path = self.dir.join(format!("round-{:08}.cbk", self.next_seq));
+            let tmp = self.dir.join(format!("round-{:08}.tmp", self.next_seq));
+            {
+                let mut file = fs::File::create(&tmp)?;
+                file.write_all(&bytes)?;
+                file.sync_all()?;
+            }
+            fs::rename(&tmp, &path)?;
+            self.next_seq += 1;
+            self.flushed_through = candidate;
+            outcome.bytes_written = bytes.len() as u64;
+        }
+        tracker.mark_flushed(self.node, self.flushed_through);
+
+        // LSE may advance to what is durable on every replica.
+        if let Some(safe) = tracker.safe_epoch() {
+            let target = safe.min(engine.manager().lce());
+            if target > engine.manager().lse() {
+                match engine.manager().advance_lse(target) {
+                    Ok(()) => outcome.lse_advanced = true,
+                    // An in-flight reader below the target: retry on
+                    // the next round rather than stall the flush.
+                    Err(AosiError::ActiveReaderBelow { .. }) => {}
+                    Err(e) => {
+                        debug_assert!(false, "unexpected LSE failure: {e}");
+                    }
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// New dictionary entries since the last round, for every string
+    /// dimension of every cube. Coordinates on disk reference these
+    /// ids, so they must be durable alongside the data.
+    fn export_dictionaries(&mut self, engine: &Engine) -> Vec<DictDelta> {
+        let mut deltas = Vec::new();
+        for cube_name in engine.cube_names() {
+            let Ok(cube) = engine.cube(&cube_name) else {
+                continue;
+            };
+            for (dim, dict) in cube.dictionaries().iter().enumerate() {
+                let Some(dict) = dict else { continue };
+                let dict = dict.lock();
+                let key = (cube_name.clone(), dim as u16);
+                let from = self.dict_watermarks.get(&key).copied().unwrap_or(0);
+                let entries = dict.entries_from(from);
+                if entries.is_empty() {
+                    continue;
+                }
+                self.dict_watermarks
+                    .insert(key, from + entries.len() as u32);
+                deltas.push(DictDelta {
+                    cube: cube_name.clone(),
+                    dim: dim as u16,
+                    first_id: from,
+                    entries,
+                });
+            }
+        }
+        deltas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::Value;
+    use cubrick::{CubeSchema, Dimension, Metric};
+
+    fn engine() -> Engine {
+        let engine = Engine::new(2);
+        engine
+            .create_cube(
+                CubeSchema::new(
+                    "events",
+                    vec![Dimension::int("day", 8, 4)],
+                    vec![Metric::int("likes")],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        engine
+    }
+
+    fn load(engine: &Engine, day: i64, likes: i64) {
+        engine
+            .load("events", &[vec![Value::from(day), Value::from(likes)]], 0)
+            .unwrap();
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aosi-wal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn flush_writes_rounds_and_advances_lse() {
+        let dir = tempdir("basic");
+        let engine = engine();
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+
+        load(&engine, 0, 10);
+        load(&engine, 1, 20);
+        let outcome = ctl.flush_round(&engine, &tracker).unwrap();
+        assert_eq!(outcome.lse_prime, 2);
+        assert!(outcome.bytes_written > 0);
+        assert!(outcome.lse_advanced);
+        assert_eq!(engine.manager().lse(), 2);
+        assert_eq!(ctl.flushed_through(), 2);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+
+        // Nothing new: no file, no movement.
+        let outcome = ctl.flush_round(&engine, &tracker).unwrap();
+        assert_eq!(outcome.bytes_written, 0);
+        assert!(!outcome.lse_advanced);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lse_waits_for_replicas() {
+        let dir = tempdir("replicas");
+        let engine = engine();
+        // Two "replicas": node 2 never reports.
+        let tracker = ReplicationTracker::new(2);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        load(&engine, 0, 1);
+        let outcome = ctl.flush_round(&engine, &tracker).unwrap();
+        assert!(!outcome.lse_advanced, "replica 2 not caught up");
+        assert_eq!(engine.manager().lse(), 0);
+        // Replica catches up; next round advances.
+        tracker.mark_flushed(2, 1);
+        let outcome = ctl.flush_round(&engine, &tracker).unwrap();
+        assert!(outcome.lse_advanced);
+        assert_eq!(engine.manager().lse(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn offline_replica_blocks_lse() {
+        let dir = tempdir("offline");
+        let engine = engine();
+        let tracker = ReplicationTracker::new(1);
+        tracker.mark_offline(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        load(&engine, 0, 1);
+        let outcome = ctl.flush_round(&engine, &tracker).unwrap();
+        assert!(!outcome.lse_advanced);
+        assert_eq!(engine.manager().lse(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn active_reader_defers_lse_until_next_round() {
+        let dir = tempdir("reader");
+        let engine = engine();
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        load(&engine, 0, 1);
+        let guard = engine.manager().begin_read(); // reader at epoch 1
+        load(&engine, 1, 2);
+        let outcome = ctl.flush_round(&engine, &tracker).unwrap();
+        assert!(!outcome.lse_advanced, "reader at 1 blocks LSE 2");
+        drop(guard);
+        let outcome = ctl.flush_round(&engine, &tracker).unwrap();
+        assert!(outcome.lse_advanced);
+        assert_eq!(engine.manager().lse(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

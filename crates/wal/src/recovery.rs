@@ -1,0 +1,354 @@
+//! Crash recovery (Section III-D).
+//!
+//! "On the event of a crash, data should be recovered up to the last
+//! complete execution of a flush, ignoring any subsequent partial
+//! flush executions that might be found on disk." Rounds are replayed
+//! in sequence order; the first unreadable round ends the replay (it
+//! and anything after it belong to incomplete flush executions).
+//! Epochs recovered from disk are all committed by construction —
+//! only epochs at or below a past LCE are ever flushed — so recovery
+//! finishes by fast-forwarding the node's clock past the highest
+//! recovered epoch and committing a marker transaction to pull LCE
+//! over the recovered history.
+
+use std::fs;
+use std::path::Path;
+
+use aosi::Epoch;
+use cubrick::{DeltaRun, Engine};
+
+use crate::codec::{self, WalError};
+
+/// What recovery managed to restore.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Complete rounds replayed.
+    pub rounds_applied: usize,
+    /// Round files ignored (partial or trailing-corrupt flushes).
+    pub rounds_skipped: usize,
+    /// Rows restored.
+    pub rows_recovered: u64,
+    /// Highest epoch restored (the recovered LCE).
+    pub recovered_epoch: Epoch,
+}
+
+/// Replays the rounds in `dir` into `engine` (whose cubes must
+/// already be registered — schemas are metadata, not WAL content).
+pub fn recover_into(dir: &Path, engine: &Engine) -> Result<RecoveryReport, WalError> {
+    let mut files: Vec<_> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "cbk"))
+            .collect(),
+        // No directory means nothing was ever flushed.
+        Err(_) => Vec::new(),
+    };
+    files.sort();
+
+    let mut report = RecoveryReport::default();
+    let mut replay_ended = false;
+    for path in files {
+        if replay_ended {
+            report.rounds_skipped += 1;
+            continue;
+        }
+        let bytes = fs::read(&path)?;
+        match codec::decode(&bytes) {
+            Ok(round) => {
+                // Rebuild dictionaries first: imported coordinates
+                // reference these ids.
+                for dict_delta in &round.dictionaries {
+                    let Ok(cube) = engine.cube(&dict_delta.cube) else {
+                        continue;
+                    };
+                    if let Some(dict) = cube
+                        .dictionaries()
+                        .get(dict_delta.dim as usize)
+                        .and_then(|d| d.as_ref())
+                    {
+                        let mut dict = dict.lock();
+                        for (offset, entry) in dict_delta.entries.iter().enumerate() {
+                            let id = dict.encode(entry);
+                            debug_assert_eq!(
+                                id,
+                                dict_delta.first_id + offset as u32,
+                                "dictionary replay out of order"
+                            );
+                        }
+                    }
+                }
+                for delta in &round.deltas {
+                    for run in &delta.runs {
+                        if let DeltaRun::Insert { records, .. } = run {
+                            report.rows_recovered += records.len() as u64;
+                        }
+                        report.recovered_epoch = report.recovered_epoch.max(run.epoch());
+                    }
+                }
+                report.recovered_epoch = report.recovered_epoch.max(round.lse_prime);
+                engine.import_delta(round.deltas);
+                report.rounds_applied += 1;
+            }
+            Err(WalError::Incomplete) | Err(WalError::Corrupt(_)) => {
+                // The paper's rule: everything from the first partial
+                // flush onwards is ignored.
+                report.rounds_skipped += 1;
+                replay_ended = true;
+            }
+            Err(e @ WalError::Io(_)) => return Err(e),
+        }
+    }
+
+    if report.recovered_epoch > 0 {
+        // Make the recovered (committed) history visible: push the
+        // clock past it and advance LCE over it with a marker commit.
+        engine.manager().clock().observe(report.recovered_epoch);
+        let marker = engine.manager().begin_rw();
+        engine
+            .manager()
+            .commit(&marker)
+            .expect("marker transaction commits");
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flush::FlushController;
+    use cluster::ReplicationTracker;
+    use columnar::Value;
+    use cubrick::{AggFn, Aggregation, CubeSchema, Dimension, IsolationMode, Metric, Query};
+    use std::path::PathBuf;
+
+    fn engine() -> Engine {
+        let engine = Engine::new(2);
+        engine
+            .create_cube(
+                CubeSchema::new(
+                    "events",
+                    vec![Dimension::int("day", 8, 4)],
+                    vec![Metric::int("likes")],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        engine
+    }
+
+    fn load(engine: &Engine, day: i64, likes: i64) {
+        engine
+            .load("events", &[vec![Value::from(day), Value::from(likes)]], 0)
+            .unwrap();
+    }
+
+    fn sum(engine: &Engine) -> f64 {
+        engine
+            .query(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]),
+                IsolationMode::Snapshot,
+            )
+            .unwrap()
+            .scalar()
+            .unwrap_or(0.0)
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aosi-recovery-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn full_crash_recovery_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+
+        let source = engine();
+        load(&source, 0, 10);
+        load(&source, 1, 20);
+        ctl.flush_round(&source, &tracker).unwrap();
+        load(&source, 2, 40);
+        ctl.flush_round(&source, &tracker).unwrap();
+
+        // "Crash": a fresh engine recovers from disk.
+        let restored = engine();
+        let report = recover_into(&dir, &restored).unwrap();
+        assert_eq!(report.rounds_applied, 2);
+        assert_eq!(report.rounds_skipped, 0);
+        assert_eq!(report.rows_recovered, 3);
+        assert_eq!(sum(&restored), 70.0);
+        // The recovered node can keep loading without epoch
+        // collisions.
+        load(&restored, 3, 100);
+        assert_eq!(sum(&restored), 170.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_trailing_flush_is_ignored() {
+        let dir = tempdir("partial");
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        let source = engine();
+        load(&source, 0, 10);
+        ctl.flush_round(&source, &tracker).unwrap();
+        load(&source, 1, 20);
+        ctl.flush_round(&source, &tracker).unwrap();
+
+        // Truncate the last round mid-file (simulated crash during
+        // flush).
+        let mut files: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let last = files.last().unwrap();
+        let bytes = fs::read(last).unwrap();
+        fs::write(last, &bytes[..bytes.len() - 6]).unwrap();
+
+        let restored = engine();
+        let report = recover_into(&dir, &restored).unwrap();
+        assert_eq!(report.rounds_applied, 1);
+        assert_eq!(report.rounds_skipped, 1);
+        assert_eq!(sum(&restored), 10.0, "only the complete round counts");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_ends_replay_even_with_later_good_rounds() {
+        let dir = tempdir("middle");
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        let source = engine();
+        for round in 0..3 {
+            load(&source, round, 10 * (round + 1));
+            ctl.flush_round(&source, &tracker).unwrap();
+        }
+        let mut files: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        // Corrupt the middle round.
+        let mut bytes = fs::read(&files[1]).unwrap();
+        bytes[20] ^= 0xFF;
+        fs::write(&files[1], bytes).unwrap();
+
+        let restored = engine();
+        let report = recover_into(&dir, &restored).unwrap();
+        assert_eq!(report.rounds_applied, 1);
+        assert_eq!(report.rounds_skipped, 2, "corrupt + everything after");
+        assert_eq!(sum(&restored), 10.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovering_nothing_is_fine() {
+        let dir = tempdir("empty");
+        let restored = engine();
+        let report = recover_into(&dir, &restored).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(sum(&restored), 0.0);
+    }
+
+    #[test]
+    fn string_dimensions_recover_with_consistent_dictionaries() {
+        // The subtle case: coordinates on disk are dictionary ids, so
+        // a fresh process (with empty dictionaries) must rebuild them
+        // from the persisted dictionary deltas before any query can
+        // encode filters or decode group keys.
+        let dir = tempdir("dicts");
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+
+        let make = || {
+            let engine = Engine::new(2);
+            engine
+                .create_cube(
+                    CubeSchema::new(
+                        "s",
+                        vec![Dimension::string("region", 8, 2)],
+                        vec![Metric::int("likes")],
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+            engine
+        };
+        let source = make();
+        source
+            .load(
+                "s",
+                &[
+                    vec![Value::from("us"), Value::from(10i64)],
+                    vec![Value::from("br"), Value::from(20i64)],
+                ],
+                0,
+            )
+            .unwrap();
+        ctl.flush_round(&source, &tracker).unwrap();
+        // A second round with new dictionary entries only ships the
+        // increment.
+        source
+            .load("s", &[vec![Value::from("mx"), Value::from(40i64)]], 0)
+            .unwrap();
+        ctl.flush_round(&source, &tracker).unwrap();
+
+        let restored = make();
+        recover_into(&dir, &restored).unwrap();
+        // Filter by string value: requires the dictionary mapping.
+        let sum = |region: &str| {
+            restored
+                .query(
+                    "s",
+                    &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+                        .filter(cubrick::DimFilter::new("region", vec![Value::from(region)])),
+                    IsolationMode::Snapshot,
+                )
+                .unwrap()
+                .scalar()
+                .unwrap_or(0.0)
+        };
+        assert_eq!(sum("us"), 10.0);
+        assert_eq!(sum("br"), 20.0);
+        assert_eq!(sum("mx"), 40.0);
+        // Group keys decode back to the original strings.
+        let grouped = restored
+            .query(
+                "s",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]).grouped_by("region"),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        let keys: Vec<String> = grouped.rows.iter().map(|(k, _)| k[0].to_string()).collect();
+        assert_eq!(keys, vec!["us", "br", "mx"]);
+        // New loads after recovery keep extending the dictionary
+        // without id collisions.
+        restored
+            .load("s", &[vec![Value::from("de"), Value::from(80i64)]], 0)
+            .unwrap();
+        assert_eq!(sum("de"), 80.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deletes_survive_recovery() {
+        let dir = tempdir("deletes");
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        let source = engine();
+        load(&source, 0, 10);
+        source.delete_where("events", &[]).unwrap();
+        load(&source, 1, 5);
+        ctl.flush_round(&source, &tracker).unwrap();
+
+        let restored = engine();
+        recover_into(&dir, &restored).unwrap();
+        assert_eq!(sum(&restored), 5.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

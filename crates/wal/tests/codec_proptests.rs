@@ -1,0 +1,138 @@
+//! Property-based tests of the flush-round codec: lossless
+//! roundtrips, and no silent acceptance of damaged files.
+
+use columnar::Value;
+use cubrick::{BrickDelta, DeltaRun, ParsedRecord};
+use proptest::prelude::*;
+use wal::codec::{decode, encode};
+use wal::{DictDelta, FlushRound, WalError};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::I64),
+        // Finite floats only: NaN breaks PartialEq-based comparison,
+        // and metrics are measurement data, never NaN on ingest.
+        (-1e12f64..1e12).prop_map(Value::F64),
+    ]
+}
+
+fn record_strategy(bid: u64, dims: usize, metrics: usize) -> impl Strategy<Value = ParsedRecord> {
+    (
+        prop::collection::vec(any::<u32>(), dims),
+        prop::collection::vec(value_strategy(), metrics),
+    )
+        .prop_map(move |(coords, metrics)| ParsedRecord {
+            bid,
+            coords,
+            metrics,
+        })
+}
+
+fn run_strategy(bid: u64) -> impl Strategy<Value = DeltaRun> {
+    let insert = (1usize..4, 0usize..3).prop_flat_map(move |(dims, metrics)| {
+        (
+            1u64..1000,
+            prop::collection::vec(record_strategy(bid, dims, metrics), 0..8),
+        )
+            .prop_map(|(epoch, records)| DeltaRun::Insert { epoch, records })
+    });
+    prop_oneof![
+        4 => insert,
+        1 => (1u64..1000).prop_map(|epoch| DeltaRun::Delete { epoch }),
+    ]
+}
+
+fn dict_strategy() -> impl Strategy<Value = DictDelta> {
+    (
+        "[a-z_]{1,10}",
+        0u16..8,
+        0u32..1000,
+        prop::collection::vec("[a-zA-Z0-9 '_-]{0,20}", 0..6),
+    )
+        .prop_map(|(cube, dim, first_id, entries)| DictDelta {
+            cube,
+            dim,
+            first_id,
+            entries,
+        })
+}
+
+fn round_strategy() -> impl Strategy<Value = FlushRound> {
+    (
+        0u64..100,
+        0u64..1000,
+        prop::collection::vec(
+            (any::<u64>(), "[a-z_]{1,12}").prop_flat_map(|(bid, cube)| {
+                prop::collection::vec(run_strategy(bid), 1..5).prop_map(move |runs| BrickDelta {
+                    cube: cube.clone(),
+                    bid,
+                    runs,
+                })
+            }),
+            0..6,
+        ),
+        prop::collection::vec(dict_strategy(), 0..4),
+    )
+        .prop_map(|(lse, span, deltas, dictionaries)| FlushRound {
+            lse,
+            lse_prime: lse + span,
+            deltas,
+            dictionaries,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every encodable round decodes back to itself.
+    #[test]
+    fn roundtrip_is_lossless(round in round_strategy()) {
+        let bytes = encode(&round);
+        let decoded = decode(&bytes).expect("self-encoded round must decode");
+        prop_assert_eq!(decoded, round);
+    }
+
+    /// Any strict prefix of a round file is rejected — a partially
+    /// written flush can never be mistaken for a complete one.
+    #[test]
+    fn truncation_is_always_detected(round in round_strategy(), cut_fraction in 0.0f64..1.0) {
+        let bytes = encode(&round);
+        let cut = ((bytes.len() as f64 * cut_fraction) as usize).min(bytes.len() - 1);
+        match decode(&bytes[..cut]) {
+            Err(WalError::Incomplete) | Err(WalError::Corrupt(_)) => {}
+            Ok(_) => prop_assert!(false, "truncated file decoded at cut {}", cut),
+            Err(WalError::Io(_)) => prop_assert!(false, "unexpected io error"),
+        }
+    }
+
+    /// A single flipped bit anywhere in the file is rejected.
+    #[test]
+    fn bit_flips_are_always_detected(
+        round in round_strategy(),
+        position_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode(&round).to_vec();
+        let position = ((bytes.len() as f64 * position_fraction) as usize).min(bytes.len() - 1);
+        bytes[position] ^= 1 << bit;
+        match decode(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // A flip in the checksum's own storage that still
+                // matches would imply a hash collision — treat any
+                // successful decode of damaged bytes as a failure.
+                prop_assert!(false,
+                    "damaged file decoded (flip at {position} bit {bit}); got {decoded:?}");
+            }
+        }
+    }
+
+    /// Appending garbage after the footer is rejected (file-length
+    /// integrity).
+    #[test]
+    fn trailing_garbage_is_detected(round in round_strategy(), garbage in prop::collection::vec(any::<u8>(), 1..20)) {
+        let mut bytes = encode(&round).to_vec();
+        bytes.extend(garbage);
+        prop_assert!(decode(&bytes).is_err());
+    }
+}

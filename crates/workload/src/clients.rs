@@ -1,0 +1,132 @@
+//! Concurrent load clients.
+//!
+//! The paper's memory-overhead experiments ingest "using 4 clients in
+//! parallel issuing batches of 5000 rows at a time and creating one
+//! implicit transaction per request" (Section VI-A). This module
+//! reproduces that driver against a single-node [`Engine`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cubrick::{Engine, LoadStageTimings};
+
+use crate::datasets::Dataset;
+use crate::stats::LatencyRecorder;
+
+/// Aggregate outcome of a client run.
+#[derive(Debug, Default)]
+pub struct LoadClientReport {
+    /// Rows accepted across all clients.
+    pub rows_loaded: u64,
+    /// Requests issued.
+    pub requests: u64,
+    /// End-to-end request latencies.
+    pub total_latency: LatencyRecorder,
+    /// Parse-stage latencies.
+    pub parse_latency: LatencyRecorder,
+    /// Flush-stage latencies.
+    pub flush_latency: LatencyRecorder,
+}
+
+impl LoadClientReport {
+    fn record(&mut self, accepted: usize, timings: LoadStageTimings) {
+        self.rows_loaded += accepted as u64;
+        self.requests += 1;
+        self.total_latency.record(timings.total);
+        self.parse_latency.record(timings.parse);
+        self.flush_latency.record(timings.flush);
+    }
+
+    fn merge(&mut self, other: LoadClientReport) {
+        self.rows_loaded += other.rows_loaded;
+        self.requests += other.requests;
+        self.total_latency.merge(other.total_latency);
+        self.parse_latency.merge(other.parse_latency);
+        self.flush_latency.merge(other.flush_latency);
+    }
+}
+
+/// Runs `clients` parallel loaders, each issuing
+/// `batches_per_client` requests of `batch_size` rows generated from
+/// `dataset`, one implicit transaction per request.
+///
+/// `on_batch` is invoked after every completed request (from the
+/// issuing client's thread) with the running total of rows loaded —
+/// the figure binaries use it to trigger timeline samples and purge
+/// cycles.
+pub fn run_load_clients(
+    engine: &Engine,
+    dataset: &dyn Dataset,
+    seed: u64,
+    clients: usize,
+    batches_per_client: u64,
+    batch_size: usize,
+    on_batch: &(dyn Fn(u64) + Sync),
+) -> LoadClientReport {
+    let cube = dataset.schema().name;
+    let rows_total = AtomicU64::new(0);
+    let reports: Vec<LoadClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let cube = cube.clone();
+                let rows_total = &rows_total;
+                scope.spawn(move || {
+                    let mut report = LoadClientReport::default();
+                    for batch_idx in 0..batches_per_client {
+                        let batch_id = client as u64 * batches_per_client + batch_idx;
+                        let rows = dataset.batch(seed, batch_id, batch_size);
+                        let outcome = engine
+                            .load(&cube, &rows, 0)
+                            .expect("generated rows always parse");
+                        report.record(outcome.accepted, outcome.timings);
+                        let total = rows_total
+                            .fetch_add(outcome.accepted as u64, Ordering::Relaxed)
+                            + outcome.accepted as u64;
+                        on_batch(total);
+                    }
+                    report
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut merged = LoadClientReport::default();
+    for report in reports {
+        merged.merge(report);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::SingleColumnDataset;
+
+    #[test]
+    fn clients_load_all_batches() {
+        let dataset = SingleColumnDataset::default();
+        let engine = Engine::new(2);
+        engine.create_cube(dataset.schema()).unwrap();
+        let report = run_load_clients(&engine, &dataset, 1, 4, 5, 100, &|_| {});
+        assert_eq!(report.requests, 20);
+        assert_eq!(report.rows_loaded, 2000);
+        assert_eq!(report.total_latency.len(), 20);
+        assert_eq!(engine.memory().rows, 2000);
+        // One implicit transaction per request.
+        assert_eq!(engine.manager().stats().committed, 20);
+    }
+
+    #[test]
+    fn on_batch_sees_monotone_totals() {
+        let dataset = SingleColumnDataset::default();
+        let engine = Engine::new(2);
+        engine.create_cube(dataset.schema()).unwrap();
+        let seen = std::sync::Mutex::new(Vec::new());
+        run_load_clients(&engine, &dataset, 2, 2, 3, 50, &|total| {
+            seen.lock().unwrap().push(total);
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 6);
+        assert!(seen.iter().all(|&t| t % 50 == 0 && t <= 300));
+        assert!(seen.contains(&300));
+    }
+}

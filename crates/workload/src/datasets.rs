@@ -1,0 +1,241 @@
+//! Dataset generators.
+//!
+//! Both generators are deterministic given a seed, so figure runs are
+//! reproducible. Row values are uniform over the dimension
+//! cardinalities; metric values are small integers/floats — the
+//! experiments measure concurrency-control structures, not value
+//! distributions.
+
+use columnar::{Row, Value};
+use cubrick::{CubeSchema, Dimension, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// A reproducible stream of rows matching a cube schema.
+pub trait Dataset: Send + Sync {
+    /// The cube schema rows conform to.
+    fn schema(&self) -> CubeSchema;
+
+    /// Generates one row from `rng`.
+    fn row(&self, rng: &mut StdRng) -> Row;
+
+    /// Generates a batch of `size` rows seeded by `(seed, batch_id)`
+    /// — distinct batches never share an RNG stream.
+    fn batch(&self, seed: u64, batch_id: u64, size: usize) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed ^ batch_id.wrapping_mul(0x9E37_79B9));
+        (0..size).map(|_| self.row(&mut rng)).collect()
+    }
+
+    /// Approximate payload bytes of one stored row (for GB/s style
+    /// reporting).
+    fn row_bytes(&self) -> usize {
+        let schema = self.schema();
+        schema.dimensions.len() * 4 + schema.metrics.len() * 8
+    }
+}
+
+/// The paper's single-column dataset (Figures 6 and 10): one integer
+/// dimension, no metrics — every byte of concurrency-control metadata
+/// is maximally visible.
+#[derive(Clone, Debug)]
+pub struct SingleColumnDataset {
+    /// Dimension cardinality.
+    pub cardinality: u32,
+    /// Coordinates per partition range.
+    pub range_size: u32,
+}
+
+impl Default for SingleColumnDataset {
+    fn default() -> Self {
+        // 16 partition ranges over a million-value key space.
+        SingleColumnDataset {
+            cardinality: 1 << 20,
+            range_size: 1 << 16,
+        }
+    }
+}
+
+impl Dataset for SingleColumnDataset {
+    fn schema(&self) -> CubeSchema {
+        CubeSchema::new(
+            "single_column",
+            vec![Dimension::int("k", self.cardinality, self.range_size)],
+            vec![],
+        )
+        .expect("valid schema")
+    }
+
+    fn row(&self, rng: &mut StdRng) -> Row {
+        vec![Value::I64(rng.gen_range(0..self.cardinality as i64))]
+    }
+}
+
+/// The paper's "typical 40 column dataset" (Figure 7): a handful of
+/// dimensions plus a wide tail of metrics.
+#[derive(Clone, Debug)]
+pub struct WideDataset {
+    /// Integer metrics beyond the dimensions (default tuned so the
+    /// total column count is 40).
+    pub int_metrics: usize,
+    /// Float metrics.
+    pub float_metrics: usize,
+}
+
+impl Default for WideDataset {
+    fn default() -> Self {
+        // 5 dimensions + 30 int metrics + 5 float metrics = 40 cols.
+        WideDataset {
+            int_metrics: 30,
+            float_metrics: 5,
+        }
+    }
+}
+
+impl WideDataset {
+    const REGIONS: [&'static str; 8] = ["us", "br", "mx", "in", "de", "jp", "gb", "fr"];
+    const PLATFORMS: [&'static str; 4] = ["web", "ios", "android", "api"];
+}
+
+impl Dataset for WideDataset {
+    fn schema(&self) -> CubeSchema {
+        let mut metrics = Vec::with_capacity(self.int_metrics + self.float_metrics);
+        for i in 0..self.int_metrics {
+            metrics.push(Metric::int(format!("m{i}")));
+        }
+        for i in 0..self.float_metrics {
+            metrics.push(Metric::float(format!("f{i}")));
+        }
+        CubeSchema::new(
+            "wide",
+            vec![
+                Dimension::string("region", 8, 2),
+                Dimension::string("platform", 4, 1),
+                Dimension::int("day", 64, 8),
+                Dimension::int("hour", 24, 24),
+                Dimension::int("bucket", 256, 64),
+            ],
+            metrics,
+        )
+        .expect("valid schema")
+    }
+
+    fn row(&self, rng: &mut StdRng) -> Row {
+        let mut row = Vec::with_capacity(5 + self.int_metrics + self.float_metrics);
+        row.push(Value::Str(
+            Self::REGIONS[rng.gen_range(0..Self::REGIONS.len())].to_owned(),
+        ));
+        row.push(Value::Str(
+            Self::PLATFORMS[rng.gen_range(0..Self::PLATFORMS.len())].to_owned(),
+        ));
+        row.push(Value::I64(rng.gen_range(0..64)));
+        row.push(Value::I64(rng.gen_range(0..24)));
+        row.push(Value::I64(rng.gen_range(0..256)));
+        for _ in 0..self.int_metrics {
+            row.push(Value::I64(rng.gen_range(0..1000)));
+        }
+        for _ in 0..self.float_metrics {
+            row.push(Value::F64(rng.gen_range(0.0..1.0)));
+        }
+        row
+    }
+}
+
+/// A skewed single-dimension dataset: coordinates drawn Zipf(s), so a
+/// handful of bricks take most of the writes — the adversarial case
+/// for the bid-sharded single-writer design (hot bricks serialize on
+/// one shard thread).
+#[derive(Clone, Debug)]
+pub struct SkewedDataset {
+    base: SingleColumnDataset,
+    zipf: Zipf,
+}
+
+impl SkewedDataset {
+    /// Zipf(s)-skewed keys over the default single-column layout.
+    pub fn new(s: f64) -> Self {
+        let base = SingleColumnDataset::default();
+        let zipf = Zipf::new(base.cardinality, s);
+        SkewedDataset { base, zipf }
+    }
+}
+
+impl Dataset for SkewedDataset {
+    fn schema(&self) -> CubeSchema {
+        let mut schema = self.base.schema();
+        schema.name = "skewed".into();
+        schema
+    }
+
+    fn row(&self, rng: &mut StdRng) -> Row {
+        vec![Value::I64(self.zipf.sample(rng) as i64)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubrick::Engine;
+
+    #[test]
+    fn single_column_rows_validate() {
+        let ds = SingleColumnDataset::default();
+        let engine = Engine::new(2);
+        engine.create_cube(ds.schema()).unwrap();
+        let batch = ds.batch(7, 0, 1000);
+        let outcome = engine.load("single_column", &batch, 0).unwrap();
+        assert_eq!(outcome.accepted, 1000);
+        assert_eq!(outcome.rejected, 0);
+    }
+
+    #[test]
+    fn wide_rows_validate_and_have_40_columns() {
+        let ds = WideDataset::default();
+        assert_eq!(ds.schema().arity(), 40);
+        let engine = Engine::new(2);
+        engine.create_cube(ds.schema()).unwrap();
+        let batch = ds.batch(7, 1, 500);
+        assert_eq!(batch[0].len(), 40);
+        let outcome = engine.load("wide", &batch, 0).unwrap();
+        assert_eq!(outcome.accepted, 500);
+    }
+
+    #[test]
+    fn batches_are_deterministic_and_distinct() {
+        let ds = SingleColumnDataset::default();
+        assert_eq!(ds.batch(1, 0, 50), ds.batch(1, 0, 50));
+        assert_ne!(ds.batch(1, 0, 50), ds.batch(1, 1, 50));
+        assert_ne!(ds.batch(1, 0, 50), ds.batch(2, 0, 50));
+    }
+
+    #[test]
+    fn skewed_dataset_loads_and_concentrates() {
+        let ds = SkewedDataset::new(1.2);
+        let engine = Engine::new(2);
+        engine.create_cube(ds.schema()).unwrap();
+        let outcome = engine.load("skewed", &ds.batch(9, 0, 2000), 0).unwrap();
+        assert_eq!(outcome.accepted, 2000);
+        // Heavy skew: far fewer bricks touched than the uniform case
+        // would touch.
+        assert!(outcome.bricks_touched <= 16);
+        let uniform = SingleColumnDataset::default();
+        let values: Vec<i64> = ds
+            .batch(9, 1, 5000)
+            .into_iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        let low = values.iter().filter(|&&v| v < 1024).count();
+        assert!(
+            low > 2500,
+            "zipf(1.2) should put most mass on small keys: {low}/5000"
+        );
+        let _ = uniform;
+    }
+
+    #[test]
+    fn row_bytes_reflect_schema_width() {
+        assert_eq!(SingleColumnDataset::default().row_bytes(), 4);
+        assert_eq!(WideDataset::default().row_bytes(), 5 * 4 + 35 * 8);
+    }
+}

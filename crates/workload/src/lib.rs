@@ -1,0 +1,26 @@
+//! Workloads and measurement helpers for the evaluation harness.
+//!
+//! The paper's experiments use two dataset shapes (Section VI): a
+//! **single-column** dataset — "the worst case scenario when
+//! evaluating memory overhead of concurrency protocols, since most
+//! metadata is stored per record" — and a **typical 40-column**
+//! dataset. [`SingleColumnDataset`] and [`WideDataset`] generate
+//! both, deterministically from a seed. [`clients`] drives concurrent
+//! batch loaders against an engine the way the paper's Hive ingestion
+//! jobs do (4 clients x 5000-row batches, one implicit transaction
+//! per request); [`stats`] and [`timeline`] provide the percentile
+//! and time-series plumbing the figure binaries print.
+
+pub mod clients;
+pub mod datasets;
+pub mod queries;
+pub mod stats;
+pub mod timeline;
+pub mod zipf;
+
+pub use clients::{run_load_clients, LoadClientReport};
+pub use datasets::{Dataset, SingleColumnDataset, SkewedDataset, WideDataset};
+pub use queries::QueryMix;
+pub use stats::{human_bytes, human_rate, LatencyRecorder, Percentiles};
+pub use timeline::{Timeline, TimelinePoint};
+pub use zipf::Zipf;

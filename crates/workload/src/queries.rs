@@ -1,0 +1,112 @@
+//! Query mixes for the latency experiments.
+//!
+//! Section VI-B runs "a single thread of execution running the same
+//! query successively, alternating between SI and RU": (a) full-scan
+//! aggregations over the entire dataset and (b) queries with
+//! dimension filters. [`QueryMix`] builds both shapes against the
+//! standard datasets.
+
+use columnar::Value;
+use cubrick::{AggFn, Aggregation, DimFilter, Query};
+
+/// Builders for the benchmark query shapes.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryMix;
+
+impl QueryMix {
+    /// A full-scan `count(*)`-style aggregation for the
+    /// single-column dataset (it has no metrics, so count the
+    /// dimension rows via group-less count).
+    pub fn single_column_full_scan() -> Query {
+        Query::default()
+    }
+
+    /// Full-scan aggregation over the wide dataset: sum a few metrics
+    /// over every visible row.
+    pub fn wide_full_scan() -> Query {
+        Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "m0"),
+            Aggregation::new(AggFn::Sum, "m1"),
+            Aggregation::new(AggFn::Avg, "f0"),
+        ])
+    }
+
+    /// Filtered aggregation (Figure 9's shape): restrict two
+    /// dimensions, then aggregate.
+    pub fn wide_filtered(regions: &[&str], days: std::ops::Range<i64>) -> Query {
+        Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "m0"),
+            Aggregation::new(AggFn::Count, "m0"),
+        ])
+        .filter(DimFilter::new(
+            "region",
+            regions.iter().map(|&r| Value::from(r)).collect(),
+        ))
+        .filter(DimFilter::new("day", days.map(Value::from).collect()))
+    }
+
+    /// Grouped roll-up (used by the examples): per-region sums.
+    pub fn wide_grouped() -> Query {
+        Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "m0"),
+            Aggregation::new(AggFn::Count, "m0"),
+        ])
+        .grouped_by("region")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Dataset, WideDataset};
+    use cubrick::{Engine, IsolationMode};
+
+    #[test]
+    fn query_shapes_run_against_the_wide_dataset() {
+        let dataset = WideDataset::default();
+        let engine = Engine::new(2);
+        engine.create_cube(dataset.schema()).unwrap();
+        engine.load("wide", &dataset.batch(5, 0, 500), 0).unwrap();
+
+        let full = engine
+            .query("wide", &QueryMix::wide_full_scan(), IsolationMode::Snapshot)
+            .unwrap();
+        assert_eq!(full.stats.rows_visible, 500);
+
+        let filtered = engine
+            .query(
+                "wide",
+                &QueryMix::wide_filtered(&["us", "br"], 0..8),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        assert!(filtered.stats.rows_visible < 500);
+        assert!(filtered.stats.bricks_pruned > 0, "range pruning kicks in");
+
+        let grouped = engine
+            .query("wide", &QueryMix::wide_grouped(), IsolationMode::Snapshot)
+            .unwrap();
+        assert!(!grouped.rows.is_empty());
+        let count_sum: f64 = grouped.rows.iter().map(|(_, v)| v[1]).sum();
+        assert_eq!(count_sum, 500.0);
+    }
+
+    #[test]
+    fn single_column_full_scan_counts_rows() {
+        use crate::datasets::SingleColumnDataset;
+        let dataset = SingleColumnDataset::default();
+        let engine = Engine::new(2);
+        engine.create_cube(dataset.schema()).unwrap();
+        engine
+            .load("single_column", &dataset.batch(5, 0, 200), 0)
+            .unwrap();
+        let result = engine
+            .query(
+                "single_column",
+                &QueryMix::single_column_full_scan(),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        assert_eq!(result.stats.rows_visible, 200);
+    }
+}

@@ -1,0 +1,180 @@
+//! Latency/throughput measurement helpers shared by the figure
+//! binaries.
+
+use std::time::Duration;
+
+/// Collects latency samples and reports percentiles.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<Duration>,
+}
+
+/// Summary of a latency distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum observed.
+    pub max: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl LatencyRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.samples.push(sample);
+    }
+
+    /// Merges another recorder's samples.
+    pub fn merge(&mut self, other: LatencyRecorder) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (nearest-rank).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Full percentile summary.
+    pub fn percentiles(&self) -> Percentiles {
+        if self.samples.is_empty() {
+            return Percentiles {
+                p50: Duration::ZERO,
+                p90: Duration::ZERO,
+                p99: Duration::ZERO,
+                max: Duration::ZERO,
+                mean: Duration::ZERO,
+                count: 0,
+            };
+        }
+        let total: Duration = self.samples.iter().sum();
+        Percentiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: *self.samples.iter().max().expect("non-empty"),
+            mean: total / self.samples.len() as u32,
+            count: self.samples.len(),
+        }
+    }
+}
+
+/// Formats a byte count with a binary-unit suffix.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+/// Formats a rate (per second) with an SI suffix.
+pub fn human_rate(per_second: f64) -> String {
+    const UNITS: [&str; 4] = ["", "K", "M", "G"];
+    let mut value = per_second;
+    let mut unit = 0;
+    while value >= 1000.0 && unit < UNITS.len() - 1 {
+        value /= 1000.0;
+        unit += 1;
+    }
+    format!("{value:.2}{}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut rec = LatencyRecorder::new();
+        for ms in 1..=100 {
+            rec.record(Duration::from_millis(ms));
+        }
+        let p = rec.percentiles();
+        assert_eq!(p.p50, Duration::from_millis(50));
+        assert_eq!(p.p90, Duration::from_millis(90));
+        assert_eq!(p.p99, Duration::from_millis(99));
+        assert_eq!(p.max, Duration::from_millis(100));
+        assert_eq!(p.count, 100);
+        assert_eq!(p.mean, Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn empty_recorder_reports_zeroes() {
+        let rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        let p = rec.percentiles();
+        assert_eq!(p.count, 0);
+        assert_eq!(p.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(Duration::from_millis(7));
+        let p = rec.percentiles();
+        assert_eq!(p.p50, Duration::from_millis(7));
+        assert_eq!(p.p99, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record(Duration::from_millis(1));
+        let mut b = LatencyRecorder::new();
+        b.record(Duration::from_millis(3));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.percentiles().max, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn human_bytes_scales() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00 MiB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 * 1024), "5.00 GiB");
+    }
+
+    #[test]
+    fn human_rate_scales() {
+        assert_eq!(human_rate(950.0), "950.00");
+        assert_eq!(human_rate(1_500.0), "1.50K");
+        assert_eq!(human_rate(390_000_000.0), "390.00M");
+    }
+}

@@ -1,0 +1,168 @@
+//! Time-series sampling of engine memory state.
+//!
+//! Figures 6 and 7 plot, over the lifetime of a load job: records
+//! ingested, dataset size, AOSI overhead (epochs vectors), and the
+//! analytic MVCC baseline (16 bytes x records). A [`Timeline`]
+//! captures those snapshots and renders the same series.
+
+use std::time::{Duration, Instant};
+
+use cubrick::EngineMemory;
+
+use crate::stats::human_bytes;
+
+/// One sampled point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Time since the timeline started.
+    pub elapsed: Duration,
+    /// Rows stored.
+    pub rows: u64,
+    /// Payload bytes.
+    pub data_bytes: u64,
+    /// AOSI epochs-vector bytes.
+    pub aosi_bytes: u64,
+    /// The MVCC baseline: 16 bytes per record.
+    pub baseline_bytes: u64,
+}
+
+impl TimelinePoint {
+    /// AOSI overhead as a percentage of the dataset size.
+    pub fn aosi_pct(&self) -> f64 {
+        if self.data_bytes == 0 {
+            0.0
+        } else {
+            self.aosi_bytes as f64 / self.data_bytes as f64 * 100.0
+        }
+    }
+
+    /// Baseline overhead as a percentage of the dataset size.
+    pub fn baseline_pct(&self) -> f64 {
+        if self.data_bytes == 0 {
+            0.0
+        } else {
+            self.baseline_bytes as f64 / self.data_bytes as f64 * 100.0
+        }
+    }
+}
+
+/// A sequence of engine-memory snapshots.
+#[derive(Debug)]
+pub struct Timeline {
+    started: Instant,
+    points: Vec<TimelinePoint>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timeline {
+    /// Starts a timeline now.
+    pub fn new() -> Self {
+        Timeline {
+            started: Instant::now(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Samples an [`EngineMemory`] snapshot.
+    pub fn sample(&mut self, memory: &EngineMemory) -> TimelinePoint {
+        let point = TimelinePoint {
+            elapsed: self.started.elapsed(),
+            rows: memory.rows,
+            data_bytes: memory.data_bytes as u64,
+            aosi_bytes: memory.aosi_bytes as u64,
+            baseline_bytes: memory.mvcc_baseline_bytes,
+        };
+        self.points.push(point);
+        point
+    }
+
+    /// All points so far.
+    pub fn points(&self) -> &[TimelinePoint] {
+        &self.points
+    }
+
+    /// Renders the series as the figure binaries print it.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from(
+            "elapsed_s  rows          dataset      aosi_overhead  (pct)    mvcc_baseline  (pct)\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<10.1}{:<14}{:<13}{:<15}{:<9.3}{:<15}{:.1}\n",
+                p.elapsed.as_secs_f64(),
+                p.rows,
+                human_bytes(p.data_bytes),
+                human_bytes(p.aosi_bytes),
+                p.aosi_pct(),
+                human_bytes(p.baseline_bytes),
+                p.baseline_pct(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory(rows: u64, data: usize, aosi: usize) -> EngineMemory {
+        EngineMemory {
+            data_bytes: data,
+            aosi_bytes: aosi,
+            dictionary_bytes: 0,
+            rows,
+            bricks: 1,
+            mvcc_baseline_bytes: rows * 16,
+        }
+    }
+
+    #[test]
+    fn sample_captures_memory_state() {
+        let mut tl = Timeline::new();
+        let p = tl.sample(&memory(1000, 8000, 32));
+        assert_eq!(p.rows, 1000);
+        assert_eq!(p.baseline_bytes, 16_000);
+        assert_eq!(tl.points().len(), 1);
+    }
+
+    #[test]
+    fn percentages_are_relative_to_dataset() {
+        let p = TimelinePoint {
+            elapsed: Duration::ZERO,
+            rows: 100,
+            data_bytes: 1000,
+            aosi_bytes: 50,
+            baseline_bytes: 1600,
+        };
+        assert_eq!(p.aosi_pct(), 5.0);
+        assert_eq!(p.baseline_pct(), 160.0);
+    }
+
+    #[test]
+    fn empty_dataset_has_zero_pct() {
+        let p = TimelinePoint {
+            elapsed: Duration::ZERO,
+            rows: 0,
+            data_bytes: 0,
+            aosi_bytes: 0,
+            baseline_bytes: 0,
+        };
+        assert_eq!(p.aosi_pct(), 0.0);
+    }
+
+    #[test]
+    fn render_table_has_one_line_per_point() {
+        let mut tl = Timeline::new();
+        tl.sample(&memory(10, 100, 16));
+        tl.sample(&memory(20, 200, 16));
+        let table = tl.render_table();
+        assert_eq!(table.lines().count(), 3, "header + 2 points");
+        assert!(table.contains("aosi_overhead"));
+    }
+}

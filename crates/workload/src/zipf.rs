@@ -1,0 +1,107 @@
+//! A small Zipf-distributed sampler for skewed workloads.
+//!
+//! Production OLAP ingest is rarely uniform: a few hot partitions
+//! (today's date, the biggest country) take most of the writes. This
+//! sampler draws from a Zipf(s) distribution over `0..n` via inverse
+//! transform on a precomputed CDF — O(n) setup, O(log n) per sample,
+//! no external crates.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Zipf distribution over `0..n` with exponent `s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!(s.is_finite() && s >= 0.0, "invalid exponent {s}");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for value in &mut cdf {
+            *value /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// Draws one value in `0..n`; `0` is the hottest.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(zipf: &Zipf, samples: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; zipf.n() as usize];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let zipf = Zipf::new(8, 0.0);
+        let counts = histogram(&zipf, 80_000);
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "uniform-ish expected: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_exponent_concentrates_on_the_head() {
+        let zipf = Zipf::new(100, 1.2);
+        let counts = histogram(&zipf, 100_000);
+        assert!(counts[0] > counts[10] && counts[10] > counts[99]);
+        let head: usize = counts[..10].iter().sum();
+        assert!(
+            head > 60_000,
+            "top-10 of 100 should take most samples: {head}"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let zipf = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn single_element_domain() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(zipf.sample(&mut rng), 0);
+    }
+}

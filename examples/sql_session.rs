@@ -1,0 +1,65 @@
+//! A scripted SQL session against the engine — the paper's Section
+//! V-A example cube driven entirely through the SQL front-end.
+//!
+//! Pass your own statements as CLI arguments to run them instead of
+//! the built-in script:
+//!
+//! ```sh
+//! cargo run --release --example sql_session
+//! cargo run --release --example sql_session -- \
+//!     "CREATE CUBE t (k INT DIM(16, 4), v INT METRIC)" \
+//!     "INSERT INTO t VALUES (1, 10), (2, 20)" \
+//!     "SELECT SUM(v) FROM t"
+//! ```
+
+use aosi_repro::cubrick::sql::{execute, SqlError};
+use aosi_repro::cubrick::Engine;
+
+const SCRIPT: &[&str] = &[
+    "CREATE CUBE test (region STRING DIM(4, 2), gender STRING DIM(4, 1), \
+     likes INT METRIC, comments INT METRIC)",
+    "INSERT INTO test VALUES ('us', 'male', 12, 3), ('us', 'female', 7, 1), \
+     ('br', 'male', 5, 0), ('br', 'female', 2, 2), ('mx', 'female', 9, 4)",
+    "SELECT SUM(likes), COUNT(*), AVG(comments) FROM test GROUP BY region",
+    "SELECT SUM(likes) FROM test WHERE gender IN ('female')",
+    "SELECT MIN(likes), MAX(likes) FROM test WHERE region IN ('us', 'br')",
+    "SELECT SUM(likes) FROM test GROUP BY region, gender ORDER BY SUM(likes) DESC LIMIT 3",
+    // The operation AOSI deliberately does not support:
+    "UPDATE test SET likes = 100",
+    // Partition-level retention instead:
+    "DELETE FROM test WHERE gender IN ('male')",
+    "SELECT COUNT(*) FROM test",
+    // Time travel: the pre-delete snapshot stays readable while its
+    // epoch is inside the [LSE, LCE] window (i.e. until PURGE below
+    // moves LSE past it).
+    "SELECT COUNT(*) FROM test AS OF 1",
+    "PURGE",
+    "SHOW MEMORY",
+    "SHOW CUBES",
+    "SHOW STATS",
+    "DROP CUBE test",
+];
+
+fn main() {
+    let engine = Engine::new(4);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let statements: Vec<&str> = if args.is_empty() {
+        SCRIPT.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for sql in statements {
+        println!("sql> {sql}");
+        match execute(&engine, sql) {
+            Ok(output) => println!("{}\n", output.render()),
+            Err(e @ SqlError::Unsupported(_)) => {
+                println!("rejected: {e}\n");
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! `cubrick-sql`: an interactive SQL shell over a fresh in-memory
+//! engine.
+//!
+//! ```sh
+//! cargo run --release --bin cubrick-sql
+//! # or pipe a script:
+//! cargo run --release --bin cubrick-sql < script.sql
+//! ```
+//!
+//! Statements end at a newline (no `;` continuation); `\q` quits,
+//! `\help` prints the statement surface. An optional `--shards N`
+//! flag sizes the shard pool.
+
+use std::io::{BufRead, Write};
+
+use aosi_repro::cubrick::sql::{execute, SqlError};
+use aosi_repro::cubrick::Engine;
+
+const HELP: &str = "\
+statements:
+  CREATE CUBE name (col STRING|INT DIM(cardinality, range), col INT|FLOAT METRIC, ...)
+  INSERT INTO cube VALUES (...), (...)
+  SELECT SUM|COUNT|MIN|MAX|AVG(metric) [, ...] FROM cube
+         [WHERE dim IN (...) [AND ...]] [GROUP BY dim [, ...]] [AS OF epoch]
+  DELETE FROM cube [WHERE dim IN (...)]   -- whole partitions only
+  DROP CUBE name
+  PURGE                                    -- advance LSE + garbage-collect
+  SHOW CUBES | SHOW MEMORY
+  \\q to quit, \\help for this text
+(no UPDATE and no single-row DELETE: that is the AOSI design)";
+
+fn main() {
+    let mut shards = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            shards = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--shards needs a positive integer");
+                std::process::exit(2);
+            });
+        } else {
+            eprintln!("unknown flag {arg}; usage: cubrick-sql [--shards N]");
+            std::process::exit(2);
+        }
+    }
+
+    let engine = Engine::new(shards.max(1));
+    let interactive = is_tty();
+    if interactive {
+        println!("cubrick-sql — AOSI/Cubrick reproduction shell (\\help for help)");
+    }
+
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            print!("sql> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        match line {
+            "\\q" | "\\quit" | "exit" | "quit" => break,
+            "\\help" | "help" => {
+                println!("{HELP}");
+                continue;
+            }
+            _ => {}
+        }
+        if !interactive {
+            println!("sql> {line}");
+        }
+        match execute(&engine, line) {
+            Ok(output) => println!("{}", output.render()),
+            Err(e @ SqlError::Unsupported(_)) => println!("rejected: {e}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn is_tty() -> bool {
+    // Enough for prompt cosmetics: scripts pipe stdin, humans don't.
+    std::io::IsTerminal::is_terminal(&std::io::stdin())
+}

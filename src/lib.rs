@@ -1,0 +1,21 @@
+//! Umbrella crate for the AOSI reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can
+//! use a single dependency. See the individual crates for the real
+//! documentation:
+//!
+//! * [`aosi`] — the Append-Only Snapshot Isolation protocol.
+//! * [`columnar`] — columnar storage substrate.
+//! * [`cubrick`] — the Cubrick-style OLAP engine.
+//! * [`cluster`] — simulated distributed substrate.
+//! * [`mvcc_baseline`] — MVCC / 2PL baselines.
+//! * [`wal`] — persistence and recovery.
+//! * [`workload`] — dataset and query generators.
+
+pub use aosi;
+pub use cluster;
+pub use columnar;
+pub use cubrick;
+pub use mvcc_baseline;
+pub use wal;
+pub use workload;

@@ -1,0 +1,141 @@
+//! The same workload through every engine configuration — plain vs.
+//! bess dimension storage, with and without the rollback index, 1 vs.
+//! 4 shards — must produce identical query answers. Configuration
+//! knobs may trade speed for memory, never correctness.
+
+use aosi_repro::columnar::Value;
+use aosi_repro::cubrick::{
+    AggFn, Aggregation, CubeSchema, DimFilter, DimStorage, Dimension, Engine, IsolationMode,
+    Metric, Query,
+};
+
+fn schema() -> CubeSchema {
+    CubeSchema::new(
+        "m",
+        vec![
+            Dimension::string("region", 8, 2),
+            Dimension::int("day", 32, 4),
+        ],
+        vec![Metric::int("v"), Metric::float("f")],
+    )
+    .unwrap()
+}
+
+fn build(storage: DimStorage, indexed: bool, shards: usize) -> Engine {
+    let engine = Engine::new(shards).with_dim_storage(storage);
+    let engine = if indexed {
+        engine.with_rollback_index()
+    } else {
+        engine
+    };
+    engine.create_cube(schema()).unwrap();
+    engine
+}
+
+/// A fixed mixed workload: loads, an aborted transaction, a partition
+/// delete, a purge.
+fn run_workload(engine: &Engine) {
+    let regions = ["us", "br", "mx", "in"];
+    for batch in 0..6i64 {
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| {
+                vec![
+                    Value::from(regions[(i + batch as usize) % 4]),
+                    Value::I64((batch * 5 + i as i64) % 32),
+                    Value::I64(i as i64),
+                    Value::F64(i as f64 / 2.0),
+                ]
+            })
+            .collect();
+        engine.load("m", &rows, 0).unwrap();
+    }
+    // Aborted work leaves no trace.
+    let txn = engine.begin();
+    engine
+        .append(
+            "m",
+            &[vec![
+                Value::from("us"),
+                Value::I64(0),
+                Value::I64(999_999),
+                Value::F64(0.0),
+            ]],
+            &txn,
+        )
+        .unwrap();
+    engine.rollback(&txn).unwrap();
+    // Retention delete of day range [0, 4), then purge.
+    engine
+        .delete_where(
+            "m",
+            &[DimFilter::new("day", (0..4).map(Value::from).collect())],
+        )
+        .unwrap();
+    engine.advance_lse_and_purge();
+}
+
+fn fingerprint(engine: &Engine) -> Vec<(Vec<String>, Vec<String>)> {
+    let result = engine
+        .query(
+            "m",
+            &Query::aggregate(vec![
+                Aggregation::new(AggFn::Sum, "v"),
+                Aggregation::new(AggFn::Count, "v"),
+                Aggregation::new(AggFn::Min, "f"),
+                Aggregation::new(AggFn::Max, "f"),
+            ])
+            .grouped_by("region")
+            .grouped_by("day"),
+            IsolationMode::Snapshot,
+        )
+        .unwrap();
+    result
+        .rows
+        .into_iter()
+        .map(|(keys, values)| {
+            (
+                keys.iter().map(|k| k.to_string()).collect(),
+                values.iter().map(|v| format!("{v:.3}")).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_configuration_answers_identically() {
+    let reference = build(DimStorage::Plain, false, 1);
+    run_workload(&reference);
+    let expected = fingerprint(&reference);
+    assert!(!expected.is_empty(), "workload must leave visible rows");
+
+    for storage in [DimStorage::Plain, DimStorage::Bess] {
+        for indexed in [false, true] {
+            for shards in [1usize, 4] {
+                let engine = build(storage, indexed, shards);
+                run_workload(&engine);
+                assert_eq!(
+                    fingerprint(&engine),
+                    expected,
+                    "config {storage:?}/indexed={indexed}/shards={shards} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bess_configuration_saves_dimension_memory() {
+    let plain = build(DimStorage::Plain, false, 2);
+    let bess = build(DimStorage::Bess, false, 2);
+    run_workload(&plain);
+    run_workload(&bess);
+    let plain_mem = plain.memory();
+    let bess_mem = bess.memory();
+    assert_eq!(plain_mem.rows, bess_mem.rows);
+    assert!(
+        bess_mem.data_bytes < plain_mem.data_bytes,
+        "bess ({}) should undercut plain ({})",
+        bess_mem.data_bytes,
+        plain_mem.data_bytes
+    );
+}

@@ -1,0 +1,88 @@
+//! Figure 3: the purge procedure over the Figure 2(a) partition at
+//! LSE = 3 and LSE = 5.
+
+use aosi_repro::aosi::{purge, EpochsVector, Snapshot};
+
+fn schedule_a() -> EpochsVector {
+    let mut v = EpochsVector::new();
+    v.append(1, 2);
+    v.append(3, 2);
+    v.append(1, 1);
+    v.mark_delete(5);
+    v.append(3, 4);
+    v.append(7, 1);
+    v
+}
+
+fn render(v: &EpochsVector) -> String {
+    v.entries().iter().map(|e| format!("{e:?}")).collect()
+}
+
+#[test]
+fn purge_at_lse_3_merges_history_but_keeps_the_delete() {
+    // "Purging when LSE = 3 allows (a) to merge all pointers on
+    // epochs prior to LSE into a single entry (when contiguous).
+    // However, the pending delete still cannot be applied since it
+    // comes from a transaction later than LSE."
+    let result = purge::purge(&schedule_a(), 3);
+    assert_eq!(
+        render(&result.vector),
+        "(T3, 5)(T5, DELETE@5)(T3, 9)(T7, 10)"
+    );
+    assert_eq!(result.purged_rows, 0, "no data may be removed yet");
+    assert_eq!(result.entries_reclaimed, 2);
+}
+
+#[test]
+fn purge_at_lse_5_applies_the_delete() {
+    // "When LSE = 5, all data prior to 5 can be safely deleted, even
+    // if it was inserted after the delete operation chronologically.
+    // Hence, the only record and epoch entry required is the one
+    // inserted by T7."
+    let result = purge::purge(&schedule_a(), 5);
+    assert_eq!(render(&result.vector), "(T7, 1)");
+    assert_eq!(result.purged_rows, 9);
+    assert_eq!(result.vector.row_count(), 1);
+}
+
+#[test]
+fn purge_preserves_all_post_lse_readers() {
+    let v = schedule_a();
+    for lse in [3u64, 5] {
+        let result = purge::purge(&v, lse);
+        for reader in lse..=9 {
+            let snap = Snapshot::committed(reader);
+            let before = v.visible_bitmap(&snap);
+            let after = result.vector.visible_bitmap(&snap);
+            assert_eq!(
+                before.count_ones(),
+                after.count_ones(),
+                "lse {lse}, reader {reader}"
+            );
+        }
+    }
+}
+
+#[test]
+fn purge_is_incremental() {
+    // LSE advancing 0 -> 3 -> 5 -> 7 step by step produces the same
+    // final partition as jumping straight to 7.
+    let mut stepped = schedule_a();
+    for lse in [0u64, 3, 5, 7] {
+        stepped = purge::purge(&stepped, lse).vector;
+    }
+    let direct = purge::purge(&schedule_a(), 7).vector;
+    assert_eq!(render(&stepped), render(&direct));
+}
+
+#[test]
+fn skipping_untouched_partitions() {
+    // "If there are no entries in the epochs vector older than LSE
+    // and no pending delete operations, the purge procedure skips the
+    // current evaluated partition."
+    let mut v = EpochsVector::new();
+    v.append(9, 100);
+    assert!(!v.needs_purge(5));
+    let result = purge::purge(&v, 5);
+    assert!(!result.changed);
+}

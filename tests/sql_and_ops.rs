@@ -1,0 +1,137 @@
+//! End-to-end through the operator surface: a full SQL session, the
+//! flush/verify/recover loop, and the background purge daemon working
+//! together — the way a downstream user would actually run the
+//! system.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aosi_repro::cluster::ReplicationTracker;
+use aosi_repro::cubrick::sql::{execute, SqlOutput};
+use aosi_repro::cubrick::{Engine, PurgeDaemon};
+use aosi_repro::wal::{recover_into, verify_dir, FlushController, RoundStatus, TempWalDir};
+
+fn table(output: SqlOutput) -> Vec<Vec<String>> {
+    match output {
+        SqlOutput::Table { rows, .. } => rows,
+        other => panic!("expected table, got {other:?}"),
+    }
+}
+
+#[test]
+fn sql_session_with_durability_and_verify() {
+    let dir = TempWalDir::new("sql-ops");
+    let engine = Engine::new(2);
+
+    // DDL + data through SQL only.
+    execute(
+        &engine,
+        "CREATE CUBE sales (store STRING DIM(8, 2), day INT DIM(16, 1), \
+         units INT METRIC, amount FLOAT METRIC)",
+    )
+    .unwrap();
+    for day in 0..4 {
+        execute(
+            &engine,
+            &format!(
+                "INSERT INTO sales VALUES \
+                 ('downtown', {day}, 10, 100.5), ('airport', {day}, 20, 200.25)"
+            ),
+        )
+        .unwrap();
+    }
+
+    // Analytical surface: filters, multi-group, order, limit.
+    let rows = table(
+        execute(
+            &engine,
+            "SELECT SUM(units), AVG(amount) FROM sales \
+             WHERE day IN (0, 1, 2, 3) GROUP BY store, day \
+             ORDER BY SUM(units) DESC LIMIT 3",
+        )
+        .unwrap(),
+    );
+    assert_eq!(rows.len(), 3);
+    assert!(rows.iter().all(|r| r[0] == "airport" && r[2] == "20"));
+
+    // Durability: flush, verify the directory, recover into a fresh
+    // process-equivalent, and compare answers.
+    let tracker = ReplicationTracker::new(1);
+    let mut ctl = FlushController::new(dir.path(), 1).unwrap();
+    ctl.flush_round(&engine, &tracker).unwrap();
+    let verify = verify_dir(dir.path()).unwrap();
+    assert!(verify.is_clean());
+    assert_eq!(verify.recoverable_rows, 8);
+    assert!(matches!(
+        verify.rounds[0].status,
+        RoundStatus::Complete { rows: 8, .. }
+    ));
+
+    let restored = Engine::new(2);
+    execute(
+        &restored,
+        "CREATE CUBE sales (store STRING DIM(8, 2), day INT DIM(16, 1), \
+         units INT METRIC, amount FLOAT METRIC)",
+    )
+    .unwrap();
+    recover_into(dir.path(), &restored).unwrap();
+    let before = table(execute(&engine, "SELECT SUM(units) FROM sales GROUP BY store").unwrap());
+    let after = table(execute(&restored, "SELECT SUM(units) FROM sales GROUP BY store").unwrap());
+    assert_eq!(before, after, "recovered answers must match the source");
+
+    // Retention delete + background purge daemon on the restored node.
+    let restored = Arc::new(restored);
+    let daemon = PurgeDaemon::spawn(Arc::clone(&restored), Duration::from_millis(5), true);
+    execute(&restored, "DELETE FROM sales WHERE day IN (0)").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let rows = table(execute(&restored, "SHOW MEMORY").unwrap());
+        let resident: u64 = rows
+            .iter()
+            .find(|r| r[0] == "rows")
+            .and_then(|r| r[1].parse().ok())
+            .unwrap();
+        if resident == 6 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never reclaimed the deleted day (resident = {resident})"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon.stop();
+
+    // Final state through SQL.
+    let rows = table(
+        execute(
+            &restored,
+            "SELECT COUNT(*) FROM sales GROUP BY day ORDER BY day",
+        )
+        .unwrap(),
+    );
+    assert_eq!(rows.len(), 3, "day 0 is gone");
+    assert!(rows.iter().all(|r| r[1] == "2"));
+}
+
+#[test]
+fn stats_counters_through_the_session() {
+    let engine = Engine::new(1);
+    execute(&engine, "CREATE CUBE t (k INT DIM(4, 2), v INT METRIC)").unwrap();
+    execute(&engine, "INSERT INTO t VALUES (0, 1), (1, 2)").unwrap();
+    execute(&engine, "INSERT INTO t VALUES (2, 4)").unwrap();
+    execute(&engine, "SELECT SUM(v) FROM t").unwrap();
+    execute(&engine, "SELECT COUNT(*) FROM t").unwrap();
+    let rows = table(execute(&engine, "SHOW STATS").unwrap());
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r[0] == name)
+            .map(|r| r[1].clone())
+            .unwrap()
+    };
+    assert_eq!(get("loads"), "2");
+    assert_eq!(get("rows_loaded"), "3");
+    assert_eq!(get("queries"), "2");
+    assert_eq!(get("txns_committed"), "2");
+    assert_eq!(get("lce"), "2");
+}

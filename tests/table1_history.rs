@@ -1,0 +1,82 @@
+//! Table I: history of execution of three transactions — epoch
+//! clock, LCE, pendingTxs, and per-transaction dependency sets.
+
+use aosi_repro::aosi::TxnManager;
+
+#[test]
+fn table_i_counters_and_deps() {
+    let mgr = TxnManager::single_node();
+    // Initial state: EC=1 (next epoch), LCE=0, nothing pending.
+    assert_eq!(mgr.clock().current_ec(), 1);
+    assert_eq!(mgr.lce(), 0);
+    assert!(mgr.pending_txs().is_empty());
+
+    // start T1 / T2 / T3.
+    let t1 = mgr.begin_rw();
+    assert_eq!(t1.epoch(), 1);
+    assert_eq!(mgr.clock().current_ec(), 2);
+    assert_eq!(mgr.pending_txs(), vec![1]);
+    assert!(t1.snapshot().deps().is_empty());
+
+    let t2 = mgr.begin_rw();
+    assert_eq!(t2.epoch(), 2);
+    assert_eq!(mgr.pending_txs(), vec![1, 2]);
+    assert_eq!(
+        t2.snapshot().deps().iter().copied().collect::<Vec<_>>(),
+        vec![1],
+        "T2.deps = {{1}}: T1 had already started"
+    );
+
+    let t3 = mgr.begin_rw();
+    assert_eq!(t3.epoch(), 3);
+    assert_eq!(mgr.clock().current_ec(), 4);
+    assert_eq!(mgr.pending_txs(), vec![1, 2, 3]);
+    assert_eq!(
+        t3.snapshot().deps().iter().copied().collect::<Vec<_>>(),
+        vec![1, 2],
+        "T3.deps = {{1, 2}}"
+    );
+
+    // commit T1: LCE advances since all priors finished.
+    mgr.commit(&t1).unwrap();
+    assert_eq!(mgr.lce(), 1);
+    assert_eq!(mgr.pending_txs(), vec![2, 3]);
+
+    // The paper's text: "LCE cannot be updated when T3 commits, since
+    // one of its dependent transactions, T2, is still running. In
+    // this case, T3 is committed but it is still not visible for
+    // subsequent read transactions until T2 finishes."
+    mgr.commit(&t3).unwrap();
+    assert_eq!(mgr.lce(), 1, "T3 parked behind pending T2");
+    let ro = mgr.begin_ro();
+    assert!(!ro.sees(3), "read-only snapshot must not see parked T3");
+
+    mgr.commit(&t2).unwrap();
+    assert_eq!(mgr.lce(), 3, "LCE finally advances to 3");
+    assert!(mgr.pending_txs().is_empty());
+    let ro = mgr.begin_ro();
+    assert!(ro.sees(1) && ro.sees(2) && ro.sees(3));
+}
+
+#[test]
+fn invariant_ec_gt_lce_ge_lse_holds_throughout() {
+    let mgr = TxnManager::single_node();
+    for round in 0..50 {
+        let a = mgr.begin_rw();
+        let b = mgr.begin_rw();
+        // Commit out of order half the time.
+        if round % 2 == 0 {
+            mgr.commit(&b).unwrap();
+            mgr.commit(&a).unwrap();
+        } else {
+            mgr.commit(&a).unwrap();
+            mgr.commit(&b).unwrap();
+        }
+        if round % 5 == 0 {
+            mgr.advance_lse(mgr.lce()).unwrap();
+        }
+        let (ec, lce, lse) = (mgr.clock().current_ec(), mgr.lce(), mgr.lse());
+        assert!(ec > lce, "EC > LCE violated: {ec} vs {lce}");
+        assert!(lce >= lse, "LCE >= LSE violated: {lce} vs {lse}");
+    }
+}

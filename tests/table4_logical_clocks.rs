@@ -1,0 +1,133 @@
+//! Table IV: epoch clocks advancing on a 3-node cluster, plus the
+//! Section IV-C begin-broadcast case analysis.
+
+use aosi_repro::cluster::{ProtocolCluster, SimulatedNetwork};
+
+fn cluster(n: u64) -> ProtocolCluster {
+    ProtocolCluster::new(n, SimulatedNetwork::instant())
+}
+
+#[test]
+fn table_iv_event_sequence() {
+    let c = cluster(3);
+    let ec = |n| c.manager(n).clock().current_ec();
+
+    assert_eq!((ec(1), ec(2), ec(3)), (1, 2, 3), "row 0: initial ECs");
+
+    let mut t1 = c.begin_rw(1);
+    assert_eq!(t1.epoch, 1);
+    assert_eq!((ec(1), ec(2), ec(3)), (4, 2, 3), "row 1: create(n1)");
+
+    c.broadcast_begin(&mut t1, 1024);
+    assert_eq!((ec(1), ec(2), ec(3)), (4, 5, 6), "row 2: append(T1)");
+
+    let t6 = c.begin_rw(3);
+    assert_eq!(t6.epoch, 6);
+    assert_eq!((ec(1), ec(2), ec(3)), (4, 5, 9), "row 3: create(n3)");
+
+    let t5 = c.begin_rw(2);
+    assert_eq!(t5.epoch, 5);
+    assert_eq!((ec(1), ec(2), ec(3)), (4, 8, 9), "row 4: create(n2)");
+
+    // "Note that in this case the logical order does not reflect the
+    // chronological order of events since transaction T6 was actually
+    // started before T5."
+    assert!(t6.epoch > t5.epoch);
+
+    c.commit(&t1).unwrap();
+    assert_eq!((ec(1), ec(2), ec(3)), (10, 8, 9), "row 5: commit(T1)");
+}
+
+/// Section IV-C: after transaction i's initial broadcast, every
+/// other transaction j falls into one of the five categories, and in
+/// each case i's snapshot treats j correctly.
+#[test]
+fn begin_broadcast_case_analysis() {
+    let c = cluster(2);
+
+    // j committed with j < i: visible.
+    let mut j_committed = c.begin_rw(2);
+    c.broadcast_begin(&mut j_committed, 0);
+    c.commit(&j_committed).unwrap();
+
+    // j pending with j < i: in deps after the broadcast union.
+    let mut j_pending = c.begin_rw(2);
+    c.broadcast_begin(&mut j_pending, 0);
+
+    // i begins on the other node.
+    let mut i = c.begin_rw(1);
+    c.broadcast_begin(&mut i, 0);
+    let snap = i.snapshot();
+    assert!(snap.sees(j_committed.epoch), "committed j < i visible");
+    assert!(
+        !snap.sees(j_pending.epoch),
+        "pending j < i excluded via deps"
+    );
+    assert!(i.deps().contains(&j_pending.epoch));
+
+    // j committed or pending with j > i: invisible by timestamp
+    // ordering.
+    let mut j_later = c.begin_rw(2);
+    c.broadcast_begin(&mut j_later, 0);
+    assert!(j_later.epoch > i.epoch);
+    assert!(!snap.sees(j_later.epoch));
+    c.commit(&j_later).unwrap();
+    assert!(!snap.sees(j_later.epoch), "still invisible after commit");
+
+    // j yet to be initialized: guaranteed j > i because i's broadcast
+    // pushed every node's EC past i.
+    for node in 1..=2 {
+        assert!(c.manager(node).clock().current_ec() > i.epoch);
+    }
+    let j_future = c.begin_rw(2);
+    assert!(j_future.epoch > i.epoch);
+
+    c.commit(&i).unwrap();
+    c.commit(&j_pending).unwrap();
+    c.rollback(&j_future).unwrap();
+}
+
+/// Section IV-B: the write-skew window — two concurrent transactions
+/// where neither sees the other — is allowed (SI, not serializable),
+/// and no transaction is ever rolled back for it.
+#[test]
+fn write_skew_is_admitted_without_rollbacks() {
+    let c = cluster(2);
+    let mut tk = c.begin_rw(1);
+    c.broadcast_begin(&mut tk, 0);
+    let mut tl = c.begin_rw(2);
+    c.broadcast_begin(&mut tl, 0);
+    assert!(tk.epoch < tl.epoch);
+    assert!(!tl.snapshot().sees(tk.epoch), "k pending when l began");
+    assert!(!tk.snapshot().sees(tl.epoch), "l > k");
+    // Both commit fine — the protocol "guarantees to never rollback
+    // transactions" for isolation reasons.
+    c.commit(&tk).unwrap();
+    c.commit(&tl).unwrap();
+    for node in 1..=2 {
+        assert_eq!(c.manager(node).lce(), tl.epoch);
+    }
+}
+
+/// Strided clocks: epochs issued by different nodes never collide,
+/// even under heavy interleaving with Lamport merges.
+#[test]
+fn strided_epochs_never_collide_cluster_wide() {
+    let c = cluster(5);
+    let mut seen = std::collections::HashSet::new();
+    let mut open = Vec::new();
+    for round in 0..200u64 {
+        let node = round % 5 + 1;
+        let mut t = c.begin_rw(node);
+        c.broadcast_begin(&mut t, 0);
+        assert!(seen.insert(t.epoch), "epoch {} reused", t.epoch);
+        open.push(t);
+        if open.len() > 3 {
+            let t = open.remove(0);
+            c.commit(&t).unwrap();
+        }
+    }
+    for t in open {
+        c.commit(&t).unwrap();
+    }
+}
