@@ -75,7 +75,7 @@ pub use clock::EpochClock;
 pub use epoch::{Epoch, EpochEntry, NO_EPOCH};
 pub use epochs::EpochsVector;
 pub use error::AosiError;
-pub use manager::{ManagerStats, ReadGuard, TxnManager};
+pub use manager::{ManagerMetrics, ManagerStats, ReadGuard, TxnManager};
 pub use purge::PurgeResult;
 pub use rollback::{RollbackResult, TxnPartitionIndex};
 pub use snapshot::Snapshot;

@@ -26,6 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use obs::{Counter, ReportBuilder};
 use parking_lot::Mutex;
 
 use crate::clock::EpochClock;
@@ -51,6 +52,23 @@ pub struct ManagerStats {
     pub parked_commits: usize,
 }
 
+/// Lock-free event counters for the transaction path. Everything a
+/// plain `fetch_add` can capture lives here; values that need the
+/// state mutex (pending-set size, parked commits) stay in
+/// [`ManagerStats`], and both feed [`TxnManager::report`].
+#[derive(Debug, Default)]
+pub struct ManagerMetrics {
+    /// Successful LSE advances.
+    pub lse_advances: Counter,
+    /// LSE advances rejected (out of window or active reader below).
+    pub lse_advances_denied: Counter,
+    /// Read snapshots registered as active readers
+    /// (`begin_read` + `guard_snapshot`).
+    pub reads_guarded: Counter,
+    /// Remote transactions registered from begin broadcasts.
+    pub remote_registered: Counter,
+}
+
 #[derive(Default)]
 struct State {
     /// Epochs of in-flight RW transactions (local and remote).
@@ -72,6 +90,7 @@ struct State {
 struct Inner {
     clock: EpochClock,
     state: Mutex<State>,
+    metrics: ManagerMetrics,
 }
 
 /// Transaction manager for one node. Cheap to clone; all clones share
@@ -88,6 +107,7 @@ impl TxnManager {
             inner: Arc::new(Inner {
                 clock: EpochClock::new(node_idx, num_nodes),
                 state: Mutex::new(State::default()),
+                metrics: ManagerMetrics::default(),
             }),
         }
     }
@@ -159,6 +179,7 @@ impl TxnManager {
         let epoch = self.inner.clock.lce();
         *st.active_reads.entry(epoch).or_insert(0) += 1;
         drop(st);
+        self.inner.metrics.reads_guarded.inc();
         ReadGuard {
             manager: self.clone(),
             guard_epoch: epoch,
@@ -186,6 +207,7 @@ impl TxnManager {
         let mut st = self.inner.state.lock();
         *st.active_reads.entry(guard_epoch).or_insert(0) += 1;
         drop(st);
+        self.inner.metrics.reads_guarded.inc();
         ReadGuard {
             manager: self.clone(),
             guard_epoch,
@@ -216,6 +238,8 @@ impl TxnManager {
         // A commit broadcast can never overtake its begin broadcast on
         // the same channel, so blind insertion is safe.
         st.pending.insert(epoch);
+        drop(st);
+        self.inner.metrics.remote_registered.inc();
     }
 
     /// Applies a remote transaction's commit broadcast.
@@ -333,6 +357,7 @@ impl TxnManager {
         let lce = self.inner.clock.lce();
         let lse = self.inner.clock.lse();
         if candidate < lse || candidate > lce {
+            self.inner.metrics.lse_advances_denied.inc();
             return Err(AosiError::InvalidLseAdvance {
                 requested: candidate,
                 lce,
@@ -341,6 +366,7 @@ impl TxnManager {
         }
         if let Some((&oldest, _)) = st.active_reads.first_key_value() {
             if oldest < candidate {
+                self.inner.metrics.lse_advances_denied.inc();
                 return Err(AosiError::ActiveReaderBelow {
                     requested: candidate,
                     oldest_reader: oldest,
@@ -348,6 +374,7 @@ impl TxnManager {
             }
         }
         self.inner.clock.store_lse(candidate);
+        self.inner.metrics.lse_advances.inc();
         Ok(())
     }
 
@@ -362,6 +389,45 @@ impl TxnManager {
             pending: st.pending.len(),
             parked_commits: st.committed_waiting.len(),
         }
+    }
+
+    /// The manager's lock-free event counters.
+    pub fn metrics(&self) -> &ManagerMetrics {
+        &self.inner.metrics
+    }
+
+    /// Writes the `[aosi]` section of a metrics report: the three
+    /// clocks, the transaction lifecycle counters, the pending-set
+    /// and active-reader sizes, and the LSE-advance counters.
+    pub fn report(&self, report: &mut ReportBuilder) {
+        self.report_as(report, "aosi");
+    }
+
+    /// [`TxnManager::report`] under a custom section name (a cluster
+    /// node prefixes its node id).
+    pub fn report_as(&self, report: &mut ReportBuilder, section: &str) {
+        let stats = self.stats();
+        let active_readers: usize = {
+            let st = self.inner.state.lock();
+            st.active_reads.values().sum()
+        };
+        let m = &self.inner.metrics;
+        report
+            .section(section)
+            .metric("ec", self.inner.clock.current_ec())
+            .metric("lce", self.lce())
+            .metric("lse", self.lse())
+            .metric("pending_txs", stats.pending)
+            .metric("parked_commits", stats.parked_commits)
+            .metric("active_readers", active_readers)
+            .metric("begun_rw", stats.begun_rw)
+            .metric("begun_ro", stats.begun_ro)
+            .metric("committed", stats.committed)
+            .metric("rolled_back", stats.rolled_back)
+            .counter("reads_guarded", &m.reads_guarded)
+            .counter("remote_registered", &m.remote_registered)
+            .counter("lse_advances", &m.lse_advances)
+            .counter("lse_advances_denied", &m.lse_advances_denied);
     }
 
     fn release_read(&self, epoch: Epoch) {
@@ -640,6 +706,42 @@ mod tests {
         mgr.clear_rolled_back(&[1]);
         assert!(mgr.rolled_back_epochs().is_empty());
         assert_eq!(mgr.state_of(1), None);
+    }
+
+    #[test]
+    fn metrics_and_report_cover_the_lifecycle() {
+        let mgr = TxnManager::single_node();
+        let t1 = mgr.begin_rw();
+        mgr.commit(&t1).unwrap();
+        let guard = mgr.begin_read();
+        assert_eq!(mgr.metrics().reads_guarded.get(), 1);
+        let t2 = mgr.begin_rw();
+        mgr.commit(&t2).unwrap();
+        assert!(mgr.advance_lse(2).is_err(), "guard at 1 blocks");
+        assert_eq!(mgr.metrics().lse_advances_denied.get(), 1);
+        drop(guard);
+        mgr.advance_lse(2).unwrap();
+        assert_eq!(mgr.metrics().lse_advances.get(), 1);
+        mgr.register_remote(100);
+        assert_eq!(mgr.metrics().remote_registered.get(), 1);
+
+        let mut rb = ReportBuilder::new();
+        mgr.report(&mut rb);
+        let text = rb.finish();
+        assert!(text.starts_with("[aosi]\n"));
+        for line in [
+            "lce = 2",
+            "lse = 2",
+            "pending_txs = 1",
+            "committed = 2",
+            "reads_guarded = 1",
+            "lse_advances = 1",
+            "lse_advances_denied = 1",
+            "remote_registered = 1",
+            "active_readers = 0",
+        ] {
+            assert!(text.contains(line), "missing {line:?} in:\n{text}");
+        }
     }
 
     #[test]

@@ -332,19 +332,36 @@ mod tests {
     fn ranges_agree_with_bitmap_on_the_table_iii_schedules() {
         for v in [schedule_a(), schedule_b()] {
             for reader in 0..10u64 {
-                let snap = snap(reader, &[]);
-                let bitmap = visible_bitmap(&v, &snap);
-                let ranges = visible_ranges(&v, &snap);
-                // Disjoint, ascending, non-adjacent.
-                for pair in ranges.windows(2) {
-                    assert!(pair[0].end < pair[1].start);
+                // Every pending-dep set over the epochs the reader
+                // could have observed in flight, not just the empty
+                // one: deps change which inserts AND which deletes
+                // are visible, so they stress both cleanup paths.
+                for mask in 0..(1u32 << reader.saturating_sub(1).min(9)) {
+                    let deps: Vec<Epoch> =
+                        (1..reader).filter(|e| mask & (1 << (e - 1)) != 0).collect();
+                    let snap = snap(reader, &deps);
+                    let bitmap = visible_bitmap(&v, &snap);
+                    let ranges = visible_ranges(&v, &snap);
+                    // Disjoint, ascending, non-adjacent.
+                    for pair in ranges.windows(2) {
+                        assert!(pair[0].end < pair[1].start);
+                    }
+                    let mut from_ranges = columnar::Bitmap::new(bitmap.len());
+                    for r in &ranges {
+                        from_ranges.set_range(r.start as usize, r.end as usize);
+                    }
+                    assert_eq!(
+                        from_ranges.to_bit_string(),
+                        bitmap.to_bit_string(),
+                        "reader {reader} deps {deps:?}"
+                    );
+                    assert_eq!(visible_row_count(&v, &snap), bitmap.count_ones() as u64);
+                    assert_eq!(
+                        visible_bitmap_naive(&v, &snap).to_bit_string(),
+                        bitmap.to_bit_string(),
+                        "naive oracle disagrees for reader {reader} deps {deps:?}"
+                    );
                 }
-                let mut from_ranges = columnar::Bitmap::new(bitmap.len());
-                for r in &ranges {
-                    from_ranges.set_range(r.start as usize, r.end as usize);
-                }
-                assert_eq!(from_ranges.to_bit_string(), bitmap.to_bit_string());
-                assert_eq!(visible_row_count(&v, &snap), bitmap.count_ones() as u64);
             }
         }
     }

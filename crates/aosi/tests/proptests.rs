@@ -213,7 +213,11 @@ proptest! {
     /// Rolling back a transaction leaves the partition exactly as if
     /// the transaction never ran.
     #[test]
-    fn rollback_equals_never_ran(ops in schedule_strategy(), aborted in 1u64..20) {
+    fn rollback_equals_never_ran(
+        ops in schedule_strategy(),
+        aborted in 1u64..20,
+        pending in prop::collection::btree_set(1u64..22, 0..6),
+    ) {
         let (with, _) = build(&ops);
         let without_ops: Vec<Op> = ops
             .iter()
@@ -228,13 +232,19 @@ proptest! {
         // Visibility must agree for every snapshot (entry layout may
         // differ: adjacent runs merge when the aborted rows between
         // them vanish, and the reference build merges them eagerly).
+        // Readers carry a random pendingTxs set, not just committed
+        // snapshots: a rollback must be invisible even to readers that
+        // began while other transactions were still in flight.
         for reader in 1..22 {
-            let snap = Snapshot::committed(reader);
-            prop_assert_eq!(
-                result.vector.visible_bitmap(&snap).to_bit_string(),
-                reference.visible_bitmap(&snap).to_bit_string(),
-                "reader {}", reader
-            );
+            let deps: BTreeSet<Epoch> =
+                pending.iter().copied().filter(|&d| d < reader).collect();
+            for snap in [Snapshot::committed(reader), Snapshot::new(reader, deps)] {
+                prop_assert_eq!(
+                    result.vector.visible_bitmap(&snap).to_bit_string(),
+                    reference.visible_bitmap(&snap).to_bit_string(),
+                    "reader {} deps {:?}", reader, snap.deps()
+                );
+            }
         }
         prop_assert_eq!(result.vector.row_count(), reference.row_count());
     }

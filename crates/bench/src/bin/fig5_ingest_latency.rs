@@ -135,4 +135,9 @@ fn main() {
         "paper shape check: total dominated by forwarding, parse and flush \
          small — see EXPERIMENTS.md"
     );
+
+    if bench::env_u64("AOSI_METRICS", 1) != 0 {
+        println!("\n--- metrics report (AOSI_METRICS=0 to silence) ---");
+        println!("{}", cluster.metrics_report());
+    }
 }

@@ -98,4 +98,9 @@ fn main() {
         "paper shape check: the SI/RU gap should be minor (single-digit \
          percent) — see EXPERIMENTS.md"
     );
+
+    if bench::env_u64("AOSI_METRICS", 1) != 0 {
+        println!("\n--- metrics report (AOSI_METRICS=0 to silence) ---");
+        println!("{}", engine.metrics_report());
+    }
 }

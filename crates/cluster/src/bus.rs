@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use obs::{Counter, ReportBuilder};
+
 /// Latency model for one simulated hop.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LatencyModel {
@@ -64,6 +66,50 @@ pub struct NetworkStats {
     pub injected_latency_nanos: u64,
 }
 
+/// Protocol message classes, for per-type traffic accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Begin broadcast request (rides on the first fan-out).
+    BeginRequest,
+    /// Begin response carrying the remote node's `pendingTxs`.
+    BeginResponse,
+    /// Operation fan-out: forwarded records, deletes, shipped queries.
+    Forward,
+    /// Commit broadcast request.
+    CommitRequest,
+    /// Commit response (merges the remote clock back).
+    CommitResponse,
+    /// Rollback broadcast request.
+    RollbackRequest,
+    /// Rollback response.
+    RollbackResponse,
+    /// Sent through the untyped [`SimulatedNetwork::transmit`] path.
+    Other,
+}
+
+/// All kinds, in reporting order.
+const MSG_KINDS: [(MsgKind, &str); 8] = [
+    (MsgKind::BeginRequest, "begin_request"),
+    (MsgKind::BeginResponse, "begin_response"),
+    (MsgKind::Forward, "forward"),
+    (MsgKind::CommitRequest, "commit_request"),
+    (MsgKind::CommitResponse, "commit_response"),
+    (MsgKind::RollbackRequest, "rollback_request"),
+    (MsgKind::RollbackResponse, "rollback_response"),
+    (MsgKind::Other, "other"),
+];
+
+/// Per-message-type counters plus the piggyback accounting the paper
+/// cares about: how many bytes of `pendingTxs` sets and epoch clocks
+/// hitch a ride on data messages (Section IV-C's "piggybacked on the
+/// first operation").
+#[derive(Debug, Default)]
+struct TypedCounters {
+    by_kind: [Counter; MSG_KINDS.len()],
+    piggyback_pending_bytes: Counter,
+    piggyback_clock_bytes: Counter,
+}
+
 /// The shared in-process "wire".
 #[derive(Clone, Debug)]
 pub struct SimulatedNetwork {
@@ -71,6 +117,7 @@ pub struct SimulatedNetwork {
     messages: Arc<AtomicU64>,
     bytes: Arc<AtomicU64>,
     injected: Arc<AtomicU64>,
+    typed: Arc<TypedCounters>,
 }
 
 impl SimulatedNetwork {
@@ -81,6 +128,7 @@ impl SimulatedNetwork {
             messages: Arc::new(AtomicU64::new(0)),
             bytes: Arc::new(AtomicU64::new(0)),
             injected: Arc::new(AtomicU64::new(0)),
+            typed: Arc::new(TypedCounters::default()),
         }
     }
 
@@ -93,6 +141,27 @@ impl SimulatedNetwork {
     /// sleeping the sampled latency. Returns the injected latency so
     /// callers can subtract it from measurements if needed.
     pub fn transmit(&self, payload_bytes: usize) -> Duration {
+        self.transmit_typed(MsgKind::Other, payload_bytes, 0, 0)
+    }
+
+    /// [`SimulatedNetwork::transmit`] with per-type accounting:
+    /// `pending_bytes` and `clock_bytes` are the portions of the
+    /// payload that are piggybacked `pendingTxs` sets and epoch
+    /// clocks rather than user data.
+    pub fn transmit_typed(
+        &self,
+        kind: MsgKind,
+        payload_bytes: usize,
+        pending_bytes: usize,
+        clock_bytes: usize,
+    ) -> Duration {
+        let idx = MSG_KINDS
+            .iter()
+            .position(|(k, _)| *k == kind)
+            .expect("kind listed");
+        self.typed.by_kind[idx].inc();
+        self.typed.piggyback_pending_bytes.add(pending_bytes as u64);
+        self.typed.piggyback_clock_bytes.add(clock_bytes as u64);
         let seq = self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes
             .fetch_add(payload_bytes as u64, Ordering::Relaxed);
@@ -105,6 +174,15 @@ impl SimulatedNetwork {
         delay
     }
 
+    /// Messages delivered of one kind.
+    pub fn messages_of(&self, kind: MsgKind) -> u64 {
+        let idx = MSG_KINDS
+            .iter()
+            .position(|(k, _)| *k == kind)
+            .expect("kind listed");
+        self.typed.by_kind[idx].get()
+    }
+
     /// Traffic counters so far.
     pub fn stats(&self) -> NetworkStats {
         NetworkStats {
@@ -112,6 +190,26 @@ impl SimulatedNetwork {
             bytes: self.bytes.load(Ordering::Relaxed),
             injected_latency_nanos: self.injected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Writes the `[cluster]` section of a metrics report: totals,
+    /// the per-type message counts, and the piggyback byte counters.
+    pub fn report(&self, report: &mut ReportBuilder) {
+        let stats = self.stats();
+        report
+            .section("cluster")
+            .metric("messages", stats.messages)
+            .metric("bytes", stats.bytes)
+            .metric("injected_latency_nanos", stats.injected_latency_nanos);
+        for (idx, (_, name)) in MSG_KINDS.iter().enumerate() {
+            report.counter(&format!("messages.{name}"), &self.typed.by_kind[idx]);
+        }
+        report
+            .counter(
+                "piggyback_pending_bytes",
+                &self.typed.piggyback_pending_bytes,
+            )
+            .counter("piggyback_clock_bytes", &self.typed.piggyback_clock_bytes);
     }
 }
 

@@ -42,7 +42,7 @@ mod protocol;
 mod replication;
 mod ring;
 
-pub use bus::{LatencyModel, NetworkStats, SimulatedNetwork};
+pub use bus::{LatencyModel, MsgKind, NetworkStats, SimulatedNetwork};
 pub use protocol::{DistributedTxn, NodeId, ProtocolCluster};
 pub use replication::ReplicationTracker;
 pub use ring::Ring;

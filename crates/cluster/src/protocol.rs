@@ -19,13 +19,16 @@ use std::collections::BTreeSet;
 
 use aosi::{Epoch, Snapshot, TxnManager};
 
-use crate::bus::SimulatedNetwork;
+use crate::bus::{MsgKind, SimulatedNetwork};
 
 /// 1-based node identifier (matches the epoch stride residues).
 pub type NodeId = u64;
 
 /// Approximate wire size of a protocol message header.
 const HEADER_BYTES: usize = 24;
+
+/// Wire size of one piggybacked epoch clock value.
+const CLOCK_BYTES: usize = std::mem::size_of::<Epoch>();
 
 /// A RW transaction coordinated from one node of the cluster.
 #[derive(Debug)]
@@ -124,15 +127,25 @@ impl ProtocolCluster {
             if node == txn.origin {
                 continue;
             }
-            self.network.transmit(HEADER_BYTES + payload_bytes);
+            self.network.transmit_typed(
+                MsgKind::BeginRequest,
+                HEADER_BYTES + payload_bytes,
+                0,
+                CLOCK_BYTES,
+            );
             let remote = self.manager(node);
             remote.clock().observe(origin_ec);
             remote.register_remote(txn.epoch);
             // Response: the remote's pendingTxs (and its EC, which
             // Table IV shows the origin does not merge here).
             let pending = remote.pending_txs();
-            self.network
-                .transmit(HEADER_BYTES + pending.len() * std::mem::size_of::<Epoch>());
+            let pending_bytes = pending.len() * std::mem::size_of::<Epoch>();
+            self.network.transmit_typed(
+                MsgKind::BeginResponse,
+                HEADER_BYTES + pending_bytes,
+                pending_bytes,
+                CLOCK_BYTES,
+            );
             txn.deps
                 .extend(pending.into_iter().filter(|&p| p < txn.epoch));
         }
@@ -150,7 +163,12 @@ impl ProtocolCluster {
             if node == txn.origin {
                 continue;
             }
-            self.network.transmit(HEADER_BYTES + payload_bytes);
+            self.network.transmit_typed(
+                MsgKind::Forward,
+                HEADER_BYTES + payload_bytes,
+                0,
+                CLOCK_BYTES,
+            );
             self.manager(node).clock().observe(origin_ec);
         }
     }
@@ -167,14 +185,20 @@ impl ProtocolCluster {
             if node == txn.origin {
                 continue;
             }
-            self.network.transmit(HEADER_BYTES + deps_bytes);
+            self.network.transmit_typed(
+                MsgKind::CommitRequest,
+                HEADER_BYTES + deps_bytes,
+                deps_bytes,
+                CLOCK_BYTES,
+            );
             let remote = self.manager(node);
             remote.clock().observe(origin_ec);
             if txn.broadcasted {
                 remote.commit_remote(txn.epoch)?;
             }
             let remote_ec = remote.clock().current_ec();
-            self.network.transmit(HEADER_BYTES);
+            self.network
+                .transmit_typed(MsgKind::CommitResponse, HEADER_BYTES, 0, CLOCK_BYTES);
             origin.clock().observe(remote_ec);
         }
         Ok(())
@@ -189,14 +213,16 @@ impl ProtocolCluster {
             if node == txn.origin {
                 continue;
             }
-            self.network.transmit(HEADER_BYTES);
+            self.network
+                .transmit_typed(MsgKind::RollbackRequest, HEADER_BYTES, 0, CLOCK_BYTES);
             let remote = self.manager(node);
             remote.clock().observe(origin_ec);
             if txn.broadcasted {
                 remote.rollback_remote(txn.epoch)?;
             }
             let remote_ec = remote.clock().current_ec();
-            self.network.transmit(HEADER_BYTES);
+            self.network
+                .transmit_typed(MsgKind::RollbackResponse, HEADER_BYTES, 0, CLOCK_BYTES);
             origin.clock().observe(remote_ec);
         }
         Ok(())
@@ -381,5 +407,54 @@ mod tests {
         c.commit(&t).unwrap();
         assert_eq!(c.network().stats().messages, begin_msgs + 6);
         assert!(c.network().stats().bytes > 1500);
+    }
+
+    #[test]
+    fn traffic_is_classified_by_type() {
+        let c = ProtocolCluster::new(3, SimulatedNetwork::instant());
+        let mut t1 = c.begin_rw(1);
+        c.broadcast_begin(&mut t1, 500);
+        // T1 is pending when T2 begins, so both begin responses
+        // piggyback one-epoch pending sets.
+        let mut t2 = c.begin_rw(2);
+        c.broadcast_begin(&mut t2, 500);
+        c.forward_op(&t2, &[1, 3], 500);
+        c.commit(&t2).unwrap();
+        c.rollback(&t1).unwrap();
+
+        let net = c.network();
+        assert_eq!(net.messages_of(MsgKind::BeginRequest), 4);
+        assert_eq!(net.messages_of(MsgKind::BeginResponse), 4);
+        assert_eq!(net.messages_of(MsgKind::Forward), 2);
+        assert_eq!(net.messages_of(MsgKind::CommitRequest), 2);
+        assert_eq!(net.messages_of(MsgKind::CommitResponse), 2);
+        assert_eq!(net.messages_of(MsgKind::RollbackRequest), 2);
+        assert_eq!(net.messages_of(MsgKind::RollbackResponse), 2);
+        assert_eq!(net.messages_of(MsgKind::Other), 0);
+        // The typed counts partition the total message count.
+        assert_eq!(net.stats().messages, 18);
+
+        let mut report = obs::ReportBuilder::new();
+        net.report(&mut report);
+        let text = report.finish();
+        assert!(text.contains("[cluster]"), "report:\n{text}");
+        assert!(text.contains("messages = 18"), "report:\n{text}");
+        assert!(
+            text.contains("messages.begin_request = 4"),
+            "report:\n{text}"
+        );
+        // Begin responses ship the remote pending sets ({T1} for
+        // T1's broadcast, {T1, T2} for T2's: 2x8 + 2x16 = 48 bytes)
+        // and T2's commit request ships its one-element deps set to
+        // two remotes (16 bytes).
+        assert!(
+            text.contains("piggyback_pending_bytes = 64"),
+            "report:\n{text}"
+        );
+        // Every message piggybacks one clock value.
+        assert!(
+            text.contains("piggyback_clock_bytes = 144"),
+            "report:\n{text}"
+        );
     }
 }

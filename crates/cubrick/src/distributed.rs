@@ -25,8 +25,9 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use aosi::{ReadGuard, Snapshot};
-use cluster::{NodeId, ProtocolCluster, Ring, SimulatedNetwork};
+use cluster::{MsgKind, NodeId, ProtocolCluster, Ring, SimulatedNetwork};
 use columnar::Row;
+use obs::ReportBuilder;
 
 use crate::cube::Cube;
 use crate::ddl::CubeSchema;
@@ -148,7 +149,7 @@ impl DistributedEngine {
                     .values()
                     .map(|recs| recs.len() * approx_record_bytes(&cube))
                     .sum();
-                self.network().transmit(bytes);
+                self.network().transmit_typed(MsgKind::Forward, bytes, 0, 0);
             }
         }
         let forward = forward_started.elapsed();
@@ -215,7 +216,7 @@ impl DistributedEngine {
                     let node = idx as u64 + 1;
                     if node != origin {
                         // Query shipping + result return.
-                        self.network().transmit(128);
+                        self.network().transmit_typed(MsgKind::Forward, 128, 0, 0);
                     }
                     let cube = cube.clone();
                     let resolved = resolved.clone();
@@ -250,7 +251,7 @@ impl DistributedEngine {
         for (idx, engine) in self.engines.iter().enumerate() {
             let node = idx as u64 + 1;
             if node != origin {
-                self.network().transmit(64);
+                self.network().transmit_typed(MsgKind::Forward, 64, 0, 0);
             }
             marked_total += engine.mark_delete_where(&cube, filters, txn.epoch)?;
         }
@@ -270,6 +271,19 @@ impl DistributedEngine {
                 a
             },
         )
+    }
+
+    /// Renders the cluster-wide metrics report: the `[cluster]`
+    /// network section (per-type message counts, piggybacked
+    /// pendingTxs/clock bytes) followed by every node's `[aosi]`,
+    /// `[engine]`, and `[shards]` sections prefixed `node{n}.`.
+    pub fn metrics_report(&self) -> String {
+        let mut report = ReportBuilder::new();
+        self.network().report(&mut report);
+        for (idx, engine) in self.engines.iter().enumerate() {
+            engine.report_into(&mut report, &format!("node{}.", idx + 1));
+        }
+        report.finish()
     }
 
     /// Aggregate memory accounting across nodes.
@@ -456,6 +470,30 @@ mod tests {
         assert!(after_load.bytes > before.bytes);
         let _ = total_likes(&d, 1, IsolationMode::Snapshot);
         assert!(d.network().stats().messages > after_load.messages);
+    }
+
+    #[test]
+    fn metrics_report_covers_every_node() {
+        let d = cluster(3);
+        let rows: Vec<Row> = (0..64).map(|i| row("us", (i % 32) as i64, 1)).collect();
+        d.load(1, "events", &rows, 0).unwrap();
+        let _ = total_likes(&d, 2, IsolationMode::Snapshot);
+        let report = d.metrics_report();
+        assert!(report.contains("[cluster]"), "report:\n{report}");
+        assert!(
+            report.contains("messages.begin_request"),
+            "report:\n{report}"
+        );
+        for node in 1..=3 {
+            for section in ["aosi", "engine", "shards"] {
+                let needle = format!("[node{node}.{section}]");
+                assert!(report.contains(&needle), "missing {needle}:\n{report}");
+            }
+        }
+        // The coordinator's load and everyone's scans show up.
+        assert!(report.contains("node1.engine]"), "report:\n{report}");
+        assert!(report.contains("flushes = 1"), "report:\n{report}");
+        assert!(report.contains("queries = 0"), "report:\n{report}");
     }
 
     #[test]

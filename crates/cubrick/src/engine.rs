@@ -22,12 +22,12 @@
 //!   protocol-level `purge`/`rollback` results.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aosi::{Epoch, Snapshot, Txn, TxnManager, TxnPartitionIndex};
 use columnar::Row;
+use obs::{Counter, Histogram, ReportBuilder};
 use parking_lot::RwLock;
 
 use crate::brick::{Brick, DimStorage};
@@ -101,24 +101,44 @@ pub struct EngineOpStats {
     pub loads: u64,
     /// Rows ingested.
     pub rows_loaded: u64,
+    /// Batch flushes through the shard pool.
+    pub flushes: u64,
     /// Queries executed.
     pub queries: u64,
     /// Partition-delete statements.
     pub deletes: u64,
     /// Purge cycles run.
     pub purges: u64,
+    /// Rows physically reclaimed by purge.
+    pub rows_purged: u64,
+    /// Epochs-vector entries reclaimed by purge.
+    pub entries_reclaimed: u64,
     /// Transactions rolled back.
     pub rollbacks: u64,
 }
 
 #[derive(Debug, Default)]
 struct OpCounters {
-    loads: AtomicU64,
-    rows_loaded: AtomicU64,
-    queries: AtomicU64,
-    deletes: AtomicU64,
-    purges: AtomicU64,
-    rollbacks: AtomicU64,
+    loads: Counter,
+    rows_loaded: Counter,
+    flushes: Counter,
+    queries: Counter,
+    deletes: Counter,
+    purges: Counter,
+    rows_purged: Counter,
+    entries_reclaimed: Counter,
+    rollbacks: Counter,
+}
+
+/// Engine-level latency distributions and scan-time totals. All
+/// lock-free (see the `obs` crate): recording sits directly on the
+/// query and load paths.
+#[derive(Debug, Default)]
+struct EngineMetrics {
+    query_nanos: Histogram,
+    load_nanos: Histogram,
+    visibility_build_nanos: Counter,
+    scan_nanos: Counter,
 }
 
 /// Outcome of one purge cycle.
@@ -140,6 +160,7 @@ pub struct Engine {
     dim_storage: DimStorage,
     rollback_index: Option<TxnPartitionIndex>,
     ops: OpCounters,
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -158,19 +179,57 @@ impl Engine {
             dim_storage: DimStorage::Plain,
             rollback_index: None,
             ops: OpCounters::default(),
+            metrics: EngineMetrics::default(),
         }
     }
 
     /// Cumulative operation counters.
     pub fn op_stats(&self) -> EngineOpStats {
         EngineOpStats {
-            loads: self.ops.loads.load(Ordering::Relaxed),
-            rows_loaded: self.ops.rows_loaded.load(Ordering::Relaxed),
-            queries: self.ops.queries.load(Ordering::Relaxed),
-            deletes: self.ops.deletes.load(Ordering::Relaxed),
-            purges: self.ops.purges.load(Ordering::Relaxed),
-            rollbacks: self.ops.rollbacks.load(Ordering::Relaxed),
+            loads: self.ops.loads.get(),
+            rows_loaded: self.ops.rows_loaded.get(),
+            flushes: self.ops.flushes.get(),
+            queries: self.ops.queries.get(),
+            deletes: self.ops.deletes.get(),
+            purges: self.ops.purges.get(),
+            rows_purged: self.ops.rows_purged.get(),
+            entries_reclaimed: self.ops.entries_reclaimed.get(),
+            rollbacks: self.ops.rollbacks.get(),
         }
+    }
+
+    /// Renders this node's full metrics report — `[aosi]`, `[engine]`,
+    /// and `[shards]` sections in the `obs` plain-text format.
+    pub fn metrics_report(&self) -> String {
+        let mut report = ReportBuilder::new();
+        self.report_into(&mut report, "");
+        report.finish()
+    }
+
+    /// Writes this node's report sections, prefixing section names
+    /// with `prefix` (the distributed engine passes `"node1."` etc.).
+    pub(crate) fn report_into(&self, report: &mut ReportBuilder, prefix: &str) {
+        self.manager.report_as(report, &format!("{prefix}aosi"));
+        report
+            .section(&format!("{prefix}engine"))
+            .metric("cubes", self.cubes.read().len())
+            .counter("loads", &self.ops.loads)
+            .counter("rows_loaded", &self.ops.rows_loaded)
+            .counter("flushes", &self.ops.flushes)
+            .counter("queries", &self.ops.queries)
+            .counter("deletes", &self.ops.deletes)
+            .counter("purges", &self.ops.purges)
+            .counter("rows_purged", &self.ops.rows_purged)
+            .counter("entries_reclaimed", &self.ops.entries_reclaimed)
+            .counter("rollbacks", &self.ops.rollbacks)
+            .counter(
+                "visibility_build_nanos",
+                &self.metrics.visibility_build_nanos,
+            )
+            .counter("scan_nanos", &self.metrics.scan_nanos)
+            .histogram("query_nanos", &self.metrics.query_nanos)
+            .histogram("load_nanos", &self.metrics.load_nanos);
+        self.shards.report_as(report, &format!("{prefix}shards"));
     }
 
     /// Enables the transaction-to-partition index the paper describes
@@ -299,10 +358,9 @@ impl Engine {
         if let Some(index) = &self.rollback_index {
             index.forget(txn.epoch());
         }
-        self.ops.loads.fetch_add(1, Ordering::Relaxed);
-        self.ops
-            .rows_loaded
-            .fetch_add(accepted as u64, Ordering::Relaxed);
+        self.ops.loads.inc();
+        self.ops.rows_loaded.add(accepted as u64);
+        self.metrics.load_nanos.record_duration(started.elapsed());
         Ok(LoadOutcome {
             epoch: txn.epoch(),
             accepted,
@@ -321,6 +379,7 @@ impl Engine {
     /// threads to apply it. Used by `load`, explicit transactions,
     /// and the distributed engine's flush step.
     pub(crate) fn flush_batch(&self, cube: &Cube, epoch: Epoch, batch: ParsedBatch) {
+        self.ops.flushes.inc();
         let mut touched: Vec<usize> = Vec::new();
         for (bid, records) in batch.by_bid {
             if let Some(index) = &self.rollback_index {
@@ -380,7 +439,7 @@ impl Engine {
     /// rows from every brick (Section III-C5: scan every partition,
     /// rebuild, swap).
     pub fn rollback(&self, txn: &Txn) -> Result<u64, CubrickError> {
-        self.ops.rollbacks.fetch_add(1, Ordering::Relaxed);
+        self.ops.rollbacks.inc();
         self.manager.rollback(txn)?;
         let removed = self.reclaim_epoch(txn.epoch());
         self.manager.clear_rolled_back(&[txn.epoch()]);
@@ -440,7 +499,7 @@ impl Engine {
     ) -> Result<QueryResult, CubrickError> {
         let cube = self.cube(cube)?;
         let resolved = ResolvedQuery::resolve(&cube, query)?;
-        self.ops.queries.fetch_add(1, Ordering::Relaxed);
+        self.ops.queries.inc();
         match mode {
             IsolationMode::Snapshot => {
                 // Register the snapshot so LSE (and purge) cannot pass
@@ -480,6 +539,13 @@ impl Engine {
         query: &Query,
         epoch: Epoch,
     ) -> Result<QueryResult, CubrickError> {
+        // Register the read guard BEFORE validating the window:
+        // guard registration and the LSE advance share one lock, so
+        // an epoch that passes the check below cannot be purged for
+        // the lifetime of the guard. (Checking first and guarding
+        // after left a window where a concurrent advance_lse + purge
+        // could compact history under an already-validated epoch.)
+        let guard = self.manager.guard_snapshot(Snapshot::committed(epoch));
         let (lse, lce) = (self.manager.lse(), self.manager.lce());
         if epoch < lse || epoch > lce {
             return Err(CubrickError::EpochOutOfRange {
@@ -488,7 +554,7 @@ impl Engine {
                 lce,
             });
         }
-        let guard = self.manager.guard_snapshot(Snapshot::committed(epoch));
+        self.ops.queries.inc();
         self.query_at(cube, query, guard.snapshot())
     }
 
@@ -512,8 +578,11 @@ impl Engine {
         resolved: &ResolvedQuery,
         snapshot: Option<Snapshot>,
     ) -> QueryResult {
+        let started = Instant::now();
         let merged = self.execute_partial(cube, resolved, snapshot);
-        QueryResult::finalize(cube, resolved, merged)
+        let result = QueryResult::finalize(cube, resolved, merged);
+        self.metrics.query_nanos.record_duration(started.elapsed());
+        result
     }
 
     /// Shard fan-out producing mergeable partial aggregates; the
@@ -539,7 +608,8 @@ impl Engine {
                         partial.stats.bricks_pruned += 1;
                         continue;
                     }
-                    if resolved.filters.is_empty() {
+                    let vis_started = Instant::now();
+                    let scanned = if resolved.filters.is_empty() {
                         // Unfiltered scans never need a bitmap: walk
                         // the visible ranges (SI) or the whole brick
                         // (RU) directly.
@@ -548,14 +618,26 @@ impl Engine {
                             #[allow(clippy::single_range_in_vec_init)]
                             None => vec![0..brick.row_count()],
                         };
-                        partial.merge(crate::query::scan_brick_ranges(brick, &ranges, &resolved));
+                        let vis_nanos = vis_started.elapsed();
+                        let scan_started = Instant::now();
+                        let mut scanned =
+                            crate::query::scan_brick_ranges(brick, &ranges, &resolved);
+                        scanned.stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
+                        scanned.stats.visibility_build_nanos = vis_nanos.as_nanos() as u64;
+                        scanned
                     } else {
                         let visibility = match &snapshot {
                             Some(snap) => brick.visibility(snap),
                             None => brick.all_rows(),
                         };
-                        partial.merge(crate::query::scan_brick(brick, visibility, &resolved));
-                    }
+                        let vis_nanos = vis_started.elapsed();
+                        let scan_started = Instant::now();
+                        let mut scanned = crate::query::scan_brick(brick, visibility, &resolved);
+                        scanned.stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
+                        scanned.stats.visibility_build_nanos = vis_nanos.as_nanos() as u64;
+                        scanned
+                    };
+                    partial.merge(scanned);
                 }
                 partial
             })
@@ -564,6 +646,10 @@ impl Engine {
         for partial in partials {
             merged.merge(partial);
         }
+        self.metrics
+            .visibility_build_nanos
+            .add(merged.stats.visibility_build_nanos);
+        self.metrics.scan_nanos.add(merged.stats.scan_nanos);
         merged
     }
 
@@ -581,7 +667,7 @@ impl Engine {
         let txn = self.manager.begin_rw();
         let marked = self.mark_delete_where(&cube, filters, txn.epoch())?;
         self.manager.commit(&txn)?;
-        self.ops.deletes.fetch_add(1, Ordering::Relaxed);
+        self.ops.deletes.inc();
         Ok((txn.epoch(), marked))
     }
 
@@ -637,7 +723,7 @@ impl Engine {
     /// Runs one purge cycle at the current LSE over every brick
     /// (Section III-C4).
     pub fn purge(&self) -> PurgeStats {
-        self.ops.purges.fetch_add(1, Ordering::Relaxed);
+        self.ops.purges.inc();
         let lse = self.manager.lse();
         let stats = self.shards.map_shards(|_| {
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
@@ -656,12 +742,15 @@ impl Engine {
                 stats
             })
         });
-        stats.into_iter().fold(PurgeStats::default(), |mut a, s| {
+        let total = stats.into_iter().fold(PurgeStats::default(), |mut a, s| {
             a.rows_purged += s.rows_purged;
             a.entries_reclaimed += s.entries_reclaimed;
             a.bricks_changed += s.bricks_changed;
             a
-        })
+        });
+        self.ops.rows_purged.add(total.rows_purged);
+        self.ops.entries_reclaimed.add(total.entries_reclaimed);
+        total
     }
 
     /// Convenience used by the flush machinery and the benches:
@@ -1086,6 +1175,132 @@ mod tests {
         assert!(engine.manager().advance_lse(2).is_err());
         drop(guard);
         engine.manager().advance_lse(2).unwrap();
+    }
+
+    #[test]
+    fn query_as_of_guards_before_validating() {
+        // Regression: query_as_of used to validate the epoch window
+        // first and register the read guard after, leaving a window
+        // where a concurrent advance_lse + purge could compact
+        // history under an already-validated epoch. Race historical
+        // reads against a writer marching LSE forward: every read
+        // must either fail the window check or see exactly its
+        // epoch's data.
+        use std::sync::Arc;
+        let engine = Arc::new(engine());
+        for i in 0..60i64 {
+            engine
+                .load("events", &[row("us", i % 16, 1, 0.0)], 0)
+                .unwrap();
+        }
+        let writer = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for e in 1..=60 {
+                    if engine.manager().advance_lse(e).is_ok() {
+                        engine.purge();
+                    }
+                }
+            })
+        };
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]);
+        let mut ok_reads = 0u32;
+        for e in (1..=60u64).rev().chain(1..=60) {
+            match engine.query_as_of("events", &q, e) {
+                Ok(result) => {
+                    ok_reads += 1;
+                    assert_eq!(
+                        result.scalar().unwrap_or(0.0),
+                        e as f64,
+                        "as-of epoch {e} must see exactly the first {e} loads"
+                    );
+                }
+                Err(CubrickError::EpochOutOfRange { .. }) => {}
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        writer.join().unwrap();
+        assert!(ok_reads > 0, "some historical reads must land");
+        // The window floor moved, but the newest epoch stays readable.
+        let newest = engine.query_as_of("events", &q, 60).unwrap();
+        assert_eq!(newest.scalar(), Some(60.0));
+    }
+
+    #[test]
+    fn query_results_carry_populated_stats() {
+        let engine = engine();
+        engine
+            .load(
+                "events",
+                &[
+                    row("us", 0, 10, 1.0),
+                    row("br", 5, 20, 2.0),
+                    row("us", 9, 30, 3.0),
+                ],
+                0,
+            )
+            .unwrap();
+        // Unfiltered: the visible-ranges fast path on every brick.
+        let unfiltered = engine
+            .query(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")]),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        assert!(unfiltered.stats.bricks_scanned >= 2);
+        assert_eq!(
+            unfiltered.stats.range_scans,
+            unfiltered.stats.bricks_scanned
+        );
+        assert_eq!(unfiltered.stats.bitmap_scans, 0);
+        assert_eq!(unfiltered.stats.rows_visible, 3);
+        // Filtered: materialized visibility bitmaps.
+        let filtered = engine
+            .query(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+                    .filter(DimFilter::new("region", vec![Value::from("us")])),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        assert!(filtered.stats.bitmap_scans >= 1);
+        assert_eq!(filtered.stats.range_scans, 0);
+        assert!(
+            filtered.stats.visibility_build_nanos + filtered.stats.scan_nanos > 0,
+            "wall time must be recorded"
+        );
+        assert!(
+            filtered.stats.scan_time() + filtered.stats.visibility_build_time() > Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn metrics_report_covers_all_sections() {
+        let engine = engine();
+        engine.load("events", &[row("us", 0, 1, 0.0)], 0).unwrap();
+        engine
+            .query(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")]),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        engine.advance_lse_and_purge();
+        let report = engine.metrics_report();
+        for needle in [
+            "[aosi]",
+            "[engine]",
+            "[shards]",
+            "loads = 1",
+            "flushes = 1",
+            "queries = 1",
+            "purges = 1",
+            "query_nanos.count = 1",
+            "load_nanos.count = 1",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
     }
 
     #[test]

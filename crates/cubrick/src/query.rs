@@ -137,9 +137,10 @@ impl Query {
     }
 }
 
-/// Scan-side counters.
+/// Per-query execution statistics: carried on every [`QueryResult`]
+/// and [`PartialResult`], merged across bricks, shards, and nodes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ScanStats {
+pub struct QueryStats {
     /// Bricks whose rows were scanned.
     pub bricks_scanned: u64,
     /// Bricks skipped by range pruning.
@@ -148,7 +149,47 @@ pub struct ScanStats {
     pub rows_scanned: u64,
     /// Rows that survived visibility + filters.
     pub rows_visible: u64,
+    /// Bricks scanned through the unfiltered visible-ranges fast
+    /// path (no bitmap materialized).
+    pub range_scans: u64,
+    /// Bricks scanned through a materialized visibility bitmap.
+    pub bitmap_scans: u64,
+    /// Wall nanoseconds spent materializing visibility (bitmaps or
+    /// ranges), summed across bricks — parallel shard work can make
+    /// this exceed the query's elapsed time.
+    pub visibility_build_nanos: u64,
+    /// Wall nanoseconds spent scanning and aggregating, summed
+    /// across bricks.
+    pub scan_nanos: u64,
 }
+
+impl QueryStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.bricks_scanned += other.bricks_scanned;
+        self.bricks_pruned += other.bricks_pruned;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_visible += other.rows_visible;
+        self.range_scans += other.range_scans;
+        self.bitmap_scans += other.bitmap_scans;
+        self.visibility_build_nanos += other.visibility_build_nanos;
+        self.scan_nanos += other.scan_nanos;
+    }
+
+    /// Total visibility-materialization time.
+    pub fn visibility_build_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.visibility_build_nanos)
+    }
+
+    /// Total scan/aggregation time.
+    pub fn scan_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.scan_nanos)
+    }
+}
+
+/// Former name of [`QueryStats`], kept for readability where only the
+/// scan-side counters are meant.
+pub type ScanStats = QueryStats;
 
 /// Mergeable aggregation accumulator.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -388,10 +429,7 @@ impl PartialResult {
                 }
             }
         }
-        self.stats.bricks_scanned += other.stats.bricks_scanned;
-        self.stats.bricks_pruned += other.stats.bricks_pruned;
-        self.stats.rows_scanned += other.stats.rows_scanned;
-        self.stats.rows_visible += other.stats.rows_visible;
+        self.stats.absorb(&other.stats);
     }
 }
 
@@ -411,7 +449,9 @@ pub(crate) fn scan_brick(
             }
         }
     }
-    accumulate(brick, visibility.iter_ones(), resolved)
+    let mut result = accumulate(brick, visibility.iter_ones(), resolved);
+    result.stats.bitmap_scans = 1;
+    result
 }
 
 /// The unfiltered-scan fast path: iterate the snapshot's visible
@@ -427,7 +467,9 @@ pub(crate) fn scan_brick_ranges(
     let rows = ranges
         .iter()
         .flat_map(|r| (r.start as usize)..(r.end as usize));
-    accumulate(brick, rows, resolved)
+    let mut result = accumulate(brick, rows, resolved);
+    result.stats.range_scans = 1;
+    result
 }
 
 fn accumulate(
@@ -436,11 +478,10 @@ fn accumulate(
     resolved: &ResolvedQuery,
 ) -> PartialResult {
     let mut result = PartialResult {
-        stats: ScanStats {
+        stats: QueryStats {
             bricks_scanned: 1,
-            bricks_pruned: 0,
             rows_scanned: brick.row_count(),
-            rows_visible: 0,
+            ..Default::default()
         },
         ..Default::default()
     };
@@ -858,6 +899,27 @@ mod tests {
         assert_eq!(result.rows[0].1, vec![80.0, 10.0], "sums add, mins hold");
         assert_eq!(result.stats.bricks_scanned, 2);
         assert_eq!(result.stats.rows_visible, 6);
+    }
+
+    #[test]
+    fn stats_record_which_scan_path_ran() {
+        let cube = cube();
+        let brick = brick_with_data(&cube);
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")]);
+        let r = resolved(&cube, &q);
+        let snap = Snapshot::committed(1);
+        let via_bitmap = scan_brick(&brick, brick.visibility(&snap), &r);
+        assert_eq!(via_bitmap.stats.bitmap_scans, 1);
+        assert_eq!(via_bitmap.stats.range_scans, 0);
+        let ranges = brick.epochs().visible_ranges(&snap);
+        let mut via_ranges = scan_brick_ranges(&brick, &ranges, &r);
+        assert_eq!(via_ranges.stats.range_scans, 1);
+        assert_eq!(via_ranges.stats.bitmap_scans, 0);
+        via_ranges.merge(via_bitmap);
+        assert_eq!(via_ranges.stats.range_scans, 1);
+        assert_eq!(via_ranges.stats.bitmap_scans, 1);
+        assert_eq!(via_ranges.stats.bricks_scanned, 2);
+        assert_eq!(via_ranges.stats.rows_visible, 6);
     }
 
     #[test]

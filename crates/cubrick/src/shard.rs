@@ -16,9 +16,12 @@
 //! also what gives the transaction manager its ordering assumption.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
+use obs::{Counter, ReportBuilder};
 
 use crate::brick::Brick;
 
@@ -27,10 +30,29 @@ pub type ShardBricks = HashMap<String, HashMap<u64, Brick>>;
 
 type Task = Box<dyn FnOnce(&mut ShardBricks) + Send>;
 
+/// Per-pool lock-free counters (shared with the worker threads).
+#[derive(Debug)]
+struct PoolMetrics {
+    /// Tasks executed, per shard.
+    tasks: Vec<Counter>,
+    /// Task panics caught (the shard survives each one).
+    panics: Counter,
+}
+
 /// A pool of single-writer shard threads.
+///
+/// Workers are panic-safe: a panicking task is caught, counted, and
+/// the shard keeps consuming its queue — one poisoned operation must
+/// not take down the single thread that owns a slice of every cube's
+/// bricks. Waited tasks ([`ShardPool::submit_and_wait`] /
+/// [`ShardPool::map_shards`]) re-raise the panic on the calling
+/// thread instead. A panicking task may leave its own partial writes
+/// behind (same as before the catch — there is no rollback here);
+/// isolation of such writes is the transaction layer's job.
 pub struct ShardPool {
     senders: Vec<Sender<Task>>,
     handles: Vec<JoinHandle<()>>,
+    metrics: Arc<PoolMetrics>,
 }
 
 impl ShardPool {
@@ -40,11 +62,16 @@ impl ShardPool {
     /// Panics if `num_shards` is zero.
     pub fn new(num_shards: usize) -> Self {
         assert!(num_shards >= 1, "need at least one shard");
+        let metrics = Arc::new(PoolMetrics {
+            tasks: (0..num_shards).map(|_| Counter::new()).collect(),
+            panics: Counter::new(),
+        });
         let mut senders = Vec::with_capacity(num_shards);
         let mut handles = Vec::with_capacity(num_shards);
         for shard in 0..num_shards {
             let (tx, rx) = unbounded::<Task>();
             senders.push(tx);
+            let metrics = Arc::clone(&metrics);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("cubrick-shard-{shard}"))
@@ -53,13 +80,20 @@ impl ShardPool {
                         // Channel closure (all senders dropped) ends
                         // the shard.
                         while let Ok(task) = rx.recv() {
-                            task(&mut bricks);
+                            metrics.tasks[shard].inc();
+                            if catch_unwind(AssertUnwindSafe(|| task(&mut bricks))).is_err() {
+                                metrics.panics.inc();
+                            }
                         }
                     })
                     .expect("spawn shard thread"),
             );
         }
-        ShardPool { senders, handles }
+        ShardPool {
+            senders,
+            handles,
+            metrics,
+        }
     }
 
     /// Number of shards.
@@ -80,7 +114,9 @@ impl ShardPool {
             .expect("shard thread alive");
     }
 
-    /// Runs `task` on `shard` and waits for its result.
+    /// Runs `task` on `shard` and waits for its result. If the task
+    /// panics, the panic is re-raised here (the shard itself stays
+    /// alive).
     pub fn submit_and_wait<R: Send + 'static>(
         &self,
         shard: usize,
@@ -88,9 +124,9 @@ impl ShardPool {
     ) -> R {
         let (tx, rx) = unbounded();
         self.submit(shard, move |bricks| {
-            let _ = tx.send(task(bricks));
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(|| task(bricks))));
         });
-        rx.recv().expect("shard thread alive")
+        self.unwrap_waited(rx.recv().expect("shard thread alive"))
     }
 
     /// Runs `make_task(shard)` on every shard concurrently and
@@ -106,14 +142,52 @@ impl ShardPool {
             let task = make_task(shard);
             let (tx, rx) = unbounded();
             self.submit(shard, move |bricks| {
-                let _ = tx.send(task(bricks));
+                let _ = tx.send(catch_unwind(AssertUnwindSafe(|| task(bricks))));
             });
             receivers.push(rx);
         }
         receivers
             .into_iter()
-            .map(|rx| rx.recv().expect("shard thread alive"))
+            .map(|rx| self.unwrap_waited(rx.recv().expect("shard thread alive")))
             .collect()
+    }
+
+    /// Unwraps a waited task's outcome, counting and re-raising a
+    /// caught panic on the calling thread.
+    fn unwrap_waited<R>(&self, outcome: std::thread::Result<R>) -> R {
+        match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                self.metrics.panics.inc();
+                resume_unwind(payload)
+            }
+        }
+    }
+
+    /// Task panics caught so far (fire-and-forget and waited).
+    pub fn panics_caught(&self) -> u64 {
+        self.metrics.panics.get()
+    }
+
+    /// Writes the shard-pool report section: pool totals plus
+    /// per-shard executed-task counts and instantaneous queue depths.
+    pub(crate) fn report_as(&self, report: &mut ReportBuilder, section: &str) {
+        let queue_depth: usize = self.senders.iter().map(Sender::len).sum();
+        let tasks: u64 = self.metrics.tasks.iter().map(Counter::get).sum();
+        report
+            .section(section)
+            .metric("shards", self.senders.len())
+            .metric("tasks", tasks)
+            .metric("queue_depth", queue_depth)
+            .counter("panics_caught", &self.metrics.panics);
+        for (shard, sender) in self.senders.iter().enumerate() {
+            report
+                .metric(
+                    &format!("shard{shard}.tasks"),
+                    self.metrics.tasks[shard].get(),
+                )
+                .metric(&format!("shard{shard}.queue_depth"), sender.len());
+        }
     }
 
     /// Blocks until every operation enqueued before this call has
@@ -224,5 +298,54 @@ mod tests {
         let pool = ShardPool::new(4);
         pool.submit(0, |_| ());
         drop(pool);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_shard() {
+        let pool = ShardPool::new(2);
+        // Fire-and-forget panic: the worker catches it and keeps
+        // consuming its queue.
+        pool.submit(0, |_| panic!("boom"));
+        assert_eq!(pool.submit_and_wait(0, |_| 7), 7);
+        assert_eq!(pool.panics_caught(), 1);
+
+        // Waited panic: re-raised on the caller, shard still alive.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.submit_and_wait(0, |_| -> usize { panic!("waited boom") })
+        }));
+        assert!(caught.is_err(), "panic must propagate to the caller");
+        assert_eq!(pool.submit_and_wait(0, |_| 9), 9);
+
+        // map_shards re-raises too, and the whole pool survives.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_shards(|shard| {
+                Box::new(move |_: &mut ShardBricks| {
+                    if shard == 1 {
+                        panic!("shard 1 boom");
+                    }
+                    shard
+                })
+            })
+        }));
+        assert!(caught.is_err());
+        assert_eq!(pool.panics_caught(), 3);
+        let ids = pool.map_shards(|shard| Box::new(move |_: &mut ShardBricks| shard));
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn report_covers_tasks_and_queues() {
+        let pool = ShardPool::new(2);
+        pool.submit_and_wait(0, |_| ());
+        pool.submit_and_wait(1, |_| ());
+        let mut report = ReportBuilder::new();
+        pool.report_as(&mut report, "shards");
+        let text = report.finish();
+        assert!(text.contains("[shards]"), "report:\n{text}");
+        assert!(text.contains("shards = 2"), "report:\n{text}");
+        assert!(text.contains("tasks = 2"), "report:\n{text}");
+        assert!(text.contains("shard0.tasks = 1"), "report:\n{text}");
+        assert!(text.contains("queue_depth = 0"), "report:\n{text}");
+        assert!(text.contains("panics_caught = 0"), "report:\n{text}");
     }
 }

@@ -1,0 +1,124 @@
+//! End-to-end observability: every subsystem — AOSI manager, engine,
+//! shard pool, cluster network — shows up in one metrics report, and
+//! query results carry populated per-query statistics.
+
+use aosi_repro::cluster::SimulatedNetwork;
+use aosi_repro::columnar::Value;
+use aosi_repro::cubrick::{
+    AggFn, Aggregation, CubeSchema, DimFilter, Dimension, DistributedEngine, Engine, IsolationMode,
+    Metric, Query,
+};
+
+fn schema() -> CubeSchema {
+    CubeSchema::new(
+        "events",
+        vec![
+            Dimension::string("region", 8, 2),
+            Dimension::int("day", 32, 4),
+        ],
+        vec![Metric::int("likes")],
+    )
+    .unwrap()
+}
+
+fn row(region: &str, day: i64, likes: i64) -> Vec<Value> {
+    vec![region.into(), Value::I64(day), Value::I64(likes)]
+}
+
+fn sum_query() -> Query {
+    Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+}
+
+#[test]
+fn query_results_carry_populated_stats_end_to_end() {
+    let engine = Engine::new(2);
+    engine.create_cube(schema()).unwrap();
+    let rows: Vec<_> = (0..100).map(|i| row("us", i % 32, 1)).collect();
+    engine.load("events", &rows, 0).unwrap();
+
+    // Unfiltered scans take the contiguous-range path.
+    let unfiltered = engine
+        .query("events", &sum_query(), IsolationMode::Snapshot)
+        .unwrap();
+    assert_eq!(unfiltered.scalar(), Some(100.0));
+    assert!(unfiltered.stats.bricks_scanned >= 1);
+    assert_eq!(
+        unfiltered.stats.range_scans,
+        unfiltered.stats.bricks_scanned
+    );
+    assert_eq!(unfiltered.stats.bitmap_scans, 0);
+    assert_eq!(unfiltered.stats.rows_scanned, 100);
+    assert_eq!(unfiltered.stats.rows_visible, 100);
+
+    // Filtered scans materialise a bitmap per brick.
+    let filtered = engine
+        .query(
+            "events",
+            &sum_query().filter(DimFilter::new("day", vec![Value::I64(3)])),
+            IsolationMode::Snapshot,
+        )
+        .unwrap();
+    assert!(filtered.stats.bitmap_scans >= 1);
+    assert_eq!(filtered.stats.range_scans, 0);
+    assert!(filtered.stats.rows_visible < 100);
+    assert!(
+        filtered.stats.visibility_build_nanos + filtered.stats.scan_nanos > 0,
+        "wall-clock phases must be measured"
+    );
+}
+
+#[test]
+fn metrics_report_covers_every_single_node_subsystem() {
+    let engine = Engine::new(2);
+    engine.create_cube(schema()).unwrap();
+    let rows: Vec<_> = (0..50).map(|i| row("br", i % 32, i)).collect();
+    engine.load("events", &rows, 0).unwrap();
+    engine
+        .query("events", &sum_query(), IsolationMode::Snapshot)
+        .unwrap();
+    engine
+        .delete_where("events", &[DimFilter::new("day", vec![Value::I64(1)])])
+        .unwrap();
+    engine.manager().advance_lse(engine.manager().lce()).ok();
+    engine.purge();
+
+    let report = engine.metrics_report();
+    for section in ["[aosi]", "[engine]", "[shards]"] {
+        assert!(report.contains(section), "missing {section} in:\n{report}");
+    }
+    assert!(report.contains("loads = 1"), "report:\n{report}");
+    assert!(report.contains("queries = 1"), "report:\n{report}");
+    assert!(report.contains("deletes = 1"), "report:\n{report}");
+    assert!(report.contains("purges = 1"), "report:\n{report}");
+    assert!(
+        report.contains("query_nanos.count = 1"),
+        "report:\n{report}"
+    );
+    assert!(report.contains("tasks ="), "report:\n{report}");
+}
+
+#[test]
+fn metrics_report_covers_cluster_and_every_node() {
+    let cluster = DistributedEngine::new(2, 2, SimulatedNetwork::instant());
+    cluster.create_cube(schema()).unwrap();
+    let rows: Vec<_> = (0..80).map(|i| row("mx", i % 32, 1)).collect();
+    cluster.load(1, "events", &rows, 0).unwrap();
+    let result = cluster
+        .query(2, "events", &sum_query(), IsolationMode::Snapshot)
+        .unwrap();
+    assert_eq!(result.scalar(), Some(80.0));
+
+    let report = cluster.metrics_report();
+    assert!(report.contains("[cluster]"), "report:\n{report}");
+    assert!(
+        report.contains("messages.begin_request"),
+        "typed traffic missing in:\n{report}"
+    );
+    for node in 1..=2 {
+        for section in ["aosi", "engine", "shards"] {
+            let header = format!("[node{node}.{section}]");
+            assert!(report.contains(&header), "missing {header} in:\n{report}");
+        }
+    }
+    assert!(report.contains("flushes = 1"), "report:\n{report}");
+}

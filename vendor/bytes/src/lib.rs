@@ -1,0 +1,255 @@
+//! Offline stand-in for [`bytes`](https://crates.io/crates/bytes).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the byte-buffer surface the `wal` codec uses:
+//! little-endian `put_*` writers on [`BytesMut`], `remaining` on
+//! `&[u8]` readers, and an immutable [`Bytes`] produced by
+//! [`BytesMut::freeze`]. Backed by plain `Vec<u8>`/`Arc<[u8]>` — no
+//! refcounted slicing tricks, which nothing here needs.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write-side append operations (all integers little-endian, matching
+/// the real crate's `_le` methods).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.data.into_boxed_slice()),
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.data.len())
+    }
+}
+
+/// Immutable shared byte buffer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(Vec::new().into_boxed_slice()),
+        }
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data.to_vec().into_boxed_slice()),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(data.into_boxed_slice()),
+        }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_methods_write_little_endian() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x0102);
+        buf.put_u32_le(0x03040506);
+        buf.put_u64_le(0x0708090A0B0C0D0E);
+        buf.put_i64_le(-2);
+        buf.put_f64_le(1.5);
+        buf.put_slice(b"xy");
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8 + 8 + 8 + 2);
+        assert_eq!(buf[0], 0xAB);
+        assert_eq!(&buf[1..3], &[0x02, 0x01]);
+        let frozen = buf.freeze();
+        assert_eq!(&frozen[frozen.len() - 2..], b"xy");
+        assert_eq!(frozen.to_vec().len(), frozen.len());
+    }
+
+    #[test]
+    fn slice_buf_cursor() {
+        let data = [1u8, 2, 3, 4];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.remaining(), 4);
+        cursor.advance(1);
+        assert_eq!(cursor.chunk(), &[2, 3, 4]);
+        assert!(cursor.has_remaining());
+        cursor.advance(3);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_clone_shares_storage() {
+        let b = Bytes::from(vec![9u8; 8]);
+        let c = b.clone();
+        assert_eq!(&*b, &*c);
+        assert_eq!(b, c);
+    }
+}

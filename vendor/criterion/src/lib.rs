@@ -1,0 +1,294 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the benchmark-harness surface its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`]
+//! / [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_with_setup`], [`Throughput`], [`BenchmarkId`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop printing mean
+//! ns/iteration (plus derived throughput) — no statistics, HTML
+//! reports, or outlier analysis. Passing `--test` or `--quick` on the
+//! command line (as `cargo test --benches` and CI smoke runs do)
+//! switches to a single-iteration correctness pass.
+
+pub use std::hint::black_box;
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// How to express per-iteration work when reporting throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            label: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count to get a
+    /// stable wall-clock sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.quick {
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // Calibrate: one untimed-ish probe sizes the measured batch.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        let n = (target.as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+
+    /// Times `routine` only, rebuilding its input with `setup` before
+    /// every call.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        let n = if self.quick { 1 } else { 3 };
+        let mut measured = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.iters = n;
+        self.elapsed = measured;
+    }
+}
+
+/// Top-level harness handle; one per bench binary.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.quick, &id.label, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is calibrated
+    /// automatically, so the count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration work reported alongside timings.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion.quick, &label, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion.quick, &label, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    quick: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        quick,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if quick {
+        println!("{label}: ok (smoke run)");
+        return;
+    }
+    let iters = bencher.iters.max(1);
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / iters as f64;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(" ({:.1} Melem/s)", n as f64 / ns_per_iter * 1e3)
+            }
+            Throughput::Bytes(n) => {
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64
+                )
+            }
+        })
+        .unwrap_or_default();
+    println!("{label}: {ns_per_iter:.0} ns/iter{rate} [{iters} iters]");
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        let mut hits = 0u32;
+        group.bench_function("direct", |b| b.iter(|| hits += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function(BenchmarkId::from_parameter(3), |b| {
+            b.iter_with_setup(|| vec![1, 2, 3], |v| v.len())
+        });
+        group.finish();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn measured_mode_reports_iters() {
+        let mut c = Criterion { quick: false };
+        let mut counted = 0u64;
+        c.bench_function("count", |b| b.iter(|| counted += 1));
+        assert!(counted >= 2, "calibration plus batch should run twice+");
+    }
+}

@@ -1,0 +1,836 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the proptest surface its tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/
+//! `boxed`, range and tuple strategies, simple `[class]{m,n}` string
+//! patterns, `prop::collection::{vec, btree_set}`, `prop::option::of`,
+//! weighted `prop_oneof!`, and the `proptest!`/`prop_assert!` macros.
+//!
+//! Differences from the real crate, chosen deliberately:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   and the deterministic seed instead of a minimized example.
+//! * **Deterministic by construction.** Case `i` of test `t` always
+//!   uses the same seed (hash of the test name mixed with `i`), so
+//!   failures reproduce without a persistence file; existing
+//!   `.proptest-regressions` files are ignored.
+
+pub mod test_runner {
+    //! Deterministic case runner and its config/error types.
+
+    use std::cell::RefCell;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Subset of the real crate's config: how many cases to run.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property check, carrying the failure message.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property did not hold.
+        Fail(String),
+        /// The input was rejected (unused here; kept for API shape).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// The deterministic generator strategies draw from (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with the given seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next uniform 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n` must be non-zero).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    thread_local! {
+        static CASE_INPUTS: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records one generated input's debug rendering for failure
+    /// reports. Called by the `proptest!` expansion.
+    pub fn record_input(rendered: String) {
+        CASE_INPUTS.with(|i| i.borrow_mut().push(rendered));
+    }
+
+    fn drain_inputs() -> String {
+        let inputs = CASE_INPUTS.with(|i| i.borrow_mut().split_off(0));
+        if inputs.is_empty() {
+            "    (no recorded inputs)".to_string()
+        } else {
+            inputs
+                .iter()
+                .map(|line| format!("    {line}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+    }
+
+    fn seed_for(name: &str, case: u32) -> u64 {
+        // FNV-1a over the test name, mixed with the case index, so
+        // every (test, case) pair replays identically run to run.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Runs `case` for each configured case with a per-case
+    /// deterministic seed, reporting recorded inputs on failure.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for idx in 0..config.cases {
+            CASE_INPUTS.with(|i| i.borrow_mut().clear());
+            let seed = seed_for(name, idx);
+            let mut rng = TestRng::new(seed);
+            match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+                Ok(Ok(())) => {}
+                Ok(Err(err)) => panic!(
+                    "[{name}] property failed at case {idx}/{} (seed {seed:#018x}): {err}\n\
+                     inputs:\n{}",
+                    config.cases,
+                    drain_inputs(),
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "[{name}] case {idx}/{} panicked (seed {seed:#018x}); inputs:\n{}",
+                        config.cases,
+                        drain_inputs(),
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    ///
+    /// Unlike the real crate there is no value tree: `generate`
+    /// produces a final value directly and nothing shrinks.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// builds out of it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy, produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<T>>,
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of the held value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between boxed strategies; the expansion target
+    /// of `prop_oneof!`.
+    pub struct Union<T> {
+        variants: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T: fmt::Debug> Union<T> {
+        /// Builds a union from `(weight, strategy)` pairs.
+        pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(
+                variants.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs at least one positive weight"
+            );
+            Union { variants }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.variants.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total);
+            for (weight, strategy) in &self.variants {
+                if pick < *weight as u64 {
+                    return strategy.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "strategy over empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $ty
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "strategy over empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    (start as i128 + (rng.next_u64() as u128 % span) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "strategy over empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String literals act as generation patterns. Supported shape:
+    /// one character class with an optional repetition, e.g.
+    /// `"[a-z_]{1,10}"`, `"[a-zA-Z0-9 '_-]{0,20}"`, or `"[abc]"`.
+    /// Anything else generates the literal itself.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_pattern(self) {
+                Some((alphabet, lo, hi)) => {
+                    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    (0..len)
+                        .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                        .collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    /// Parses `[class]{lo,hi}` / `[class]{n}` / `[class]` into the
+    /// expanded alphabet and length bounds.
+    fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let alphabet = expand_class(&rest[..close]);
+        if alphabet.is_empty() {
+            return None;
+        }
+        let tail = &rest[close + 1..];
+        if tail.is_empty() {
+            return Some((alphabet, 1, 1));
+        }
+        let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match counts.split_once(',') {
+            Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+            None => {
+                let n = counts.parse().ok()?;
+                (n, n)
+            }
+        };
+        (lo <= hi).then_some((alphabet, lo, hi))
+    }
+
+    /// Expands a character class body: `a-z` ranges plus literals;
+    /// a trailing `-` is a literal dash.
+    fn expand_class(body: &str) -> Vec<char> {
+        let chars: Vec<char> = body.chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                alphabet.extend(chars[i]..=chars[i + 2]);
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        alphabet
+    }
+
+    /// See [`super::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T: super::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::from_uniform(rng.next_u64())
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` over the primitive types the workspace uses.
+
+    use super::strategy::Any;
+    use std::fmt;
+
+    /// Primitives generatable from a single uniform `u64`.
+    pub trait Arbitrary: fmt::Debug + Sized {
+        /// Maps a uniform 64-bit value into `Self`.
+        fn from_uniform(bits: u64) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn from_uniform(bits: u64) -> $ty {
+                    bits as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn from_uniform(bits: u64) -> bool {
+            bits & 1 == 1
+        }
+    }
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    //! `vec` and `btree_set` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::fmt;
+
+    /// Element-count bounds for collection strategies. Built from a
+    /// fixed `usize` or a `lo..hi` / `lo..=hi` range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size over empty range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "collection size over empty range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A `Vec` of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` of values from `element`; the target size is
+    /// best-effort when the element domain is too small to fill it.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < 10 * target + 10 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    //! The `prop::option::of` strategy.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Generates `None` a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.element.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything tests normally import, including `prop` as an alias for
+/// this crate so `prop::collection::vec(..)` paths resolve.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) {..}`
+/// becomes a `#[test]` (the attribute is written inside the block,
+/// as with the real crate) running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand $config; $($rest)*);
+    };
+    (@expand $config:expr; $($(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |__rng: &mut $crate::test_runner::TestRng|
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(
+                            let $arg = {
+                                let __value =
+                                    $crate::strategy::Strategy::generate(&($strategy), __rng);
+                                $crate::test_runner::record_input(format!(
+                                    concat!(stringify!($arg), " = {:?}"),
+                                    __value
+                                ));
+                                __value
+                            };
+                        )+
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let strategy = (1u64..20, 0u8..6);
+        for _ in 0..1000 {
+            let (a, b) = strategy.generate(&mut rng);
+            assert!((1..20).contains(&a));
+            assert!(b < 6);
+        }
+    }
+
+    #[test]
+    fn string_patterns_expand_classes() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..500 {
+            let s = "[a-z_]{1,10}".generate(&mut rng);
+            assert!((1..=10).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+            let t = "[a-zA-Z0-9 '_-]{0,20}".generate(&mut rng);
+            assert!(t.len() <= 20);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " '_-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_absence() {
+        let mut rng = TestRng::new(3);
+        let strategy = prop_oneof![
+            3 => Just(1u8),
+            1 => Just(2u8),
+        ];
+        let mut seen = [0u32; 3];
+        for _ in 0..4000 {
+            seen[strategy.generate(&mut rng) as usize] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1] > 2 * seen[2], "weights ignored: {seen:?}");
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = TestRng::new(4);
+        let vecs = crate::collection::vec(0u32..100, 2..5);
+        let sets = crate::collection::btree_set(1u64..25, 0..6);
+        for _ in 0..500 {
+            let v = vecs.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = sets.generate(&mut rng);
+            assert!(s.len() < 6);
+        }
+        let exact = crate::collection::vec(0u32..10, 3usize);
+        assert_eq!(exact.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategies() {
+        let mut rng = TestRng::new(5);
+        let strategy = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(0u32..10, n).prop_map(move |v| (n, v)));
+        for _ in 0..200 {
+            let (n, v) = strategy.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_reports_inputs() {
+        crate::test_runner::run("demo", &ProptestConfig::with_cases(10), |rng| {
+            let v = Strategy::generate(&(0u32..100), rng);
+            crate::test_runner::record_input(format!("v = {v:?}"));
+            prop_assert!(v < 1, "v was {}", v);
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: generated args bind, asserts pass.
+        #[test]
+        fn macro_roundtrip(xs in prop::collection::vec(any::<u8>(), 0..8), flag in any::<bool>()) {
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(flag, flag);
+        }
+    }
+}
