@@ -29,6 +29,18 @@ pub enum AosiError {
         /// Epoch of the oldest active read snapshot.
         oldest_reader: Epoch,
     },
+    /// A distributed operation ran before the transaction's begin
+    /// broadcast completed, so the remote pending sets (and therefore
+    /// an SI-consistent snapshot) are not available yet.
+    NotBroadcasted(Epoch),
+    /// A remote node stayed unreachable through the retry budget
+    /// (dropped messages, crash window, or partition).
+    NodeUnreachable {
+        /// The transaction whose message could not be delivered.
+        epoch: Epoch,
+        /// The unreachable node (1-based).
+        node: u64,
+    },
 }
 
 impl std::fmt::Display for AosiError {
@@ -55,6 +67,13 @@ impl std::fmt::Display for AosiError {
                 f,
                 "cannot advance LSE to {requested}: active reader at epoch {oldest_reader}"
             ),
+            AosiError::NotBroadcasted(e) => {
+                write!(f, "transaction T{e} has not completed its begin broadcast")
+            }
+            AosiError::NodeUnreachable { epoch, node } => write!(
+                f,
+                "node {node} unreachable for transaction T{epoch} (retry budget exhausted)"
+            ),
         }
     }
 }
@@ -80,5 +99,10 @@ mod tests {
             oldest_reader: 2,
         };
         assert!(e.to_string().contains("reader"));
+        assert!(AosiError::NotBroadcasted(6)
+            .to_string()
+            .contains("begin broadcast"));
+        let e = AosiError::NodeUnreachable { epoch: 7, node: 3 };
+        assert!(e.to_string().contains("node 3") && e.to_string().contains("T7"));
     }
 }

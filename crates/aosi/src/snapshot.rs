@@ -27,11 +27,19 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Builds a snapshot at `epoch` excluding `deps`.
-    pub fn new(epoch: Epoch, deps: BTreeSet<Epoch>) -> Self {
-        debug_assert!(
-            deps.iter().all(|&d| d < epoch),
-            "deps must all precede the snapshot epoch"
-        );
+    ///
+    /// Every dep must precede the snapshot epoch; entries at or above
+    /// `epoch` are unconditionally dropped (they are unreachable via
+    /// [`Snapshot::sees`] anyway, but a malformed set — e.g. assembled
+    /// from a duplicated or reordered begin response — must not leak
+    /// into release builds and distort deps-based accounting such as
+    /// [`ReadGuard`](crate::ReadGuard) epoch selection).
+    pub fn new(epoch: Epoch, mut deps: BTreeSet<Epoch>) -> Self {
+        // `split_off` keeps everything >= epoch in the returned set,
+        // leaving `deps` with exactly the valid prefix. This runs in
+        // release builds too — a `debug_assert!` here silently let
+        // malformed sets through the paths users actually ship.
+        deps.split_off(&epoch);
         Snapshot {
             epoch,
             deps: Arc::new(deps),
@@ -101,6 +109,19 @@ mod tests {
         let s = Snapshot::committed(3);
         assert!(s.sees(1) && s.sees(2) && s.sees(3));
         assert!(!s.sees(4));
+    }
+
+    #[test]
+    fn malformed_deps_are_filtered_unconditionally() {
+        // Deps at or above the snapshot epoch (as a duplicated or
+        // reordered begin response could produce) are dropped in
+        // every build profile, not just under debug assertions.
+        let s = snap(5, &[2, 5, 7, 100]);
+        assert_eq!(s.deps().iter().copied().collect::<Vec<_>>(), [2]);
+        assert!(s.sees(5), "own epoch must stay visible");
+        assert!(!s.sees(2), "valid dep still excluded");
+        assert!(s.sees(3));
+        assert!(!s.sees(7), "future epochs invisible by ordering");
     }
 
     #[test]

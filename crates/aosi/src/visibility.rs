@@ -329,6 +329,54 @@ mod tests {
     }
 
     #[test]
+    fn same_epoch_delete_tie_break_bitmap_and_ranges_agree() {
+        // Several delete markers from the *same* epoch with different
+        // delete points: `dominant_delete` must tie-break on the
+        // delete point (the later marker covers the earlier one), and
+        // every implementation — bitmap, ranges, and the naive
+        // per-delete oracle — must agree, for every deps choice that
+        // flips which markers are visible.
+        let mut v = EpochsVector::new();
+        v.append(1, 3);
+        v.mark_delete(4); // T4 marker #1, point 3
+        v.append(4, 2);
+        v.append(2, 1); // straggler below T4: dies to either marker
+        v.mark_delete(4); // T4 marker #2, point 6 (kills its own first run)
+        v.append(4, 2);
+        v.append(6, 1);
+        assert_eq!(v.row_count(), 9);
+
+        for reader in [4u64, 5, 6, 7] {
+            for deps in [vec![], vec![2], vec![6]] {
+                let deps: Vec<Epoch> = deps.into_iter().filter(|&d| d < reader).collect();
+                let snap = snap(reader, &deps);
+                let bitmap = visible_bitmap(&v, &snap);
+                let naive = visible_bitmap_naive(&v, &snap);
+                assert_eq!(
+                    bitmap.to_bit_string(),
+                    naive.to_bit_string(),
+                    "reader {reader} deps {deps:?}: dominant vs naive"
+                );
+                let mut from_ranges = columnar::Bitmap::new(bitmap.len());
+                for r in visible_ranges(&v, &snap) {
+                    from_ranges.set_range(r.start as usize, r.end as usize);
+                }
+                assert_eq!(
+                    from_ranges.to_bit_string(),
+                    bitmap.to_bit_string(),
+                    "reader {reader} deps {deps:?}: ranges vs bitmap"
+                );
+                assert_eq!(visible_row_count(&v, &snap), bitmap.count_ones() as u64);
+            }
+        }
+
+        // Spot-check the tie-break itself: a reader seeing T4 must use
+        // the *larger* delete point (6), wiping T4's first reload run.
+        let bm = visible_bitmap(&v, &snap(5, &[]));
+        assert_eq!(bm.to_bit_string(), "000000110");
+    }
+
+    #[test]
     fn ranges_agree_with_bitmap_on_the_table_iii_schedules() {
         for v in [schedule_a(), schedule_b()] {
             for reader in 0..10u64 {

@@ -20,7 +20,7 @@ fn bench_distributed_txn(c: &mut Criterion) {
             |b, cluster| {
                 b.iter(|| {
                     let mut txn = cluster.begin_rw(1);
-                    cluster.broadcast_begin(&mut txn, 64);
+                    cluster.broadcast_begin(&mut txn, 64).unwrap();
                     cluster.commit(&txn).unwrap();
                     black_box(txn.epoch)
                 })

@@ -13,8 +13,9 @@
 //!
 //! Pieces:
 //!
-//! * [`SimulatedNetwork`] / [`LatencyModel`] — message accounting and
-//!   latency injection.
+//! * [`SimulatedNetwork`] / [`LatencyModel`] — message accounting,
+//!   latency injection, and seeded fault injection ([`FaultPlan`]:
+//!   drops, duplicates, delay-reorders, crash windows).
 //! * [`Ring`] — the consistent-hashing ring Cubrick uses to place
 //!   bricks on nodes (Section V-A).
 //! * [`ProtocolCluster`] — the distributed transaction flow of
@@ -31,9 +32,9 @@
 //! use cluster::{ProtocolCluster, SimulatedNetwork};
 //!
 //! let cluster = ProtocolCluster::new(3, SimulatedNetwork::instant());
-//! let mut txn = cluster.begin_rw(1);          // epoch 1 (node 1 of 3)
-//! cluster.broadcast_begin(&mut txn, 1024);    // piggybacked on the first op
-//! cluster.commit(&txn).unwrap();              // single roundtrip, no consensus
+//! let mut txn = cluster.begin_rw(1);                    // epoch 1 (node 1 of 3)
+//! cluster.broadcast_begin(&mut txn, 1024).unwrap();     // piggybacked on the first op
+//! cluster.commit(&txn).unwrap();                        // single roundtrip, no consensus
 //! assert_eq!(cluster.manager(2).lce(), txn.epoch);
 //! ```
 
@@ -42,7 +43,9 @@ mod protocol;
 mod replication;
 mod ring;
 
-pub use bus::{LatencyModel, MsgKind, NetworkStats, SimulatedNetwork};
-pub use protocol::{DistributedTxn, NodeId, ProtocolCluster};
+pub use bus::{
+    CrashWindow, Fate, FaultPlan, LatencyModel, LinkFaults, MsgKind, NetworkStats, SimulatedNetwork,
+};
+pub use protocol::{DistributedTxn, NodeId, ProtocolCluster, ProtocolMetrics, RetryPolicy};
 pub use replication::ReplicationTracker;
 pub use ring::Ring;

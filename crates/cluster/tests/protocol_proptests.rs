@@ -51,7 +51,7 @@ proptest! {
                 Event::Begin { origin } => {
                     let node = origin % num_nodes + 1;
                     let mut txn = cluster.begin_rw(node);
-                    cluster.broadcast_begin(&mut txn, 16);
+                    cluster.broadcast_begin(&mut txn, 16).unwrap();
                     // Unique epochs, stride residue intact.
                     prop_assert!(seen_epochs.insert(txn.epoch));
                     prop_assert_eq!(txn.epoch % num_nodes, node % num_nodes);
@@ -152,7 +152,7 @@ proptest! {
                 node_cycle += 1;
                 let node = node_cycle % num_nodes + 1;
                 let mut txn = cluster.begin_rw(node);
-                cluster.broadcast_begin(&mut txn, 0);
+                cluster.broadcast_begin(&mut txn, 0).unwrap();
                 open.push_back(txn);
             } else {
                 let txn = open.pop_front().unwrap();

@@ -130,8 +130,14 @@ impl DistributedEngine {
         // 2. Validate & forward: transaction + routing.
         let mut txn = self.protocol.begin_rw(origin);
         let forward_started = Instant::now();
-        // The begin broadcast rides on the data fan-out.
-        self.protocol.broadcast_begin(&mut txn, 0);
+        // The begin broadcast rides on the data fan-out. If a remote
+        // stays unreachable through the retry budget the load cannot
+        // take an SI-consistent snapshot of the cluster, so it rolls
+        // back (nothing was flushed yet) instead of half-starting.
+        if let Err(e) = self.protocol.broadcast_begin(&mut txn, 0) {
+            let _ = self.protocol.rollback(&txn);
+            return Err(e.into());
+        }
         let mut per_node: HashMap<NodeId, ParsedBatch> = HashMap::new();
         for (bid, records) in batch.by_bid {
             let node = self.ring.node_for(bid);
@@ -140,8 +146,10 @@ impl DistributedEngine {
             target.by_bid.insert(bid, records);
         }
         let nodes_touched = per_node.len();
-        // Account the forwarded bytes (records that stay on the
-        // origin do not cross the wire).
+        // Forward the record groups (records that stay on the origin
+        // do not cross the wire). The forwards carry the origin's
+        // clock like any operation fan-out; an undeliverable forward
+        // aborts the load before anything flushes.
         for (&node, node_batch) in &per_node {
             if node != origin {
                 let bytes: usize = node_batch
@@ -149,7 +157,10 @@ impl DistributedEngine {
                     .values()
                     .map(|recs| recs.len() * approx_record_bytes(&cube))
                     .sum();
-                self.network().transmit_typed(MsgKind::Forward, bytes, 0, 0);
+                if let Err(e) = self.protocol.forward_op(&txn, &[node], bytes) {
+                    let _ = self.protocol.rollback(&txn);
+                    return Err(e.into());
+                }
             }
         }
         let forward = forward_started.elapsed();
@@ -206,6 +217,40 @@ impl DistributedEngine {
             }
             IsolationMode::ReadUncommitted => (None, Vec::new()),
         };
+        Ok(self.fan_out_query(origin, &cube, &resolved, snapshot))
+    }
+
+    /// Runs a query from coordinator `origin` at an **explicit**
+    /// snapshot instead of the node's current LCE. This is how a
+    /// reader replays a historical view — and how the chaos suite
+    /// probes that committed reads stay stable while faults are
+    /// being injected: the same `(query, snapshot)` pair must return
+    /// the same result no matter what the network does in between.
+    pub fn query_at(
+        &self,
+        origin: NodeId,
+        cube_name: &str,
+        query: &Query,
+        snapshot: Snapshot,
+    ) -> Result<QueryResult, CubrickError> {
+        let cube = self.engine(origin).cube(cube_name)?;
+        let resolved = ResolvedQuery::resolve(&cube, query)?;
+        // Pin the snapshot cluster-wide, exactly like a live query.
+        let _guards: Vec<ReadGuard> = self
+            .engines
+            .iter()
+            .map(|e| e.manager().guard_snapshot(snapshot.clone()))
+            .collect();
+        Ok(self.fan_out_query(origin, &cube, &resolved, Some(snapshot)))
+    }
+
+    fn fan_out_query(
+        &self,
+        origin: NodeId,
+        cube: &Cube,
+        resolved: &ResolvedQuery,
+        snapshot: Option<Snapshot>,
+    ) -> QueryResult {
         let mut merged = PartialResult::default();
         let partials: Vec<PartialResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -229,7 +274,7 @@ impl DistributedEngine {
         for partial in partials {
             merged.merge(partial);
         }
-        Ok(QueryResult::finalize(&cube, &resolved, merged))
+        QueryResult::finalize(cube, resolved, merged)
     }
 
     /// Distributed partition delete from coordinator `origin`
@@ -246,13 +291,23 @@ impl DistributedEngine {
         // epoch, so it drives the brick marking directly.
         let cube = self.engine(origin).cube(cube_name)?;
         let mut txn = self.protocol.begin_rw(origin);
-        self.protocol.broadcast_begin(&mut txn, 64);
-        let mut marked_total = 0u64;
-        for (idx, engine) in self.engines.iter().enumerate() {
-            let node = idx as u64 + 1;
+        if let Err(e) = self.protocol.broadcast_begin(&mut txn, 64) {
+            let _ = self.protocol.rollback(&txn);
+            return Err(e.into());
+        }
+        // Ship the predicate everywhere before marking anything, so
+        // an unreachable node aborts the delete while it is still
+        // side-effect free.
+        for node in 1..=self.num_nodes() {
             if node != origin {
-                self.network().transmit_typed(MsgKind::Forward, 64, 0, 0);
+                if let Err(e) = self.protocol.forward_op(&txn, &[node], 64) {
+                    let _ = self.protocol.rollback(&txn);
+                    return Err(e.into());
+                }
             }
+        }
+        let mut marked_total = 0u64;
+        for engine in &self.engines {
             marked_total += engine.mark_delete_where(&cube, filters, txn.epoch)?;
         }
         self.protocol.commit(&txn)?;
@@ -280,6 +335,7 @@ impl DistributedEngine {
     pub fn metrics_report(&self) -> String {
         let mut report = ReportBuilder::new();
         self.network().report(&mut report);
+        self.protocol.report(&mut report);
         for (idx, engine) in self.engines.iter().enumerate() {
             engine.report_into(&mut report, &format!("node{}.", idx + 1));
         }
@@ -425,7 +481,7 @@ mod tests {
         // Build a distributed txn manually: begin, flush, don't commit.
         let cube = d.engine(1).cube("events").unwrap();
         let mut txn = d.protocol().begin_rw(1);
-        d.protocol().broadcast_begin(&mut txn, 0);
+        d.protocol().broadcast_begin(&mut txn, 0).unwrap();
         let batch = parse_rows(
             cube.schema(),
             cube.layout(),

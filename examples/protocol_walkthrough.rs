@@ -99,7 +99,7 @@ fn main() {
     show("initial", &cluster);
     let mut t1 = cluster.begin_rw(1);
     show("create(n1) -> T1", &cluster);
-    cluster.broadcast_begin(&mut t1, 1024);
+    cluster.broadcast_begin(&mut t1, 1024).unwrap();
     show("append(T1)", &cluster);
     let t6 = cluster.begin_rw(3);
     show("create(n3) -> T6", &cluster);

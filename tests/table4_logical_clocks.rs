@@ -18,7 +18,7 @@ fn table_iv_event_sequence() {
     assert_eq!(t1.epoch, 1);
     assert_eq!((ec(1), ec(2), ec(3)), (4, 2, 3), "row 1: create(n1)");
 
-    c.broadcast_begin(&mut t1, 1024);
+    c.broadcast_begin(&mut t1, 1024).unwrap();
     assert_eq!((ec(1), ec(2), ec(3)), (4, 5, 6), "row 2: append(T1)");
 
     let t6 = c.begin_rw(3);
@@ -47,16 +47,16 @@ fn begin_broadcast_case_analysis() {
 
     // j committed with j < i: visible.
     let mut j_committed = c.begin_rw(2);
-    c.broadcast_begin(&mut j_committed, 0);
+    c.broadcast_begin(&mut j_committed, 0).unwrap();
     c.commit(&j_committed).unwrap();
 
     // j pending with j < i: in deps after the broadcast union.
     let mut j_pending = c.begin_rw(2);
-    c.broadcast_begin(&mut j_pending, 0);
+    c.broadcast_begin(&mut j_pending, 0).unwrap();
 
     // i begins on the other node.
     let mut i = c.begin_rw(1);
-    c.broadcast_begin(&mut i, 0);
+    c.broadcast_begin(&mut i, 0).unwrap();
     let snap = i.snapshot();
     assert!(snap.sees(j_committed.epoch), "committed j < i visible");
     assert!(
@@ -68,7 +68,7 @@ fn begin_broadcast_case_analysis() {
     // j committed or pending with j > i: invisible by timestamp
     // ordering.
     let mut j_later = c.begin_rw(2);
-    c.broadcast_begin(&mut j_later, 0);
+    c.broadcast_begin(&mut j_later, 0).unwrap();
     assert!(j_later.epoch > i.epoch);
     assert!(!snap.sees(j_later.epoch));
     c.commit(&j_later).unwrap();
@@ -94,9 +94,9 @@ fn begin_broadcast_case_analysis() {
 fn write_skew_is_admitted_without_rollbacks() {
     let c = cluster(2);
     let mut tk = c.begin_rw(1);
-    c.broadcast_begin(&mut tk, 0);
+    c.broadcast_begin(&mut tk, 0).unwrap();
     let mut tl = c.begin_rw(2);
-    c.broadcast_begin(&mut tl, 0);
+    c.broadcast_begin(&mut tl, 0).unwrap();
     assert!(tk.epoch < tl.epoch);
     assert!(!tl.snapshot().sees(tk.epoch), "k pending when l began");
     assert!(!tk.snapshot().sees(tl.epoch), "l > k");
@@ -119,7 +119,7 @@ fn strided_epochs_never_collide_cluster_wide() {
     for round in 0..200u64 {
         let node = round % 5 + 1;
         let mut t = c.begin_rw(node);
-        c.broadcast_begin(&mut t, 0);
+        c.broadcast_begin(&mut t, 0).unwrap();
         assert!(seen.insert(t.epoch), "epoch {} reused", t.epoch);
         open.push(t);
         if open.len() > 3 {
