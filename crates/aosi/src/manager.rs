@@ -14,9 +14,13 @@
 //!   commits above it may then advance LCE.
 //! * RO begin: a [`Snapshot`] at LCE with an empty deps set; no clock
 //!   advancement, no `pendingTxs` traffic.
-//! * LSE: advances only up to LCE and never past an active reader
-//!   ([`ReadGuard`] tracks those); durability gating is the caller's
-//!   contract (the `wal` crate verifies replica flushes first).
+//! * LSE: advances only up to LCE, never past an active reader
+//!   ([`ReadGuard`] tracks those), and never onto or past an epoch
+//!   that a pending transaction excludes via its deps set — purge
+//!   merges every entry at or below LSE into the base run, which
+//!   would leak a dep-excluded epoch's rows into that transaction's
+//!   snapshot. Durability gating is the caller's contract (the `wal`
+//!   crate verifies replica flushes first).
 //!
 //! Remote transactions (Section IV-C) are registered via the
 //! `*_remote` methods by the cluster layer when begin/commit
@@ -81,6 +85,12 @@ struct State {
     rolled_back: BTreeSet<Epoch>,
     /// Active read snapshots (epoch -> count), for LSE gating.
     active_reads: BTreeMap<Epoch, usize>,
+    /// Smallest dep of each pending RW transaction that has one
+    /// (epoch -> min dep), for LSE gating: purge at LSE merges every
+    /// entry at or below LSE, so LSE must stay strictly below any
+    /// epoch a live snapshot excludes. Entries leave with their
+    /// transaction (commit or rollback).
+    pending_deps: BTreeMap<Epoch, Epoch>,
     begun_rw: u64,
     begun_ro: u64,
     committed: u64,
@@ -141,6 +151,9 @@ impl TxnManager {
         let epoch = self.inner.clock.next_epoch();
         let mut deps: BTreeSet<Epoch> = st.pending.iter().copied().filter(|&p| p < epoch).collect();
         deps.extend(remote_pending.into_iter().filter(|&p| p < epoch));
+        if let Some(&min_dep) = deps.first() {
+            st.pending_deps.insert(epoch, min_dep);
+        }
         st.pending.insert(epoch);
         st.begun_rw += 1;
         drop(st);
@@ -159,10 +172,30 @@ impl TxnManager {
         let mut st = self.inner.state.lock();
         let epoch = self.inner.clock.next_epoch();
         let deps: BTreeSet<Epoch> = st.pending.iter().copied().filter(|&p| p < epoch).collect();
+        if let Some(&min_dep) = deps.first() {
+            st.pending_deps.insert(epoch, min_dep);
+        }
         st.pending.insert(epoch);
         st.begun_rw += 1;
         drop(st);
         (epoch, deps)
+    }
+
+    /// Records additional deps learned after begin for a still-pending
+    /// transaction — the cluster layer calls this on the origin node
+    /// when the begin broadcast returns remote pending sets, so the
+    /// LSE gate covers the transaction's *complete* deps set, not
+    /// just the local slice captured by [`TxnManager::begin_rw_parts`].
+    pub fn note_txn_deps(&self, epoch: Epoch, deps: impl IntoIterator<Item = Epoch>) {
+        let Some(min_dep) = deps.into_iter().filter(|&d| d < epoch).min() else {
+            return;
+        };
+        let mut st = self.inner.state.lock();
+        if !st.pending.contains(&epoch) {
+            return;
+        }
+        let floor = st.pending_deps.entry(epoch).or_insert(min_dep);
+        *floor = (*floor).min(min_dep);
     }
 
     /// Begins a read-only transaction at the Latest Committed Epoch.
@@ -257,6 +290,7 @@ impl TxnManager {
         if !st.pending.remove(&epoch) {
             return Err(AosiError::TxnFinished(epoch));
         }
+        st.pending_deps.remove(&epoch);
         st.committed_waiting.insert(epoch);
         st.committed += 1;
         self.try_advance_lce(&mut st);
@@ -268,6 +302,7 @@ impl TxnManager {
         if !st.pending.remove(&epoch) {
             return Err(AosiError::TxnFinished(epoch));
         }
+        st.pending_deps.remove(&epoch);
         st.rolled_back.insert(epoch);
         st.rolled_back_count += 1;
         // The epoch vanishing may unblock parked commits above it.
@@ -348,10 +383,14 @@ impl TxnManager {
     ///
     /// Enforces the paper's conditions (a) all transactions at or
     /// below `candidate` finished — implied by `candidate <= LCE` —
-    /// and (b) no active read transaction below `candidate`.
-    /// Condition (c), durability on all replicas, is the caller's
-    /// contract: the flush/replication machinery must verify it
-    /// before calling.
+    /// and (b) no active read transaction below `candidate`, which
+    /// includes the implicit reader every pending RW transaction
+    /// carries: a snapshot excluding a dep `d` only tolerates LSE up
+    /// to `d - 1` (purge at LSE merges everything at or below it, so
+    /// a higher LSE would fold `d`'s rows into a run the snapshot
+    /// considers visible). Condition (c), durability on all replicas,
+    /// is the caller's contract: the flush/replication machinery must
+    /// verify it before calling.
     pub fn advance_lse(&self, candidate: Epoch) -> Result<(), AosiError> {
         let st = self.inner.state.lock();
         let lce = self.inner.clock.lce();
@@ -370,6 +409,17 @@ impl TxnManager {
                 return Err(AosiError::ActiveReaderBelow {
                     requested: candidate,
                     oldest_reader: oldest,
+                });
+            }
+        }
+        // A pending transaction excluding dep `d` reads as if guarded
+        // at `d - 1` (see `guard_snapshot`); deny when `d <= candidate`.
+        if let Some(&oldest_dep) = st.pending_deps.values().min() {
+            if oldest_dep <= candidate {
+                self.inner.metrics.lse_advances_denied.inc();
+                return Err(AosiError::ActiveReaderBelow {
+                    requested: candidate,
+                    oldest_reader: oldest_dep.saturating_sub(1),
                 });
             }
         }
@@ -678,6 +728,67 @@ mod tests {
         );
         drop(guard);
         mgr.advance_lse(3).unwrap();
+    }
+
+    #[test]
+    fn pending_txn_dep_blocks_lse_without_a_guard() {
+        // T1 begins, T3 begins while T1 is pending (deps {1}), T1
+        // and T2 commit so LCE reaches 2. Even with no read guard in
+        // sight, LSE must not reach 1: T3 is still pending and its
+        // snapshot excludes epoch 1, so a purge at LSE >= 1 would
+        // merge epoch-1 rows into the base run where T3 would
+        // wrongly see them. (Found by the differential oracle:
+        // begin/load/append/begin/commit/purge/read-in-txn.)
+        let mgr = TxnManager::single_node();
+        let t1 = mgr.begin_rw();
+        let t2 = mgr.begin_rw();
+        let t3 = mgr.begin_rw();
+        assert_eq!(
+            t3.snapshot().deps().iter().copied().collect::<Vec<_>>(),
+            [1, 2]
+        );
+        mgr.commit(&t1).unwrap();
+        mgr.commit(&t2).unwrap();
+        assert_eq!(mgr.lce(), 2);
+        assert_eq!(
+            mgr.advance_lse(1),
+            Err(AosiError::ActiveReaderBelow {
+                requested: 1,
+                oldest_reader: 0
+            })
+        );
+        assert_eq!(
+            mgr.advance_lse(2),
+            Err(AosiError::ActiveReaderBelow {
+                requested: 2,
+                oldest_reader: 0
+            })
+        );
+        assert_eq!(mgr.lse(), 0);
+        // Once T3 finishes, nothing distinguishes the prefix anymore.
+        mgr.commit(&t3).unwrap();
+        mgr.advance_lse(3).unwrap();
+        assert_eq!(mgr.lse(), 3);
+    }
+
+    #[test]
+    fn remote_learned_deps_block_lse() {
+        // A distributed transaction learns an extra dep from the
+        // begin broadcast after `begin_rw_parts`; the gate must honor
+        // it once `note_txn_deps` lands.
+        let mgr = TxnManager::single_node();
+        let t1 = mgr.begin_rw();
+        mgr.commit(&t1).unwrap();
+        let (epoch, local_deps) = mgr.begin_rw_parts();
+        assert!(local_deps.is_empty());
+        // The broadcast reports remote epoch 1 as pending-at-begin.
+        mgr.note_txn_deps(epoch, [1]);
+        assert!(mgr.advance_lse(1).is_err(), "remote dep 1 blocks LSE 1");
+        mgr.commit_epoch(epoch).unwrap();
+        mgr.advance_lse(mgr.lce()).unwrap();
+        // Noting deps for a finished transaction is a no-op.
+        mgr.note_txn_deps(epoch, [1]);
+        mgr.advance_lse(mgr.lce()).unwrap();
     }
 
     #[test]

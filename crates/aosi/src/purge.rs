@@ -16,9 +16,11 @@
 //! ## Why merging at LSE is safe
 //!
 //! Every reader the system will ever admit from now on has a snapshot
-//! epoch `>= LSE` and no excluded dependency `< LSE` (the transaction
-//! manager's LSE gate enforces both), so all such readers agree on the
-//! visibility of every entry at or below LSE. Relabeling a merged run
+//! epoch `>= LSE` and no excluded dependency `<= LSE` (the transaction
+//! manager's LSE gate enforces both: active readers directly, and
+//! pending RW transactions via the min-dep floor each records at
+//! begin), so all such readers agree on the visibility of every entry
+//! at or below LSE. Relabeling a merged run
 //! with the largest constituent epoch (still `<= LSE`) is therefore
 //! observationally identical — including under any *future* delete
 //! `k`, since `k > LSE >=` every merged epoch means the whole merged

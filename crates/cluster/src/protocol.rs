@@ -566,6 +566,12 @@ impl ProtocolCluster {
                 }
             }
         }
+        // Whatever deps the broadcast gathered (even partially, under
+        // faults) must reach the origin's LSE gate: a purge that
+        // outruns a remote-learned dep would leak its rows into this
+        // transaction's snapshot.
+        self.manager(txn.origin)
+            .note_txn_deps(txn.epoch, txn.deps.iter().copied());
         match first_err {
             None => {
                 txn.broadcasted = true;

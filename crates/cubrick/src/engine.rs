@@ -658,6 +658,18 @@ impl Engine {
     /// implicit transaction. Empty `filters` deletes every brick of
     /// the cube. Returns the transaction's epoch and the number of
     /// bricks marked.
+    ///
+    /// Filter values that do not resolve to a coordinate — a string
+    /// never seen by the dimension's dictionary, an integer outside
+    /// the dimension's declared range, or a value of the wrong type —
+    /// **narrow the match** rather than raising an error: they are
+    /// dropped from the filter's coordinate set, exactly as the query
+    /// path treats them (`encode_filter_value` never mints dictionary
+    /// ids). A filter whose values all fail to resolve therefore
+    /// matches nothing, and the call succeeds with zero bricks marked
+    /// and a committed (empty) delete epoch. Misspelled *column*
+    /// names, by contrast, are an [`CubrickError::UnknownColumn`]
+    /// error before any brick is touched.
     pub fn delete_where(
         &self,
         cube: &str,

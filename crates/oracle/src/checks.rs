@@ -1,0 +1,286 @@
+//! The fixed battery of comparison queries and the two independent
+//! evaluators the oracle diffs against each other.
+//!
+//! Each check query has an AOSI form ([`build_query`], executed by
+//! the Cubrick engine over bricks + epochs vectors) and a reference
+//! form ([`eval_rows`], a direct scan over decoded rows pulled out of
+//! the MVCC baseline with `MvccStore::rows_at`). The two
+//! implementations share only this *specification*; the execution
+//! paths are disjoint, which is what makes agreement meaningful.
+//!
+//! Results are normalized to a `group-key strings -> aggregate values`
+//! map ([`Norm`]) so group ordering is irrelevant. All generated
+//! metric values are integer-valued, so `f64` sums are exact and
+//! order-independent across shard scheduling; `Avg` is the same
+//! `sum / count` division on both sides and compares bitwise, with
+//! `NaN == NaN` for empty-group averages.
+
+use std::collections::BTreeMap;
+
+use columnar::{Row, Value};
+use cubrick::{AggFn, Aggregation, DimFilter, Query, QueryResult};
+
+/// Number of check queries in the battery.
+pub const NUM_QUERIES: usize = 4;
+
+/// Normalized query result: rendered group key -> aggregate values.
+pub type Norm = BTreeMap<Vec<String>, Vec<f64>>;
+
+/// Region values query 3 filters on. `"zz"` is never loaded, so it
+/// has no dictionary id — pinning that unknown filter values narrow
+/// the match identically on both engines (see the `delete_where`
+/// narrow-match test in `tests/sql_and_ops.rs` for the same decision
+/// on the delete path).
+pub const Q3_REGIONS: [&str; 3] = ["r0", "r1", "zz"];
+
+/// Day values below this bound match query 2's filter (the first two
+/// whole day buckets).
+pub const Q2_DAY_BOUND: i64 = 8;
+
+/// Builds the AOSI-side form of check query `idx`.
+pub fn build_query(idx: usize) -> Query {
+    match idx {
+        // Per-(region, day) count + sums: exercises multi-dim group
+        // keys and both metric types.
+        0 => Query::aggregate(vec![
+            Aggregation::new(AggFn::Count, ""),
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Sum, "score"),
+        ])
+        .grouped_by("region")
+        .grouped_by("day"),
+        // Global scalar battery: exercises Min/Max/Avg finalization.
+        1 => Query::aggregate(vec![
+            Aggregation::new(AggFn::Count, ""),
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Min, "likes"),
+            Aggregation::new(AggFn::Max, "likes"),
+            Aggregation::new(AggFn::Avg, "likes"),
+        ]),
+        // Day-bucket filter + single group dim: exercises brick
+        // pruning against the delete/filter bucket layout.
+        2 => Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Count, ""),
+        ])
+        .filter(DimFilter::new(
+            "day",
+            (0..Q2_DAY_BOUND).map(Value::I64).collect(),
+        ))
+        .grouped_by("region"),
+        // String-dim filter including a value with no dictionary id:
+        // exercises filter narrowing on the query path.
+        3 => Query::aggregate(vec![
+            Aggregation::new(AggFn::Count, ""),
+            Aggregation::new(AggFn::Sum, "score"),
+        ])
+        .filter(DimFilter::new(
+            "region",
+            Q3_REGIONS.iter().map(|r| Value::Str((*r).into())).collect(),
+        ))
+        .grouped_by("day"),
+        other => unreachable!("no check query {other}"),
+    }
+}
+
+/// Normalizes an engine [`QueryResult`] for comparison.
+pub fn normalize(result: &QueryResult) -> Norm {
+    result
+        .rows
+        .iter()
+        .map(|(key, vals)| (key.iter().map(|v| v.to_string()).collect(), vals.clone()))
+        .collect()
+}
+
+fn row_fields(row: &Row) -> (String, i64, i64, f64) {
+    (
+        row[0].as_str().unwrap_or_default().to_owned(),
+        row[1].as_i64().unwrap_or(0),
+        row[2].as_i64().unwrap_or(0),
+        row[3].as_f64().unwrap_or(0.0),
+    )
+}
+
+/// Reference evaluation of check query `idx` over decoded rows
+/// (`[region, day, likes, score]`). Deliberately naive: one pass,
+/// per-group accumulators, no bricks, no pruning.
+pub fn eval_rows(rows: &[Row], idx: usize) -> Norm {
+    let mut out = Norm::new();
+    match idx {
+        0 => {
+            // key [region, day] -> [count, sum(likes), sum(score)]
+            for row in rows {
+                let (region, day, likes, score) = row_fields(row);
+                let e = out
+                    .entry(vec![region, day.to_string()])
+                    .or_insert_with(|| vec![0.0; 3]);
+                e[0] += 1.0;
+                e[1] += likes as f64;
+                e[2] += score;
+            }
+        }
+        1 => {
+            // key [] -> [count, sum, min, max, avg] over likes; no
+            // row at all on an empty table (the engine materializes
+            // groups only for visible rows).
+            let mut count = 0.0f64;
+            let mut sum = 0.0f64;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for row in rows {
+                let (_, _, likes, _) = row_fields(row);
+                count += 1.0;
+                sum += likes as f64;
+                min = min.min(likes as f64);
+                max = max.max(likes as f64);
+            }
+            if count > 0.0 {
+                out.insert(vec![], vec![count, sum, min, max, sum / count]);
+            }
+        }
+        2 => {
+            // day < bound; key [region] -> [sum(likes), count]
+            for row in rows {
+                let (region, day, likes, _) = row_fields(row);
+                if day < Q2_DAY_BOUND {
+                    let e = out.entry(vec![region]).or_insert_with(|| vec![0.0; 2]);
+                    e[0] += likes as f64;
+                    e[1] += 1.0;
+                }
+            }
+        }
+        3 => {
+            // region in Q3_REGIONS; key [day] -> [count, sum(score)]
+            for row in rows {
+                let (region, day, _, score) = row_fields(row);
+                if Q3_REGIONS.contains(&region.as_str()) {
+                    let e = out
+                        .entry(vec![day.to_string()])
+                        .or_insert_with(|| vec![0.0; 2]);
+                    e[0] += 1.0;
+                    e[1] += score;
+                }
+            }
+        }
+        other => unreachable!("no check query {other}"),
+    }
+    out
+}
+
+fn f64_eq(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+/// Compares two normalized results; `None` when equal, otherwise a
+/// human-readable description of the first difference.
+pub fn diff(aosi: &Norm, reference: &Norm) -> Option<String> {
+    for (key, ref_vals) in reference {
+        match aosi.get(key) {
+            None => return Some(format!("group {key:?} missing from AOSI result")),
+            Some(vals) => {
+                if vals.len() != ref_vals.len()
+                    || !vals.iter().zip(ref_vals).all(|(a, b)| f64_eq(*a, *b))
+                {
+                    return Some(format!(
+                        "group {key:?}: AOSI {vals:?} != reference {ref_vals:?}"
+                    ));
+                }
+            }
+        }
+    }
+    for key in aosi.keys() {
+        if !reference.contains_key(key) {
+            return Some(format!("group {key:?} present only in AOSI result"));
+        }
+    }
+    None
+}
+
+/// Commutative fingerprint of a normalized result, for the SI
+/// checker's read-stability tracking.
+pub fn fingerprint(norm: &Norm) -> u64 {
+    checker::fingerprint_rows(norm.iter().map(|(key, vals)| {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for part in key {
+            for byte in part.as_bytes() {
+                h = (h ^ u64::from(*byte)).wrapping_mul(0x100_0000_01b3);
+            }
+            h = (h ^ 0x1f).wrapping_mul(0x100_0000_01b3);
+        }
+        for v in vals {
+            let bits = if v.is_nan() { u64::MAX } else { v.to_bits() };
+            h = (h ^ bits).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(region: &str, day: i64, likes: i64, score: f64) -> Row {
+        vec![
+            Value::Str(region.into()),
+            Value::I64(day),
+            Value::I64(likes),
+            Value::F64(score),
+        ]
+    }
+
+    #[test]
+    fn reference_eval_grouping_and_filters() {
+        let rows = vec![r("r0", 1, 10, 2.0), r("r0", 1, 5, 1.0), r("r7", 9, 3, 0.0)];
+        let q0 = eval_rows(&rows, 0);
+        assert_eq!(
+            q0[&vec!["r0".to_string(), "1".to_string()]],
+            vec![2.0, 15.0, 3.0]
+        );
+        let q1 = eval_rows(&rows, 1);
+        assert_eq!(q1[&vec![]], vec![3.0, 18.0, 3.0, 10.0, 6.0]);
+        let q2 = eval_rows(&rows, 2);
+        assert_eq!(q2[&vec!["r0".to_string()]], vec![15.0, 2.0]);
+        assert!(!q2.contains_key(&vec!["r7".to_string()]), "day 9 filtered");
+        let q3 = eval_rows(&rows, 3);
+        assert_eq!(q3[&vec!["1".to_string()]], vec![2.0, 3.0]);
+        assert!(!q3.contains_key(&vec!["9".to_string()]), "r7 not in filter");
+    }
+
+    #[test]
+    fn empty_table_yields_empty_norms() {
+        for idx in 0..NUM_QUERIES {
+            assert!(eval_rows(&[], idx).is_empty(), "query {idx}");
+        }
+    }
+
+    #[test]
+    fn diff_reports_each_direction() {
+        let mut a = Norm::new();
+        let mut b = Norm::new();
+        a.insert(vec!["x".into()], vec![1.0]);
+        assert!(diff(&a, &b).unwrap().contains("only in AOSI"));
+        assert!(diff(&b, &a).unwrap().contains("missing from AOSI"));
+        b.insert(vec!["x".into()], vec![2.0]);
+        assert!(diff(&a, &b).unwrap().contains("!="));
+        b.insert(vec!["x".into()], vec![1.0]);
+        assert_eq!(diff(&a, &b), None);
+        // NaN compares equal to NaN (empty-group averages).
+        a.insert(vec!["n".into()], vec![f64::NAN]);
+        b.insert(vec!["n".into()], vec![f64::NAN]);
+        assert_eq!(diff(&a, &b), None);
+    }
+
+    #[test]
+    fn fingerprint_is_order_blind_but_value_sensitive() {
+        let mut a = Norm::new();
+        a.insert(vec!["k1".into()], vec![1.0]);
+        a.insert(vec!["k2".into()], vec![2.0]);
+        let fa = fingerprint(&a);
+        let mut b = Norm::new();
+        b.insert(vec!["k2".into()], vec![2.0]);
+        b.insert(vec!["k1".into()], vec![1.0]);
+        assert_eq!(fa, fingerprint(&b));
+        b.insert(vec!["k1".into()], vec![3.0]);
+        assert_ne!(fa, fingerprint(&b));
+    }
+}

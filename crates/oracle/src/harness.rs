@@ -1,0 +1,1085 @@
+//! Schedule executors: deterministic, multi-threaded stress, and
+//! crash-recovery.
+//!
+//! All three modes drive the AOSI [`Engine`] through a
+//! [`Schedule`] while recording every committed operation into a
+//! [`CommittedOp`] log. Equivalence checks rebuild the MVCC
+//! reference from that log ([`Replay`]) and diff normalized query
+//! results; the online SI [`SiChecker`] rides along on the AOSI side
+//! (transaction lifecycle, read stability, clock sanity).
+//!
+//! * **Deterministic** — single thread, ops in schedule order,
+//!   checks diffed inline at the op that runs them. This is the mode
+//!   the minimizer shrinks in.
+//! * **Stress** — ops are folded into self-contained units (one unit
+//!   per explicit transaction, load, delete, maintenance step, or
+//!   checkpoint) executed by a small thread pool. Append/load units
+//!   hold a shared gate for their whole begin→commit span and delete
+//!   units hold it exclusively, so epoch order equals physical order
+//!   for delete-vs-append and the row-level reference model stays
+//!   sound (see `workload::ops`). Committed-snapshot reads are
+//!   recorded during the run and diffed post-hoc.
+//! * **Crash** — deterministic execution plus a WAL
+//!   [`FlushController`]; at the crash index the engine is dropped,
+//!   a fresh engine recovers from the round files, the committed log
+//!   is pruned to the recovered epoch, and the remaining schedule
+//!   continues (dangling transaction slots become no-ops).
+//!
+//! Every mode ends with quiescence (leftover transactions are
+//! committed) and a full-window sweep: `query_as_of` at every epoch
+//! in `[LSE, LCE]` diffed against the reference, then a checker
+//! violation scan.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use aosi::{Snapshot, Txn};
+use checker::{SiChecker, TxnEvent};
+use cluster::ReplicationTracker;
+use columnar::{Row, Value};
+use cubrick::{DimFilter, Engine};
+use wal::{recover_into, FlushController, TempWalDir};
+use workload::ops::{bucket_days, oracle_schema, LogicalOp, Schedule, ORACLE_CUBE};
+
+use crate::checks::{build_query, diff, eval_rows, fingerprint, normalize, Norm, NUM_QUERIES};
+use crate::reference::{model_txn_rows, CommittedOp, Replay};
+
+/// Checker node id for the single-node oracle engine.
+const NODE: u64 = 1;
+/// Worker threads in stress mode.
+const STRESS_THREADS: usize = 4;
+
+/// How a schedule is executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Single thread, schedule order, inline checks.
+    Deterministic,
+    /// Thread-pool execution of transaction-sized units.
+    Stress,
+    /// Deterministic execution with WAL flushes; the engine is
+    /// killed before op `crash_at` and recovered from disk.
+    Crash {
+        /// Op index at which the engine dies (clamped to the
+        /// schedule length; a past-the-end value crashes after the
+        /// last op, before the final sweep).
+        crash_at: usize,
+    },
+}
+
+impl Mode {
+    /// Artifact header form (`mode <this>`).
+    pub fn to_line(self) -> String {
+        match self {
+            Mode::Deterministic => "deterministic".into(),
+            Mode::Stress => "stress".into(),
+            Mode::Crash { crash_at } => format!("crash {crash_at}"),
+        }
+    }
+
+    /// Parses [`Mode::to_line`] output.
+    pub fn parse(text: &str) -> Result<Mode, String> {
+        let text = text.trim();
+        match text {
+            "deterministic" => Ok(Mode::Deterministic),
+            "stress" => Ok(Mode::Stress),
+            _ => match text.strip_prefix("crash ") {
+                Some(idx) => idx
+                    .trim()
+                    .parse()
+                    .map(|crash_at| Mode::Crash { crash_at })
+                    .map_err(|e| format!("bad crash index: {e}")),
+                None => Err(format!("unknown mode {text:?}")),
+            },
+        }
+    }
+}
+
+/// Deliberate visibility bugs, used to prove the oracle catches what
+/// it claims to catch (see the meta-test in `tests/corpus.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inject {
+    /// Committed-snapshot checkpoints silently read one epoch behind
+    /// the snapshot they claim — the classic stale-snapshot bug.
+    SnapshotBehind,
+}
+
+/// A detected AOSI-vs-reference disagreement (or checker violation).
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the schedule op that detected it; `None` for the
+    /// final sweep / post-hoc validation.
+    pub op_index: Option<usize>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op_index {
+            Some(i) => write!(f, "op #{i}: {}", self.detail),
+            None => write!(f, "post-run: {}", self.detail),
+        }
+    }
+}
+
+/// Counters from a clean run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunReport {
+    /// Schedule ops executed.
+    pub ops_executed: usize,
+    /// Individual query comparisons performed.
+    pub comparisons: u64,
+    /// Events fed to the SI checker.
+    pub checker_events: u64,
+}
+
+/// Executes `schedule` under `mode`, returning counters on agreement
+/// or the first [`Divergence`] found.
+pub fn run(
+    schedule: &Schedule,
+    mode: Mode,
+    inject: Option<Inject>,
+) -> Result<RunReport, Divergence> {
+    match mode {
+        Mode::Deterministic => run_serial(schedule, None, inject),
+        Mode::Crash { crash_at } => run_serial(schedule, Some(crash_at), inject),
+        Mode::Stress => run_stress(schedule, inject),
+    }
+}
+
+fn engine_with_cube() -> Engine {
+    let engine = Engine::new(2);
+    engine
+        .create_cube(oracle_schema())
+        .expect("oracle schema registers");
+    engine
+}
+
+fn days_of(buckets: &[u32]) -> Vec<i64> {
+    let set: BTreeSet<i64> = buckets.iter().flat_map(|b| bucket_days(*b)).collect();
+    set.into_iter().collect()
+}
+
+fn day_filter(days: &[i64]) -> DimFilter {
+    DimFilter::new("day", days.iter().copied().map(Value::I64).collect())
+}
+
+struct OpenSlot {
+    txn: Txn,
+    rows: Vec<Row>,
+}
+
+// ---------------------------------------------------------------
+// Deterministic / crash executor
+// ---------------------------------------------------------------
+
+struct Serial {
+    engine: Engine,
+    checker: SiChecker,
+    slots: Vec<Option<OpenSlot>>,
+    log: Vec<CommittedOp>,
+    inject: Option<Inject>,
+    comparisons: u64,
+    // Crash mode only.
+    wal: Option<WalState>,
+}
+
+struct WalState {
+    dir: TempWalDir,
+    tracker: ReplicationTracker,
+    ctl: Option<FlushController>,
+    crashed: bool,
+}
+
+fn fail(op_index: Option<usize>, detail: impl Into<String>) -> Divergence {
+    Divergence {
+        op_index,
+        detail: detail.into(),
+    }
+}
+
+impl Serial {
+    fn begin(&mut self, i: usize, slot: usize) -> Result<(), Divergence> {
+        if slot < self.slots.len() && self.slots[slot].is_none() {
+            let txn = self.engine.begin();
+            self.checker.record(TxnEvent::Begin {
+                node: NODE,
+                epoch: txn.epoch(),
+                deps: txn.snapshot().deps().clone(),
+            });
+            self.slots[slot] = Some(OpenSlot {
+                txn,
+                rows: Vec::new(),
+            });
+        }
+        let _ = i;
+        Ok(())
+    }
+
+    fn append(&mut self, i: usize, slot: usize, rows: &[Row]) -> Result<(), Divergence> {
+        let Some(open) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+            return Ok(()); // dangling slot ref on a minimized schedule
+        };
+        let (accepted, rejected) = self
+            .engine
+            .append(ORACLE_CUBE, rows, &open.txn)
+            .map_err(|e| fail(Some(i), format!("append failed: {e}")))?;
+        if rejected != 0 || accepted != rows.len() {
+            return Err(fail(
+                Some(i),
+                format!("generated rows rejected: accepted {accepted}, rejected {rejected}"),
+            ));
+        }
+        open.rows.extend_from_slice(rows);
+        Ok(())
+    }
+
+    fn commit_slot(&mut self, i: usize, slot: usize) -> Result<(), Divergence> {
+        let Some(open) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return Ok(());
+        };
+        self.engine
+            .commit(&open.txn)
+            .map_err(|e| fail(Some(i), format!("commit failed: {e}")))?;
+        self.checker.record(TxnEvent::Commit {
+            node: NODE,
+            epoch: open.txn.epoch(),
+        });
+        self.log.push(CommittedOp::Rows {
+            epoch: open.txn.epoch(),
+            rows: open.rows,
+        });
+        Ok(())
+    }
+
+    fn rollback_slot(&mut self, i: usize, slot: usize) -> Result<(), Divergence> {
+        let Some(open) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return Ok(());
+        };
+        let removed = self
+            .engine
+            .rollback(&open.txn)
+            .map_err(|e| fail(Some(i), format!("rollback failed: {e}")))?;
+        if removed != open.rows.len() as u64 {
+            return Err(fail(
+                Some(i),
+                format!(
+                    "rollback reclaimed {removed} rows, transaction appended {}",
+                    open.rows.len()
+                ),
+            ));
+        }
+        self.checker.record(TxnEvent::Rollback {
+            node: NODE,
+            epoch: open.txn.epoch(),
+        });
+        Ok(())
+    }
+
+    fn load(&mut self, i: usize, rows: &[Row]) -> Result<(), Divergence> {
+        // Loads go through an explicit transaction so the checker
+        // sees a full Begin/Commit lifecycle for every epoch.
+        let txn = self.engine.begin();
+        self.checker.record(TxnEvent::Begin {
+            node: NODE,
+            epoch: txn.epoch(),
+            deps: txn.snapshot().deps().clone(),
+        });
+        let (accepted, rejected) = self
+            .engine
+            .append(ORACLE_CUBE, rows, &txn)
+            .map_err(|e| fail(Some(i), format!("load failed: {e}")))?;
+        if rejected != 0 || accepted != rows.len() {
+            return Err(fail(Some(i), "generated load rows rejected"));
+        }
+        self.engine
+            .commit(&txn)
+            .map_err(|e| fail(Some(i), format!("load commit failed: {e}")))?;
+        self.checker.record(TxnEvent::Commit {
+            node: NODE,
+            epoch: txn.epoch(),
+        });
+        self.log.push(CommittedOp::Rows {
+            epoch: txn.epoch(),
+            rows: rows.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn delete(&mut self, i: usize, buckets: &[u32]) -> Result<(), Divergence> {
+        // Straggler guard: a minimized schedule may have lost the
+        // commits that closed slots before this delete; force them
+        // closed so epoch order still equals physical order (see
+        // workload::ops docs).
+        for slot in 0..self.slots.len() {
+            self.commit_slot(i, slot)?;
+        }
+        let days = days_of(buckets);
+        let (epoch, _marked) = self
+            .engine
+            .delete_where(ORACLE_CUBE, &[day_filter(&days)])
+            .map_err(|e| fail(Some(i), format!("delete_where failed: {e}")))?;
+        // delete_where runs its own implicit transaction; with every
+        // slot closed its dependency set is empty.
+        self.checker.record(TxnEvent::Begin {
+            node: NODE,
+            epoch,
+            deps: BTreeSet::new(),
+        });
+        self.checker.record(TxnEvent::Commit { node: NODE, epoch });
+        self.log.push(CommittedOp::Delete { epoch, days });
+        Ok(())
+    }
+
+    fn clock_sample(&self) {
+        let clock = self.engine.manager().clock();
+        self.checker.record(TxnEvent::ClockSample {
+            node: NODE,
+            ec: clock.current_ec(),
+            lce: clock.lce(),
+            lse: clock.lse(),
+        });
+    }
+
+    fn maintain(&mut self, flush: bool) {
+        match &mut self.wal {
+            Some(w) => {
+                if flush {
+                    if let Some(ctl) = &mut w.ctl {
+                        ctl.flush_round(&self.engine, &w.tracker)
+                            .expect("flush round IO");
+                    } else {
+                        // Post-crash: the original WAL stream ended at
+                        // the crash; durability is out of scope for
+                        // the remainder, so just advance and purge.
+                        self.engine.advance_lse_and_purge();
+                    }
+                } else {
+                    // Purge at the current (durable) LSE only — the
+                    // LSE must not outrun what the controller has
+                    // flushed, or a crash would lose purged history.
+                    self.engine.purge();
+                }
+            }
+            None => {
+                self.engine.advance_lse_and_purge();
+            }
+        }
+        self.clock_sample();
+    }
+
+    /// Runs the check battery at a committed snapshot and feeds the
+    /// checker. `claimed` is the epoch the read is reported at;
+    /// `snap` is what is actually queried (they differ only under
+    /// [`Inject::SnapshotBehind`]).
+    fn check_committed(
+        &mut self,
+        i: Option<usize>,
+        label: &str,
+        claimed: u64,
+        snap: &Snapshot,
+    ) -> Result<(), Divergence> {
+        let replay = Replay::build(&self.log);
+        for idx in 0..NUM_QUERIES {
+            let result = self
+                .engine
+                .query_at(ORACLE_CUBE, &build_query(idx), snap)
+                .map_err(|e| fail(i, format!("{label} q{idx} failed: {e}")))?;
+            let aosi = normalize(&result);
+            let reference = eval_rows(&replay.rows_at_epoch(claimed), idx);
+            self.comparisons += 1;
+            if let Some(d) = diff(&aosi, &reference) {
+                return Err(fail(i, format!("{label} q{idx} at epoch {claimed}: {d}")));
+            }
+            self.checker.record(TxnEvent::Read {
+                node: NODE,
+                snapshot_epoch: claimed,
+                deps: BTreeSet::new(),
+                observed: BTreeSet::new(),
+                reader: None,
+                key: format!("{ORACLE_CUBE}:q{idx}"),
+                fingerprint: fingerprint(&aosi),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_now(&mut self, i: usize) -> Result<(), Divergence> {
+        // Single-threaded executor: nothing can purge between
+        // dropping the read guard and running the queries, so the
+        // guard only serves to obtain the committed snapshot epoch.
+        let claimed = self.engine.manager().begin_read().snapshot().epoch();
+        let target = match self.inject {
+            Some(Inject::SnapshotBehind) => claimed.saturating_sub(1),
+            None => claimed,
+        };
+        let snap = Snapshot::committed(target);
+        self.check_committed(Some(i), "check", claimed, &snap)
+    }
+
+    fn check_as_of(&mut self, i: usize, frac: u8) -> Result<(), Divergence> {
+        let (lse, lce) = (self.engine.manager().lse(), self.engine.manager().lce());
+        if lce == 0 {
+            return Ok(());
+        }
+        let window = lce - lse + 1;
+        let epoch = (lse + (u64::from(frac) * window) / 256).min(lce);
+        let snap = Snapshot::committed(epoch);
+        self.check_committed(Some(i), "as-of", epoch, &snap)
+    }
+
+    fn check_txn(&mut self, i: usize, slot: usize) -> Result<(), Divergence> {
+        let Some(open) = self.slots.get(slot).and_then(Option::as_ref) else {
+            return Ok(());
+        };
+        let epoch = open.txn.epoch();
+        let deps = open.txn.snapshot().deps().clone();
+        let model = model_txn_rows(&self.log, epoch, &deps, &open.rows);
+        for idx in 0..NUM_QUERIES {
+            let result = self
+                .engine
+                .query_in_txn(ORACLE_CUBE, &build_query(idx), &open.txn)
+                .map_err(|e| fail(Some(i), format!("txn q{idx} failed: {e}")))?;
+            let aosi = normalize(&result);
+            let reference = eval_rows(&model, idx);
+            self.comparisons += 1;
+            if let Some(d) = diff(&aosi, &reference) {
+                return Err(fail(
+                    Some(i),
+                    format!("in-txn q{idx} at epoch {epoch} (deps {deps:?}): {d}"),
+                ));
+            }
+            // The key carries the op index: two in-txn reads at the
+            // same (epoch, deps) may legitimately differ when the
+            // transaction appended rows in between, which the
+            // checker's stability signature cannot see.
+            self.checker.record(TxnEvent::Read {
+                node: NODE,
+                snapshot_epoch: epoch,
+                deps: deps.clone(),
+                observed: BTreeSet::new(),
+                reader: Some(epoch),
+                key: format!("{ORACLE_CUBE}:txn#{i}:q{idx}"),
+                fingerprint: fingerprint(&aosi),
+            });
+        }
+        Ok(())
+    }
+
+    fn crash_and_recover(&mut self) -> Result<(), Divergence> {
+        let wal = self.wal.as_mut().expect("crash requires WAL state");
+        wal.crashed = true;
+        wal.ctl = None;
+        // The crash abandons open transactions and the engine itself.
+        self.slots = (0..self.slots.len()).map(|_| None).collect();
+        self.engine = engine_with_cube();
+        let report = recover_into(wal.dir.path(), &self.engine)
+            .map_err(|e| fail(None, format!("recovery failed: {e}")))?;
+        // Everything past the last durable round died with the
+        // process: prune the reference log to match.
+        self.log.retain(|op| op.epoch() <= report.recovered_epoch);
+        // Pre-crash epochs are gone from the new engine's clock; a
+        // fresh checker starts over on the recovered timeline.
+        self.checker = SiChecker::new(1);
+        // Recovery must restore exactly the durable prefix.
+        let lse = self.engine.manager().lse();
+        let lce = self.engine.manager().lce();
+        let replay = Replay::build(&self.log);
+        for epoch in lse..=lce {
+            for idx in 0..NUM_QUERIES {
+                let result = self
+                    .engine
+                    .query_as_of(ORACLE_CUBE, &build_query(idx), epoch)
+                    .map_err(|e| fail(None, format!("post-recovery q{idx} failed: {e}")))?;
+                let aosi = normalize(&result);
+                let reference = eval_rows(&replay.rows_at_epoch(epoch), idx);
+                self.comparisons += 1;
+                if let Some(d) = diff(&aosi, &reference) {
+                    return Err(fail(
+                        None,
+                        format!(
+                            "post-recovery q{idx} at epoch {epoch} \
+                             (recovered through {}): {d}",
+                            report.recovered_epoch
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, i: usize, op: &LogicalOp) -> Result<(), Divergence> {
+        match op {
+            LogicalOp::Begin { slot } => self.begin(i, *slot),
+            LogicalOp::Append { slot, rows } => self.append(i, *slot, rows),
+            LogicalOp::Commit { slot } => self.commit_slot(i, *slot),
+            LogicalOp::Rollback { slot } => self.rollback_slot(i, *slot),
+            LogicalOp::Load { rows } => self.load(i, rows),
+            LogicalOp::DeleteDays { buckets } => self.delete(i, buckets),
+            LogicalOp::Purge => {
+                self.maintain(false);
+                Ok(())
+            }
+            LogicalOp::Flush => {
+                self.maintain(true);
+                Ok(())
+            }
+            LogicalOp::CheckNow => self.check_now(i),
+            LogicalOp::CheckAsOf { frac } => self.check_as_of(i, *frac),
+            LogicalOp::CheckTxn { slot } => self.check_txn(i, *slot),
+        }
+    }
+
+    fn final_sweep(&mut self) -> Result<(), Divergence> {
+        for slot in 0..self.slots.len() {
+            self.commit_slot(usize::MAX, slot)?;
+        }
+        let (lse, lce) = (self.engine.manager().lse(), self.engine.manager().lce());
+        let replay = Replay::build(&self.log);
+        for epoch in lse..=lce {
+            for idx in 0..NUM_QUERIES {
+                let result = self
+                    .engine
+                    .query_as_of(ORACLE_CUBE, &build_query(idx), epoch)
+                    .map_err(|e| fail(None, format!("sweep q{idx} at {epoch} failed: {e}")))?;
+                let aosi = normalize(&result);
+                let reference = eval_rows(&replay.rows_at_epoch(epoch), idx);
+                self.comparisons += 1;
+                if let Some(d) = diff(&aosi, &reference) {
+                    return Err(fail(None, format!("sweep q{idx} at epoch {epoch}: {d}")));
+                }
+                // Same key as live checkpoints: the sweep
+                // cross-validates every earlier fingerprint recorded
+                // at this epoch (SI read stability).
+                self.checker.record(TxnEvent::Read {
+                    node: NODE,
+                    snapshot_epoch: epoch,
+                    deps: BTreeSet::new(),
+                    observed: BTreeSet::new(),
+                    reader: None,
+                    key: format!("{ORACLE_CUBE}:q{idx}"),
+                    fingerprint: fingerprint(&aosi),
+                });
+            }
+        }
+        self.clock_sample();
+        let violations = self.checker.violations();
+        if let Some(v) = violations.first() {
+            return Err(fail(
+                None,
+                format!("{} checker violation(s), first: {v}", violations.len()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn run_serial(
+    schedule: &Schedule,
+    crash_at: Option<usize>,
+    inject: Option<Inject>,
+) -> Result<RunReport, Divergence> {
+    let max_slot = schedule
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            LogicalOp::Begin { slot }
+            | LogicalOp::Append { slot, .. }
+            | LogicalOp::Commit { slot }
+            | LogicalOp::Rollback { slot }
+            | LogicalOp::CheckTxn { slot } => Some(*slot),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let wal = crash_at.map(|_| {
+        let dir = TempWalDir::new(&format!("oracle-crash-{}", schedule.seed));
+        WalState {
+            tracker: ReplicationTracker::new(1),
+            ctl: Some(FlushController::new(dir.path(), NODE).expect("WAL dir")),
+            dir,
+            crashed: false,
+        }
+    });
+    let mut state = Serial {
+        engine: engine_with_cube(),
+        checker: SiChecker::new(1),
+        slots: (0..=max_slot).map(|_| None).collect(),
+        log: Vec::new(),
+        inject,
+        comparisons: 0,
+        wal,
+    };
+    let crash_point = crash_at.map(|c| c.min(schedule.ops.len()));
+    for (i, op) in schedule.ops.iter().enumerate() {
+        if crash_point == Some(i) {
+            state.crash_and_recover()?;
+        }
+        state.apply(i, op)?;
+    }
+    if crash_point == Some(schedule.ops.len()) {
+        state.crash_and_recover()?;
+    }
+    state.final_sweep()?;
+    Ok(RunReport {
+        ops_executed: schedule.ops.len(),
+        comparisons: state.comparisons,
+        checker_events: state.checker.events_checked(),
+    })
+}
+
+// ---------------------------------------------------------------
+// Stress executor
+// ---------------------------------------------------------------
+
+enum TxnStep {
+    Rows(Vec<Row>),
+    Check,
+}
+
+enum Unit {
+    Txn { steps: Vec<TxnStep>, rollback: bool },
+    Load(Vec<Row>),
+    Delete(Vec<i64>),
+    Maint,
+    CheckNow,
+    CheckAsOf(u8),
+}
+
+/// Folds slot-addressed ops into self-contained concurrent units. A
+/// unit is emitted at its closing op's position; unclosed slots
+/// commit at the end; ops referencing slots that are not open are
+/// dropped (mirrors the serial executor's tolerance).
+fn build_units(ops: &[LogicalOp]) -> Vec<Unit> {
+    let mut units = Vec::new();
+    let mut open: Vec<Option<Vec<TxnStep>>> = Vec::new();
+    let slot_mut = |open: &mut Vec<Option<Vec<TxnStep>>>, slot: usize| {
+        if slot >= open.len() {
+            open.resize_with(slot + 1, || None);
+        }
+        slot
+    };
+    for op in ops {
+        match op {
+            LogicalOp::Begin { slot } => {
+                let s = slot_mut(&mut open, *slot);
+                if open[s].is_none() {
+                    open[s] = Some(Vec::new());
+                }
+            }
+            LogicalOp::Append { slot, rows } => {
+                let s = slot_mut(&mut open, *slot);
+                if let Some(steps) = open[s].as_mut() {
+                    steps.push(TxnStep::Rows(rows.clone()));
+                }
+            }
+            LogicalOp::CheckTxn { slot } => {
+                let s = slot_mut(&mut open, *slot);
+                if let Some(steps) = open[s].as_mut() {
+                    steps.push(TxnStep::Check);
+                }
+            }
+            LogicalOp::Commit { slot } => {
+                let s = slot_mut(&mut open, *slot);
+                if let Some(steps) = open[s].take() {
+                    units.push(Unit::Txn {
+                        steps,
+                        rollback: false,
+                    });
+                }
+            }
+            LogicalOp::Rollback { slot } => {
+                let s = slot_mut(&mut open, *slot);
+                if let Some(steps) = open[s].take() {
+                    units.push(Unit::Txn {
+                        steps,
+                        rollback: true,
+                    });
+                }
+            }
+            LogicalOp::Load { rows } => units.push(Unit::Load(rows.clone())),
+            LogicalOp::DeleteDays { buckets } => units.push(Unit::Delete(days_of(buckets))),
+            LogicalOp::Purge | LogicalOp::Flush => units.push(Unit::Maint),
+            LogicalOp::CheckNow => units.push(Unit::CheckNow),
+            LogicalOp::CheckAsOf { frac } => units.push(Unit::CheckAsOf(*frac)),
+        }
+    }
+    for steps in open.into_iter().flatten() {
+        units.push(Unit::Txn {
+            steps,
+            rollback: false,
+        });
+    }
+    units
+}
+
+/// A committed-snapshot read recorded during the concurrent phase,
+/// validated against the reference after the run.
+struct ReadObs {
+    epoch: u64,
+    query: usize,
+    norm: Norm,
+}
+
+/// An in-transaction read: snapshot, dependency set, and the rows
+/// the transaction had appended when it ran.
+struct TxnReadObs {
+    epoch: u64,
+    deps: BTreeSet<u64>,
+    own: Vec<Row>,
+    query: usize,
+    norm: Norm,
+}
+
+struct StressShared {
+    engine: Engine,
+    checker: SiChecker,
+    /// Begin-to-commit gate: append/load units hold it shared,
+    /// delete units exclusively, so a delete's epoch order equals
+    /// its physical order relative to every append (the straggler
+    /// exclusion the reference model requires).
+    gate: RwLock<()>,
+    log: Mutex<Vec<CommittedOp>>,
+    reads: Mutex<Vec<ReadObs>>,
+    txn_reads: Mutex<Vec<TxnReadObs>>,
+    failed: Mutex<Option<Divergence>>,
+    comparisons: AtomicUsize,
+}
+
+impl StressShared {
+    fn fail_once(&self, d: Divergence) {
+        let mut failed = self.failed.lock().unwrap();
+        if failed.is_none() {
+            *failed = Some(d);
+        }
+    }
+
+    fn run_unit(&self, unit: &Unit, unit_idx: usize, inject: Option<Inject>) {
+        match unit {
+            Unit::Load(rows) => {
+                let _shared = self.gate.read().unwrap();
+                let txn = self.engine.begin();
+                self.checker.record(TxnEvent::Begin {
+                    node: NODE,
+                    epoch: txn.epoch(),
+                    deps: txn.snapshot().deps().clone(),
+                });
+                match self.engine.append(ORACLE_CUBE, rows, &txn) {
+                    Ok((_, 0)) => {}
+                    Ok((_, rejected)) => {
+                        return self.fail_once(fail(
+                            None,
+                            format!("load rejected {rejected} generated rows"),
+                        ))
+                    }
+                    Err(e) => return self.fail_once(fail(None, format!("load failed: {e}"))),
+                }
+                if let Err(e) = self.engine.commit(&txn) {
+                    return self.fail_once(fail(None, format!("load commit failed: {e}")));
+                }
+                self.checker.record(TxnEvent::Commit {
+                    node: NODE,
+                    epoch: txn.epoch(),
+                });
+                self.log.lock().unwrap().push(CommittedOp::Rows {
+                    epoch: txn.epoch(),
+                    rows: rows.clone(),
+                });
+            }
+            Unit::Txn { steps, rollback } => {
+                let _shared = self.gate.read().unwrap();
+                let txn = self.engine.begin();
+                self.checker.record(TxnEvent::Begin {
+                    node: NODE,
+                    epoch: txn.epoch(),
+                    deps: txn.snapshot().deps().clone(),
+                });
+                let mut own: Vec<Row> = Vec::new();
+                for (step_idx, step) in steps.iter().enumerate() {
+                    match step {
+                        TxnStep::Rows(rows) => match self.engine.append(ORACLE_CUBE, rows, &txn) {
+                            Ok((_, 0)) => own.extend_from_slice(rows),
+                            Ok((_, rejected)) => {
+                                return self.fail_once(fail(
+                                    None,
+                                    format!("append rejected {rejected} generated rows"),
+                                ))
+                            }
+                            Err(e) => {
+                                return self.fail_once(fail(None, format!("append failed: {e}")))
+                            }
+                        },
+                        TxnStep::Check => {
+                            for idx in 0..NUM_QUERIES {
+                                let result = match self.engine.query_in_txn(
+                                    ORACLE_CUBE,
+                                    &build_query(idx),
+                                    &txn,
+                                ) {
+                                    Ok(r) => r,
+                                    Err(e) => {
+                                        return self.fail_once(fail(
+                                            None,
+                                            format!("in-txn query failed: {e}"),
+                                        ))
+                                    }
+                                };
+                                let norm = normalize(&result);
+                                self.checker.record(TxnEvent::Read {
+                                    node: NODE,
+                                    snapshot_epoch: txn.epoch(),
+                                    deps: txn.snapshot().deps().clone(),
+                                    observed: BTreeSet::new(),
+                                    reader: Some(txn.epoch()),
+                                    key: format!("{ORACLE_CUBE}:u{unit_idx}s{step_idx}:q{idx}"),
+                                    fingerprint: fingerprint(&norm),
+                                });
+                                self.txn_reads.lock().unwrap().push(TxnReadObs {
+                                    epoch: txn.epoch(),
+                                    deps: txn.snapshot().deps().clone(),
+                                    own: own.clone(),
+                                    query: idx,
+                                    norm,
+                                });
+                            }
+                        }
+                    }
+                }
+                if *rollback {
+                    match self.engine.rollback(&txn) {
+                        Ok(removed) if removed == own.len() as u64 => {
+                            self.checker.record(TxnEvent::Rollback {
+                                node: NODE,
+                                epoch: txn.epoch(),
+                            });
+                        }
+                        Ok(removed) => self.fail_once(fail(
+                            None,
+                            format!("rollback reclaimed {removed} rows of {}", own.len()),
+                        )),
+                        Err(e) => self.fail_once(fail(None, format!("rollback failed: {e}"))),
+                    }
+                } else {
+                    if let Err(e) = self.engine.commit(&txn) {
+                        return self.fail_once(fail(None, format!("commit failed: {e}")));
+                    }
+                    self.checker.record(TxnEvent::Commit {
+                        node: NODE,
+                        epoch: txn.epoch(),
+                    });
+                    self.log.lock().unwrap().push(CommittedOp::Rows {
+                        epoch: txn.epoch(),
+                        rows: own,
+                    });
+                }
+            }
+            Unit::Delete(days) => {
+                let _exclusive = self.gate.write().unwrap();
+                match self.engine.delete_where(ORACLE_CUBE, &[day_filter(days)]) {
+                    Ok((epoch, _)) => {
+                        self.checker.record(TxnEvent::Begin {
+                            node: NODE,
+                            epoch,
+                            deps: BTreeSet::new(),
+                        });
+                        self.checker.record(TxnEvent::Commit { node: NODE, epoch });
+                        self.log.lock().unwrap().push(CommittedOp::Delete {
+                            epoch,
+                            days: days.clone(),
+                        });
+                    }
+                    Err(e) => self.fail_once(fail(None, format!("delete failed: {e}"))),
+                }
+            }
+            Unit::Maint => {
+                // advance_lse_and_purge backs off when a reader holds
+                // an older guard; no gate needed.
+                self.engine.advance_lse_and_purge();
+            }
+            Unit::CheckNow => {
+                let guard = self.engine.manager().begin_read();
+                let claimed = guard.snapshot().epoch();
+                let snap = match inject {
+                    Some(Inject::SnapshotBehind) => Snapshot::committed(claimed.saturating_sub(1)),
+                    None => guard.snapshot().clone(),
+                };
+                for idx in 0..NUM_QUERIES {
+                    let result = match self.engine.query_at(ORACLE_CUBE, &build_query(idx), &snap) {
+                        Ok(r) => r,
+                        Err(e) => return self.fail_once(fail(None, format!("check failed: {e}"))),
+                    };
+                    let norm = normalize(&result);
+                    self.checker.record(TxnEvent::Read {
+                        node: NODE,
+                        snapshot_epoch: claimed,
+                        deps: BTreeSet::new(),
+                        observed: BTreeSet::new(),
+                        reader: None,
+                        key: format!("{ORACLE_CUBE}:q{idx}"),
+                        fingerprint: fingerprint(&norm),
+                    });
+                    self.reads.lock().unwrap().push(ReadObs {
+                        epoch: claimed,
+                        query: idx,
+                        norm,
+                    });
+                }
+            }
+            Unit::CheckAsOf(frac) => {
+                let (lse, lce) = (self.engine.manager().lse(), self.engine.manager().lce());
+                if lce == 0 {
+                    return;
+                }
+                let window = lce - lse + 1;
+                let epoch = (lse + (u64::from(*frac) * window) / 256).min(lce);
+                for idx in 0..NUM_QUERIES {
+                    match self
+                        .engine
+                        .query_as_of(ORACLE_CUBE, &build_query(idx), epoch)
+                    {
+                        Ok(result) => {
+                            let norm = normalize(&result);
+                            self.checker.record(TxnEvent::Read {
+                                node: NODE,
+                                snapshot_epoch: epoch,
+                                deps: BTreeSet::new(),
+                                observed: BTreeSet::new(),
+                                reader: None,
+                                key: format!("{ORACLE_CUBE}:q{idx}"),
+                                fingerprint: fingerprint(&norm),
+                            });
+                            self.reads.lock().unwrap().push(ReadObs {
+                                epoch,
+                                query: idx,
+                                norm,
+                            });
+                        }
+                        // The window can move between reading LSE/LCE
+                        // and the guarded re-check inside query_as_of;
+                        // a benign race, not a divergence.
+                        Err(cubrick::CubrickError::EpochOutOfRange { .. }) => {}
+                        Err(e) => {
+                            return self.fail_once(fail(None, format!("as-of check failed: {e}")))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_stress(schedule: &Schedule, inject: Option<Inject>) -> Result<RunReport, Divergence> {
+    let units = build_units(&schedule.ops);
+    let shared = StressShared {
+        engine: engine_with_cube(),
+        checker: SiChecker::new(1),
+        gate: RwLock::new(()),
+        log: Mutex::new(Vec::new()),
+        reads: Mutex::new(Vec::new()),
+        txn_reads: Mutex::new(Vec::new()),
+        failed: Mutex::new(None),
+        comparisons: AtomicUsize::new(0),
+    };
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..STRESS_THREADS {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= units.len() || shared.failed.lock().unwrap().is_some() {
+                    break;
+                }
+                shared.run_unit(&units[idx], idx, inject);
+            });
+        }
+    });
+    if let Some(d) = shared.failed.lock().unwrap().take() {
+        return Err(d);
+    }
+
+    // Post-hoc: diff every recorded read against the reference built
+    // from the final committed log. Sound because every read ran at a
+    // committed snapshot (all epochs <= E finished by the LCE rule)
+    // and the gate excluded delete/append stragglers.
+    let log = shared.log.into_inner().unwrap();
+    let replay = Replay::build(&log);
+    let mut comparisons = shared.comparisons.load(Ordering::Relaxed) as u64;
+    for obs in shared.reads.into_inner().unwrap() {
+        let reference = eval_rows(&replay.rows_at_epoch(obs.epoch), obs.query);
+        comparisons += 1;
+        if let Some(d) = diff(&obs.norm, &reference) {
+            return Err(fail(
+                None,
+                format!("concurrent read q{} at epoch {}: {d}", obs.query, obs.epoch),
+            ));
+        }
+    }
+    for obs in shared.txn_reads.into_inner().unwrap() {
+        // Every epoch < E outside the deps set had finished before
+        // the reader began, so the final log suffices to reconstruct
+        // the read's visible rows.
+        let model = model_txn_rows(&log, obs.epoch, &obs.deps, &obs.own);
+        let reference = eval_rows(&model, obs.query);
+        comparisons += 1;
+        if let Some(d) = diff(&obs.norm, &reference) {
+            return Err(fail(
+                None,
+                format!(
+                    "concurrent in-txn read q{} at epoch {} (deps {:?}): {d}",
+                    obs.query, obs.epoch, obs.deps
+                ),
+            ));
+        }
+    }
+
+    // Quiescent final sweep over the whole readable window.
+    let engine = shared.engine;
+    let checker = shared.checker;
+    let (lse, lce) = (engine.manager().lse(), engine.manager().lce());
+    for epoch in lse..=lce {
+        for idx in 0..NUM_QUERIES {
+            let result = engine
+                .query_as_of(ORACLE_CUBE, &build_query(idx), epoch)
+                .map_err(|e| fail(None, format!("sweep q{idx} at {epoch} failed: {e}")))?;
+            let aosi = normalize(&result);
+            let reference = eval_rows(&replay.rows_at_epoch(epoch), idx);
+            comparisons += 1;
+            if let Some(d) = diff(&aosi, &reference) {
+                return Err(fail(None, format!("sweep q{idx} at epoch {epoch}: {d}")));
+            }
+            checker.record(TxnEvent::Read {
+                node: NODE,
+                snapshot_epoch: epoch,
+                deps: BTreeSet::new(),
+                observed: BTreeSet::new(),
+                reader: None,
+                key: format!("{ORACLE_CUBE}:q{idx}"),
+                fingerprint: fingerprint(&aosi),
+            });
+        }
+    }
+    // Clocks are only sampled at quiescence: a concurrent sample
+    // could pair an old EC with a newer LCE and trip the checker on
+    // a torn read rather than a real violation.
+    let clock = engine.manager().clock();
+    checker.record(TxnEvent::ClockSample {
+        node: NODE,
+        ec: clock.current_ec(),
+        lce: clock.lce(),
+        lse: clock.lse(),
+    });
+    let violations = checker.violations();
+    if let Some(v) = violations.first() {
+        return Err(fail(
+            None,
+            format!("{} checker violation(s), first: {v}", violations.len()),
+        ));
+    }
+    Ok(RunReport {
+        ops_executed: schedule.ops.len(),
+        comparisons,
+        checker_events: checker.events_checked(),
+    })
+}

@@ -1,0 +1,73 @@
+//! Differential testing oracle: AOSI vs. MVCC, same schedule, same
+//! answers.
+//!
+//! The paper's central claim is that AOSI provides Snapshot
+//! Isolation semantics equivalent to an MVCC design while storing
+//! one version per record and one epochs vector per partition. This
+//! crate turns that claim into an executable check: a seeded
+//! generator (`workload::ops`) produces a multi-transaction schedule
+//! — loads, explicit append transactions, partition deletes,
+//! rollbacks, flush/purge maintenance, and point-in-time reads — and
+//! the harness drives the AOSI [`cubrick::Engine`] through it while
+//! recording every committed operation. At each checkpoint the same
+//! state is derived on a disjoint code path (an epoch-ordered replay
+//! into `mvcc_baseline::MvccStore`) and a fixed battery of aggregate
+//! queries must agree exactly. The online SI checker
+//! (`checker::SiChecker`) rides along on the AOSI side throughout.
+//!
+//! Three execution modes (see [`harness`]): single-threaded
+//! **deterministic**, thread-pooled **stress**, and WAL-replay
+//! **crash-recovery**. A failing schedule is shrunk by the
+//! [`minimize`] minimizer to a minimal reproduction and dumped as a
+//! replayable `.seed` artifact.
+//!
+//! The test-suite entry points honor two environment hooks, mirroring
+//! the chaos suite's `AOSI_CHAOS_SEEDS`:
+//!
+//! * `AOSI_ORACLE_SEEDS=7,99` — run extra seeds through all modes.
+//! * `AOSI_ORACLE_REPLAY=/path/a.seed,/path/b.seed` — replay dumped
+//!   artifacts.
+//! * `AOSI_ORACLE_ARTIFACT_DIR=dir` — where minimized artifacts are
+//!   written (defaults to `$TMPDIR/aosi-oracle-seeds`).
+//!
+//! See `TESTING.md` at the repo root for the full workflow.
+
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod harness;
+pub mod minimize;
+pub mod reference;
+
+pub use harness::{run, Divergence, Inject, Mode, RunReport};
+pub use minimize::{artifact_dir, minimize, replay_artifact, Minimized};
+use workload::ops::{GenConfig, Schedule};
+
+/// Generates the schedule for `seed`, runs it under `mode`, and — on
+/// divergence — minimizes, dumps a `.seed` artifact, and panics with
+/// the reproduction instructions. The corpus tests and the root
+/// smoke test are thin loops over this.
+pub fn check_seed(seed: u64, mode: Mode, cfg: &GenConfig) -> RunReport {
+    let schedule = Schedule::generate(seed, cfg);
+    match run(&schedule, mode, None) {
+        Ok(report) => report,
+        Err(divergence) => {
+            let where_to = match minimize(&schedule, mode, None) {
+                Some(min) => format!(
+                    "minimized to {} ops, artifact: {} ({})",
+                    min.schedule.ops.len(),
+                    min.artifact.display(),
+                    min.divergence
+                ),
+                // A flaky failure that did not reproduce under the
+                // minimizer still fails the run — report the original.
+                None => "failure did not reproduce under minimization".to_string(),
+            };
+            panic!(
+                "oracle divergence: seed {seed}, mode {}: {divergence}\n{where_to}\n\
+                 replay: AOSI_ORACLE_SEEDS={seed} cargo test -p oracle",
+                mode.to_line()
+            );
+        }
+    }
+}

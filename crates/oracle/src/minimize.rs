@@ -1,0 +1,183 @@
+//! Shrinking minimizer and replayable `.seed` artifacts.
+//!
+//! When a schedule diverges, [`minimize`] shrinks it in two phases:
+//!
+//! 1. **Prefix bisection** — find the shortest failing prefix. In
+//!    deterministic and crash modes a prefix executes identically to
+//!    the full schedule up to its cut point, so "prefix of length n
+//!    fails" is monotone in `n` and binary search applies. (Stress
+//!    runs are nondeterministic; each candidate is retried a few
+//!    times and treated as failing if any attempt fails.)
+//! 2. **Greedy op removal** — drop individual ops, keeping any
+//!    removal that still fails, until a fixpoint. Executors treat
+//!    dangling slot references as no-ops, so every subsequence is a
+//!    valid schedule.
+//!
+//! The result is written as a `.seed` text artifact (mode + optional
+//! injection + the `workload::ops` schedule serialization) that
+//! [`replay_artifact`] — and the `AOSI_ORACLE_REPLAY` env hook in
+//! the test suite — can re-run byte-for-byte.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use workload::ops::Schedule;
+
+use crate::harness::{run, Divergence, Inject, Mode, RunReport};
+
+/// Where `.seed` artifacts are written: `AOSI_ORACLE_ARTIFACT_DIR`
+/// if set (CI points this at its artifact upload path), else a
+/// stable directory under the system temp dir.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os("AOSI_ORACLE_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("aosi-oracle-seeds"))
+}
+
+/// A minimized failing schedule plus its dumped artifact.
+pub struct Minimized {
+    /// The smallest still-failing schedule found.
+    pub schedule: Schedule,
+    /// The divergence the minimized schedule reproduces.
+    pub divergence: Divergence,
+    /// Path of the written `.seed` artifact.
+    pub artifact: PathBuf,
+}
+
+fn first_failure(
+    schedule: &Schedule,
+    mode: Mode,
+    inject: Option<Inject>,
+    attempts: usize,
+) -> Option<Divergence> {
+    (0..attempts).find_map(|_| run(schedule, mode, inject).err())
+}
+
+/// Shrinks `schedule` to a minimal failing form and dumps a
+/// replayable artifact. Returns `None` when the schedule does not
+/// fail at all (nothing to minimize).
+pub fn minimize(schedule: &Schedule, mode: Mode, inject: Option<Inject>) -> Option<Minimized> {
+    let attempts = if mode == Mode::Stress { 3 } else { 1 };
+    let original = first_failure(schedule, mode, inject, attempts)?;
+    let sub = |ops: Vec<workload::ops::LogicalOp>| Schedule {
+        seed: schedule.seed,
+        ops,
+    };
+
+    // Phase 1: shortest failing prefix.
+    let mut lo = 0usize;
+    let mut hi = schedule.ops.len(); // invariant: prefix of hi fails
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if first_failure(&sub(schedule.ops[..mid].to_vec()), mode, inject, attempts).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut ops = schedule.ops[..hi].to_vec();
+
+    // Phase 2: greedy per-op removal to fixpoint.
+    loop {
+        let mut changed = false;
+        let mut i = ops.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if first_failure(&sub(candidate.clone()), mode, inject, attempts).is_some() {
+                ops = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let minimized = sub(ops);
+    let divergence = first_failure(&minimized, mode, inject, attempts).unwrap_or(original);
+    let artifact = write_artifact(&minimized, mode, inject, &divergence);
+    Some(Minimized {
+        schedule: minimized,
+        divergence,
+        artifact,
+    })
+}
+
+fn inject_line(inject: Option<Inject>) -> Option<&'static str> {
+    match inject {
+        Some(Inject::SnapshotBehind) => Some("snapshot-behind"),
+        None => None,
+    }
+}
+
+fn parse_inject(text: &str) -> Result<Inject, String> {
+    match text.trim() {
+        "snapshot-behind" => Ok(Inject::SnapshotBehind),
+        other => Err(format!("unknown injection {other:?}")),
+    }
+}
+
+fn write_artifact(
+    schedule: &Schedule,
+    mode: Mode,
+    inject: Option<Inject>,
+    divergence: &Divergence,
+) -> PathBuf {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir).expect("artifact dir is writable");
+    // The injection tag is part of the name so an injected-bug run
+    // (the meta-tests) can never clobber a genuine failure's artifact
+    // for the same seed and mode.
+    let inject_tag = inject_line(inject)
+        .map(|tag| format!("-{tag}"))
+        .unwrap_or_default();
+    let path = dir.join(format!(
+        "min-seed{}-{}{}.seed",
+        schedule.seed,
+        Mode::to_line(mode).replace(' ', "-"),
+        inject_tag
+    ));
+    let mut text = String::new();
+    text.push_str("# aosi-oracle minimized failing schedule\n");
+    text.push_str(&format!("# divergence: {divergence}\n"));
+    text.push_str("# replay: AOSI_ORACLE_REPLAY=<this file> cargo test -p oracle\n");
+    text.push_str(&format!("mode {}\n", mode.to_line()));
+    if let Some(tag) = inject_line(inject) {
+        text.push_str(&format!("inject {tag}\n"));
+    }
+    text.push_str(&schedule.to_text());
+    fs::write(&path, text).expect("artifact file is writable");
+    path
+}
+
+/// Re-runs a `.seed` artifact (or any schedule text with optional
+/// `mode` / `inject` header lines; both default to a plain
+/// deterministic run).
+pub fn replay_artifact(path: &Path) -> Result<RunReport, Divergence> {
+    let text = fs::read_to_string(path).map_err(|e| Divergence {
+        op_index: None,
+        detail: format!("cannot read artifact {}: {e}", path.display()),
+    })?;
+    let bad = |detail: String| Divergence {
+        op_index: None,
+        detail,
+    };
+    let mut mode = Mode::Deterministic;
+    let mut inject = None;
+    let mut rest = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(m) = trimmed.strip_prefix("mode ") {
+            mode = Mode::parse(m).map_err(bad)?;
+        } else if let Some(i) = trimmed.strip_prefix("inject ") {
+            inject = Some(parse_inject(i).map_err(bad)?);
+        } else {
+            rest.push_str(line);
+            rest.push('\n');
+        }
+    }
+    let schedule = Schedule::from_text(&rest).map_err(bad)?;
+    run(&schedule, mode, inject)
+}

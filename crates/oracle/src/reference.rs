@@ -1,0 +1,261 @@
+//! The MVCC reference model: replay a committed schedule, read any
+//! epoch.
+//!
+//! The harness records every *committed* logical operation as a
+//! [`CommittedOp`] tagged with its AOSI epoch. [`Replay::build`]
+//! replays those ops in epoch order into a fresh `MvccStore` — each
+//! op is one serial MVCC transaction — and records the resulting
+//! `epoch -> commit_ts` mapping, so any committed AOSI snapshot epoch
+//! `E` translates to "the MVCC timestamp of the last committed op
+//! with epoch <= E".
+//!
+//! Why epoch-order replay is sound here (and would not be in
+//! general): a committed AOSI snapshot (empty deps) sees exactly the
+//! epochs `<= E`, and the schedule generator guarantees partition
+//! deletes never overlap open append transactions (deterministic
+//! mode orders them apart at generation time; stress mode holds a
+//! begin-to-commit lock — see the `workload::ops` docs). Under that
+//! constraint a delete at epoch `k` kills precisely the committed
+//! matching rows with epoch `< k`, which is what replaying it as a
+//! row-wise MVCC delete at its epoch position computes. Without it,
+//! AOSI's brick-existence semantics (a delete marks only bricks
+//! present at delete time) would diverge from any row-value model.
+//!
+//! The store is rebuilt from the log on every checkpoint rather than
+//! maintained incrementally: schedules are small and an immutable
+//! derivation from the log cannot drift out of sync with it.
+
+use std::collections::BTreeSet;
+
+use columnar::{ColumnType, Field, Row, Schema};
+use mvcc_baseline::{MvccStore, MvccTxnManager};
+
+/// A committed logical operation, tagged with its AOSI epoch.
+#[derive(Clone, Debug)]
+pub enum CommittedOp {
+    /// Rows committed at `epoch` (one load or one explicit txn).
+    Rows {
+        /// The committing epoch.
+        epoch: u64,
+        /// The rows, in append order.
+        rows: Vec<Row>,
+    },
+    /// A partition delete committed at `epoch` covering `days`.
+    Delete {
+        /// The committing epoch.
+        epoch: u64,
+        /// Exact day values deleted (whole buckets).
+        days: Vec<i64>,
+    },
+}
+
+impl CommittedOp {
+    /// The op's committing epoch.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            CommittedOp::Rows { epoch, .. } | CommittedOp::Delete { epoch, .. } => *epoch,
+        }
+    }
+}
+
+fn reference_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("region", ColumnType::Str),
+        Field::new("day", ColumnType::I64),
+        Field::new("likes", ColumnType::I64),
+        Field::new("score", ColumnType::F64),
+    ])
+}
+
+/// A replayed reference store plus the epoch -> commit_ts mapping.
+pub struct Replay {
+    store: MvccStore,
+    /// `(epoch, commit_ts)` sorted by epoch.
+    ts_by_epoch: Vec<(u64, u64)>,
+}
+
+impl Replay {
+    /// Replays `log` (any order; sorted by epoch internally) into a
+    /// fresh MVCC store.
+    pub fn build(log: &[CommittedOp]) -> Replay {
+        let mut sorted: Vec<&CommittedOp> = log.iter().collect();
+        sorted.sort_by_key(|op| op.epoch());
+        let mut store = MvccStore::new(reference_schema(), MvccTxnManager::new());
+        let mut ts_by_epoch = Vec::with_capacity(sorted.len());
+        for op in sorted {
+            let mut txn = store.manager().begin();
+            match op {
+                CommittedOp::Rows { rows, .. } => {
+                    for row in rows {
+                        store.insert(&mut txn, row);
+                    }
+                }
+                CommittedOp::Delete { days, .. } => {
+                    let (visible, _) = store.scan(&txn);
+                    for row in visible.iter_ones() {
+                        let day = store
+                            .get(row, 1)
+                            .and_then(|v| v.as_i64())
+                            .expect("day column is I64");
+                        if days.contains(&day) {
+                            store
+                                .delete(&mut txn, row)
+                                .expect("serial replay cannot conflict");
+                        }
+                    }
+                }
+            }
+            let ts = store
+                .commit(&mut txn)
+                .expect("serial replay cannot conflict");
+            ts_by_epoch.push((op.epoch(), ts));
+        }
+        Replay { store, ts_by_epoch }
+    }
+
+    /// MVCC timestamp equivalent to committed AOSI epoch `epoch`:
+    /// the commit_ts of the last committed op at or below it (0 — the
+    /// empty store — when nothing that early committed).
+    pub fn ts_for_epoch(&self, epoch: u64) -> u64 {
+        match self.ts_by_epoch.partition_point(|(e, _)| *e <= epoch) {
+            0 => 0,
+            n => self.ts_by_epoch[n - 1].1,
+        }
+    }
+
+    /// Decoded rows visible at committed AOSI epoch `epoch`.
+    pub fn rows_at_epoch(&self, epoch: u64) -> Vec<Row> {
+        self.store.rows_at(self.ts_for_epoch(epoch))
+    }
+}
+
+fn sees(snapshot_epoch: u64, deps: &BTreeSet<u64>, j: u64) -> bool {
+    j <= snapshot_epoch && (j == snapshot_epoch || !deps.contains(&j))
+}
+
+/// Direct model of an *in-transaction* read: the rows a RW
+/// transaction at `epoch` with dependency set `deps` sees, given the
+/// committed log plus its `own` uncommitted appends so far. The MVCC
+/// timestamp store cannot express a deps-bearing snapshot (it has no
+/// notion of "skip this one earlier transaction"), so in-txn reads
+/// diff against this log-level model instead.
+///
+/// A committed delete `D` kills a visible row iff the snapshot sees
+/// `D` and the row's epoch is below `D`'s; `deps`-excluded epochs
+/// contribute no rows at all. Own rows carry the reader's epoch, so
+/// no visible delete can outrank them (a delete with a higher epoch
+/// is never in the snapshot; see the straggler discussion in
+/// `workload::ops`).
+///
+/// Committed log entries at the reader's *own* epoch are ignored:
+/// `own` is the authoritative record of what the transaction had
+/// appended at read time. The stress executor validates in-txn reads
+/// post-hoc against the final log, where the reader's transaction has
+/// itself committed — trusting the log there would double-count `own`
+/// and credit the read with rows appended after it happened.
+pub fn model_txn_rows(
+    log: &[CommittedOp],
+    snapshot_epoch: u64,
+    deps: &BTreeSet<u64>,
+    own: &[Row],
+) -> Vec<Row> {
+    let mut tagged: Vec<(u64, &Row)> = Vec::new();
+    let mut sorted: Vec<&CommittedOp> = log.iter().collect();
+    sorted.sort_by_key(|op| op.epoch());
+    for op in &sorted {
+        if let CommittedOp::Rows { epoch, rows } = op {
+            if *epoch != snapshot_epoch && sees(snapshot_epoch, deps, *epoch) {
+                tagged.extend(rows.iter().map(|r| (*epoch, r)));
+            }
+        }
+    }
+    tagged.extend(own.iter().map(|r| (snapshot_epoch, r)));
+    for op in &sorted {
+        if let CommittedOp::Delete { epoch, days } = op {
+            if sees(snapshot_epoch, deps, *epoch) {
+                tagged.retain(|(row_epoch, row)| {
+                    let day = row[1].as_i64().unwrap_or(i64::MIN);
+                    !(*row_epoch < *epoch && days.contains(&day))
+                });
+            }
+        }
+    }
+    tagged.into_iter().map(|(_, r)| r.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::Value;
+
+    fn r(region: &str, day: i64, likes: i64) -> Row {
+        vec![
+            Value::Str(region.into()),
+            Value::I64(day),
+            Value::I64(likes),
+            Value::F64(0.0),
+        ]
+    }
+
+    #[test]
+    fn replay_maps_epochs_to_snapshots() {
+        let log = vec![
+            CommittedOp::Rows {
+                epoch: 1,
+                rows: vec![r("r0", 1, 10), r("r1", 5, 20)],
+            },
+            CommittedOp::Delete {
+                epoch: 3,
+                days: vec![4, 5, 6, 7],
+            },
+            CommittedOp::Rows {
+                epoch: 5,
+                rows: vec![r("r2", 5, 30)],
+            },
+        ];
+        let replay = Replay::build(&log);
+        assert_eq!(replay.ts_for_epoch(0), 0);
+        assert_eq!(replay.rows_at_epoch(0).len(), 0);
+        assert_eq!(replay.rows_at_epoch(1).len(), 2);
+        // Epoch 2 has no committed op: same snapshot as epoch 1.
+        assert_eq!(replay.ts_for_epoch(2), replay.ts_for_epoch(1));
+        // The delete at 3 kills the day-5 row from epoch 1.
+        assert_eq!(replay.rows_at_epoch(3), vec![r("r0", 1, 10)]);
+        assert_eq!(replay.rows_at_epoch(4), vec![r("r0", 1, 10)]);
+        // The day-5 row appended at epoch 5 postdates the delete.
+        assert_eq!(replay.rows_at_epoch(5).len(), 2);
+    }
+
+    #[test]
+    fn txn_model_applies_deps_and_own_rows() {
+        let log = vec![
+            CommittedOp::Rows {
+                epoch: 1,
+                rows: vec![r("r0", 1, 10)],
+            },
+            CommittedOp::Rows {
+                epoch: 2,
+                rows: vec![r("r1", 2, 20)],
+            },
+            CommittedOp::Delete {
+                epoch: 3,
+                days: vec![0, 1, 2, 3],
+            },
+        ];
+        // Snapshot at 4 depending on (i.e. excluding) 2: sees epoch 1
+        // and the delete at 3 (which kills everything matching), plus
+        // its own day-9 row.
+        let deps: BTreeSet<u64> = [2u64].into_iter().collect();
+        let own = vec![r("r5", 9, 50)];
+        let rows = model_txn_rows(&log, 4, &deps, &own);
+        assert_eq!(rows, vec![r("r5", 9, 50)]);
+        // Without the delete in view (snapshot at 2, no deps): epoch 1
+        // visible from the log; the log's epoch-2 entry is the
+        // reader's *own* commit and is sourced from `own` instead —
+        // with `own` empty it models a read before the append.
+        let rows = model_txn_rows(&log, 2, &BTreeSet::new(), &[]);
+        assert_eq!(rows, vec![r("r0", 1, 10)]);
+        let rows = model_txn_rows(&log, 2, &BTreeSet::new(), &[r("r1", 2, 20)]);
+        assert_eq!(rows.len(), 2);
+    }
+}

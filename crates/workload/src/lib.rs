@@ -13,6 +13,7 @@
 
 pub mod clients;
 pub mod datasets;
+pub mod ops;
 pub mod queries;
 pub mod stats;
 pub mod timeline;
@@ -20,6 +21,7 @@ pub mod zipf;
 
 pub use clients::{run_load_clients, LoadClientReport};
 pub use datasets::{Dataset, SingleColumnDataset, SkewedDataset, WideDataset};
+pub use ops::{GenConfig, LogicalOp, Schedule};
 pub use queries::QueryMix;
 pub use stats::{human_bytes, human_rate, LatencyRecorder, Percentiles};
 pub use timeline::{Timeline, TimelinePoint};

@@ -1,0 +1,471 @@
+//! Seeded multi-transaction op schedules for the differential oracle.
+//!
+//! One RNG seed deterministically produces one [`Schedule`]: a flat
+//! list of [`LogicalOp`]s mixing implicit loads, explicit
+//! begin/append/commit/rollback transaction slots, partition deletes,
+//! flush/purge maintenance, and equivalence checkpoints. The oracle
+//! crate executes the same schedule against the AOSI engine and the
+//! MVCC baseline and compares results; keeping generation here makes
+//! the op model reusable by other harnesses (and keeps the oracle
+//! crate free of generation policy).
+//!
+//! Schedules serialize to a line-oriented text form
+//! ([`Schedule::to_text`] / [`Schedule::from_text`]) so a minimized
+//! failing schedule can be dumped as a replayable `.seed` artifact.
+//!
+//! Two generation invariants matter for differential soundness (see
+//! the oracle crate docs for the full argument):
+//!
+//! * **Deletes target whole day range-buckets.** `delete_where` marks
+//!   a brick only when its entire coordinate range is contained in
+//!   the predicate, so predicates are unions of complete `day`
+//!   buckets — brick containment then equals row-value membership and
+//!   the MVCC side can model the delete as plain row deletion.
+//! * **Deletes never overlap open transaction slots** (in generation
+//!   order). An AOSI partition delete at epoch `k` hides *straggler*
+//!   appends of epochs `< k` only in bricks that existed when the
+//!   delete ran, which no row-level reference model can reproduce
+//!   without tracking physical brick creation order. With no open
+//!   slots at delete time, every row of an epoch `< k` is already in
+//!   place and the semantics collapse to "delete kills all committed
+//!   matching rows with a smaller epoch".
+
+use columnar::{Row, Value};
+use cubrick::{CubeSchema, Dimension, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cube name the oracle schedules run against.
+pub const ORACLE_CUBE: &str = "oracle";
+/// `region` dimension cardinality (string dimension).
+pub const REGION_CARD: u32 = 8;
+/// `region` range size (dictionary ids per brick range).
+pub const REGION_RANGE: u32 = 2;
+/// `day` dimension cardinality (integer dimension).
+pub const DAY_CARD: u32 = 16;
+/// `day` range size — deletes target whole buckets of this width.
+pub const DAY_RANGE: u32 = 4;
+/// Number of whole day buckets (`DAY_CARD / DAY_RANGE`).
+pub const DAY_BUCKETS: u32 = DAY_CARD / DAY_RANGE;
+
+/// The fixed cube schema oracle schedules are generated for.
+pub fn oracle_schema() -> CubeSchema {
+    CubeSchema::new(
+        ORACLE_CUBE,
+        vec![
+            Dimension::string("region", REGION_CARD, REGION_RANGE),
+            Dimension::int("day", DAY_CARD, DAY_RANGE),
+        ],
+        vec![Metric::int("likes"), Metric::float("score")],
+    )
+    .expect("oracle schema is statically valid")
+}
+
+/// The day values covered by bucket `b` (`[b*DAY_RANGE, (b+1)*DAY_RANGE)`).
+pub fn bucket_days(bucket: u32) -> Vec<i64> {
+    let lo = (bucket * DAY_RANGE) as i64;
+    (lo..lo + DAY_RANGE as i64).collect()
+}
+
+/// One step of a logical schedule. Slot-addressed ops refer to
+/// explicit transaction slots; executors treat references to slots
+/// that are not open as no-ops, so arbitrary subsequences of a
+/// schedule (as produced by the shrinking minimizer) stay executable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalOp {
+    /// Open explicit transaction slot `slot`.
+    Begin {
+        /// Target slot.
+        slot: usize,
+    },
+    /// Append `rows` inside the open transaction in `slot`.
+    Append {
+        /// Target slot.
+        slot: usize,
+        /// Rows to append (`[region, day, likes, score]`).
+        rows: Vec<Row>,
+    },
+    /// Commit the open transaction in `slot`.
+    Commit {
+        /// Target slot.
+        slot: usize,
+    },
+    /// Roll back the open transaction in `slot` (its rows are
+    /// physically reclaimed).
+    Rollback {
+        /// Target slot.
+        slot: usize,
+    },
+    /// One implicit-transaction batch load.
+    Load {
+        /// Rows to load.
+        rows: Vec<Row>,
+    },
+    /// Partition delete of whole `day` buckets.
+    DeleteDays {
+        /// Bucket indexes in `0..DAY_BUCKETS`.
+        buckets: Vec<u32>,
+    },
+    /// Advance LSE to LCE and purge reclaimable history.
+    Purge,
+    /// Run a durability flush round (crash-recovery mode); other
+    /// modes treat this like [`LogicalOp::Purge`].
+    Flush,
+    /// Compare both engines at the latest committed snapshot.
+    CheckNow,
+    /// Compare both engines at a historical epoch inside the
+    /// readable window, chosen as `lse + frac * (lce - lse + 1) / 256`
+    /// so the choice replays deterministically from engine state.
+    CheckAsOf {
+        /// Window fraction in `0..=255`.
+        frac: u8,
+    },
+    /// Compare an in-transaction read (sees its own uncommitted
+    /// appends) against the reference model.
+    CheckTxn {
+        /// Target slot.
+        slot: usize,
+    },
+}
+
+/// Generation knobs.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Approximate number of ops to generate (closing commits and a
+    /// final check are appended on top).
+    pub ops: usize,
+    /// Number of explicit transaction slots.
+    pub slots: usize,
+    /// Maximum rows per append/load batch.
+    pub max_batch: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            ops: 60,
+            slots: 3,
+            max_batch: 6,
+        }
+    }
+}
+
+/// A seeded schedule of logical ops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schedule {
+    /// The generating seed (0 for hand-written schedules).
+    pub seed: u64,
+    /// The ops, in logical order.
+    pub ops: Vec<LogicalOp>,
+}
+
+fn gen_row(rng: &mut StdRng) -> Row {
+    vec![
+        Value::Str(format!("r{}", rng.gen_range(0..REGION_CARD))),
+        Value::I64(rng.gen_range(0..DAY_CARD as i64)),
+        Value::I64(rng.gen_range(0..=100i64)),
+        // Integer-valued floats keep f64 sums exact and therefore
+        // order-independent across shard scheduling.
+        Value::F64(rng.gen_range(0..=50i64) as f64),
+    ]
+}
+
+fn gen_rows(rng: &mut StdRng, cfg: &GenConfig) -> Vec<Row> {
+    let n = rng.gen_range(1..=cfg.max_batch.max(1));
+    (0..n).map(|_| gen_row(rng)).collect()
+}
+
+impl Schedule {
+    /// Deterministically generates a schedule from `seed`.
+    pub fn generate(seed: u64, cfg: &GenConfig) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa05e_0c1e_5eed_0001);
+        let mut ops = Vec::with_capacity(cfg.ops + cfg.slots + 1);
+        let mut open = vec![false; cfg.slots.max(1)];
+        while ops.len() < cfg.ops {
+            let any_open = open.iter().any(|&o| o);
+            let open_slots: Vec<usize> = (0..open.len()).filter(|&s| open[s]).collect();
+            let pick_open = |rng: &mut StdRng| open_slots[rng.gen_range(0..open_slots.len())];
+            let roll = rng.gen_range(0..100u32);
+            let op = match roll {
+                0..=21 => LogicalOp::Load {
+                    rows: gen_rows(&mut rng, cfg),
+                },
+                22..=33 => match open.iter().position(|&o| !o) {
+                    Some(slot) => {
+                        open[slot] = true;
+                        LogicalOp::Begin { slot }
+                    }
+                    None => LogicalOp::Append {
+                        slot: pick_open(&mut rng),
+                        rows: gen_rows(&mut rng, cfg),
+                    },
+                },
+                34..=51 if any_open => LogicalOp::Append {
+                    slot: pick_open(&mut rng),
+                    rows: gen_rows(&mut rng, cfg),
+                },
+                34..=51 => LogicalOp::Load {
+                    rows: gen_rows(&mut rng, cfg),
+                },
+                52..=61 if any_open => {
+                    let slot = pick_open(&mut rng);
+                    open[slot] = false;
+                    LogicalOp::Commit { slot }
+                }
+                52..=61 => LogicalOp::CheckNow,
+                62..=67 if any_open => {
+                    let slot = pick_open(&mut rng);
+                    open[slot] = false;
+                    LogicalOp::Rollback { slot }
+                }
+                62..=67 => LogicalOp::Purge,
+                // Deletes only with every slot closed — see module docs.
+                68..=73 if !any_open => {
+                    let first = rng.gen_range(0..DAY_BUCKETS);
+                    let mut buckets = vec![first];
+                    if rng.gen_bool(0.4) {
+                        let second = rng.gen_range(0..DAY_BUCKETS);
+                        if second != first {
+                            buckets.push(second);
+                        }
+                    }
+                    LogicalOp::DeleteDays { buckets }
+                }
+                68..=73 => LogicalOp::CheckTxn {
+                    slot: pick_open(&mut rng),
+                },
+                74..=77 => LogicalOp::Purge,
+                78..=83 => LogicalOp::Flush,
+                84..=91 => LogicalOp::CheckNow,
+                92..=96 => LogicalOp::CheckAsOf {
+                    frac: rng.gen_range(0..=255u32) as u8,
+                },
+                _ if any_open => LogicalOp::CheckTxn {
+                    slot: pick_open(&mut rng),
+                },
+                _ => LogicalOp::CheckNow,
+            };
+            ops.push(op);
+        }
+        // Quiesce: close every open slot, then one final checkpoint
+        // (the executor adds a full-window historical sweep on top).
+        for (slot, is_open) in open.iter().enumerate() {
+            if *is_open {
+                ops.push(LogicalOp::Commit { slot });
+            }
+        }
+        ops.push(LogicalOp::CheckNow);
+        Schedule { seed, ops }
+    }
+
+    /// Serializes the schedule to the replayable text form. Lines
+    /// starting with `#` and blank lines are ignored by
+    /// [`Schedule::from_text`], so callers may prepend commentary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("seed {}\n", self.seed));
+        for op in &self.ops {
+            out.push_str(&render_op(op));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`Schedule::to_text`].
+    pub fn from_text(text: &str) -> Result<Schedule, String> {
+        let mut seed = 0u64;
+        let mut ops = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("seed ") {
+                seed = rest
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {}: bad seed: {e}", lineno + 1))?;
+                continue;
+            }
+            ops.push(parse_op(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        }
+        Ok(Schedule { seed, ops })
+    }
+}
+
+fn render_rows(rows: &[Row]) -> String {
+    rows.iter()
+        .map(|r| {
+            let region = match &r[0] {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            };
+            let day = r[1].as_i64().unwrap_or(0);
+            let likes = r[2].as_i64().unwrap_or(0);
+            let score = r[3].as_f64().unwrap_or(0.0) as i64;
+            format!("{region} {day} {likes} {score}")
+        })
+        .collect::<Vec<_>>()
+        .join(" ; ")
+}
+
+fn render_op(op: &LogicalOp) -> String {
+    match op {
+        LogicalOp::Begin { slot } => format!("begin {slot}"),
+        LogicalOp::Append { slot, rows } => format!("append {slot} | {}", render_rows(rows)),
+        LogicalOp::Commit { slot } => format!("commit {slot}"),
+        LogicalOp::Rollback { slot } => format!("rollback {slot}"),
+        LogicalOp::Load { rows } => format!("load | {}", render_rows(rows)),
+        LogicalOp::DeleteDays { buckets } => format!(
+            "delete {}",
+            buckets
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+        LogicalOp::Purge => "purge".into(),
+        LogicalOp::Flush => "flush".into(),
+        LogicalOp::CheckNow => "check".into(),
+        LogicalOp::CheckAsOf { frac } => format!("checkasof {frac}"),
+        LogicalOp::CheckTxn { slot } => format!("checktxn {slot}"),
+    }
+}
+
+fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    for part in text.split(';') {
+        let fields: Vec<&str> = part.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(format!("row needs 4 fields, got {part:?}"));
+        }
+        let day: i64 = fields[1].parse().map_err(|e| format!("bad day: {e}"))?;
+        let likes: i64 = fields[2].parse().map_err(|e| format!("bad likes: {e}"))?;
+        let score: i64 = fields[3].parse().map_err(|e| format!("bad score: {e}"))?;
+        rows.push(vec![
+            Value::Str(fields[0].to_owned()),
+            Value::I64(day),
+            Value::I64(likes),
+            Value::F64(score as f64),
+        ]);
+    }
+    Ok(rows)
+}
+
+fn parse_op(line: &str) -> Result<LogicalOp, String> {
+    let (head, tail) = match line.split_once(' ') {
+        Some((h, t)) => (h, t.trim()),
+        None => (line, ""),
+    };
+    let slot = |t: &str| -> Result<usize, String> {
+        t.parse().map_err(|e| format!("bad slot {t:?}: {e}"))
+    };
+    match head {
+        "begin" => Ok(LogicalOp::Begin { slot: slot(tail)? }),
+        "commit" => Ok(LogicalOp::Commit { slot: slot(tail)? }),
+        "rollback" => Ok(LogicalOp::Rollback { slot: slot(tail)? }),
+        "checktxn" => Ok(LogicalOp::CheckTxn { slot: slot(tail)? }),
+        "append" => {
+            let (s, rows) = tail
+                .split_once('|')
+                .ok_or_else(|| format!("append needs '|': {line:?}"))?;
+            Ok(LogicalOp::Append {
+                slot: slot(s.trim())?,
+                rows: parse_rows(rows)?,
+            })
+        }
+        "load" => {
+            let rows = tail
+                .strip_prefix('|')
+                .ok_or_else(|| format!("load needs '|': {line:?}"))?;
+            Ok(LogicalOp::Load {
+                rows: parse_rows(rows)?,
+            })
+        }
+        "delete" => {
+            let buckets = tail
+                .split_whitespace()
+                .map(|b| b.parse().map_err(|e| format!("bad bucket {b:?}: {e}")))
+                .collect::<Result<Vec<u32>, String>>()?;
+            Ok(LogicalOp::DeleteDays { buckets })
+        }
+        "purge" => Ok(LogicalOp::Purge),
+        "flush" => Ok(LogicalOp::Flush),
+        "check" => Ok(LogicalOp::CheckNow),
+        "checkasof" => Ok(LogicalOp::CheckAsOf {
+            frac: tail.parse().map_err(|e| format!("bad frac: {e}"))?,
+        }),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        let a = Schedule::generate(42, &cfg);
+        let b = Schedule::generate(42, &cfg);
+        assert_eq!(a, b);
+        let c = Schedule::generate(43, &cfg);
+        assert_ne!(a.ops, c.ops, "different seeds, different schedules");
+        assert!(a.ops.len() >= cfg.ops);
+    }
+
+    #[test]
+    fn schedules_end_quiesced() {
+        for seed in 0..20 {
+            let s = Schedule::generate(seed, &GenConfig::default());
+            let mut open = [false; 8];
+            for op in &s.ops {
+                match op {
+                    LogicalOp::Begin { slot } => open[*slot] = true,
+                    LogicalOp::Commit { slot } | LogicalOp::Rollback { slot } => {
+                        open[*slot] = false
+                    }
+                    LogicalOp::DeleteDays { .. } => {
+                        assert!(
+                            open.iter().all(|&o| !o),
+                            "seed {seed}: delete with an open slot"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            assert!(open.iter().all(|&o| !o), "seed {seed}: unclosed slot");
+            assert_eq!(s.ops.last(), Some(&LogicalOp::CheckNow));
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_every_op() {
+        for seed in [1u64, 7, 99] {
+            let s = Schedule::generate(seed, &GenConfig::default());
+            let text = s.to_text();
+            let parsed = Schedule::from_text(&text).unwrap();
+            assert_eq!(parsed, s, "seed {seed} round-trips");
+        }
+        // Comments and blank lines are tolerated.
+        let with_comments = "# artifact\n\nseed 5\nload | r1 3 10 4\ncheck\n";
+        let s = Schedule::from_text(with_comments).unwrap();
+        assert_eq!(s.seed, 5);
+        assert_eq!(s.ops.len(), 2);
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(Schedule::from_text("frobnicate 3").is_err());
+        assert!(Schedule::from_text("append 0 | r1 3").is_err());
+        assert!(Schedule::from_text("delete x").is_err());
+    }
+
+    #[test]
+    fn bucket_days_cover_whole_ranges() {
+        assert_eq!(bucket_days(0), vec![0, 1, 2, 3]);
+        assert_eq!(bucket_days(3), vec![12, 13, 14, 15]);
+        let schema = oracle_schema();
+        assert_eq!(schema.dimensions[1].range_size, DAY_RANGE);
+    }
+}

@@ -114,6 +114,149 @@ fn sql_session_with_durability_and_verify() {
     assert!(rows.iter().all(|r| r[1] == "2"));
 }
 
+/// Satellite pin: `delete_where` (and `DELETE FROM ... WHERE`)
+/// treats filter values that do not resolve to a coordinate — a
+/// string the dimension's dictionary has never seen, an out-of-range
+/// integer, a wrong-typed value — as a **narrower match**, not a
+/// typed error. The unresolvable value is dropped from the filter's
+/// coordinate set exactly as the query path drops it, so an
+/// all-unknown filter deletes nothing and still succeeds. The oracle
+/// (`crates/oracle`) relies on this: its reference model never has to
+/// represent "delete of a value that does not exist" specially.
+#[test]
+fn delete_with_unknown_values_narrows_to_nothing() {
+    use aosi_repro::columnar::Value;
+    use aosi_repro::cubrick::DimFilter;
+
+    // Range-1 dimensions so each value fills its own brick range and
+    // a value-level filter can contain a brick (deletes are
+    // brick-granular: a brick is marked only when its *entire*
+    // coordinate range is covered by the filter).
+    let engine = Engine::new(1);
+    execute(
+        &engine,
+        "CREATE CUBE t (region STRING DIM(8, 1), day INT DIM(8, 1), v INT METRIC)",
+    )
+    .unwrap();
+    execute(&engine, "INSERT INTO t VALUES ('us', 1, 10), ('eu', 2, 20)").unwrap();
+
+    // A dictionary string never loaded: zero bricks marked, the call
+    // still commits an (empty) delete epoch.
+    let (_, marked) = engine
+        .delete_where("t", &[DimFilter::new("region", vec![Value::from("zz")])])
+        .unwrap();
+    assert_eq!(marked, 0, "unknown dictionary value must match nothing");
+
+    // Out-of-range and wrong-typed integer values behave the same.
+    let (_, marked) = engine
+        .delete_where("t", &[DimFilter::new("day", vec![Value::from(100i64)])])
+        .unwrap();
+    assert_eq!(marked, 0, "out-of-range day must match nothing");
+    let (_, marked) = engine
+        .delete_where("t", &[DimFilter::new("day", vec![Value::from("one")])])
+        .unwrap();
+    assert_eq!(marked, 0, "wrong-typed day must match nothing");
+
+    // A mixed filter narrows to its known values only: deleting
+    // {'zz', 'us'} kills exactly the 'us' rows.
+    engine
+        .delete_where(
+            "t",
+            &[DimFilter::new(
+                "region",
+                vec![Value::from("zz"), Value::from("us")],
+            )],
+        )
+        .unwrap();
+    let rows = table(execute(&engine, "SELECT COUNT(*) FROM t GROUP BY region").unwrap());
+    assert_eq!(rows, vec![vec!["eu".to_string(), "1".to_string()]]);
+
+    // Same pin through SQL; an unknown *column*, by contrast, errors.
+    execute(&engine, "DELETE FROM t WHERE region IN ('nope')").unwrap();
+    let rows = table(execute(&engine, "SELECT COUNT(*) FROM t").unwrap());
+    assert_eq!(rows, vec![vec!["1".to_string()]], "narrow delete kept eu");
+    let err = execute(&engine, "DELETE FROM t WHERE nope IN ('us')").unwrap_err();
+    assert!(
+        err.to_string().contains("nope"),
+        "unknown column names the offender: {err}"
+    );
+}
+
+/// Satellite pin: every SQL error path a downstream user can hit
+/// stays an `Err` with a message naming the offender — never a panic,
+/// never a silently empty table.
+#[test]
+fn sql_error_paths_name_the_offender() {
+    use aosi_repro::cubrick::sql::SqlError;
+
+    let engine = Engine::new(1);
+    execute(
+        &engine,
+        "CREATE CUBE t (region STRING DIM(8, 2), day INT DIM(8, 3), v INT METRIC)",
+    )
+    .unwrap();
+    execute(&engine, "INSERT INTO t VALUES ('us', 1, 10)").unwrap();
+
+    // Unknown cube, on both the read and write paths.
+    for stmt in [
+        "SELECT COUNT(*) FROM nocube",
+        "INSERT INTO nocube VALUES (1)",
+        "DELETE FROM nocube WHERE day IN (1)",
+    ] {
+        let err = execute(&engine, stmt).unwrap_err();
+        assert!(
+            matches!(&err, SqlError::Engine(m) if m.contains("nocube")),
+            "{stmt}: {err}"
+        );
+    }
+
+    // Unknown column in each clause position.
+    for stmt in [
+        "SELECT SUM(nosuch) FROM t",
+        "SELECT COUNT(*) FROM t WHERE nosuch IN (1)",
+        "SELECT COUNT(*) FROM t GROUP BY nosuch",
+    ] {
+        let err = execute(&engine, stmt).unwrap_err();
+        assert!(
+            matches!(&err, SqlError::Engine(m) if m.contains("nosuch")),
+            "{stmt}: {err}"
+        );
+    }
+
+    // Aggregating a dimension: dimensions are coordinates, not
+    // metrics, so SUM(region) is an unknown-column error too.
+    let err = execute(&engine, "SELECT SUM(region) FROM t").unwrap_err();
+    assert!(
+        matches!(&err, SqlError::Engine(m) if m.contains("region")),
+        "aggregate on dimension: {err}"
+    );
+
+    // Malformed literals die in the lexer or the parser, before the
+    // engine sees anything.
+    let err = execute(&engine, "SELECT COUNT(*) FROM t WHERE region IN ('oops)").unwrap_err();
+    assert!(
+        matches!(err, SqlError::Lex(_)),
+        "unterminated string: {err}"
+    );
+    let err = execute(&engine, "INSERT INTO t VALUES ('us', 1 10)").unwrap_err();
+    assert!(matches!(err, SqlError::Parse(_)), "missing comma: {err}");
+    let err = execute(&engine, "SELECT COUNT(* FROM t").unwrap_err();
+    assert!(matches!(err, SqlError::Parse(_)), "unbalanced paren: {err}");
+
+    // A structurally valid INSERT whose value cannot be coerced into
+    // the dimension (string into an INT dim) rejects the record and,
+    // with the whole batch rejected, fails the statement.
+    let err = execute(&engine, "INSERT INTO t VALUES ('us', 'oops', 10)").unwrap_err();
+    assert!(
+        matches!(&err, SqlError::Engine(_)),
+        "uncoercible literal: {err}"
+    );
+
+    // Nothing above disturbed the data.
+    let rows = table(execute(&engine, "SELECT COUNT(*) FROM t").unwrap());
+    assert_eq!(rows, vec![vec!["1".to_string()]]);
+}
+
 #[test]
 fn stats_counters_through_the_session() {
     let engine = Engine::new(1);

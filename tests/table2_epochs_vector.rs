@@ -6,7 +6,10 @@
 //! the tables is partially garbled); see EXPERIMENTS.md for the
 //! derivation.
 
-use aosi_repro::aosi::EpochsVector;
+use std::collections::BTreeSet;
+
+use aosi_repro::aosi::{Epoch, EpochsVector, Snapshot};
+use proptest::prelude::*;
 
 fn render(v: &EpochsVector) -> String {
     v.entries().iter().map(|e| format!("{e:?}")).collect()
@@ -83,4 +86,107 @@ fn delete_markers_do_not_remove_data() {
     assert_eq!(v.row_count(), 10, "all ten rows still stored");
     let deletes = v.entries().iter().filter(|e| e.is_delete()).count();
     assert_eq!(deletes, 1);
+}
+
+// ---------------------------------------------------------------
+// Property: `visible_ranges` — the zero-allocation scan fast path —
+// agrees with a deliberately naive per-row model (each row tagged
+// with its inserting epoch, every visible delete applied row by row)
+// for arbitrary append/delete interleavings and arbitrary snapshots
+// with dependency sets. This is the row-level ground truth the
+// Table II vignettes above spot-check.
+// ---------------------------------------------------------------
+
+/// One generated partition operation.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `(epoch, rows)` append.
+    Append(Epoch, u64),
+    /// Partition delete by `epoch`.
+    Delete(Epoch),
+}
+
+/// Replays `ops` into an epochs vector and the naive model: the
+/// per-row epoch tags plus each delete as `(epoch, rows-at-delete)`.
+fn build(ops: &[Op]) -> (EpochsVector, Vec<Epoch>, Vec<(Epoch, u64)>) {
+    let mut vector = EpochsVector::new();
+    let mut row_epochs = Vec::new();
+    let mut deletes = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Append(epoch, rows) => {
+                vector.append(epoch, rows);
+                row_epochs.extend(std::iter::repeat_n(epoch, rows as usize));
+            }
+            Op::Delete(epoch) => {
+                vector.mark_delete(epoch);
+                deletes.push((epoch, row_epochs.len() as u64));
+            }
+        }
+    }
+    (vector, row_epochs, deletes)
+}
+
+/// Row-by-row visibility: a row is visible iff the snapshot sees its
+/// inserting epoch and no *visible* delete kills it. A delete
+/// `(k, d)` kills rows inserted at an epoch below `k` anywhere in the
+/// partition, and rows of epoch `k` itself that physically precede
+/// the delete point `d` (Section III-C2's same-transaction rule:
+/// schedule (b) above shows T3 deleting and then loading more rows).
+fn naive_visible(row_epochs: &[Epoch], deletes: &[(Epoch, u64)], snap: &Snapshot) -> Vec<bool> {
+    row_epochs
+        .iter()
+        .enumerate()
+        .map(|(idx, &epoch)| {
+            snap.sees(epoch)
+                && !deletes
+                    .iter()
+                    .any(|&(k, d)| snap.sees(k) && (epoch < k || (epoch == k && (idx as u64) < d)))
+        })
+        .collect()
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        7 => (1u64..16, 0u64..5).prop_map(|(e, n)| Op::Append(e, n)),
+        3 => (1u64..16).prop_map(Op::Delete),
+    ]
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    (1u64..20, prop::collection::btree_set(1u64..20, 0..5)).prop_map(|(epoch, deps)| {
+        let deps: BTreeSet<Epoch> = deps.into_iter().filter(|&d| d < epoch).collect();
+        Snapshot::new(epoch, deps)
+    })
+}
+
+proptest! {
+    #[test]
+    fn visible_ranges_match_naive_row_model(
+        ops in prop::collection::vec(op_strategy(), 0..32),
+        snap in snapshot_strategy(),
+    ) {
+        let (vector, row_epochs, deletes) = build(&ops);
+        let expected = naive_visible(&row_epochs, &deletes, &snap);
+
+        // Flatten the ranges back to per-row booleans.
+        let mut got = vec![false; row_epochs.len()];
+        let mut prev_end = 0u64;
+        for r in vector.visible_ranges(&snap) {
+            prop_assert!(r.start < r.end, "empty range emitted");
+            prop_assert!(
+                r.start >= prev_end,
+                "ranges overlap or regress: {:?}", r
+            );
+            for row in r.start..r.end {
+                got[row as usize] = true;
+            }
+            prev_end = r.end;
+        }
+        prop_assert_eq!(&got, &expected, "snapshot {:?}", snap);
+        prop_assert_eq!(
+            vector.visible_rows(&snap),
+            expected.iter().filter(|&&v| v).count() as u64
+        );
+    }
 }
