@@ -23,13 +23,35 @@ use crate::visibility;
 use columnar::Bitmap;
 
 /// Transactional metadata for one partition.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct EpochsVector {
     entries: Vec<EpochEntry>,
     /// Total rows in the partition's data vectors (the exclusive end
     /// of the last insert entry).
     rows: u64,
+    /// Monotonic mutation counter: bumped by every entry-visible
+    /// mutation (append, delete marker, purge, rollback). Two reads of
+    /// the same partition observing the same generation are guaranteed
+    /// to observe the same entries, which is what makes the generation
+    /// a sound cache-invalidation token for
+    /// [`VisibilityCache`](crate::VisibilityCache): entries are
+    /// append-only between generation bumps, and rebuilds (purge,
+    /// rollback) continue the counter rather than restarting it, so a
+    /// generation value is never reused for different contents.
+    generation: u64,
 }
+
+/// Equality compares the transactional content (entries and row
+/// count), not the mutation [`generation`](EpochsVector::generation):
+/// a purge-rebuilt vector equals a never-purged vector holding the
+/// same entries even though their histories differ.
+impl PartialEq for EpochsVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries && self.rows == other.rows
+    }
+}
+
+impl Eq for EpochsVector {}
 
 impl EpochsVector {
     /// Empty vector for a fresh partition.
@@ -52,7 +74,25 @@ impl EpochsVector {
             }
             assert_eq!(prev, rows, "rows must equal the last insert end");
         }
-        EpochsVector { entries, rows }
+        EpochsVector {
+            entries,
+            rows,
+            generation: 0,
+        }
+    }
+
+    /// The mutation generation (see the field docs). Starts at 0 for a
+    /// fresh partition and increases on every content change.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Forces the generation counter, used by purge/rollback to carry
+    /// the source partition's history forward (`source + 1`) so a
+    /// rebuilt vector never reuses a generation that previously named
+    /// different contents.
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// Records the append of `count` rows by `epoch`.
@@ -74,6 +114,7 @@ impl EpochsVector {
             _ => self.entries.push(EpochEntry::insert(epoch, end)),
         }
         self.rows = end;
+        self.generation += 1;
         start..end
     }
 
@@ -83,6 +124,7 @@ impl EpochsVector {
     /// once LSE passes the delete (Section III-C2).
     pub fn mark_delete(&mut self, epoch: Epoch) {
         self.entries.push(EpochEntry::delete(epoch, self.rows));
+        self.generation += 1;
     }
 
     /// All entries, in append order.
@@ -276,5 +318,33 @@ mod tests {
     #[should_panic(expected = "rows must equal")]
     fn from_parts_validates_rows() {
         EpochsVector::from_parts(vec![EpochEntry::insert(1, 3)], 5);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_content_change() {
+        let mut v = EpochsVector::new();
+        assert_eq!(v.generation(), 0);
+        v.append(1, 3);
+        assert_eq!(v.generation(), 1);
+        // In-place extension of the back entry is still a content
+        // change: the bitmap for the same snapshot would gain rows.
+        v.append(1, 2);
+        assert_eq!(v.generation(), 2);
+        v.mark_delete(2);
+        assert_eq!(v.generation(), 3);
+        // Zero-count appends change nothing and must not invalidate.
+        v.append(3, 0);
+        assert_eq!(v.generation(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_generation() {
+        let mut a = EpochsVector::new();
+        a.append(1, 2);
+        a.append(1, 2);
+        let mut b = EpochsVector::new();
+        b.append(1, 4);
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a, b, "same entries and rows compare equal");
     }
 }

@@ -67,10 +67,12 @@ mod manager;
 mod snapshot;
 mod txn;
 
+pub mod cache;
 pub mod purge;
 pub mod rollback;
 pub mod visibility;
 
+pub use cache::{CacheStats, VisibilityCache};
 pub use clock::EpochClock;
 pub use epoch::{Epoch, EpochEntry, NO_EPOCH};
 pub use epochs::EpochsVector;

@@ -117,8 +117,13 @@ pub fn purge(partition: &EpochsVector, lse: Epoch) -> PurgeResult {
     let purged_rows = rows as u64 - new_rows;
     let entries_reclaimed = partition.entries().len() - new_entries.len();
     let changed = purged_rows > 0 || entries_reclaimed > 0;
+    // Continue the mutation counter past the source's history so the
+    // rebuilt vector never reuses a generation that named different
+    // contents (see `EpochsVector::generation`).
+    let mut vector = EpochsVector::from_parts(new_entries, new_rows);
+    vector.set_generation(partition.generation() + 1);
     PurgeResult {
-        vector: EpochsVector::from_parts(new_entries, new_rows),
+        vector,
         keep,
         purged_rows,
         entries_reclaimed,

@@ -143,8 +143,11 @@ pub fn rollback_partition(partition: &EpochsVector, aborted: Epoch) -> RollbackR
         }
     }
     let surviving = keep.count_ones() as u64;
+    // Generation continues past the source (see `purge::purge`).
+    let mut vector = EpochsVector::from_parts(new_entries, surviving);
+    vector.set_generation(partition.generation() + 1);
     RollbackResult {
-        vector: EpochsVector::from_parts(new_entries, surviving),
+        vector,
         keep,
         removed_rows: rows as u64 - surviving,
         changed: true,

@@ -66,6 +66,13 @@ impl Snapshot {
         &self.deps
     }
 
+    /// The deps set behind its shared handle — lets callers key caches
+    /// on the full structural contents without copying the set (cloning
+    /// the `Arc` is a refcount bump).
+    pub fn shared_deps(&self) -> Arc<BTreeSet<Epoch>> {
+        Arc::clone(&self.deps)
+    }
+
     /// The visibility predicate: does this snapshot see operations
     /// performed by transaction `j`?
     #[inline]

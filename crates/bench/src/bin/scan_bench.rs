@@ -1,0 +1,359 @@
+//! Scan-path benchmark: serial vs. parallel brick scans, cold vs.
+//! warm visibility cache, on identical data and queries — the
+//! fig5-style workload shape (many small appended batches, so epochs
+//! vectors grow long and visibility materialization dominates).
+//!
+//! Emits `BENCH_scan.json` (override with `AOSI_BENCH_OUT`) with one
+//! cell per {serial, parallel} x {cold, warm} combination plus the
+//! derived speedups. `AOSI_BENCH_ENFORCE=1` turns the sanity bound
+//! into an exit code: the parallel cold path must not be more than
+//! 2x slower than the serial cold path (it should be faster; the 2x
+//! headroom absorbs noisy shared CI runners).
+//!
+//! Knobs: `AOSI_BATCHES` (epochs-vector length driver), `AOSI_BATCH`
+//! (rows per batch), `AOSI_QUERIES` (timed repetitions per cell),
+//! `AOSI_SHARDS`.
+
+use std::time::Instant;
+
+use aosi::Snapshot;
+use columnar::{Row, Value};
+use cubrick::{
+    AggFn, Aggregation, CubeSchema, DimFilter, Dimension, Engine, Metric, Query, ScanConfig,
+};
+
+const CUBE: &str = "scanbench";
+
+fn schema() -> CubeSchema {
+    CubeSchema::new(
+        CUBE,
+        vec![
+            Dimension::string("region", 8, 2),
+            Dimension::int("day", 16, 4),
+        ],
+        vec![Metric::int("likes"), Metric::float("score")],
+    )
+    .expect("static schema")
+}
+
+/// One batch: rows spread over every (region, day) brick so all
+/// bricks' epochs vectors grow with every load.
+fn batch(id: usize, rows_per_batch: usize) -> Vec<Row> {
+    (0..rows_per_batch)
+        .map(|k| {
+            let i = id * rows_per_batch + k;
+            vec![
+                Value::from(format!("r{}", i % 8).as_str()),
+                Value::from((i % 16) as i64),
+                Value::from((i % 100) as i64),
+                Value::from(1.5),
+            ]
+        })
+        .collect()
+}
+
+/// The timed battery: a filtered group-by (bitmap visibility path)
+/// and an unfiltered aggregate (visible-ranges path), so both cached
+/// artifact kinds are measured.
+fn queries() -> Vec<Query> {
+    vec![
+        Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Count, ""),
+        ])
+        .filter(DimFilter::new(
+            "region",
+            vec![
+                Value::from("r0"),
+                Value::from("r1"),
+                Value::from("r2"),
+                Value::from("r3"),
+            ],
+        ))
+        .grouped_by("day"),
+        Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Avg, "score"),
+        ]),
+    ]
+}
+
+struct Cell {
+    mode: &'static str,
+    cache: &'static str,
+    total_ns: u128,
+    mean_ns: u128,
+    p50_ns: u128,
+    queries: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    parallel_tasks: u64,
+    visibility_build_ns: u64,
+    scan_ns: u64,
+}
+
+/// Builds an engine under `config`, loads the shared workload, and
+/// times the battery at a fixed set of pinned snapshots: the newest
+/// committed epoch plus two historical ones. Dashboards re-rendering
+/// at a pinned snapshot and time-travel audits are exactly the
+/// workload the snapshot-keyed cache targets — at a historical epoch
+/// most rows are invisible, so the visibility build (walking the
+/// whole epochs vector, materializing the bitmap) dominates the
+/// cheap residual scan. Warm cells (nonzero cache capacity) serve
+/// the timed pass from the visibility cache populated by the priming
+/// pass; cold cells run with the cache disabled.
+fn run_cell(
+    mode: &'static str,
+    cache: &'static str,
+    config: ScanConfig,
+    batches: usize,
+    rows_per_batch: usize,
+    reps: usize,
+    shards: usize,
+) -> Cell {
+    let engine = Engine::new(shards).with_scan_config(config);
+    engine.create_cube(schema()).expect("cube");
+    for id in 0..batches {
+        engine
+            .load(CUBE, &batch(id, rows_per_batch), 0)
+            .expect("load");
+    }
+    // Ingestion keeps running in the paper's production setting, so a
+    // reader snapshot carries a substantial pending-transaction
+    // exclusion set; every epochs-vector entry then pays a deps
+    // lookup during visibility materialization. Open (and hold) that
+    // many writers before taking the query snapshots.
+    let pending = bench::env_usize("AOSI_PENDING", 256);
+    let _open_txns: Vec<_> = (0..pending)
+        .map(|k| {
+            let txn = engine.begin();
+            engine
+                .append(CUBE, &batch(batches + k, 1), &txn)
+                .expect("pending append");
+            txn
+        })
+        .collect();
+    let lce = engine.manager().lce();
+    // The fat-deps reader: a committed-snapshot read sits at the LCE,
+    // *below* every pending epoch, so its deps set is empty by the
+    // LCE rule. An open read-write transaction is the reader that
+    // actually pays for pending writers — its snapshot epoch is its
+    // own (above them all) and every pending epoch lands in deps,
+    // costing one set probe per epochs-vector entry during
+    // visibility materialization. That probe work, times the whole
+    // epoch history, times every query, is what the cache memoizes.
+    let reader_txn = engine.begin();
+    let live = reader_txn.snapshot().clone();
+    assert!(
+        live.deps().len() >= pending,
+        "expected a fat deps set, got {}",
+        live.deps().len()
+    );
+    // Historical snapshots: deps above their epoch are dropped by
+    // construction (a snapshot cannot depend on the future), so these
+    // two time-travel reads are deps-free — there the cache saves the
+    // bitmap/range materialization itself.
+    let snapshots = [
+        live.clone(),
+        Snapshot::new(lce / 2, live.deps().clone()),
+        Snapshot::new(lce / 16 + 1, live.deps().clone()),
+    ];
+    let battery = queries();
+    // One untimed priming pass for EVERY cell: it touches the column
+    // data (equalizing first-touch memory effects across cells) and,
+    // in warm cells only, populates the visibility cache — cold cells
+    // run with the cache disabled, so for them this is purely a
+    // memory warm-up and every timed query still pays the full
+    // visibility build.
+    for snapshot in &snapshots {
+        for query in &battery {
+            engine.query_at(CUBE, query, snapshot).expect("warm-up");
+        }
+    }
+    let mut latencies: Vec<u128> = Vec::with_capacity(reps * battery.len() * snapshots.len());
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut parallel_tasks = 0u64;
+    let mut visibility_build_ns = 0u64;
+    let mut scan_ns = 0u64;
+    let mut checksum = 0u64;
+    for _ in 0..reps {
+        for snapshot in &snapshots {
+            for query in &battery {
+                let started = Instant::now();
+                let result = engine.query_at(CUBE, query, snapshot).expect("query");
+                latencies.push(started.elapsed().as_nanos());
+                cache_hits += result.stats.vis_cache_hits;
+                cache_misses += result.stats.vis_cache_misses;
+                parallel_tasks += result.stats.parallel_tasks;
+                visibility_build_ns += result.stats.visibility_build_nanos;
+                scan_ns += result.stats.scan_nanos;
+                checksum = checksum.wrapping_add(result.rows.len() as u64);
+            }
+        }
+    }
+    assert!(checksum > 0, "battery returned no rows");
+    latencies.sort_unstable();
+    let total: u128 = latencies.iter().sum();
+    Cell {
+        mode,
+        cache,
+        total_ns: total,
+        mean_ns: total / latencies.len() as u128,
+        p50_ns: latencies[latencies.len() / 2],
+        queries: latencies.len(),
+        cache_hits,
+        cache_misses,
+        parallel_tasks,
+        visibility_build_ns,
+        scan_ns,
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "    {{\"mode\": \"{}\", \"cache\": \"{}\", \"queries\": {}, \
+         \"total_ns\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
+         \"vis_cache_hits\": {}, \"vis_cache_misses\": {}, \
+         \"parallel_tasks\": {}, \"visibility_build_ns\": {}, \"scan_ns\": {}}}",
+        c.mode,
+        c.cache,
+        c.queries,
+        c.total_ns,
+        c.mean_ns,
+        c.p50_ns,
+        c.cache_hits,
+        c.cache_misses,
+        c.parallel_tasks,
+        c.visibility_build_ns,
+        c.scan_ns
+    )
+}
+
+fn main() {
+    let batches = bench::env_usize("AOSI_BATCHES", 2500);
+    let rows_per_batch = bench::env_usize("AOSI_BATCH", 8);
+    let reps = bench::env_usize("AOSI_QUERIES", 40);
+    let shards = bench::env_usize("AOSI_SHARDS", 4);
+    let out = std::env::var("AOSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_scan.json".into());
+    bench::banner(
+        "Scan bench",
+        "serial vs parallel brick scans, cold vs warm visibility cache",
+        &[
+            ("batches", batches.to_string()),
+            ("rows per batch", rows_per_batch.to_string()),
+            ("timed reps per cell", reps.to_string()),
+            ("shards", shards.to_string()),
+            ("output", out.clone()),
+        ],
+    );
+
+    // Cold = cache disabled entirely (every query pays the full
+    // visibility build); warm = large cache, one untimed priming
+    // pass. The data is static during timing, so warm cells are pure
+    // cache-hit runs.
+    let serial_cold = ScanConfig::sequential_uncached();
+    let serial_warm = ScanConfig {
+        parallel_threshold: usize::MAX,
+        cache_capacity: 4096,
+    };
+    let parallel_cold = ScanConfig {
+        parallel_threshold: 1,
+        cache_capacity: 0,
+    };
+    let parallel_warm = ScanConfig::parallel_cached(4096);
+
+    let cells = vec![
+        run_cell(
+            "serial",
+            "cold",
+            serial_cold,
+            batches,
+            rows_per_batch,
+            reps,
+            shards,
+        ),
+        run_cell(
+            "serial",
+            "warm",
+            serial_warm,
+            batches,
+            rows_per_batch,
+            reps,
+            shards,
+        ),
+        run_cell(
+            "parallel",
+            "cold",
+            parallel_cold,
+            batches,
+            rows_per_batch,
+            reps,
+            shards,
+        ),
+        run_cell(
+            "parallel",
+            "warm",
+            parallel_warm,
+            batches,
+            rows_per_batch,
+            reps,
+            shards,
+        ),
+    ];
+
+    println!("\nmode      cache   mean(us)   p50(us)    vis(us)    scan(us)   hits    misses");
+    for c in &cells {
+        println!(
+            "{:<10}{:<8}{:<11.1}{:<11.1}{:<11.1}{:<11.1}{:<8}{}",
+            c.mode,
+            c.cache,
+            c.mean_ns as f64 / 1e3,
+            c.p50_ns as f64 / 1e3,
+            c.visibility_build_ns as f64 / 1e3 / c.queries as f64,
+            c.scan_ns as f64 / 1e3 / c.queries as f64,
+            c.cache_hits,
+            c.cache_misses
+        );
+    }
+
+    let mean_of = |mode: &str, cache: &str| {
+        cells
+            .iter()
+            .find(|c| c.mode == mode && c.cache == cache)
+            .map(|c| c.mean_ns as f64)
+            .expect("cell exists")
+    };
+    let parallel_warm_speedup = mean_of("serial", "cold") / mean_of("parallel", "warm");
+    let parallel_cold_speedup = mean_of("serial", "cold") / mean_of("parallel", "cold");
+    let warm_cache_speedup = mean_of("serial", "cold") / mean_of("serial", "warm");
+    println!("\nspeedup vs serial cold:");
+    println!("  parallel warm: {parallel_warm_speedup:.2}x");
+    println!("  parallel cold: {parallel_cold_speedup:.2}x");
+    println!("  serial warm (cache only): {warm_cache_speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"scan\",\n  \"config\": {{\"batches\": {batches}, \
+         \"rows_per_batch\": {rows_per_batch}, \"timed_reps\": {reps}, \
+         \"shards\": {shards}}},\n  \"cells\": [\n{}\n  ],\n  \
+         \"speedup_vs_serial_cold\": {{\"parallel_warm\": {parallel_warm_speedup:.4}, \
+         \"parallel_cold\": {parallel_cold_speedup:.4}, \
+         \"serial_warm\": {warm_cache_speedup:.4}}}\n}}\n",
+        cells.iter().map(cell_json).collect::<Vec<_>>().join(",\n")
+    );
+    std::fs::write(&out, json).expect("write bench output");
+    println!("\nwrote {out}");
+
+    if bench::env_u64("AOSI_BENCH_ENFORCE", 0) != 0 {
+        // CI sanity bound: parallelizing must never cost more than 2x
+        // (it should win; the slack absorbs loaded shared runners).
+        if parallel_cold_speedup < 0.5 {
+            eprintln!(
+                "ENFORCE FAILED: parallel cold is {:.2}x slower than serial cold",
+                1.0 / parallel_cold_speedup
+            );
+            std::process::exit(1);
+        }
+        println!("enforce: parallel cold within 2x of serial cold — ok");
+    }
+}

@@ -217,7 +217,7 @@ impl DistributedEngine {
             }
             IsolationMode::ReadUncommitted => (None, Vec::new()),
         };
-        Ok(self.fan_out_query(origin, &cube, &resolved, snapshot))
+        self.fan_out_query(origin, &cube, &resolved, snapshot)
     }
 
     /// Runs a query from coordinator `origin` at an **explicit**
@@ -241,7 +241,7 @@ impl DistributedEngine {
             .iter()
             .map(|e| e.manager().guard_snapshot(snapshot.clone()))
             .collect();
-        Ok(self.fan_out_query(origin, &cube, &resolved, Some(snapshot)))
+        self.fan_out_query(origin, &cube, &resolved, Some(snapshot))
     }
 
     fn fan_out_query(
@@ -250,9 +250,12 @@ impl DistributedEngine {
         cube: &Cube,
         resolved: &ResolvedQuery,
         snapshot: Option<Snapshot>,
-    ) -> QueryResult {
+    ) -> Result<QueryResult, CubrickError> {
         let mut merged = PartialResult::default();
-        let partials: Vec<PartialResult> = std::thread::scope(|scope| {
+        // Partials are joined in node order so the merge is
+        // deterministic; a scan failure on any node fails the whole
+        // distributed query.
+        let partials: Vec<Result<PartialResult, CubrickError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .engines
                 .iter()
@@ -272,9 +275,9 @@ impl DistributedEngine {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         for partial in partials {
-            merged.merge(partial);
+            merged.merge(partial?);
         }
-        QueryResult::finalize(cube, resolved, merged)
+        Ok(QueryResult::finalize(cube, resolved, merged))
     }
 
     /// Distributed partition delete from coordinator `origin`

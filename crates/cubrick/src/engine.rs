@@ -21,12 +21,12 @@
 //! * **Purge / rollback**: shard-local rebuilds driven by the
 //!   protocol-level `purge`/`rollback` results.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aosi::{Epoch, Snapshot, Txn, TxnManager, TxnPartitionIndex};
-use columnar::Row;
+use aosi::{CacheStats, Epoch, Snapshot, Txn, TxnManager, TxnPartitionIndex, VisibilityCache};
+use columnar::{Bitmap, Row};
 use obs::{Counter, Histogram, ReportBuilder};
 use parking_lot::RwLock;
 
@@ -37,6 +37,55 @@ use crate::error::CubrickError;
 use crate::ingest::{parse_rows, ParsedBatch};
 use crate::query::{PartialResult, Query, QueryResult, ResolvedQuery};
 use crate::shard::ShardPool;
+
+/// Partition key the engine caches visibility artifacts under. Brick
+/// ids are only unique within a cube, so the cube name is part of the
+/// key; the `Arc<str>` keeps per-brick key construction down to a
+/// refcount bump on the hot path.
+pub(crate) type BrickKey = (Arc<str>, u64);
+
+/// How the engine runs brick scans (see [`Engine::with_scan_config`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanConfig {
+    /// Dispatch per-brick parallel scan tasks when a query matches at
+    /// least this many bricks after pruning; below the threshold the
+    /// engine falls back to the sequential per-shard walk (the
+    /// per-task dispatch overhead is not worth it for tiny scans).
+    /// `usize::MAX` disables the parallel path entirely.
+    pub parallel_threshold: usize,
+    /// Visibility-cache capacity in artifacts; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            parallel_threshold: 2,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ScanConfig {
+    /// The differential-testing reference configuration: every scan
+    /// sequential, no cache. [`Engine::query_at_reference`] uses this
+    /// regardless of the engine's own configuration.
+    pub fn sequential_uncached() -> Self {
+        ScanConfig {
+            parallel_threshold: usize::MAX,
+            cache_capacity: 0,
+        }
+    }
+
+    /// Always-parallel with the given cache capacity (benches and
+    /// stress tests use this to force the interesting path).
+    pub fn parallel_cached(cache_capacity: usize) -> Self {
+        ScanConfig {
+            parallel_threshold: 1,
+            cache_capacity,
+        }
+    }
+}
 
 /// Which rows a query may see.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,6 +188,12 @@ struct EngineMetrics {
     load_nanos: Histogram,
     visibility_build_nanos: Counter,
     scan_nanos: Counter,
+    /// Queries routed down the parallel per-brick scan path.
+    parallel_queries: Counter,
+    /// Queries that took the sequential per-shard walk.
+    sequential_queries: Counter,
+    /// Wall time of individual brick-scan tasks (both paths).
+    scan_task_nanos: Histogram,
 }
 
 /// Outcome of one purge cycle.
@@ -159,6 +214,10 @@ pub struct Engine {
     shards: Arc<ShardPool>,
     dim_storage: DimStorage,
     rollback_index: Option<TxnPartitionIndex>,
+    scan_config: ScanConfig,
+    vis_cache: Option<Arc<VisibilityCache<BrickKey>>>,
+    /// Bids whose scan tasks panic on purpose (test injection only).
+    panic_bids: RwLock<HashSet<u64>>,
     ops: OpCounters,
     metrics: EngineMetrics,
 }
@@ -172,15 +231,62 @@ impl Engine {
     /// An engine wired to an existing transaction manager (one node
     /// of a cluster).
     pub fn with_manager(manager: TxnManager, num_shards: usize) -> Self {
+        let scan_config = ScanConfig::default();
         Engine {
             manager,
             cubes: RwLock::new(HashMap::new()),
             shards: Arc::new(ShardPool::new(num_shards)),
             dim_storage: DimStorage::Plain,
             rollback_index: None,
+            scan_config,
+            vis_cache: Some(Arc::new(VisibilityCache::new(scan_config.cache_capacity))),
+            panic_bids: RwLock::new(HashSet::new()),
             ops: OpCounters::default(),
             metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Reconfigures how scans run (parallel threshold, cache
+    /// capacity). Choose before serving queries: swapping the config
+    /// replaces the visibility cache.
+    pub fn with_scan_config(mut self, config: ScanConfig) -> Self {
+        self.scan_config = config;
+        self.vis_cache = (config.cache_capacity > 0)
+            .then(|| Arc::new(VisibilityCache::new(config.cache_capacity)));
+        self
+    }
+
+    /// The active scan configuration.
+    pub fn scan_config(&self) -> ScanConfig {
+        self.scan_config
+    }
+
+    /// Visibility-cache statistics, when caching is enabled.
+    pub fn visibility_cache_stats(&self) -> Option<CacheStats> {
+        self.vis_cache.as_ref().map(|cache| cache.stats())
+    }
+
+    /// Corrupts every cached visibility artifact in place, simulating
+    /// a stale cache that serves wrong bytes. Exists solely so the
+    /// scan-oracle meta-test can prove the oracle detects it.
+    #[doc(hidden)]
+    pub fn corrupt_visibility_cache_for_test(&self) {
+        if let Some(cache) = &self.vis_cache {
+            cache.corrupt_for_test();
+        }
+    }
+
+    /// Makes every scan task for `bid` panic (test injection for the
+    /// panic-to-typed-error regression tests).
+    #[doc(hidden)]
+    pub fn inject_scan_panic_for_test(&self, bid: u64) {
+        self.panic_bids.write().insert(bid);
+    }
+
+    /// Clears scan-panic injection.
+    #[doc(hidden)]
+    pub fn clear_scan_panics_for_test(&self) {
+        self.panic_bids.write().clear();
     }
 
     /// Cumulative operation counters.
@@ -227,8 +333,14 @@ impl Engine {
                 &self.metrics.visibility_build_nanos,
             )
             .counter("scan_nanos", &self.metrics.scan_nanos)
+            .counter("parallel_queries", &self.metrics.parallel_queries)
+            .counter("sequential_queries", &self.metrics.sequential_queries)
             .histogram("query_nanos", &self.metrics.query_nanos)
-            .histogram("load_nanos", &self.metrics.load_nanos);
+            .histogram("load_nanos", &self.metrics.load_nanos)
+            .histogram("scan_task_nanos", &self.metrics.scan_task_nanos);
+        if let Some(cache) = &self.vis_cache {
+            cache.report_as(report, &format!("{prefix}engine.vis_cache"));
+        }
         self.shards.report_as(report, &format!("{prefix}shards"));
     }
 
@@ -295,13 +407,21 @@ impl Engine {
             return Err(CubrickError::UnknownCube(name.to_owned()));
         }
         let name = name.to_owned();
-        let dropped = self.shards.map_shards(|_| {
+        let dropped: Vec<Vec<u64>> = self.shards.map_shards(|_| {
             let name = name.clone();
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
-                bricks.remove(&name).map(|b| b.len()).unwrap_or(0)
+                bricks
+                    .remove(&name)
+                    .map(|b| b.keys().copied().collect())
+                    .unwrap_or_default()
             })
         });
-        let _ = dropped;
+        if let Some(cache) = &self.vis_cache {
+            let cube_key: Arc<str> = Arc::from(name.as_str());
+            for bid in dropped.into_iter().flatten() {
+                cache.invalidate(&(Arc::clone(&cube_key), bid));
+            }
+        }
         Ok(())
     }
 
@@ -380,6 +500,7 @@ impl Engine {
     /// and the distributed engine's flush step.
     pub(crate) fn flush_batch(&self, cube: &Cube, epoch: Epoch, batch: ParsedBatch) {
         self.ops.flushes.inc();
+        let cube_key: Arc<str> = Arc::from(cube.name());
         let mut touched: Vec<usize> = Vec::new();
         for (bid, records) in batch.by_bid {
             if let Some(index) = &self.rollback_index {
@@ -391,6 +512,8 @@ impl Engine {
             }
             let cube = cube.clone();
             let storage = self.dim_storage;
+            let cache = self.vis_cache.clone();
+            let key: BrickKey = (Arc::clone(&cube_key), bid);
             self.shards.submit(shard, move |bricks| {
                 let brick = bricks
                     .entry(cube.name().to_owned())
@@ -398,6 +521,12 @@ impl Engine {
                     .entry(bid)
                     .or_insert_with(|| Brick::with_storage(cube.schema(), storage));
                 brick.append(epoch, &records);
+                // Mutation class: append. Reclaim the brick's cached
+                // visibility eagerly (the generation bump already made
+                // it unreachable).
+                if let Some(cache) = &cache {
+                    cache.invalidate(&key);
+                }
             });
         }
         // Barrier only on the shards we touched.
@@ -462,12 +591,17 @@ impl Engine {
             }
             let mut removed = 0u64;
             for (shard, bids) in by_shard {
+                let cache = self.vis_cache.clone();
                 removed += self.shards.submit_and_wait(shard, move |bricks| {
                     let mut removed = 0u64;
-                    for cube_bricks in bricks.values_mut() {
+                    for (cube_name, cube_bricks) in bricks.iter_mut() {
                         for bid in &bids {
                             if let Some(brick) = cube_bricks.get_mut(bid) {
                                 removed += brick.rollback(epoch);
+                                // Mutation class: rollback.
+                                if let Some(cache) = &cache {
+                                    cache.invalidate(&(Arc::from(cube_name.as_str()), *bid));
+                                }
                             }
                         }
                     }
@@ -477,11 +611,16 @@ impl Engine {
             return removed;
         }
         let removed = self.shards.map_shards(|_| {
+            let cache = self.vis_cache.clone();
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
                 let mut removed = 0u64;
-                for cube_bricks in bricks.values_mut() {
-                    for brick in cube_bricks.values_mut() {
+                for (cube_name, cube_bricks) in bricks.iter_mut() {
+                    for (&bid, brick) in cube_bricks.iter_mut() {
                         removed += brick.rollback(epoch);
+                        // Mutation class: rollback.
+                        if let Some(cache) = &cache {
+                            cache.invalidate(&(Arc::from(cube_name.as_str()), bid));
+                        }
                     }
                 }
                 removed
@@ -506,9 +645,9 @@ impl Engine {
                 // it mid-scan.
                 let guard = self.manager.begin_read();
                 let snapshot = guard.snapshot().clone();
-                Ok(self.execute(&cube, &resolved, Some(snapshot)))
+                self.execute(&cube, &resolved, Some(snapshot))
             }
-            IsolationMode::ReadUncommitted => Ok(self.execute(&cube, &resolved, None)),
+            IsolationMode::ReadUncommitted => self.execute(&cube, &resolved, None),
         }
     }
 
@@ -523,7 +662,7 @@ impl Engine {
         let cube = self.cube(cube)?;
         let resolved = ResolvedQuery::resolve(&cube, query)?;
         let guard = self.manager.guard_snapshot(txn.snapshot().clone());
-        Ok(self.execute(&cube, &resolved, Some(guard.snapshot().clone())))
+        self.execute(&cube, &resolved, Some(guard.snapshot().clone()))
     }
 
     /// Time travel: runs a query against the committed snapshot as of
@@ -569,7 +708,30 @@ impl Engine {
     ) -> Result<QueryResult, CubrickError> {
         let cube = self.cube(cube)?;
         let resolved = ResolvedQuery::resolve(&cube, query)?;
-        Ok(self.execute(&cube, &resolved, Some(snapshot.clone())))
+        self.execute(&cube, &resolved, Some(snapshot.clone()))
+    }
+
+    /// Differential-testing reference: the same result as
+    /// [`Engine::query_at`], but forced down the sequential scan path
+    /// with the visibility cache bypassed, regardless of the engine's
+    /// configuration. The scan-oracle layer compares the default
+    /// (parallel + cached) path against this byte-for-byte.
+    pub fn query_at_reference(
+        &self,
+        cube: &str,
+        query: &Query,
+        snapshot: &Snapshot,
+    ) -> Result<QueryResult, CubrickError> {
+        let cube = self.cube(cube)?;
+        let resolved = ResolvedQuery::resolve(&cube, query)?;
+        let merged = self.execute_partial_with(
+            &cube,
+            &resolved,
+            Some(snapshot.clone()),
+            ScanConfig::sequential_uncached(),
+            None,
+        )?;
+        Ok(QueryResult::finalize(&cube, &resolved, merged))
     }
 
     fn execute(
@@ -577,12 +739,12 @@ impl Engine {
         cube: &Cube,
         resolved: &ResolvedQuery,
         snapshot: Option<Snapshot>,
-    ) -> QueryResult {
+    ) -> Result<QueryResult, CubrickError> {
         let started = Instant::now();
-        let merged = self.execute_partial(cube, resolved, snapshot);
+        let merged = self.execute_partial(cube, resolved, snapshot)?;
         let result = QueryResult::finalize(cube, resolved, merged);
         self.metrics.query_nanos.record_duration(started.elapsed());
-        result
+        Ok(result)
     }
 
     /// Shard fan-out producing mergeable partial aggregates; the
@@ -593,64 +755,203 @@ impl Engine {
         cube: &Cube,
         resolved: &ResolvedQuery,
         snapshot: Option<Snapshot>,
-    ) -> PartialResult {
-        let partials = self.shards.map_shards(|_| {
-            let cube = cube.clone();
-            let resolved = resolved.clone();
-            let snapshot = snapshot.clone();
+    ) -> Result<PartialResult, CubrickError> {
+        self.execute_partial_with(
+            cube,
+            resolved,
+            snapshot,
+            self.scan_config,
+            self.vis_cache.clone(),
+        )
+    }
+
+    /// The scan executor behind every query path.
+    ///
+    /// Both paths work from one deterministic work list — each shard's
+    /// bids sorted ascending, pruned at the caller — and both merge
+    /// partials in that submission order, so parallel and sequential
+    /// executions are byte-identical (aggregate sums over the
+    /// workload's integer-valued floats are exact and
+    /// order-independent; the deterministic order removes even the
+    /// merge-order variable).
+    ///
+    /// Bricks created *after* enumeration are safe to miss: a brick
+    /// can only appear via a flush whose transaction either committed
+    /// before the snapshot was taken (its bricks already existed) or
+    /// is excluded by the snapshot's epoch/deps, so the rows such a
+    /// brick holds are invisible to `snapshot` anyway. RU scans have
+    /// no snapshot and are best-effort by definition.
+    fn execute_partial_with(
+        &self,
+        cube: &Cube,
+        resolved: &ResolvedQuery,
+        snapshot: Option<Snapshot>,
+        config: ScanConfig,
+        cache: Option<Arc<VisibilityCache<BrickKey>>>,
+    ) -> Result<PartialResult, CubrickError> {
+        let cube_key: Arc<str> = Arc::from(cube.name());
+        let per_shard_bids: Vec<Vec<u64>> = self.shards.map_shards(|_| {
+            let name = cube.name().to_owned();
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
-                let mut partial = PartialResult::default();
-                let Some(cube_bricks) = bricks.get(cube.name()) else {
-                    return partial;
-                };
-                for (&bid, brick) in cube_bricks {
-                    if !resolved.brick_can_match(&cube, bid) {
-                        partial.stats.bricks_pruned += 1;
-                        continue;
-                    }
-                    let vis_started = Instant::now();
-                    let scanned = if resolved.filters.is_empty() {
-                        // Unfiltered scans never need a bitmap: walk
-                        // the visible ranges (SI) or the whole brick
-                        // (RU) directly.
-                        let ranges = match &snapshot {
-                            Some(snap) => brick.epochs().visible_ranges(snap),
-                            #[allow(clippy::single_range_in_vec_init)]
-                            None => vec![0..brick.row_count()],
-                        };
-                        let vis_nanos = vis_started.elapsed();
-                        let scan_started = Instant::now();
-                        let mut scanned =
-                            crate::query::scan_brick_ranges(brick, &ranges, &resolved);
-                        scanned.stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
-                        scanned.stats.visibility_build_nanos = vis_nanos.as_nanos() as u64;
-                        scanned
-                    } else {
-                        let visibility = match &snapshot {
-                            Some(snap) => brick.visibility(snap),
-                            None => brick.all_rows(),
-                        };
-                        let vis_nanos = vis_started.elapsed();
-                        let scan_started = Instant::now();
-                        let mut scanned = crate::query::scan_brick(brick, visibility, &resolved);
-                        scanned.stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
-                        scanned.stats.visibility_build_nanos = vis_nanos.as_nanos() as u64;
-                        scanned
-                    };
-                    partial.merge(scanned);
-                }
-                partial
+                bricks
+                    .get(&name)
+                    .map(|m| {
+                        let mut bids: Vec<u64> = m.keys().copied().collect();
+                        bids.sort_unstable();
+                        bids
+                    })
+                    .unwrap_or_default()
             })
         });
-        let mut merged = PartialResult::default();
-        for partial in partials {
-            merged.merge(partial);
+        let mut pruned = 0u64;
+        let mut per_shard_targets: Vec<Vec<u64>> = Vec::with_capacity(per_shard_bids.len());
+        for bids in per_shard_bids {
+            let mut targets = Vec::with_capacity(bids.len());
+            for bid in bids {
+                if resolved.brick_can_match(cube, bid) {
+                    targets.push(bid);
+                } else {
+                    pruned += 1;
+                }
+            }
+            per_shard_targets.push(targets);
         }
+        let total_targets: usize = per_shard_targets.iter().map(Vec::len).sum();
+
+        let mut merged = PartialResult::default();
+        merged.stats.bricks_pruned = pruned;
+
+        if total_targets >= config.parallel_threshold {
+            // Parallel path: one task per brick, fanned out across the
+            // owning shards.
+            self.metrics.parallel_queries.inc();
+            merged.stats.parallel_tasks = total_targets as u64;
+            let mut handles = Vec::with_capacity(total_targets);
+            for targets in &per_shard_targets {
+                for &bid in targets {
+                    let cube = cube.clone();
+                    let resolved = resolved.clone();
+                    let snapshot = snapshot.clone();
+                    let cache = cache.clone();
+                    let key: BrickKey = (Arc::clone(&cube_key), bid);
+                    let panic_injected = self.panic_bids.read().contains(&bid);
+                    let handle =
+                        self.shards
+                            .submit_handle(self.shards.shard_of(bid), move |bricks| {
+                                if panic_injected {
+                                    panic!("injected scan panic for brick {bid}");
+                                }
+                                let Some(brick) = bricks.get(cube.name()).and_then(|m| m.get(&bid))
+                                else {
+                                    // Dropped between enumeration and
+                                    // scan (DDL): nothing to see.
+                                    return (PartialResult::default(), 0u64);
+                                };
+                                let started = Instant::now();
+                                let partial = scan_one_brick(
+                                    brick,
+                                    &resolved,
+                                    snapshot.as_ref(),
+                                    cache.as_deref(),
+                                    &key,
+                                );
+                                (partial, started.elapsed().as_nanos() as u64)
+                            });
+                    handles.push((bid, handle));
+                }
+            }
+            // Join in submission order: a panicking task fails the
+            // whole query with a typed error — never a partial result.
+            for (bid, handle) in handles {
+                match handle.join() {
+                    Ok((partial, task_nanos)) => {
+                        self.metrics.scan_task_nanos.record(task_nanos);
+                        merged.merge(partial);
+                    }
+                    Err(_) => {
+                        return Err(CubrickError::ScanTaskPanicked {
+                            cube: cube.name().to_owned(),
+                            bid: Some(bid),
+                        });
+                    }
+                }
+            }
+        } else {
+            // Sequential fallback: one task per involved shard walks
+            // its own bids in sorted order, and each task is joined
+            // before the next is submitted — no concurrency at all.
+            // Below the threshold the query touches so few bricks
+            // that waking every shard thread costs more than it buys;
+            // this is also the reference executor's semantics
+            // (`query_at_reference`), so "sequential" genuinely means
+            // one brick scan at a time.
+            self.metrics.sequential_queries.inc();
+            for (shard, targets) in per_shard_targets.into_iter().enumerate() {
+                if targets.is_empty() {
+                    continue;
+                }
+                let task_cube = cube.clone();
+                let resolved = resolved.clone();
+                let snapshot = snapshot.clone();
+                let cache = cache.clone();
+                let cube_key = Arc::clone(&cube_key);
+                let panic_injected: Vec<u64> = {
+                    let set = self.panic_bids.read();
+                    targets
+                        .iter()
+                        .copied()
+                        .filter(|b| set.contains(b))
+                        .collect()
+                };
+                let handle = self.shards.submit_handle(shard, move |bricks| {
+                    let mut partial = PartialResult::default();
+                    let mut task_nanos = Vec::new();
+                    let Some(cube_bricks) = bricks.get(task_cube.name()) else {
+                        return (partial, task_nanos);
+                    };
+                    for &bid in &targets {
+                        if panic_injected.contains(&bid) {
+                            panic!("injected scan panic for brick {bid}");
+                        }
+                        let Some(brick) = cube_bricks.get(&bid) else {
+                            continue;
+                        };
+                        let key: BrickKey = (Arc::clone(&cube_key), bid);
+                        let started = Instant::now();
+                        let scanned = scan_one_brick(
+                            brick,
+                            &resolved,
+                            snapshot.as_ref(),
+                            cache.as_deref(),
+                            &key,
+                        );
+                        task_nanos.push(started.elapsed().as_nanos() as u64);
+                        partial.merge(scanned);
+                    }
+                    (partial, task_nanos)
+                });
+                match handle.join() {
+                    Ok((partial, nanos)) => {
+                        for n in nanos {
+                            self.metrics.scan_task_nanos.record(n);
+                        }
+                        merged.merge(partial);
+                    }
+                    Err(_) => {
+                        return Err(CubrickError::ScanTaskPanicked {
+                            cube: cube.name().to_owned(),
+                            bid: None,
+                        });
+                    }
+                }
+            }
+        }
+
         self.metrics
             .visibility_build_nanos
             .add(merged.stats.visibility_build_nanos);
         self.metrics.scan_nanos.add(merged.stats.scan_nanos);
-        merged
+        Ok(merged)
     }
 
     /// Partition-level delete: marks every brick whose entire
@@ -706,9 +1007,12 @@ impl Engine {
                 .collect();
             resolved.push((dim, coords));
         }
+        let cube_key: Arc<str> = Arc::from(cube.name());
         let marked = self.shards.map_shards(|_| {
             let cube = cube.clone();
             let resolved = resolved.clone();
+            let cache = self.vis_cache.clone();
+            let cube_key = Arc::clone(&cube_key);
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
                 let mut marked = 0u64;
                 let Some(cube_bricks) = bricks.get_mut(cube.name()) else {
@@ -724,6 +1028,10 @@ impl Engine {
                     if contained {
                         brick.mark_delete(epoch);
                         marked += 1;
+                        // Mutation class: partition delete.
+                        if let Some(cache) = &cache {
+                            cache.invalidate(&(Arc::clone(&cube_key), bid));
+                        }
                     }
                 }
                 marked
@@ -738,10 +1046,11 @@ impl Engine {
         self.ops.purges.inc();
         let lse = self.manager.lse();
         let stats = self.shards.map_shards(|_| {
+            let cache = self.vis_cache.clone();
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
                 let mut stats = PurgeStats::default();
-                for cube_bricks in bricks.values_mut() {
-                    for brick in cube_bricks.values_mut() {
+                for (cube_name, cube_bricks) in bricks.iter_mut() {
+                    for (&bid, brick) in cube_bricks.iter_mut() {
                         if !brick.needs_purge(lse) {
                             continue;
                         }
@@ -749,6 +1058,10 @@ impl Engine {
                         stats.rows_purged += rows;
                         stats.entries_reclaimed += entries as u64;
                         stats.bricks_changed += 1;
+                        // Mutation class: purge / LSE advance.
+                        if let Some(cache) = &cache {
+                            cache.invalidate(&(Arc::from(cube_name.as_str()), bid));
+                        }
                     }
                 }
                 stats
@@ -805,6 +1118,77 @@ impl Engine {
         total.mvcc_baseline_bytes = total.rows * 16;
         total
     }
+}
+
+/// Scans one brick under an optional snapshot, consulting the
+/// visibility cache when one is configured. Runs on the shard thread
+/// that owns the brick, which is what makes the cache probe
+/// race-free: the brick cannot mutate underneath the lookup, and any
+/// insert lands before the shard applies a later mutation.
+///
+/// RU scans (no snapshot) bypass the cache — there is no snapshot to
+/// key on and the artifact is trivial.
+fn scan_one_brick(
+    brick: &Brick,
+    resolved: &ResolvedQuery,
+    snapshot: Option<&Snapshot>,
+    cache: Option<&VisibilityCache<BrickKey>>,
+    key: &BrickKey,
+) -> PartialResult {
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let vis_started = Instant::now();
+    let mut scanned = if resolved.filters.is_empty() {
+        // Unfiltered scans never need a bitmap: walk the visible
+        // ranges (SI) or the whole brick (RU) directly.
+        let ranges: Arc<Vec<std::ops::Range<u64>>> = match snapshot {
+            Some(snap) => match cache {
+                Some(cache) => {
+                    let (ranges, hit) = cache.ranges(key, brick.epochs(), snap);
+                    if hit {
+                        hits = 1;
+                    } else {
+                        misses = 1;
+                    }
+                    ranges
+                }
+                None => Arc::new(brick.epochs().visible_ranges(snap)),
+            },
+            #[allow(clippy::single_range_in_vec_init)]
+            None => Arc::new(vec![0..brick.row_count()]),
+        };
+        let vis_nanos = vis_started.elapsed();
+        let scan_started = Instant::now();
+        let mut scanned = crate::query::scan_brick_ranges(brick, &ranges, resolved);
+        scanned.stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
+        scanned.stats.visibility_build_nanos = vis_nanos.as_nanos() as u64;
+        scanned
+    } else {
+        let visibility: Arc<Bitmap> = match snapshot {
+            Some(snap) => match cache {
+                Some(cache) => {
+                    let (bitmap, hit) = cache.bitmap(key, brick.epochs(), snap);
+                    if hit {
+                        hits = 1;
+                    } else {
+                        misses = 1;
+                    }
+                    bitmap
+                }
+                None => Arc::new(brick.visibility(snap)),
+            },
+            None => Arc::new(brick.all_rows()),
+        };
+        let vis_nanos = vis_started.elapsed();
+        let scan_started = Instant::now();
+        let mut scanned = crate::query::scan_brick_shared(brick, &visibility, resolved);
+        scanned.stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
+        scanned.stats.visibility_build_nanos = vis_nanos.as_nanos() as u64;
+        scanned
+    };
+    scanned.stats.vis_cache_hits = hits;
+    scanned.stats.vis_cache_misses = misses;
+    scanned
 }
 
 impl std::fmt::Debug for Engine {
@@ -1344,5 +1728,163 @@ mod tests {
         }
         reader.join().unwrap();
         assert_eq!(sum_likes(&engine, IsolationMode::Snapshot), 200.0);
+    }
+
+    /// Byte-identical comparison of two query results (f64 compared
+    /// through `to_bits` so NaN/−0.0 differences cannot hide).
+    fn assert_rows_identical(a: &QueryResult, b: &QueryResult) {
+        assert_eq!(a.rows.len(), b.rows.len(), "row count differs");
+        for ((ka, va), (kb, vb)) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ka, kb, "group keys differ");
+            let va: Vec<u64> = va.iter().map(|v| v.to_bits()).collect();
+            let vb: Vec<u64> = vb.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(va, vb, "aggregate bytes differ");
+        }
+    }
+
+    fn spread_load(engine: &Engine) {
+        // Rows landing in several bricks so the parallel path engages
+        // (threshold 2), with repeats so epochs vectors grow.
+        for round in 0..4 {
+            let rows: Vec<Row> = (0..16)
+                .map(|i| row(["us", "br", "mx", "de"][i % 4], i as i64, i as i64, 0.5))
+                .collect();
+            engine.load("events", &rows, 0).unwrap();
+            let _ = round;
+        }
+    }
+
+    #[test]
+    fn parallel_cached_path_matches_sequential_reference_byte_for_byte() {
+        let engine = engine().with_scan_config(ScanConfig::parallel_cached(1024));
+        spread_load(&engine);
+        let snapshot = Snapshot::committed(engine.manager().lce());
+        let queries = vec![
+            Query::aggregate(vec![
+                Aggregation::new(AggFn::Sum, "likes"),
+                Aggregation::new(AggFn::Avg, "score"),
+            ]),
+            Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")])
+                .filter(DimFilter::new(
+                    "region",
+                    vec![Value::from("us"), Value::from("mx")],
+                ))
+                .grouped_by("region"),
+            Query::aggregate(vec![
+                Aggregation::new(AggFn::Min, "likes"),
+                Aggregation::new(AggFn::Max, "likes"),
+            ])
+            .grouped_by("day"),
+        ];
+        for query in &queries {
+            let fast = engine.query_at("events", query, &snapshot).unwrap();
+            let reference = engine
+                .query_at_reference("events", query, &snapshot)
+                .unwrap();
+            assert!(fast.stats.parallel_tasks > 0, "parallel path not taken");
+            assert_eq!(reference.stats.parallel_tasks, 0);
+            assert_rows_identical(&fast, &reference);
+            // Warm repeat: served from cache, still identical.
+            let warm = engine.query_at("events", query, &snapshot).unwrap();
+            assert!(warm.stats.vis_cache_hits > 0, "warm run should hit cache");
+            assert_rows_identical(&warm, &reference);
+        }
+    }
+
+    #[test]
+    fn sequential_threshold_keeps_small_scans_off_the_pool() {
+        let engine = engine().with_scan_config(ScanConfig {
+            parallel_threshold: usize::MAX,
+            cache_capacity: 64,
+        });
+        spread_load(&engine);
+        let result = engine
+            .query(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        assert_eq!(result.stats.parallel_tasks, 0);
+        let report = engine.metrics_report();
+        assert!(report.contains("sequential_queries = 1"), "{report}");
+    }
+
+    #[test]
+    fn panicking_scan_task_fails_the_query_with_a_typed_error() {
+        let engine = engine().with_scan_config(ScanConfig::parallel_cached(64));
+        spread_load(&engine);
+        // The bid space for this schema is tiny; poisoning every
+        // possible bid guarantees at least one live brick's task
+        // panics without reaching into brick-map internals.
+        for bid in 0..64 {
+            engine.inject_scan_panic_for_test(bid);
+        }
+        let err = engine
+            .query(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]),
+                IsolationMode::Snapshot,
+            )
+            .unwrap_err();
+        match err {
+            CubrickError::ScanTaskPanicked { cube, bid } => {
+                assert_eq!(cube, "events");
+                assert!(bid.is_some(), "parallel path attributes the brick");
+            }
+            other => panic!("expected ScanTaskPanicked, got {other:?}"),
+        }
+        // The shard threads survive the panic: clearing the injection
+        // makes the very same engine answer correctly again.
+        engine.clear_scan_panics_for_test();
+        let sum = sum_likes(&engine, IsolationMode::Snapshot);
+        assert_eq!(sum, 4.0 * (0..16).sum::<i64>() as f64);
+    }
+
+    #[test]
+    fn cache_stats_trace_hits_and_mutation_invalidation() {
+        let engine = engine().with_scan_config(ScanConfig::parallel_cached(256));
+        spread_load(&engine);
+        let filtered = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .filter(DimFilter::new("region", vec![Value::from("us")]));
+        let snapshot = Snapshot::committed(engine.manager().lce());
+        let cold = engine.query_at("events", &filtered, &snapshot).unwrap();
+        assert!(cold.stats.vis_cache_misses > 0);
+        assert_eq!(cold.stats.vis_cache_hits, 0);
+        let warm = engine.query_at("events", &filtered, &snapshot).unwrap();
+        assert_eq!(warm.stats.vis_cache_misses, 0);
+        assert_eq!(warm.stats.vis_cache_hits, cold.stats.vis_cache_misses);
+        let before = engine.visibility_cache_stats().unwrap();
+        assert!(before.hits > 0 && before.entries > 0);
+        // A load mutates bricks: their cached artifacts must go.
+        engine.load("events", &[row("us", 0, 1, 0.0)], 0).unwrap();
+        let after = engine.visibility_cache_stats().unwrap();
+        assert!(
+            after.invalidations > before.invalidations,
+            "append must invalidate cached visibility"
+        );
+        // Old snapshot still answers correctly after invalidation.
+        let replay = engine.query_at("events", &filtered, &snapshot).unwrap();
+        assert_rows_identical(&replay, &cold);
+        let report = engine.metrics_report();
+        assert!(report.contains("vis_cache"), "{report}");
+    }
+
+    #[test]
+    fn zero_capacity_scan_config_disables_the_cache() {
+        let engine = engine().with_scan_config(ScanConfig::sequential_uncached());
+        assert!(engine.visibility_cache_stats().is_none());
+        spread_load(&engine);
+        let result = engine
+            .query(
+                "events",
+                &Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")])
+                    .filter(DimFilter::new("region", vec![Value::from("br")])),
+                IsolationMode::Snapshot,
+            )
+            .unwrap();
+        assert_eq!(result.stats.vis_cache_hits, 0);
+        assert_eq!(result.stats.vis_cache_misses, 0);
+        assert_eq!(result.rows[0].1[0], 16.0);
     }
 }

@@ -38,6 +38,16 @@ pub enum CubrickError {
         /// Newest consistent epoch.
         lce: aosi::Epoch,
     },
+    /// A brick-scan task panicked on its shard thread. The whole
+    /// query fails — a partial aggregate missing one brick's rows
+    /// would be silently wrong. The shard itself survives.
+    ScanTaskPanicked {
+        /// Cube the failed scan belonged to.
+        cube: String,
+        /// The brick whose task panicked, when the parallel per-brick
+        /// path can attribute it (`None` for a sequential shard walk).
+        bid: Option<u64>,
+    },
     /// A protocol-layer error bubbled up.
     Protocol(aosi::AosiError),
 }
@@ -67,6 +77,10 @@ impl std::fmt::Display for CubrickError {
                 f,
                 "epoch {requested} outside the readable window [{lse}, {lce}]"
             ),
+            CubrickError::ScanTaskPanicked { cube, bid } => match bid {
+                Some(bid) => write!(f, "scan task for cube {cube:?} brick {bid} panicked"),
+                None => write!(f, "a scan task for cube {cube:?} panicked"),
+            },
             CubrickError::Protocol(e) => write!(f, "protocol error: {e}"),
         }
     }

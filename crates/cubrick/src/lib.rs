@@ -74,10 +74,11 @@ pub use ddl::{CubeSchema, Dimension, Metric, MetricType};
 pub use distributed::{DistributedEngine, DistributedLoadOutcome};
 pub use engine::{
     Engine, EngineMemory, EngineOpStats, IsolationMode, LoadOutcome, LoadStageTimings, PurgeStats,
+    ScanConfig,
 };
 pub use error::CubrickError;
 pub use ingest::{parse_rows, ParsedBatch, ParsedRecord};
 pub use maintenance::PurgeDaemon;
 pub use persist::{BrickDelta, DeltaRun};
 pub use query::{AggFn, Aggregation, DimFilter, OrderBy, Query, QueryResult, QueryStats};
-pub use shard::ShardPool;
+pub use shard::{ShardPool, TaskHandle};

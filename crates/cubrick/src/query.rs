@@ -161,6 +161,13 @@ pub struct QueryStats {
     /// Wall nanoseconds spent scanning and aggregating, summed
     /// across bricks.
     pub scan_nanos: u64,
+    /// Visibility artifacts served from the engine's cache.
+    pub vis_cache_hits: u64,
+    /// Visibility artifacts the cache had to materialize.
+    pub vis_cache_misses: u64,
+    /// Per-brick scan tasks dispatched through the parallel path
+    /// (0 means the query took the sequential per-shard walk).
+    pub parallel_tasks: u64,
 }
 
 impl QueryStats {
@@ -174,6 +181,9 @@ impl QueryStats {
         self.bitmap_scans += other.bitmap_scans;
         self.visibility_build_nanos += other.visibility_build_nanos;
         self.scan_nanos += other.scan_nanos;
+        self.vis_cache_hits += other.vis_cache_hits;
+        self.vis_cache_misses += other.vis_cache_misses;
+        self.parallel_tasks += other.parallel_tasks;
     }
 
     /// Total visibility-materialization time.
@@ -433,23 +443,23 @@ impl PartialResult {
     }
 }
 
-/// Scans one brick: seeds from `visibility`, applies the resolved
-/// filters, accumulates aggregates.
-pub(crate) fn scan_brick(
+/// Scans one brick: seeds from the (possibly cached, shared)
+/// `visibility` bitmap, applies the resolved filters while iterating
+/// — bits are never mutated, so one cached artifact serves many
+/// concurrent scans without cloning. Isolation bits are never
+/// widened: filters only drop rows.
+pub(crate) fn scan_brick_shared(
     brick: &Brick,
-    mut visibility: Bitmap,
+    visibility: &Bitmap,
     resolved: &ResolvedQuery,
 ) -> PartialResult {
-    // Filters clear bits; never set (isolation bits are final).
-    let rows = brick.row_count() as usize;
-    for (dim, coords) in &resolved.filters {
-        for row in 0..rows {
-            if visibility.get(row) && !coords.contains(&brick.dim_value(*dim, row)) {
-                visibility.clear(row);
-            }
-        }
-    }
-    let mut result = accumulate(brick, visibility.iter_ones(), resolved);
+    let rows = visibility.iter_ones().filter(|&row| {
+        resolved
+            .filters
+            .iter()
+            .all(|(dim, coords)| coords.contains(&brick.dim_value(*dim, row)))
+    });
+    let mut result = accumulate(brick, rows, resolved);
     result.stats.bitmap_scans = 1;
     result
 }
@@ -699,7 +709,7 @@ mod tests {
             Aggregation::new(AggFn::Avg, "score"),
         ]);
         let r = resolved(&cube, &q);
-        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         let result = QueryResult::finalize(&cube, &r, partial);
         assert_eq!(result.rows.len(), 1);
         let (key, values) = &result.rows[0];
@@ -717,7 +727,7 @@ mod tests {
         let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
             .filter(DimFilter::new("region", vec![Value::from("us")]));
         let r = resolved(&cube, &q);
-        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         let result = QueryResult::finalize(&cube, &r, partial);
         assert_eq!(result.scalar(), Some(40.0));
         assert_eq!(result.stats.rows_visible, 2);
@@ -730,7 +740,7 @@ mod tests {
         let q = Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")])
             .filter(DimFilter::new("region", vec![Value::from("atlantis")]));
         let r = resolved(&cube, &q);
-        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         assert_eq!(partial.stats.rows_visible, 0);
     }
 
@@ -745,7 +755,7 @@ mod tests {
         ])
         .grouped_by("region");
         let r = resolved(&cube, &q);
-        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         let result = QueryResult::finalize(&cube, &r, partial);
         assert_eq!(result.rows.len(), 2);
         assert_eq!(result.rows[0].0, vec![Value::Str("us".into())]);
@@ -762,7 +772,7 @@ mod tests {
             .grouped_by("region")
             .grouped_by("day");
         let r = resolved(&cube, &q);
-        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         let result = QueryResult::finalize(&cube, &r, partial);
         // Three rows, three distinct (region, day) pairs.
         assert_eq!(result.rows.len(), 3);
@@ -818,7 +828,7 @@ mod tests {
             .ordered_by(OrderBy::Aggregation(0), true)
             .limited(2);
         let r = resolved(&cube, &q);
-        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         let result = QueryResult::finalize(&cube, &r, partial);
         assert_eq!(result.rows.len(), 2);
         assert_eq!(result.rows[0].1[0], 30.0, "largest sum first");
@@ -829,7 +839,7 @@ mod tests {
             .grouped_by("day")
             .ordered_by(OrderBy::Dimension("day".into()), false);
         let r = resolved(&cube, &q);
-        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         let result = QueryResult::finalize(&cube, &r, partial);
         let days: Vec<String> = result.rows.iter().map(|(k, _)| k[0].to_string()).collect();
         assert_eq!(days, vec!["0", "1", "2"]);
@@ -868,13 +878,13 @@ mod tests {
         let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]);
         let r = resolved(&cube, &q);
         // Snapshot at epoch 1 must not see T3's row...
-        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         assert_eq!(
             QueryResult::finalize(&cube, &r, partial).scalar(),
             Some(60.0)
         );
         // ...while read-uncommitted sees it.
-        let partial = scan_brick(&brick, brick.all_rows(), &r);
+        let partial = scan_brick_shared(&brick, &brick.all_rows(), &r);
         assert_eq!(
             QueryResult::finalize(&cube, &r, partial).scalar(),
             Some(1060.0)
@@ -892,8 +902,8 @@ mod tests {
         .grouped_by("region");
         let r = resolved(&cube, &q);
         let snap = Snapshot::committed(1);
-        let mut a = scan_brick(&brick, brick.visibility(&snap), &r);
-        let b = scan_brick(&brick, brick.visibility(&snap), &r);
+        let mut a = scan_brick_shared(&brick, &brick.visibility(&snap), &r);
+        let b = scan_brick_shared(&brick, &brick.visibility(&snap), &r);
         a.merge(b);
         let result = QueryResult::finalize(&cube, &r, a);
         assert_eq!(result.rows[0].1, vec![80.0, 10.0], "sums add, mins hold");
@@ -908,7 +918,7 @@ mod tests {
         let q = Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")]);
         let r = resolved(&cube, &q);
         let snap = Snapshot::committed(1);
-        let via_bitmap = scan_brick(&brick, brick.visibility(&snap), &r);
+        let via_bitmap = scan_brick_shared(&brick, &brick.visibility(&snap), &r);
         assert_eq!(via_bitmap.stats.bitmap_scans, 1);
         assert_eq!(via_bitmap.stats.range_scans, 0);
         let ranges = brick.epochs().visible_ranges(&snap);
@@ -962,7 +972,7 @@ mod tests {
         let brick = Brick::new(cube.schema());
         let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]);
         let r = resolved(&cube, &q);
-        let partial = scan_brick(&brick, brick.visibility(&Snapshot::committed(1)), &r);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         let result = QueryResult::finalize(&cube, &r, partial);
         assert_eq!(result.scalar(), None);
     }

@@ -20,7 +20,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use obs::{Counter, ReportBuilder};
 
 use crate::brick::Brick;
@@ -129,6 +129,35 @@ impl ShardPool {
         self.unwrap_waited(rx.recv().expect("shard thread alive"))
     }
 
+    /// Enqueues `task` on `shard` and returns a [`TaskHandle`] that
+    /// yields the task's outcome on [`TaskHandle::join`].
+    ///
+    /// Unlike [`ShardPool::submit_and_wait`], a panicking task is
+    /// surfaced as `Err(payload)` at the join instead of being
+    /// re-raised — the caller decides what a failed task means. The
+    /// panic is still counted by the pool and the shard stays alive.
+    ///
+    /// Handles joined in submission order yield deterministic merges
+    /// regardless of which shard finishes first — this is how the
+    /// engine keeps parallel per-brick scans byte-identical to the
+    /// sequential path.
+    pub fn submit_handle<R: Send + 'static>(
+        &self,
+        shard: usize,
+        task: impl FnOnce(&mut ShardBricks) -> R + Send + 'static,
+    ) -> TaskHandle<R> {
+        let (tx, rx) = unbounded();
+        let metrics = Arc::clone(&self.metrics);
+        self.submit(shard, move |bricks| {
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(bricks)));
+            if outcome.is_err() {
+                metrics.panics.inc();
+            }
+            let _ = tx.send(outcome);
+        });
+        TaskHandle { rx }
+    }
+
     /// Runs `make_task(shard)` on every shard concurrently and
     /// collects the results in shard order. This is how scans fan
     /// out: each shard walks its own bricks in parallel.
@@ -196,6 +225,19 @@ impl ShardPool {
         for shard in 0..self.senders.len() {
             self.submit_and_wait(shard, |_| ());
         }
+    }
+}
+
+/// A pending tracked submission (see [`ShardPool::submit_handle`]).
+pub struct TaskHandle<R> {
+    rx: Receiver<std::thread::Result<R>>,
+}
+
+impl<R> TaskHandle<R> {
+    /// Waits for the task's outcome. `Err` carries the payload of a
+    /// task that panicked (already counted by the pool).
+    pub fn join(self) -> std::thread::Result<R> {
+        self.rx.recv().expect("shard thread alive")
     }
 }
 
@@ -331,6 +373,33 @@ mod tests {
         assert_eq!(pool.panics_caught(), 3);
         let ids = pool.map_shards(|shard| Box::new(move |_: &mut ShardBricks| shard));
         assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn submit_handle_joins_in_submission_order_and_surfaces_panics() {
+        let pool = ShardPool::new(2);
+        // Submit out of shard order; joining the handles in submission
+        // order must return results in submission order even though
+        // the two shards race.
+        let handles: Vec<_> = (0..10u64)
+            .map(|i| {
+                pool.submit_handle(pool.shard_of(i), move |_| {
+                    if i % 2 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i
+                })
+            })
+            .collect();
+        let joined: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(joined, (0..10).collect::<Vec<_>>());
+
+        // A panicking task is an Err at the join — not a re-raise —
+        // and is counted; the shard survives.
+        let h = pool.submit_handle(0, |_| -> u64 { panic!("handle boom") });
+        assert!(h.join().is_err());
+        assert_eq!(pool.panics_caught(), 1);
+        assert_eq!(pool.submit_and_wait(0, |_| 3), 3);
     }
 
     #[test]

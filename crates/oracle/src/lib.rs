@@ -38,9 +38,11 @@ pub mod checks;
 pub mod harness;
 pub mod minimize;
 pub mod reference;
+pub mod scan;
 
 pub use harness::{run, Divergence, Inject, Mode, RunReport};
 pub use minimize::{artifact_dir, minimize, replay_artifact, Minimized};
+pub use scan::{compare_paths, run_scan_schedule, ScanReport};
 use workload::ops::{GenConfig, Schedule};
 
 /// Generates the schedule for `seed`, runs it under `mode`, and — on
