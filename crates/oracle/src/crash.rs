@@ -1,0 +1,1078 @@
+//! Crash-consistency torture harness: every write-syscall boundary
+//! of every flush round is a simulated power cut.
+//!
+//! The paper's durability rule — "recover up to the last complete
+//! flush execution, ignoring any subsequent partial flush" — is a
+//! statement about *every possible crash point*, not just the ones a
+//! test author thought of. This module checks it mechanically, in the
+//! style of ALICE/CrashMonkey-type crash-consistency checkers: the
+//! WAL's syscalls are routed through [`wal::SimFs`], a deterministic
+//! in-memory filesystem with POSIX power-loss semantics (unsynced
+//! content is lost, a rename is volatile until the directory is
+//! fsynced, the write in flight leaves a seeded torn prefix).
+//!
+//! One seeded run ([`run_torture`]) executes four phases:
+//!
+//! 1. **Census** — the full schedule (plus a final flush) runs with
+//!    no cut, counting the mutating syscalls: that count *is* the
+//!    crash-boundary enumeration. The run itself is differentially
+//!    checked against the epoch-replay reference, then recovery is
+//!    exercised twice: once on the live image (clean shutdown must
+//!    recover exactly what the controller acknowledged) and once on a
+//!    power-cut fork (acknowledged rounds must be power-safe — this
+//!    is the probe that catches a missing directory fsync even for a
+//!    single-round workload).
+//! 2. **Boundary sweep** — one fresh run per crash boundary `k`:
+//!    execute until the cut fires, reboot, recover into a fresh
+//!    engine, and assert the recovered state is *exactly* a complete
+//!    flushed prefix — never less than what a successful flush
+//!    acknowledged, never a phantom row beyond the pruned committed
+//!    log, never a hole (every epoch up to the recovered one is
+//!    re-queried against the reference). The flush controller is then
+//!    reopened on the same disk (resume must agree with recovery —
+//!    the restart-clobber detector), the remaining schedule runs, and
+//!    a second recovery must find a chain with zero gaps and zero
+//!    skipped rounds.
+//! 3. **Hole probe** — a middle round file is deleted from a fork of
+//!    the census image; recovery must detect the gap and stop at the
+//!    consistent prefix instead of replaying stranded history.
+//! 4. **Bit-flip probes** — seeded single-bit media corruption in a
+//!    round file; recovery must degrade gracefully (skip, never
+//!    panic, never apply damaged bytes) and stay prefix-consistent.
+//!
+//! [`BugHooks`] re-introduces each of the four fixed durability bugs
+//! behind `#[doc(hidden)]` test hooks so the meta-tests can prove the
+//! harness actually catches what it claims to catch.
+//!
+//! [`check_crash_seed`] mirrors [`crate::check_seed`]: on failure the
+//! schedule is shrunk (prefix bisection + greedy op removal, re-run
+//! through the *entire* torture including its boundary enumeration)
+//! and dumped as a replayable `.seed` artifact. The test-suite entry
+//! points honor `AOSI_CRASH_SEEDS` and `AOSI_CRASH_REPLAY`.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use aosi::{Snapshot, Txn};
+use cluster::ReplicationTracker;
+use columnar::Row;
+use cubrick::Engine;
+use wal::{
+    is_power_cut, recover_into_with, FlushController, RecoverOptions, SimFs, WalError, WalFs,
+};
+use workload::ops::{GenConfig, LogicalOp, Schedule, ORACLE_CUBE};
+
+use crate::checks::{build_query, diff, eval_rows, normalize, NUM_QUERIES};
+use crate::harness::{day_filter, days_of, engine_with_cube};
+use crate::minimize::artifact_dir;
+use crate::reference::{CommittedOp, Replay};
+
+/// Node id of the single simulated node.
+const NODE: u64 = 1;
+/// Salt mixed into the schedule seed to derive torn-write prefixes,
+/// so filesystem randomness is decoupled from workload randomness.
+const FS_SEED_SALT: u64 = 0x70f7_0a7e_c417_b011;
+
+/// The WAL directory inside the simulated filesystem.
+fn sim_dir() -> PathBuf {
+    PathBuf::from("/sim/wal")
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Re-introductions of the four fixed durability bugs, for the
+/// meta-tests that prove the harness catches them. All default to
+/// `false` (the fixed, production behavior).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BugHooks {
+    /// Bug 1: the reopened flush controller forgets the chain on disk
+    /// and restarts at sequence 0, clobbering `round-00000000.cbk`.
+    pub restart_clobber: bool,
+    /// Bug 2: recovery does not validate the round chain and replays
+    /// straight across a hole.
+    pub skip_chain_validation: bool,
+    /// Bug 3: the recovery marker commit fails (exercises the typed
+    /// error path that used to be a panic).
+    pub fail_marker: bool,
+    /// Bug 4: the flush controller skips the directory fsync after
+    /// rename, so a completed round's directory entry is volatile.
+    pub skip_dir_sync: bool,
+}
+
+impl BugHooks {
+    /// `true` when any hook is enabled.
+    pub fn any(&self) -> bool {
+        self.restart_clobber || self.skip_chain_validation || self.fail_marker || self.skip_dir_sync
+    }
+
+    fn tags(&self) -> Vec<&'static str> {
+        let mut tags = Vec::new();
+        if self.restart_clobber {
+            tags.push("restart-clobber");
+        }
+        if self.skip_chain_validation {
+            tags.push("skip-chain-validation");
+        }
+        if self.fail_marker {
+            tags.push("fail-marker");
+        }
+        if self.skip_dir_sync {
+            tags.push("skip-dir-sync");
+        }
+        tags
+    }
+
+    fn parse_tags(text: &str) -> Result<BugHooks, String> {
+        let mut bugs = BugHooks::default();
+        for tag in text.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match tag {
+                "restart-clobber" => bugs.restart_clobber = true,
+                "skip-chain-validation" => bugs.skip_chain_validation = true,
+                "fail-marker" => bugs.fail_marker = true,
+                "skip-dir-sync" => bugs.skip_dir_sync = true,
+                other => return Err(format!("unknown bug hook {other:?}")),
+            }
+        }
+        Ok(bugs)
+    }
+
+    fn recover_options(&self) -> RecoverOptions {
+        RecoverOptions {
+            validate_chain: !self.skip_chain_validation,
+            fail_marker_commit_for_test: self.fail_marker,
+        }
+    }
+}
+
+/// Knobs for one torture run.
+#[derive(Clone, Debug)]
+pub struct TortureConfig {
+    /// Workload shape. Smaller than the oracle default: the schedule
+    /// is re-executed once per crash boundary, so op count multiplies
+    /// into total work.
+    pub gen: GenConfig,
+    /// Seeded single-bit corruption probes against the census image.
+    pub bitflip_probes: usize,
+    /// Whether to delete a middle round from the census image and
+    /// require the gap to be detected (needs >= 3 flushed rounds to
+    /// have a middle).
+    pub hole_probe: bool,
+    /// Bug re-introductions (meta-tests only).
+    pub bugs: BugHooks,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig {
+            gen: GenConfig {
+                ops: 36,
+                slots: 2,
+                max_batch: 4,
+            },
+            bitflip_probes: 4,
+            hole_probe: true,
+            bugs: BugHooks::default(),
+        }
+    }
+}
+
+/// Counters from a clean torture run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TortureReport {
+    /// Crash boundaries enumerated (mutating syscalls of the census
+    /// run); the boundary sweep ran one power cut at each.
+    pub crash_points: u64,
+    /// Round files the census run flushed.
+    pub rounds_flushed: u64,
+    /// Recoveries performed across all phases.
+    pub recoveries: u64,
+    /// Individual query comparisons against the reference.
+    pub comparisons: u64,
+    /// Hole probes executed (0 or 1).
+    pub hole_probes: usize,
+    /// Bit-flip probes executed.
+    pub bitflip_probes: usize,
+}
+
+/// A durability violation the harness detected.
+#[derive(Clone, Debug)]
+pub struct TortureFailure {
+    /// The crash boundary whose cut exposed it; `None` for failures
+    /// in the census, hole, or bit-flip phases.
+    pub crash_point: Option<u64>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for TortureFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.crash_point {
+            Some(k) => write!(f, "crash boundary {k}: {}", self.detail),
+            None => write!(f, "{}", self.detail),
+        }
+    }
+}
+
+fn failure(crash_point: Option<u64>, detail: impl Into<String>) -> TortureFailure {
+    TortureFailure {
+        crash_point,
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------
+
+/// Why execution stopped early.
+enum Stop {
+    /// The simulated power cut fired; disk now holds the durable
+    /// image and every further syscall fails.
+    PowerCut,
+    /// A genuine divergence or engine error.
+    Fail(String),
+}
+
+struct Slot {
+    txn: Txn,
+    rows: Vec<Row>,
+}
+
+/// Drives a schedule against one engine + flush controller on a
+/// simulated filesystem, recording committed operations for the
+/// reference replay. Deliberately checker-free and single-threaded:
+/// this executor's job is durability, not isolation (the oracle's
+/// other modes cover that).
+struct Torture {
+    engine: Engine,
+    tracker: ReplicationTracker,
+    ctl: FlushController,
+    slots: Vec<Option<Slot>>,
+    log: Vec<CommittedOp>,
+    /// Highest epoch a *successful* flush acknowledged as durable.
+    /// Never reset — a restart does not un-promise durability.
+    acked: u64,
+    comparisons: u64,
+    rounds_flushed: u64,
+}
+
+impl Torture {
+    fn open(
+        fs: &Arc<SimFs>,
+        engine: Engine,
+        log: Vec<CommittedOp>,
+        acked: u64,
+        num_slots: usize,
+        bugs: &BugHooks,
+    ) -> Result<Torture, Stop> {
+        let walfs: Arc<dyn WalFs> = fs.clone();
+        let mut ctl = match FlushController::with_fs(walfs, sim_dir(), NODE) {
+            Ok(ctl) => ctl,
+            Err(e) if is_power_cut(&e) => return Err(Stop::PowerCut),
+            Err(e) => return Err(Stop::Fail(format!("controller open failed: {e}"))),
+        };
+        if bugs.skip_dir_sync {
+            ctl.skip_dir_sync_for_test();
+        }
+        Ok(Torture {
+            engine,
+            tracker: ReplicationTracker::new(1),
+            ctl,
+            slots: (0..num_slots).map(|_| None).collect(),
+            log,
+            acked,
+            comparisons: 0,
+            rounds_flushed: 0,
+        })
+    }
+
+    fn apply(&mut self, i: usize, op: &LogicalOp) -> Result<(), Stop> {
+        match op {
+            LogicalOp::Begin { slot } => {
+                if *slot < self.slots.len() && self.slots[*slot].is_none() {
+                    self.slots[*slot] = Some(Slot {
+                        txn: self.engine.begin(),
+                        rows: Vec::new(),
+                    });
+                }
+                Ok(())
+            }
+            LogicalOp::Append { slot, rows } => self.append(i, *slot, rows),
+            LogicalOp::Commit { slot } => self.commit_slot(i, *slot),
+            LogicalOp::Rollback { slot } => self.rollback_slot(i, *slot),
+            LogicalOp::Load { rows } => self.load(i, rows),
+            LogicalOp::DeleteDays { buckets } => self.delete(i, buckets),
+            LogicalOp::Purge => {
+                // Purge at the durable LSE only (the controller's
+                // flush rounds are what advance it): reclaimed
+                // history must already be on disk.
+                self.engine.purge();
+                Ok(())
+            }
+            LogicalOp::Flush => self.flush(i),
+            LogicalOp::CheckNow => self.check_now(i),
+            // Point-in-time and in-txn reads are the differential
+            // oracle's domain; the torture harness checks committed
+            // state only.
+            LogicalOp::CheckAsOf { .. } | LogicalOp::CheckTxn { .. } => Ok(()),
+        }
+    }
+
+    fn append(&mut self, i: usize, slot: usize, rows: &[Row]) -> Result<(), Stop> {
+        let Some(open) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+            return Ok(()); // dangling slot ref on a minimized schedule
+        };
+        match self.engine.append(ORACLE_CUBE, rows, &open.txn) {
+            Ok((accepted, 0)) if accepted == rows.len() => {
+                open.rows.extend_from_slice(rows);
+                Ok(())
+            }
+            Ok((accepted, rejected)) => Err(Stop::Fail(format!(
+                "op #{i}: generated rows rejected: accepted {accepted}, rejected {rejected}"
+            ))),
+            Err(e) => Err(Stop::Fail(format!("op #{i}: append failed: {e}"))),
+        }
+    }
+
+    fn commit_slot(&mut self, i: usize, slot: usize) -> Result<(), Stop> {
+        let Some(open) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return Ok(());
+        };
+        self.engine
+            .commit(&open.txn)
+            .map_err(|e| Stop::Fail(format!("op #{i}: commit failed: {e}")))?;
+        self.log.push(CommittedOp::Rows {
+            epoch: open.txn.epoch(),
+            rows: open.rows,
+        });
+        Ok(())
+    }
+
+    fn rollback_slot(&mut self, i: usize, slot: usize) -> Result<(), Stop> {
+        let Some(open) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return Ok(());
+        };
+        let removed = self
+            .engine
+            .rollback(&open.txn)
+            .map_err(|e| Stop::Fail(format!("op #{i}: rollback failed: {e}")))?;
+        if removed != open.rows.len() as u64 {
+            return Err(Stop::Fail(format!(
+                "op #{i}: rollback reclaimed {removed} rows of {}",
+                open.rows.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn load(&mut self, i: usize, rows: &[Row]) -> Result<(), Stop> {
+        let txn = self.engine.begin();
+        match self.engine.append(ORACLE_CUBE, rows, &txn) {
+            Ok((_, 0)) => {}
+            Ok((_, rejected)) => {
+                return Err(Stop::Fail(format!(
+                    "op #{i}: load rejected {rejected} generated rows"
+                )))
+            }
+            Err(e) => return Err(Stop::Fail(format!("op #{i}: load failed: {e}"))),
+        }
+        self.engine
+            .commit(&txn)
+            .map_err(|e| Stop::Fail(format!("op #{i}: load commit failed: {e}")))?;
+        self.log.push(CommittedOp::Rows {
+            epoch: txn.epoch(),
+            rows: rows.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn delete(&mut self, i: usize, buckets: &[u32]) -> Result<(), Stop> {
+        // Same straggler guard as the oracle executor: close open
+        // slots so epoch order equals physical order and the
+        // row-level reference stays sound.
+        for slot in 0..self.slots.len() {
+            self.commit_slot(i, slot)?;
+        }
+        let days = days_of(buckets);
+        let (epoch, _marked) = self
+            .engine
+            .delete_where(ORACLE_CUBE, &[day_filter(&days)])
+            .map_err(|e| Stop::Fail(format!("op #{i}: delete_where failed: {e}")))?;
+        self.log.push(CommittedOp::Delete { epoch, days });
+        Ok(())
+    }
+
+    fn flush(&mut self, i: usize) -> Result<(), Stop> {
+        match self.ctl.flush_round(&self.engine, &self.tracker) {
+            Ok(outcome) => {
+                if outcome.bytes_written > 0 {
+                    self.rounds_flushed += 1;
+                }
+                self.acked = self.acked.max(self.ctl.flushed_through());
+                Ok(())
+            }
+            Err(WalError::Io(e)) if is_power_cut(&e) => Err(Stop::PowerCut),
+            Err(e) => Err(Stop::Fail(format!("op #{i}: flush round failed: {e}"))),
+        }
+    }
+
+    /// Live differential check at the current committed snapshot.
+    fn check_now(&mut self, i: usize) -> Result<(), Stop> {
+        let claimed = self.engine.manager().begin_read().snapshot().epoch();
+        let snap = Snapshot::committed(claimed);
+        let replay = Replay::build(&self.log);
+        for idx in 0..NUM_QUERIES {
+            let result = self
+                .engine
+                .query_at(ORACLE_CUBE, &build_query(idx), &snap)
+                .map_err(|e| Stop::Fail(format!("op #{i}: check q{idx} failed: {e}")))?;
+            let aosi = normalize(&result);
+            let reference = eval_rows(&replay.rows_at_epoch(claimed), idx);
+            self.comparisons += 1;
+            if let Some(d) = diff(&aosi, &reference) {
+                return Err(Stop::Fail(format!(
+                    "op #{i}: check q{idx} at epoch {claimed}: {d}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `ops[resume_at..]` and the terminal flush. Returns the
+    /// op index just past the cut when the power cut fires.
+    fn run(&mut self, ops: &[LogicalOp], resume_at: usize) -> Result<Option<usize>, Stop> {
+        for (i, op) in ops.iter().enumerate().skip(resume_at) {
+            match self.apply(i, op) {
+                Ok(()) => {}
+                Err(Stop::PowerCut) => return Ok(Some(i + 1)),
+                Err(stop) => return Err(stop),
+            }
+        }
+        // The terminal flush: every run ends with an attempt to make
+        // everything committed durable, so the last schedule ops are
+        // inside the crash-boundary enumeration too.
+        match self.flush(ops.len()) {
+            Ok(()) => Ok(None),
+            Err(Stop::PowerCut) => Ok(Some(ops.len())),
+            Err(stop) => Err(stop),
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Recovery checks
+// ---------------------------------------------------------------
+
+/// Queries the recovered engine at every epoch up to `through` and
+/// diffs each against the reference replay of `log` (pruned to
+/// `through`): no lost acknowledged history below, no phantom rows
+/// above, no hole in between. Returns comparisons performed.
+fn sweep_recovered(
+    engine: &Engine,
+    log: &[CommittedOp],
+    through: u64,
+    what: &str,
+    crash_point: Option<u64>,
+) -> Result<u64, TortureFailure> {
+    let pruned: Vec<CommittedOp> = log
+        .iter()
+        .filter(|op| op.epoch() <= through)
+        .cloned()
+        .collect();
+    let replay = Replay::build(&pruned);
+    let mut comparisons = 0;
+    for epoch in engine.manager().lse()..=through {
+        for idx in 0..NUM_QUERIES {
+            let result = engine
+                .query_as_of(ORACLE_CUBE, &build_query(idx), epoch)
+                .map_err(|e| {
+                    failure(
+                        crash_point,
+                        format!("{what}: q{idx} at {epoch} failed: {e}"),
+                    )
+                })?;
+            let aosi = normalize(&result);
+            let reference = eval_rows(&replay.rows_at_epoch(epoch), idx);
+            comparisons += 1;
+            if let Some(d) = diff(&aosi, &reference) {
+                return Err(failure(
+                    crash_point,
+                    format!("{what}: q{idx} at epoch {epoch}: {d}"),
+                ));
+            }
+        }
+    }
+    Ok(comparisons)
+}
+
+fn stop_failure(stop: Stop, crash_point: Option<u64>) -> TortureFailure {
+    match stop {
+        Stop::PowerCut => failure(
+            crash_point,
+            "power cut fired where none was scheduled — boundary accounting is broken",
+        ),
+        Stop::Fail(detail) => failure(crash_point, detail),
+    }
+}
+
+// ---------------------------------------------------------------
+// The torture run
+// ---------------------------------------------------------------
+
+/// Runs the full four-phase torture for one schedule. `Ok` means
+/// every crash boundary, the hole probe, and every bit-flip probe
+/// recovered to exactly a complete flushed prefix.
+pub fn run_torture(
+    schedule: &Schedule,
+    cfg: &TortureConfig,
+) -> Result<TortureReport, TortureFailure> {
+    let fs_seed = schedule.seed ^ FS_SEED_SALT;
+    let opts = cfg.bugs.recover_options();
+    let num_slots = schedule
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            LogicalOp::Begin { slot }
+            | LogicalOp::Append { slot, .. }
+            | LogicalOp::Commit { slot }
+            | LogicalOp::Rollback { slot }
+            | LogicalOp::CheckTxn { slot } => Some(*slot + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1);
+    let mut report = TortureReport::default();
+
+    // ----- Phase 1: census ------------------------------------
+    let census_fs = Arc::new(SimFs::new(fs_seed));
+    let mut census = Torture::open(
+        &census_fs,
+        engine_with_cube(),
+        Vec::new(),
+        0,
+        num_slots,
+        &cfg.bugs,
+    )
+    .map_err(|s| stop_failure(s, None))?;
+    if let Some(i) = census
+        .run(&schedule.ops, 0)
+        .map_err(|s| stop_failure(s, None))?
+    {
+        return Err(failure(
+            None,
+            format!("census run hit a power cut at op {i} with no cut configured"),
+        ));
+    }
+    report.crash_points = census_fs.mutating_ops();
+    report.rounds_flushed = census.rounds_flushed;
+    report.comparisons += census.comparisons;
+    let census_acked = census.acked;
+    let census_log = census.log;
+
+    // Clean-shutdown recovery: the live image must restore exactly
+    // what the controller acknowledged, with a pristine chain.
+    let live = engine_with_cube();
+    let rep = recover_into_with(census_fs.as_ref(), &sim_dir(), &live, &opts)
+        .map_err(|e| failure(None, format!("clean-shutdown recovery failed: {e}")))?;
+    report.recoveries += 1;
+    if rep.recovered_epoch != census_acked {
+        return Err(failure(
+            None,
+            format!(
+                "clean-shutdown recovery restored through epoch {} but the controller \
+                 acknowledged {census_acked}",
+                rep.recovered_epoch
+            ),
+        ));
+    }
+    if rep.gaps_detected != 0 || rep.rounds_skipped != 0 {
+        return Err(failure(
+            None,
+            format!(
+                "clean shutdown left a dirty chain: {} gap(s), {} skipped round(s)",
+                rep.gaps_detected, rep.rounds_skipped
+            ),
+        ));
+    }
+    report.comparisons += sweep_recovered(
+        &live,
+        &census_log,
+        rep.recovered_epoch,
+        "clean-shutdown recovery",
+        None,
+    )?;
+
+    // Power-safety of acknowledged rounds: if power died right now,
+    // everything a flush acknowledged must still be recoverable.
+    // This is the single-round detector for a missing directory
+    // fsync — the rename is visible but its entry never durable.
+    let dead = census_fs.fork();
+    dead.crash_now();
+    let durable = engine_with_cube();
+    let rep = recover_into_with(&dead, &sim_dir(), &durable, &opts)
+        .map_err(|e| failure(None, format!("power-safe recovery failed: {e}")))?;
+    report.recoveries += 1;
+    if rep.recovered_epoch < census_acked {
+        return Err(failure(
+            None,
+            format!(
+                "acknowledged rounds are not power-safe: recovered through epoch {} \
+                 but {census_acked} was acknowledged durable",
+                rep.recovered_epoch
+            ),
+        ));
+    }
+    report.comparisons += sweep_recovered(
+        &durable,
+        &census_log,
+        rep.recovered_epoch,
+        "power-safe recovery",
+        None,
+    )?;
+
+    // ----- Phase 2: one power cut per boundary ----------------
+    for cut in 0..report.crash_points {
+        let fs = Arc::new(SimFs::with_cut(fs_seed, cut));
+        let mut acked = 0u64;
+        let mut log: Vec<CommittedOp> = Vec::new();
+        let mut resume_at = 0usize;
+        match Torture::open(&fs, engine_with_cube(), Vec::new(), 0, num_slots, &cfg.bugs) {
+            // Boundary 0 is the directory creation: the controller
+            // never opened, nothing ran.
+            Err(Stop::PowerCut) => {}
+            Err(Stop::Fail(d)) => return Err(failure(Some(cut), d)),
+            Ok(mut t) => {
+                match t.run(&schedule.ops, 0) {
+                    Ok(Some(i)) => resume_at = i,
+                    Ok(None) => {
+                        return Err(failure(
+                            Some(cut),
+                            format!(
+                                "boundary {cut} of {} never fired — the enumeration \
+                                 drifted between runs",
+                                report.crash_points
+                            ),
+                        ))
+                    }
+                    Err(stop) => return Err(stop_failure(stop, Some(cut))),
+                }
+                report.comparisons += t.comparisons;
+                acked = t.acked;
+                log = t.log;
+            }
+        }
+        debug_assert!(fs.crashed());
+        fs.reboot();
+
+        // First recovery: exactly a complete flushed prefix.
+        let engine = engine_with_cube();
+        let rep = recover_into_with(fs.as_ref(), &sim_dir(), &engine, &opts)
+            .map_err(|e| failure(Some(cut), format!("recovery after the cut failed: {e}")))?;
+        report.recoveries += 1;
+        if rep.recovered_epoch < acked {
+            return Err(failure(
+                Some(cut),
+                format!(
+                    "lost acknowledged history: recovered through epoch {} but the \
+                     controller had acknowledged {acked}",
+                    rep.recovered_epoch
+                ),
+            ));
+        }
+        if rep.gaps_detected != 0 || rep.rounds_skipped != 0 {
+            return Err(failure(
+                Some(cut),
+                format!(
+                    "a power cut alone must not dirty the chain: {} gap(s), {} \
+                     skipped round(s)",
+                    rep.gaps_detected, rep.rounds_skipped
+                ),
+            ));
+        }
+        // Commits after the last complete flush died with the
+        // process — the paper hands them to replication, which this
+        // single-node harness models by pruning the reference log.
+        let log: Vec<CommittedOp> = log
+            .into_iter()
+            .filter(|op| op.epoch() <= rep.recovered_epoch)
+            .collect();
+        report.comparisons += sweep_recovered(
+            &engine,
+            &log,
+            rep.recovered_epoch,
+            "post-cut recovery",
+            Some(cut),
+        )?;
+
+        // Restart on the same disk: controller resume must agree
+        // with recovery (the restart-clobber detector) ...
+        let mut t = match Torture::open(&fs, engine, log, acked, num_slots, &cfg.bugs) {
+            Ok(t) => t,
+            Err(stop) => return Err(stop_failure(stop, Some(cut))),
+        };
+        if !cfg.bugs.skip_chain_validation && t.ctl.flushed_through() != rep.recovered_epoch {
+            return Err(failure(
+                Some(cut),
+                format!(
+                    "controller resume disagrees with recovery: resumed at epoch {} \
+                     but recovery restored through {}",
+                    t.ctl.flushed_through(),
+                    rep.recovered_epoch
+                ),
+            ));
+        }
+        if cfg.bugs.restart_clobber {
+            t.ctl.reset_state_for_test();
+        }
+        // ... and the survivor finishes the workload.
+        match t.run(&schedule.ops, resume_at) {
+            Ok(None) => {}
+            Ok(Some(i)) => {
+                return Err(failure(
+                    Some(cut),
+                    format!("a second power cut fired at op {i} after reboot"),
+                ))
+            }
+            Err(stop) => return Err(stop_failure(stop, Some(cut))),
+        }
+        report.comparisons += t.comparisons;
+
+        // Second recovery: the crash-then-continue history must read
+        // back as one seamless chain.
+        let after = engine_with_cube();
+        let rep2 = recover_into_with(fs.as_ref(), &sim_dir(), &after, &opts)
+            .map_err(|e| failure(Some(cut), format!("post-continuation recovery failed: {e}")))?;
+        report.recoveries += 1;
+        if rep2.recovered_epoch < t.acked {
+            return Err(failure(
+                Some(cut),
+                format!(
+                    "continuation lost acknowledged history: recovered through {} \
+                     but {} was acknowledged",
+                    rep2.recovered_epoch, t.acked
+                ),
+            ));
+        }
+        if rep2.gaps_detected != 0 || rep2.rounds_skipped != 0 {
+            return Err(failure(
+                Some(cut),
+                format!(
+                    "corruption-free crash-and-continue left {} gap(s) and {} \
+                     unreachable round(s) on disk",
+                    rep2.gaps_detected, rep2.rounds_skipped
+                ),
+            ));
+        }
+        let log: Vec<CommittedOp> = t
+            .log
+            .into_iter()
+            .filter(|op| op.epoch() <= rep2.recovered_epoch)
+            .collect();
+        report.comparisons += sweep_recovered(
+            &after,
+            &log,
+            rep2.recovered_epoch,
+            "post-continuation recovery",
+            Some(cut),
+        )?;
+    }
+
+    // ----- Phase 3: hole probe --------------------------------
+    if cfg.hole_probe && report.rounds_flushed >= 3 {
+        let holed = census_fs.fork();
+        let victim = sim_dir().join(format!("round-{:08}.cbk", report.rounds_flushed / 2));
+        if holed.remove_everywhere(&victim) {
+            report.hole_probes += 1;
+            let engine = engine_with_cube();
+            let rep = recover_into_with(&holed, &sim_dir(), &engine, &opts)
+                .map_err(|e| failure(None, format!("hole-probe recovery failed: {e}")))?;
+            report.recoveries += 1;
+            if opts.validate_chain && rep.gaps_detected == 0 {
+                return Err(failure(
+                    None,
+                    format!(
+                        "a missing middle round ({}) went undetected",
+                        victim.display()
+                    ),
+                ));
+            }
+            report.comparisons += sweep_recovered(
+                &engine,
+                &census_log,
+                rep.recovered_epoch,
+                "hole probe",
+                None,
+            )?;
+        }
+    }
+
+    // ----- Phase 4: bit-flip probes ---------------------------
+    for probe in 0..cfg.bitflip_probes {
+        if report.rounds_flushed == 0 {
+            break;
+        }
+        let flipped = census_fs.fork();
+        let h = splitmix64(fs_seed ^ (probe as u64).wrapping_mul(0x5851_f42d_4c95_7f2d));
+        let target = sim_dir().join(format!("round-{:08}.cbk", h % report.rounds_flushed));
+        if !flipped.flip_durable_bit(&target, h >> 8) {
+            continue;
+        }
+        report.bitflip_probes += 1;
+        let engine = engine_with_cube();
+        // Graceful degradation: corruption is skipped, never an
+        // error, never a panic, never applied.
+        let rep = recover_into_with(&flipped, &sim_dir(), &engine, &opts).map_err(|e| {
+            failure(
+                None,
+                format!("recovery must degrade gracefully under media corruption: {e}"),
+            )
+        })?;
+        report.recoveries += 1;
+        if rep.rounds_skipped == 0 {
+            return Err(failure(
+                None,
+                format!("a flipped bit in {} went undetected", target.display()),
+            ));
+        }
+        report.comparisons += sweep_recovered(
+            &engine,
+            &census_log,
+            rep.recovered_epoch,
+            "bit-flip probe",
+            None,
+        )?;
+    }
+
+    Ok(report)
+}
+
+// ---------------------------------------------------------------
+// check_crash_seed + minimizer + artifacts
+// ---------------------------------------------------------------
+
+/// Generates the schedule for `seed`, runs the full torture, and —
+/// on failure — minimizes the schedule (each candidate re-runs the
+/// entire boundary enumeration), dumps a `.seed` artifact, and panics
+/// with the reproduction instructions. Mirrors [`crate::check_seed`].
+pub fn check_crash_seed(seed: u64, cfg: &TortureConfig) -> TortureReport {
+    let schedule = Schedule::generate(seed, &cfg.gen);
+    match run_torture(&schedule, cfg) {
+        Ok(report) => report,
+        Err(fail) => {
+            let where_to = match minimize_torture(&schedule, cfg) {
+                Some((min, min_fail, artifact)) => format!(
+                    "minimized to {} ops, artifact: {} ({min_fail})",
+                    min.ops.len(),
+                    artifact.display()
+                ),
+                None => "failure did not reproduce under minimization".to_string(),
+            };
+            panic!(
+                "crash-torture failure: seed {seed}: {fail}\n{where_to}\n\
+                 replay: AOSI_CRASH_SEEDS={seed} cargo test -p oracle --test crash_torture"
+            );
+        }
+    }
+}
+
+fn torture_fails(schedule: &Schedule, cfg: &TortureConfig) -> Option<TortureFailure> {
+    run_torture(schedule, cfg).err()
+}
+
+/// Shrinks a failing schedule: shortest failing prefix by bisection
+/// (a heuristic here — truncation changes the boundary enumeration,
+/// so failure is not strictly monotone in prefix length — but cheap
+/// and effective), then greedy per-op removal to a fixpoint. Every
+/// candidate runs the whole torture, cuts and all.
+fn minimize_torture(
+    schedule: &Schedule,
+    cfg: &TortureConfig,
+) -> Option<(Schedule, TortureFailure, PathBuf)> {
+    let original = torture_fails(schedule, cfg)?;
+    let sub = |ops: Vec<LogicalOp>| Schedule {
+        seed: schedule.seed,
+        ops,
+    };
+
+    let mut lo = 0usize;
+    let mut hi = schedule.ops.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if torture_fails(&sub(schedule.ops[..mid].to_vec()), cfg).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut ops = schedule.ops[..hi].to_vec();
+
+    loop {
+        let mut changed = false;
+        let mut i = ops.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if torture_fails(&sub(candidate.clone()), cfg).is_some() {
+                ops = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let minimized = sub(ops);
+    let fail = torture_fails(&minimized, cfg).unwrap_or(original);
+    let artifact = write_crash_artifact(&minimized, &cfg.bugs, &fail);
+    Some((minimized, fail, artifact))
+}
+
+fn write_crash_artifact(schedule: &Schedule, bugs: &BugHooks, fail: &TortureFailure) -> PathBuf {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir).expect("artifact dir is writable");
+    // The bug tags are part of the name so a meta-test run can never
+    // clobber a genuine failure's artifact for the same seed.
+    let tag = if bugs.any() {
+        format!("-{}", bugs.tags().join("+"))
+    } else {
+        String::new()
+    };
+    let path = dir.join(format!("torture-seed{}{tag}.seed", schedule.seed));
+    let mut text = String::new();
+    text.push_str("# aosi crash-torture minimized failing schedule\n");
+    text.push_str(&format!("# failure: {fail}\n"));
+    text.push_str(
+        "# replay: AOSI_CRASH_REPLAY=<this file> cargo test -p oracle --test crash_torture\n",
+    );
+    text.push_str("mode torture\n");
+    if bugs.any() {
+        text.push_str(&format!("bugs {}\n", bugs.tags().join(",")));
+    }
+    text.push_str(&schedule.to_text());
+    fs::write(&path, text).expect("artifact file is writable");
+    path
+}
+
+/// Re-runs a crash-torture `.seed` artifact (or any schedule text
+/// with optional `mode torture` / `bugs a,b` header lines).
+pub fn replay_crash_artifact(path: &Path) -> Result<TortureReport, TortureFailure> {
+    let text = fs::read_to_string(path).map_err(|e| {
+        failure(
+            None,
+            format!("cannot read artifact {}: {e}", path.display()),
+        )
+    })?;
+    let mut bugs = BugHooks::default();
+    let mut rest = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(mode) = trimmed.strip_prefix("mode ") {
+            if mode.trim() != "torture" {
+                return Err(failure(
+                    None,
+                    format!(
+                        "artifact {} is a {mode:?} schedule — replay it with the \
+                         oracle suite, not the torture harness",
+                        path.display()
+                    ),
+                ));
+            }
+        } else if let Some(tags) = trimmed.strip_prefix("bugs ") {
+            bugs = BugHooks::parse_tags(tags).map_err(|e| failure(None, e))?;
+        } else {
+            rest.push_str(line);
+            rest.push('\n');
+        }
+    }
+    let schedule = Schedule::from_text(&rest).map_err(|e| failure(None, e))?;
+    let cfg = TortureConfig {
+        bugs,
+        ..TortureConfig::default()
+    };
+    run_torture(&schedule, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TortureConfig {
+        TortureConfig {
+            gen: GenConfig {
+                ops: 14,
+                slots: 2,
+                max_batch: 3,
+            },
+            bitflip_probes: 2,
+            hole_probe: true,
+            bugs: BugHooks::default(),
+        }
+    }
+
+    #[test]
+    fn tiny_seed_survives_every_boundary() {
+        let schedule = Schedule::generate(3, &tiny().gen);
+        let report = run_torture(&schedule, &tiny()).unwrap();
+        assert!(
+            report.crash_points >= 5,
+            "multi-syscall workload expected, got {} boundaries",
+            report.crash_points
+        );
+        assert!(report.rounds_flushed >= 1, "the terminal flush writes");
+        // Census (2) + two recoveries per boundary + probes.
+        assert!(report.recoveries >= 2 + 2 * report.crash_points);
+        assert!(report.comparisons > 0);
+    }
+
+    #[test]
+    fn lost_dir_sync_is_caught_by_the_power_safety_probe() {
+        let schedule = Schedule::generate(3, &tiny().gen);
+        let cfg = TortureConfig {
+            bugs: BugHooks {
+                skip_dir_sync: true,
+                ..Default::default()
+            },
+            ..tiny()
+        };
+        let fail = run_torture(&schedule, &cfg).unwrap_err();
+        assert!(
+            fail.detail.contains("acknowledged"),
+            "expected a lost-acked-history failure, got: {fail}"
+        );
+    }
+
+    #[test]
+    fn bug_tags_roundtrip() {
+        let bugs = BugHooks {
+            restart_clobber: true,
+            skip_dir_sync: true,
+            ..Default::default()
+        };
+        let parsed = BugHooks::parse_tags(&bugs.tags().join(",")).unwrap();
+        assert_eq!(parsed, bugs);
+        assert!(BugHooks::parse_tags("made-up-tag").is_err());
+    }
+
+    #[test]
+    fn artifact_roundtrip_replays_clean_schedules() {
+        let schedule = Schedule::generate(5, &tiny().gen);
+        let dir = std::env::temp_dir().join(format!("aosi-crash-artifact-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.seed");
+        let mut text = String::from("# comment\nmode torture\n");
+        text.push_str(&schedule.to_text());
+        fs::write(&path, text).unwrap();
+        let report = replay_crash_artifact(&path).unwrap();
+        assert!(report.crash_points > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -149,7 +149,7 @@ pub fn run(
     }
 }
 
-fn engine_with_cube() -> Engine {
+pub(crate) fn engine_with_cube() -> Engine {
     let engine = Engine::new(2);
     engine
         .create_cube(oracle_schema())
@@ -157,12 +157,12 @@ fn engine_with_cube() -> Engine {
     engine
 }
 
-fn days_of(buckets: &[u32]) -> Vec<i64> {
+pub(crate) fn days_of(buckets: &[u32]) -> Vec<i64> {
     let set: BTreeSet<i64> = buckets.iter().flat_map(|b| bucket_days(*b)).collect();
     set.into_iter().collect()
 }
 
-fn day_filter(days: &[i64]) -> DimFilter {
+pub(crate) fn day_filter(days: &[i64]) -> DimFilter {
     DimFilter::new("day", days.iter().copied().map(Value::I64).collect())
 }
 

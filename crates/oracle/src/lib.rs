@@ -21,7 +21,13 @@
 //! [`minimize`] minimizer to a minimal reproduction and dumped as a
 //! replayable `.seed` artifact.
 //!
-//! The test-suite entry points honor two environment hooks, mirroring
+//! The [`crash`] module goes one layer below the crash-recovery
+//! mode: a crash-consistency torture harness that simulates a power
+//! cut at *every* write-syscall boundary of every flush round (via
+//! [`wal::SimFs`]) and asserts recovery restores exactly a complete
+//! flushed prefix — the paper's durability rule, checked mechanically.
+//!
+//! The test-suite entry points honor environment hooks, mirroring
 //! the chaos suite's `AOSI_CHAOS_SEEDS`:
 //!
 //! * `AOSI_ORACLE_SEEDS=7,99` — run extra seeds through all modes.
@@ -29,17 +35,26 @@
 //!   artifacts.
 //! * `AOSI_ORACLE_ARTIFACT_DIR=dir` — where minimized artifacts are
 //!   written (defaults to `$TMPDIR/aosi-oracle-seeds`).
+//! * `AOSI_CRASH_SEEDS=7,99` — run extra seeds through the crash
+//!   torture (`cargo test -p oracle --test crash_torture`).
+//! * `AOSI_CRASH_REPLAY=/path/a.seed` — replay dumped crash-torture
+//!   artifacts.
 //!
 //! See `TESTING.md` at the repo root for the full workflow.
 
 #![warn(missing_docs)]
 
 pub mod checks;
+pub mod crash;
 pub mod harness;
 pub mod minimize;
 pub mod reference;
 pub mod scan;
 
+pub use crash::{
+    check_crash_seed, replay_crash_artifact, run_torture, BugHooks, TortureConfig, TortureFailure,
+    TortureReport,
+};
 pub use harness::{run, Divergence, Inject, Mode, RunReport};
 pub use minimize::{artifact_dir, minimize, replay_artifact, Minimized};
 pub use scan::{compare_paths, run_scan_schedule, ScanReport};

@@ -77,6 +77,12 @@ pub enum WalError {
     /// Valid prefix but missing/invalid completion footer (partial
     /// flush) — recovery skips these.
     Incomplete,
+    /// Recovery replayed the rounds but could not re-establish the
+    /// engine's transactional state (e.g. the marker commit that
+    /// pulls LCE over the recovered history failed). Reportable, not
+    /// fatal: the caller decides whether to retry, alert, or abandon
+    /// the node.
+    Recovery(String),
 }
 
 impl std::fmt::Display for WalError {
@@ -85,6 +91,7 @@ impl std::fmt::Display for WalError {
             WalError::Io(e) => write!(f, "wal io error: {e}"),
             WalError::Corrupt(msg) => write!(f, "corrupt wal round: {msg}"),
             WalError::Incomplete => write!(f, "incomplete wal round (partial flush)"),
+            WalError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
         }
     }
 }
@@ -403,5 +410,8 @@ mod tests {
     fn error_display() {
         assert!(WalError::Incomplete.to_string().contains("partial"));
         assert!(WalError::Corrupt("x".into()).to_string().contains('x'));
+        assert!(WalError::Recovery("marker".into())
+            .to_string()
+            .contains("marker"));
     }
 }

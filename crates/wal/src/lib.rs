@@ -17,18 +17,26 @@
 //!   current LSE rides in each round header.
 //! * [`recovery`] — replays complete rounds in order, "ignoring any
 //!   subsequent partial flush executions that might be found on
-//!   disk".
+//!   disk", and validating the round chain (contiguous sequence
+//!   numbers, each round's `lse` continuing the previous `lse_prime`).
+//! * [`fault`] — the filesystem shim every durability syscall goes
+//!   through: [`fault::RealFs`] in production, [`fault::SimFs`] (a
+//!   deterministic in-memory filesystem with power-cut simulation)
+//!   under the crash torture harness in `oracle::crash`.
 //! * [`ClusterFlush`] — per-node controllers sharing one tracker:
 //!   cluster-wide flush rounds, crash/freeze/recover/rejoin.
 
+mod chain;
 pub mod codec;
 mod daemon;
+pub mod fault;
 mod flush;
 pub mod recovery;
 pub mod verify;
 
 pub use codec::{DictDelta, FlushRound, WalError};
 pub use daemon::{ClusterFlush, TempWalDir};
+pub use fault::{is_power_cut, RealFs, SimFs, WalFs};
 pub use flush::{FlushController, FlushOutcome};
-pub use recovery::{recover_into, RecoveryReport};
+pub use recovery::{recover_into, recover_into_with, RecoverOptions, RecoveryReport};
 pub use verify::{verify_dir, RoundReport, RoundStatus, VerifyReport};

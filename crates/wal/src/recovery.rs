@@ -3,100 +3,146 @@
 //! "On the event of a crash, data should be recovered up to the last
 //! complete execution of a flush, ignoring any subsequent partial
 //! flush executions that might be found on disk." Rounds are replayed
-//! in sequence order; the first unreadable round ends the replay (it
-//! and anything after it belong to incomplete flush executions).
-//! Epochs recovered from disk are all committed by construction —
-//! only epochs at or below a past LCE are ever flushed — so recovery
+//! in sequence order and must form a *chain*: each round's `lse`
+//! equals the previous round's `lse_prime` and file sequence numbers
+//! are contiguous. The first unreadable round ends the replay (it and
+//! anything after it belong to incomplete flush executions), and so
+//! does a hole in the chain — a round stranded beyond a gap may be
+//! internally valid but describes history whose prefix is missing,
+//! so replaying it would recover a state that never existed. Epochs
+//! recovered from disk are all committed by construction — only
+//! epochs at or below a past LCE are ever flushed — so recovery
 //! finishes by fast-forwarding the node's clock past the highest
 //! recovered epoch and committing a marker transaction to pull LCE
 //! over the recovered history.
 
-use std::fs;
 use std::path::Path;
 
 use aosi::Epoch;
 use cubrick::{DeltaRun, Engine};
+use obs::ReportBuilder;
 
-use crate::codec::{self, WalError};
+use crate::chain;
+use crate::codec::WalError;
+use crate::fault::{RealFs, WalFs};
 
 /// What recovery managed to restore.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Complete rounds replayed.
     pub rounds_applied: usize,
-    /// Round files ignored (partial or trailing-corrupt flushes).
+    /// Round files ignored (partial flushes, corrupt files, and
+    /// rounds stranded beyond a chain gap).
     pub rounds_skipped: usize,
+    /// Chain breaks detected: a sequence-number hole or a round whose
+    /// `lse` does not continue the previous round's `lse_prime`.
+    pub gaps_detected: usize,
     /// Rows restored.
     pub rows_recovered: u64,
     /// Highest epoch restored (the recovered LCE).
     pub recovered_epoch: Epoch,
 }
 
+impl RecoveryReport {
+    /// Appends this report's counters to `report` under `section`.
+    pub fn report_into(&self, report: &mut ReportBuilder, section: &str) {
+        report
+            .section(section)
+            .metric("rounds_salvaged", self.rounds_applied)
+            .metric("rounds_skipped", self.rounds_skipped)
+            .metric("gaps_detected", self.gaps_detected)
+            .metric("rows_recovered", self.rows_recovered)
+            .metric("recovered_epoch", self.recovered_epoch);
+    }
+
+    /// This report as a standalone `[wal.recovery]` text block.
+    pub fn metrics_report(&self) -> String {
+        let mut report = ReportBuilder::new();
+        self.report_into(&mut report, "wal.recovery");
+        report.finish()
+    }
+}
+
+/// Knobs for [`recover_into_with`]. The defaults are the production
+/// behavior; the switches exist so the torture harness can
+/// demonstrate each fixed bug against its pre-fix behavior.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoverOptions {
+    /// Enforce the round chain (sequence contiguity + lse
+    /// continuity). `false` restores the pre-fix behavior of
+    /// replaying straight across a hole.
+    pub validate_chain: bool,
+    /// Forces the final marker commit to fail, to exercise the typed
+    /// [`WalError::Recovery`] path.
+    #[doc(hidden)]
+    pub fail_marker_commit_for_test: bool,
+}
+
+impl Default for RecoverOptions {
+    fn default() -> Self {
+        RecoverOptions {
+            validate_chain: true,
+            fail_marker_commit_for_test: false,
+        }
+    }
+}
+
 /// Replays the rounds in `dir` into `engine` (whose cubes must
 /// already be registered — schemas are metadata, not WAL content).
 pub fn recover_into(dir: &Path, engine: &Engine) -> Result<RecoveryReport, WalError> {
-    let mut files: Vec<_> = match fs::read_dir(dir) {
-        Ok(entries) => entries
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|ext| ext == "cbk"))
-            .collect(),
-        // No directory means nothing was ever flushed.
-        Err(_) => Vec::new(),
-    };
-    files.sort();
+    recover_into_with(&RealFs, dir, engine, &RecoverOptions::default())
+}
 
-    let mut report = RecoveryReport::default();
-    let mut replay_ended = false;
-    for path in files {
-        if replay_ended {
-            report.rounds_skipped += 1;
-            continue;
-        }
-        let bytes = fs::read(&path)?;
-        match codec::decode(&bytes) {
-            Ok(round) => {
-                // Rebuild dictionaries first: imported coordinates
-                // reference these ids.
-                for dict_delta in &round.dictionaries {
-                    let Ok(cube) = engine.cube(&dict_delta.cube) else {
-                        continue;
-                    };
-                    if let Some(dict) = cube
-                        .dictionaries()
-                        .get(dict_delta.dim as usize)
-                        .and_then(|d| d.as_ref())
-                    {
-                        let mut dict = dict.lock();
-                        for (offset, entry) in dict_delta.entries.iter().enumerate() {
-                            let id = dict.encode(entry);
-                            debug_assert_eq!(
-                                id,
-                                dict_delta.first_id + offset as u32,
-                                "dictionary replay out of order"
-                            );
-                        }
-                    }
+/// Like [`recover_into`], but reading through `fs` (the torture
+/// harness substitutes its simulated filesystem) and honoring
+/// `opts`.
+pub fn recover_into_with(
+    fs: &dyn WalFs,
+    dir: &Path,
+    engine: &Engine,
+    opts: &RecoverOptions,
+) -> Result<RecoveryReport, WalError> {
+    let scan = chain::scan_chain(fs, dir, opts.validate_chain)?;
+    let mut report = RecoveryReport {
+        rounds_skipped: scan.skipped,
+        gaps_detected: scan.gaps,
+        ..Default::default()
+    };
+    for chain_round in scan.prefix {
+        let round = chain_round.round;
+        // Rebuild dictionaries first: imported coordinates reference
+        // these ids.
+        for dict_delta in &round.dictionaries {
+            let Ok(cube) = engine.cube(&dict_delta.cube) else {
+                continue;
+            };
+            if let Some(dict) = cube
+                .dictionaries()
+                .get(dict_delta.dim as usize)
+                .and_then(|d| d.as_ref())
+            {
+                let mut dict = dict.lock();
+                for (offset, entry) in dict_delta.entries.iter().enumerate() {
+                    let id = dict.encode(entry);
+                    debug_assert_eq!(
+                        id,
+                        dict_delta.first_id + offset as u32,
+                        "dictionary replay out of order"
+                    );
                 }
-                for delta in &round.deltas {
-                    for run in &delta.runs {
-                        if let DeltaRun::Insert { records, .. } = run {
-                            report.rows_recovered += records.len() as u64;
-                        }
-                        report.recovered_epoch = report.recovered_epoch.max(run.epoch());
-                    }
-                }
-                report.recovered_epoch = report.recovered_epoch.max(round.lse_prime);
-                engine.import_delta(round.deltas);
-                report.rounds_applied += 1;
             }
-            Err(WalError::Incomplete) | Err(WalError::Corrupt(_)) => {
-                // The paper's rule: everything from the first partial
-                // flush onwards is ignored.
-                report.rounds_skipped += 1;
-                replay_ended = true;
-            }
-            Err(e @ WalError::Io(_)) => return Err(e),
         }
+        for delta in &round.deltas {
+            for run in &delta.runs {
+                if let DeltaRun::Insert { records, .. } = run {
+                    report.rows_recovered += records.len() as u64;
+                }
+                report.recovered_epoch = report.recovered_epoch.max(run.epoch());
+            }
+        }
+        report.recovered_epoch = report.recovered_epoch.max(round.lse_prime);
+        engine.import_delta(round.deltas);
+        report.rounds_applied += 1;
     }
 
     if report.recovered_epoch > 0 {
@@ -104,10 +150,17 @@ pub fn recover_into(dir: &Path, engine: &Engine) -> Result<RecoveryReport, WalEr
         // clock past it and advance LCE over it with a marker commit.
         engine.manager().clock().observe(report.recovered_epoch);
         let marker = engine.manager().begin_rw();
-        engine
-            .manager()
-            .commit(&marker)
-            .expect("marker transaction commits");
+        if opts.fail_marker_commit_for_test {
+            let _ = engine.manager().commit(&marker);
+            return Err(WalError::Recovery(
+                "marker transaction failed (injected for test)".into(),
+            ));
+        }
+        engine.manager().commit(&marker).map_err(|e| {
+            WalError::Recovery(format!(
+                "marker transaction failed to pull LCE over the recovered history: {e}"
+            ))
+        })?;
     }
     Ok(report)
 }
@@ -119,6 +172,7 @@ mod tests {
     use cluster::ReplicationTracker;
     use columnar::Value;
     use cubrick::{AggFn, Aggregation, CubeSchema, Dimension, IsolationMode, Metric, Query};
+    use std::fs;
     use std::path::PathBuf;
 
     fn engine() -> Engine {
@@ -179,6 +233,7 @@ mod tests {
         let report = recover_into(&dir, &restored).unwrap();
         assert_eq!(report.rounds_applied, 2);
         assert_eq!(report.rounds_skipped, 0);
+        assert_eq!(report.gaps_detected, 0);
         assert_eq!(report.rows_recovered, 3);
         assert_eq!(sum(&restored), 70.0);
         // The recovered node can keep loading without epoch
@@ -214,6 +269,7 @@ mod tests {
         let report = recover_into(&dir, &restored).unwrap();
         assert_eq!(report.rounds_applied, 1);
         assert_eq!(report.rounds_skipped, 1);
+        assert_eq!(report.gaps_detected, 0, "a torn file is not a hole");
         assert_eq!(sum(&restored), 10.0, "only the complete round counts");
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -246,6 +302,107 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// The recovery-gap regression (ISSUE 5, satellite 2): a missing
+    /// middle round ends replay at the last consistent prefix and is
+    /// counted, instead of being silently jumped over.
+    #[test]
+    fn missing_middle_round_is_a_detected_gap() {
+        let dir = tempdir("gap");
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        let source = engine();
+        for round in 0..3 {
+            load(&source, round, 10 * (round + 1));
+            ctl.flush_round(&source, &tracker).unwrap();
+        }
+        fs::remove_file(dir.join("round-00000001.cbk")).unwrap();
+
+        let restored = engine();
+        let report = recover_into(&dir, &restored).unwrap();
+        assert_eq!(report.rounds_applied, 1, "replay ends at the hole");
+        assert_eq!(report.rounds_skipped, 1, "the stranded round");
+        assert_eq!(report.gaps_detected, 1);
+        assert_eq!(sum(&restored), 10.0, "no phantom post-hole history");
+
+        // The pre-fix behavior is preserved behind the option for the
+        // torture harness's meta-test: the stranded round replays and
+        // recovery silently loses the middle of the history.
+        let legacy = engine();
+        let report = recover_into_with(
+            &RealFs,
+            &dir,
+            &legacy,
+            &RecoverOptions {
+                validate_chain: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.rounds_applied, 2);
+        assert_eq!(report.gaps_detected, 0, "pre-fix: the hole goes unnoticed");
+        assert_eq!(sum(&legacy), 40.0, "pre-fix: a hole in the middle");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An lse chain break is detected even when sequence numbers are
+    /// contiguous (the on-disk shape a clobbering restart produces).
+    #[test]
+    fn lse_discontinuity_is_a_detected_gap() {
+        let dir = tempdir("lse-gap");
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        let source = engine();
+        load(&source, 0, 10);
+        ctl.flush_round(&source, &tracker).unwrap();
+        load(&source, 1, 20);
+        ctl.flush_round(&source, &tracker).unwrap();
+        // Rewrite round 1 as if a reset controller had produced it:
+        // it claims to start from lse 0 again.
+        let original =
+            crate::codec::decode(&fs::read(dir.join("round-00000001.cbk")).unwrap()).unwrap();
+        let forged = crate::codec::FlushRound { lse: 0, ..original };
+        fs::write(
+            dir.join("round-00000001.cbk"),
+            crate::codec::encode(&forged),
+        )
+        .unwrap();
+
+        let restored = engine();
+        let report = recover_into(&dir, &restored).unwrap();
+        assert_eq!(report.rounds_applied, 1);
+        assert_eq!(report.gaps_detected, 1);
+        assert_eq!(sum(&restored), 10.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The marker-commit failure path (ISSUE 5, satellite 3) returns
+    /// a typed error instead of panicking.
+    #[test]
+    fn failed_marker_commit_is_a_typed_error() {
+        let dir = tempdir("marker");
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        let source = engine();
+        load(&source, 0, 10);
+        ctl.flush_round(&source, &tracker).unwrap();
+
+        let restored = engine();
+        let result = recover_into_with(
+            &RealFs,
+            &dir,
+            &restored,
+            &RecoverOptions {
+                fail_marker_commit_for_test: true,
+                ..Default::default()
+            },
+        );
+        match result {
+            Err(WalError::Recovery(msg)) => assert!(msg.contains("marker"), "{msg}"),
+            other => panic!("expected WalError::Recovery, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn recovering_nothing_is_fine() {
         let dir = tempdir("empty");
@@ -253,6 +410,24 @@ mod tests {
         let report = recover_into(&dir, &restored).unwrap();
         assert_eq!(report, RecoveryReport::default());
         assert_eq!(sum(&restored), 0.0);
+    }
+
+    #[test]
+    fn recovery_report_renders_metrics() {
+        let report = RecoveryReport {
+            rounds_applied: 3,
+            rounds_skipped: 1,
+            gaps_detected: 1,
+            rows_recovered: 42,
+            recovered_epoch: 9,
+        };
+        let text = report.metrics_report();
+        assert!(text.starts_with("[wal.recovery]\n"), "{text}");
+        assert!(text.contains("rounds_salvaged = 3\n"), "{text}");
+        assert!(text.contains("rounds_skipped = 1\n"), "{text}");
+        assert!(text.contains("gaps_detected = 1\n"), "{text}");
+        assert!(text.contains("rows_recovered = 42\n"), "{text}");
+        assert!(text.contains("recovered_epoch = 9\n"), "{text}");
     }
 
     #[test]

@@ -46,20 +46,26 @@ pub struct RoundReport {
 pub struct VerifyReport {
     /// Per-file results, in replay order.
     pub rounds: Vec<RoundReport>,
-    /// Rows a recovery would restore (complete prefix only).
+    /// Rows a recovery would restore (consistent prefix only).
     pub recoverable_rows: u64,
     /// Highest epoch a recovery would restore.
     pub recoverable_epoch: Epoch,
     /// Rounds a recovery would replay.
     pub recoverable_rounds: usize,
+    /// Chain breaks: a sequence hole or a complete round whose `lse`
+    /// does not continue the previous round's `lse_prime`. Such
+    /// rounds are individually valid but unreachable by recovery.
+    pub gaps_detected: usize,
 }
 
 impl VerifyReport {
-    /// `true` when every file is complete.
+    /// `true` when every file is complete and the chain has no gaps.
     pub fn is_clean(&self) -> bool {
-        self.rounds
-            .iter()
-            .all(|r| matches!(r.status, RoundStatus::Complete { .. }))
+        self.gaps_detected == 0
+            && self
+                .rounds
+                .iter()
+                .all(|r| matches!(r.status, RoundStatus::Complete { .. }))
     }
 }
 
@@ -79,6 +85,8 @@ pub fn verify_dir(dir: &Path) -> std::io::Result<VerifyReport> {
 
     let mut report = VerifyReport::default();
     let mut prefix_intact = true;
+    let mut expected_seq = 0u64;
+    let mut expected_lse: Epoch = 0;
     for path in files {
         let bytes = fs::read(&path)?;
         let status = match codec::decode(&bytes) {
@@ -92,10 +100,21 @@ pub fn verify_dir(dir: &Path) -> std::io::Result<VerifyReport> {
                         DeltaRun::Delete { .. } => 0,
                     })
                     .sum();
+                // Recovery replays a round only if it continues the
+                // chain (same rules as `chain::scan_chain`).
+                let continues_chain = crate::chain::round_seq(&path) == Some(expected_seq)
+                    && round.lse == expected_lse
+                    && round.lse_prime > round.lse;
+                if prefix_intact && !continues_chain {
+                    report.gaps_detected += 1;
+                    prefix_intact = false;
+                }
                 if prefix_intact {
                     report.recoverable_rows += rows;
                     report.recoverable_epoch = report.recoverable_epoch.max(round.lse_prime);
                     report.recoverable_rounds += 1;
+                    expected_seq += 1;
+                    expected_lse = round.lse_prime;
                 }
                 RoundStatus::Complete {
                     lse_prime: round.lse_prime,
@@ -111,6 +130,13 @@ pub fn verify_dir(dir: &Path) -> std::io::Result<VerifyReport> {
                 RoundStatus::Corrupt(msg)
             }
             Err(WalError::Io(e)) => return Err(e),
+            Err(e @ WalError::Recovery(_)) => {
+                // decode never produces this variant.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                ));
+            }
         };
         report.rounds.push(RoundReport {
             path,
@@ -197,6 +223,36 @@ mod tests {
         let recovered = crate::recovery::recover_into(dir.path(), &restored).unwrap();
         assert_eq!(recovered.rows_recovered, report.recoverable_rows);
         assert_eq!(recovered.rounds_applied, report.recoverable_rounds);
+    }
+
+    #[test]
+    fn a_hole_in_the_chain_is_a_gap_and_matches_recovery() {
+        let dir = TempWalDir::new("verify-gap");
+        flushed_engine(dir.path(), 3);
+        fs::remove_file(dir.path().join("round-00000001.cbk")).unwrap();
+
+        let report = verify_dir(dir.path()).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.gaps_detected, 1);
+        assert_eq!(report.recoverable_rounds, 1, "replay stops at the hole");
+        assert_eq!(report.recoverable_rows, 1);
+        // The stranded round is individually valid...
+        assert!(matches!(
+            report.rounds[1].status,
+            RoundStatus::Complete { .. }
+        ));
+        // ...but the verifier's prediction still matches recovery.
+        let restored = Engine::new(1);
+        restored
+            .create_cube(
+                CubeSchema::new("t", vec![Dimension::int("k", 8, 4)], vec![Metric::int("v")])
+                    .unwrap(),
+            )
+            .unwrap();
+        let recovered = crate::recovery::recover_into(dir.path(), &restored).unwrap();
+        assert_eq!(recovered.rows_recovered, report.recoverable_rows);
+        assert_eq!(recovered.rounds_applied, report.recoverable_rounds);
+        assert_eq!(recovered.gaps_detected, report.gaps_detected);
     }
 
     #[test]

@@ -101,7 +101,7 @@ proptest! {
         match decode(&bytes[..cut]) {
             Err(WalError::Incomplete) | Err(WalError::Corrupt(_)) => {}
             Ok(_) => prop_assert!(false, "truncated file decoded at cut {}", cut),
-            Err(WalError::Io(_)) => prop_assert!(false, "unexpected io error"),
+            Err(e) => prop_assert!(false, "unexpected error kind: {}", e),
         }
     }
 

@@ -98,6 +98,53 @@ fn metrics_report_covers_every_single_node_subsystem() {
 }
 
 #[test]
+fn metrics_report_covers_the_durability_path() {
+    use aosi_repro::cluster::ReplicationTracker;
+    use aosi_repro::wal::{recover_into_with, FlushController, RecoverOptions, SimFs, WalFs};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    let fs = Arc::new(SimFs::new(7));
+    let dir = PathBuf::from("/wal");
+    let engine = Engine::new(2);
+    engine.create_cube(schema()).unwrap();
+    let rows: Vec<_> = (0..40).map(|i| row("us", i % 32, 1)).collect();
+    engine.load("events", &rows, 0).unwrap();
+
+    let mut ctl = FlushController::with_fs(fs.clone() as Arc<dyn WalFs>, dir.clone(), 1).unwrap();
+    ctl.flush_round(&engine, &ReplicationTracker::new(1))
+        .unwrap();
+    let report = ctl.metrics_report();
+    assert!(report.contains("[wal.flush]"), "report:\n{report}");
+    for line in [
+        "rounds_written = 1",
+        "file_syncs = 1",
+        "dir_syncs = 1",
+        "renames = 1",
+    ] {
+        assert!(report.contains(line), "missing {line} in:\n{report}");
+    }
+
+    let recovered = Engine::new(2);
+    recovered.create_cube(schema()).unwrap();
+    let rep = recover_into_with(fs.as_ref(), &dir, &recovered, &RecoverOptions::default()).unwrap();
+    let restored = recovered
+        .query("events", &sum_query(), IsolationMode::Snapshot)
+        .unwrap();
+    assert_eq!(restored.scalar(), Some(40.0), "recovered data answers");
+    let report = rep.metrics_report();
+    assert!(report.contains("[wal.recovery]"), "report:\n{report}");
+    for line in [
+        "rounds_salvaged = 1",
+        "rounds_skipped = 0",
+        "gaps_detected = 0",
+        "rows_recovered = 40",
+    ] {
+        assert!(report.contains(line), "missing {line} in:\n{report}");
+    }
+}
+
+#[test]
 fn metrics_report_covers_cluster_and_every_node() {
     let cluster = DistributedEngine::new(2, 2, SimulatedNetwork::instant());
     cluster.create_cube(schema()).unwrap();
