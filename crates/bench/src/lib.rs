@@ -27,6 +27,14 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Reads an `f64` knob from the environment (enforcement thresholds).
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Prints a figure banner with the experiment id and its knobs.
 pub fn banner(figure: &str, description: &str, knobs: &[(&str, String)]) {
     println!("================================================================");
@@ -46,6 +54,7 @@ mod tests {
         std::env::remove_var("AOSI_TEST_KNOB_X");
         assert_eq!(env_usize("AOSI_TEST_KNOB_X", 7), 7);
         assert_eq!(env_u64("AOSI_TEST_KNOB_X", 9), 9);
+        assert_eq!(env_f64("AOSI_TEST_KNOB_X", 1.5), 1.5);
         std::env::set_var("AOSI_TEST_KNOB_X", "42");
         assert_eq!(env_usize("AOSI_TEST_KNOB_X", 7), 42);
         std::env::set_var("AOSI_TEST_KNOB_X", "not-a-number");

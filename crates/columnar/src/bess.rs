@@ -131,6 +131,28 @@ impl BessVector {
         out.extend((0..self.fields.len()).map(|dim| self.get(row, dim)));
     }
 
+    /// Decodes the coordinate of `dim` for every row id in `rows`
+    /// into `out` (cleared first) — the bulk gather scan kernels use
+    /// on bess-packed bricks, where no per-dimension slice exists.
+    /// The field geometry is resolved once instead of per row.
+    ///
+    /// # Panics
+    /// Panics if `dim` or any row id is out of range.
+    pub fn gather_dim(&self, dim: usize, rows: &[u32], out: &mut Vec<u32>) {
+        let (offset, width) = self.fields[dim];
+        out.clear();
+        out.reserve(rows.len());
+        for &row in rows {
+            assert!(
+                (row as usize) < self.rows,
+                "row {row} out of range {}",
+                self.rows
+            );
+            let bit = u64::from(row) * u64::from(self.bits_per_row) + u64::from(offset);
+            out.push(self.get_bits(bit, width) as u32);
+        }
+    }
+
     /// Rebuilds the vector keeping only the rows whose bit is set in
     /// `keep` (purge/rollback path).
     ///
@@ -249,6 +271,32 @@ mod tests {
             assert_eq!(bess.get(i as usize, 1), (card - 1) - i);
             assert_eq!(bess.get(i as usize, 2), i);
         }
+    }
+
+    #[test]
+    fn gather_dim_matches_per_row_get() {
+        let mut bess = BessVector::new(&[8, 1024, 2]);
+        for i in 0..300u32 {
+            bess.push(&[i % 8, i * 7 % 1024, i % 2]);
+        }
+        let rows: Vec<u32> = (0..300).step_by(7).collect();
+        let mut out = Vec::new();
+        for dim in 0..3 {
+            bess.gather_dim(dim, &rows, &mut out);
+            let expected: Vec<u32> = rows.iter().map(|&r| bess.get(r as usize, dim)).collect();
+            assert_eq!(out, expected, "dim {dim}");
+        }
+        bess.gather_dim(0, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_dim_out_of_range_panics() {
+        let mut bess = BessVector::new(&[4]);
+        bess.push(&[1]);
+        let mut out = Vec::new();
+        bess.gather_dim(0, &[1], &mut out);
     }
 
     #[test]

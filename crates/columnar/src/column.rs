@@ -134,6 +134,34 @@ impl Column {
         }
     }
 
+    /// The integer payload as a contiguous slice, if this is an `I64`
+    /// column — vectorized kernels consume whole slices instead of
+    /// dispatching `get_numeric` per row.
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match self {
+            Column::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The float payload as a contiguous slice, if this is an `F64`
+    /// column.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match self {
+            Column::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The dictionary-id payload as a contiguous slice, if this is a
+    /// `Str` column.
+    pub fn as_str_id_slice(&self) -> Option<&[u32]> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Appends a [`Value`] row; returns `false` on type mismatch.
     ///
     /// String values must be pre-encoded — use [`Column::push_str_id`]
@@ -218,6 +246,23 @@ mod tests {
         let mut c = Column::new(ColumnType::I64);
         c.push_i64(4);
         assert_eq!(c.get_numeric(0), Some(4.0));
+    }
+
+    #[test]
+    fn slice_accessors_expose_only_the_matching_type() {
+        let mut i = Column::new(ColumnType::I64);
+        i.push_i64(3);
+        assert_eq!(i.as_i64_slice(), Some(&[3i64][..]));
+        assert_eq!(i.as_f64_slice(), None);
+        assert_eq!(i.as_str_id_slice(), None);
+        let mut f = Column::new(ColumnType::F64);
+        f.push_f64(0.5);
+        assert_eq!(f.as_f64_slice(), Some(&[0.5f64][..]));
+        assert_eq!(f.as_i64_slice(), None);
+        let mut s = Column::new(ColumnType::Str);
+        s.push_str_id(9);
+        assert_eq!(s.as_str_id_slice(), Some(&[9u32][..]));
+        assert_eq!(s.as_f64_slice(), None);
     }
 
     #[test]

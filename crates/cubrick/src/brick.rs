@@ -165,6 +165,33 @@ impl Brick {
         }
     }
 
+    /// Dimension coordinates of column `dim` as a contiguous slice,
+    /// when the layout has one: the non-panicking form of
+    /// [`Brick::dim_column`]. `None` for bess-packed bricks — use
+    /// [`Brick::gather_dim`] there.
+    pub fn dim_slice(&self, dim: usize) -> Option<&[u32]> {
+        match &self.dims {
+            DimStore::Plain(dims) => Some(&dims[dim]),
+            DimStore::Bess(_) => None,
+        }
+    }
+
+    /// Decodes the coordinates of `dim` for every row id in `rows`
+    /// into `out` (cleared first) — the gather fallback scan kernels
+    /// use when [`Brick::dim_slice`] is unavailable. Works for either
+    /// layout.
+    pub fn gather_dim(&self, dim: usize, rows: &[u32], out: &mut Vec<u32>) {
+        match &self.dims {
+            DimStore::Plain(dims) => {
+                let col = &dims[dim];
+                out.clear();
+                out.reserve(rows.len());
+                out.extend(rows.iter().map(|&row| col[row as usize]));
+            }
+            DimStore::Bess(bess) => bess.gather_dim(dim, rows, out),
+        }
+    }
+
     /// Metric column `metric`.
     pub fn metric_column(&self, metric: usize) -> &Column {
         &self.metrics[metric]
@@ -230,6 +257,23 @@ impl Brick {
     #[doc(hidden)]
     pub fn metric_bytes_for_test(&self) -> usize {
         self.metrics.iter().map(Column::heap_bytes).sum()
+    }
+
+    /// Swaps in a raw metric column (test support: the schema cannot
+    /// produce non-numeric metric cells, so kernel tests pinning the
+    /// skip-non-numeric semantics inject a `Column::Str` here).
+    ///
+    /// # Panics
+    /// Panics if the replacement's length differs from the brick's
+    /// row count.
+    #[doc(hidden)]
+    pub fn replace_metric_for_test(&mut self, metric: usize, column: Column) {
+        assert_eq!(
+            column.len() as u64,
+            self.row_count(),
+            "replacement metric column length mismatch"
+        );
+        self.metrics[metric] = column;
     }
 
     /// Memory accounting for the overhead experiments.
@@ -403,5 +447,29 @@ mod tests {
     fn dim_column_on_bess_panics() {
         let b = Brick::with_storage(&schema(), DimStorage::Bess);
         b.dim_column(0);
+    }
+
+    #[test]
+    fn dim_slice_and_gather_cover_both_layouts() {
+        let schema = schema();
+        let recs: Vec<ParsedRecord> = (0..50).map(|i| rec(i % 8, i as i64, 0.0)).collect();
+        let mut plain = Brick::with_storage(&schema, DimStorage::Plain);
+        let mut bess = Brick::with_storage(&schema, DimStorage::Bess);
+        plain.append(1, &recs);
+        bess.append(1, &recs);
+        assert!(bess.dim_slice(0).is_none(), "bess has no slices");
+        let slice = plain.dim_slice(0).expect("plain exposes slices");
+        assert_eq!(slice, plain.dim_column(0));
+        let rows: Vec<u32> = (0..50).step_by(3).collect();
+        let mut from_plain = Vec::new();
+        let mut from_bess = Vec::new();
+        plain.gather_dim(0, &rows, &mut from_plain);
+        bess.gather_dim(0, &rows, &mut from_bess);
+        assert_eq!(from_plain, from_bess);
+        let expected: Vec<u32> = rows
+            .iter()
+            .map(|&r| plain.dim_value(0, r as usize))
+            .collect();
+        assert_eq!(from_plain, expected);
     }
 }

@@ -35,7 +35,7 @@ use crate::cube::{Cube, CubeMemory};
 use crate::ddl::CubeSchema;
 use crate::error::CubrickError;
 use crate::ingest::{parse_rows, ParsedBatch};
-use crate::query::{PartialResult, Query, QueryResult, ResolvedQuery};
+use crate::query::{PartialResult, Query, QueryResult, ResolvedQuery, ScanKernel};
 use crate::shard::ShardPool;
 
 /// Partition key the engine caches visibility artifacts under. Brick
@@ -55,6 +55,10 @@ pub struct ScanConfig {
     pub parallel_threshold: usize,
     /// Visibility-cache capacity in artifacts; `0` disables caching.
     pub cache_capacity: usize,
+    /// Which scan/aggregate kernel brick scans run
+    /// ([`ScanKernel::Vectorized`] unless diffing against the
+    /// row-at-a-time reference).
+    pub kernel: ScanKernel,
 }
 
 impl Default for ScanConfig {
@@ -62,18 +66,21 @@ impl Default for ScanConfig {
         ScanConfig {
             parallel_threshold: 2,
             cache_capacity: 4096,
+            kernel: ScanKernel::Vectorized,
         }
     }
 }
 
 impl ScanConfig {
     /// The differential-testing reference configuration: every scan
-    /// sequential, no cache. [`Engine::query_at_reference`] uses this
-    /// regardless of the engine's own configuration.
+    /// sequential, no cache, row-at-a-time kernel.
+    /// [`Engine::query_at_reference`] uses this regardless of the
+    /// engine's own configuration.
     pub fn sequential_uncached() -> Self {
         ScanConfig {
             parallel_threshold: usize::MAX,
             cache_capacity: 0,
+            kernel: ScanKernel::RowAtATime,
         }
     }
 
@@ -83,6 +90,7 @@ impl ScanConfig {
         ScanConfig {
             parallel_threshold: 1,
             cache_capacity,
+            kernel: ScanKernel::Vectorized,
         }
     }
 }
@@ -834,6 +842,7 @@ impl Engine {
                     let snapshot = snapshot.clone();
                     let cache = cache.clone();
                     let key: BrickKey = (Arc::clone(&cube_key), bid);
+                    let kernel = config.kernel;
                     let panic_injected = self.panic_bids.read().contains(&bid);
                     let handle =
                         self.shards
@@ -854,6 +863,7 @@ impl Engine {
                                     snapshot.as_ref(),
                                     cache.as_deref(),
                                     &key,
+                                    kernel,
                                 );
                                 (partial, started.elapsed().as_nanos() as u64)
                             });
@@ -895,6 +905,7 @@ impl Engine {
                 let snapshot = snapshot.clone();
                 let cache = cache.clone();
                 let cube_key = Arc::clone(&cube_key);
+                let kernel = config.kernel;
                 let panic_injected: Vec<u64> = {
                     let set = self.panic_bids.read();
                     targets
@@ -924,6 +935,7 @@ impl Engine {
                             snapshot.as_ref(),
                             cache.as_deref(),
                             &key,
+                            kernel,
                         );
                         task_nanos.push(started.elapsed().as_nanos() as u64);
                         partial.merge(scanned);
@@ -1134,6 +1146,7 @@ fn scan_one_brick(
     snapshot: Option<&Snapshot>,
     cache: Option<&VisibilityCache<BrickKey>>,
     key: &BrickKey,
+    kernel: ScanKernel,
 ) -> PartialResult {
     let mut hits = 0u64;
     let mut misses = 0u64;
@@ -1159,7 +1172,12 @@ fn scan_one_brick(
         };
         let vis_nanos = vis_started.elapsed();
         let scan_started = Instant::now();
-        let mut scanned = crate::query::scan_brick_ranges(brick, &ranges, resolved);
+        let mut scanned = match kernel {
+            ScanKernel::Vectorized => {
+                crate::query::scan_brick_ranges_vectorized(brick, &ranges, resolved)
+            }
+            ScanKernel::RowAtATime => crate::query::scan_brick_ranges(brick, &ranges, resolved),
+        };
         scanned.stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
         scanned.stats.visibility_build_nanos = vis_nanos.as_nanos() as u64;
         scanned
@@ -1181,7 +1199,12 @@ fn scan_one_brick(
         };
         let vis_nanos = vis_started.elapsed();
         let scan_started = Instant::now();
-        let mut scanned = crate::query::scan_brick_shared(brick, &visibility, resolved);
+        let mut scanned = match kernel {
+            ScanKernel::Vectorized => {
+                crate::query::scan_brick_shared_vectorized(brick, &visibility, resolved)
+            }
+            ScanKernel::RowAtATime => crate::query::scan_brick_shared(brick, &visibility, resolved),
+        };
         scanned.stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
         scanned.stats.visibility_build_nanos = vis_nanos.as_nanos() as u64;
         scanned
@@ -1796,6 +1819,7 @@ mod tests {
         let engine = engine().with_scan_config(ScanConfig {
             parallel_threshold: usize::MAX,
             cache_capacity: 64,
+            ..ScanConfig::default()
         });
         spread_load(&engine);
         let result = engine

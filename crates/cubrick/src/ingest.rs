@@ -71,19 +71,38 @@ pub fn parse_rows(
             continue;
         }
         let mut coords = Vec::with_capacity(num_dims);
+        // Dimensions whose string is unseen: minting their ids is
+        // deferred until the whole row validates, so a record rejected
+        // by a later dimension or metric check never leaves a phantom
+        // entry in the shared dictionary (which would otherwise be
+        // persisted by every following flush round and permanently
+        // burn an id below the cardinality cap).
+        let mut pending: Vec<usize> = Vec::new();
         for (idx, dim) in schema.dimensions.iter().enumerate() {
             let coord = match (&row[idx], &dictionaries[idx]) {
                 (Value::Str(s), Some(dict)) => {
-                    let mut dict = dict.lock();
-                    // Encoding may mint a new id; ids beyond the
-                    // declared cardinality are rejected, matching the
-                    // paper's "dimensional cardinality" validation.
-                    let id = dict.encode(s);
-                    if id >= dim.cardinality {
-                        batch.rejected += 1;
-                        continue 'rows;
+                    let dict = dict.lock();
+                    match dict.lookup(s) {
+                        // Ids beyond the declared cardinality are
+                        // rejected, matching the paper's "dimensional
+                        // cardinality" validation.
+                        Some(id) if id < dim.cardinality => id,
+                        Some(_) => {
+                            batch.rejected += 1;
+                            continue 'rows;
+                        }
+                        // Unseen: viable only while id capacity
+                        // remains; the mint itself waits for full-row
+                        // validation (placeholder coordinate for now).
+                        None if (dict.len() as u64) < u64::from(dim.cardinality) => {
+                            pending.push(idx);
+                            0
+                        }
+                        None => {
+                            batch.rejected += 1;
+                            continue 'rows;
+                        }
                     }
-                    id
                 }
                 (Value::I64(v), None) => {
                     if *v < 0 || *v >= dim.cardinality as i64 {
@@ -110,6 +129,30 @@ pub fn parse_rows(
                     continue 'rows;
                 }
             }
+        }
+        // The row is fully valid: mint the deferred ids. Capacity is
+        // re-checked under the lock — a concurrent parser may have
+        // minted other strings since the first pass.
+        for &idx in &pending {
+            let dim = &schema.dimensions[idx];
+            let s = row[idx].as_str().expect("pending dimensions hold strings");
+            let mut dict = dictionaries[idx]
+                .as_ref()
+                .expect("pending dimensions have dictionaries")
+                .lock();
+            let id = match dict.lookup(s) {
+                Some(id) => id,
+                None if (dict.len() as u64) < u64::from(dim.cardinality) => dict.encode(s),
+                None => {
+                    batch.rejected += 1;
+                    continue 'rows;
+                }
+            };
+            if id >= dim.cardinality {
+                batch.rejected += 1;
+                continue 'rows;
+            }
+            coords[idx] = id;
         }
         let bid = layout.bid_for_coords(&coords);
         batch.by_bid.entry(bid).or_default().push(ParsedRecord {
@@ -200,6 +243,71 @@ mod tests {
         let batch = parse_rows(&schema, &layout, &dicts, &rows);
         assert_eq!(batch.accepted, 4);
         assert_eq!(batch.rejected, 3);
+    }
+
+    /// Regression: a rejected record must not leave its strings in
+    /// the shared dictionary. Before the lookup-before-encode fix,
+    /// `encode` minted the id first and the cardinality check ran
+    /// after — every rejected string permanently burned an id (and
+    /// was persisted by each later flush round).
+    #[test]
+    fn rejected_rows_do_not_pollute_the_dictionary() {
+        let schema = schema();
+        let layout = BidLayout::new(&schema);
+        let dicts = dicts(&schema);
+        let bad_rows = vec![
+            // New string, but the integer dimension is out of range.
+            vec![Value::from("us"), Value::from(99i64), Value::from(1i64)],
+            // New string, but the metric has the wrong type.
+            vec![Value::from("br"), Value::from(0i64), Value::from(0.5f64)],
+        ];
+        let batch = parse_rows(&schema, &layout, &dicts, &bad_rows);
+        assert_eq!(batch.accepted, 0);
+        assert_eq!(batch.rejected, 2);
+        let dict = dicts[0].as_ref().unwrap().lock();
+        assert!(
+            dict.is_empty(),
+            "rejected rows minted ids: {:?}",
+            dict.entries_from(0)
+        );
+        drop(dict);
+        // Reject-then-accept ordering: the same strings must now
+        // encode cleanly, getting the ids the rejects would have
+        // stolen.
+        let good_rows = vec![
+            vec![Value::from("us"), Value::from(0i64), Value::from(1i64)],
+            vec![Value::from("br"), Value::from(1i64), Value::from(2i64)],
+        ];
+        let batch = parse_rows(&schema, &layout, &dicts, &good_rows);
+        assert_eq!(batch.accepted, 2);
+        let dict = dicts[0].as_ref().unwrap().lock();
+        assert_eq!(dict.lookup("us"), Some(0));
+        assert_eq!(dict.lookup("br"), Some(1));
+        assert_eq!(dict.len(), 2);
+    }
+
+    /// Regression: strings beyond the cardinality cap are rejected
+    /// without growing the dictionary, so the cap stays exact — a
+    /// fifth distinct string must not block a sixth row reusing one
+    /// of the four legitimate entries, and repeated over-cap strings
+    /// must not grow the dictionary without bound.
+    #[test]
+    fn over_cardinality_strings_never_mint_ids() {
+        let schema = schema();
+        let layout = BidLayout::new(&schema);
+        let dicts = dicts(&schema);
+        let mut rows: Vec<Row> = ["a", "b", "c", "d", "e", "f", "e"]
+            .iter()
+            .map(|s| vec![Value::from(*s), Value::from(0i64), Value::from(1i64)])
+            .collect();
+        rows.push(vec![Value::from("a"), Value::from(1i64), Value::from(1i64)]);
+        let batch = parse_rows(&schema, &layout, &dicts, &rows);
+        assert_eq!(batch.accepted, 5, "four distinct strings plus the reuse");
+        assert_eq!(batch.rejected, 3);
+        let dict = dicts[0].as_ref().unwrap().lock();
+        assert_eq!(dict.len(), 4, "dictionary holds exactly the cap");
+        assert_eq!(dict.lookup("e"), None);
+        assert_eq!(dict.lookup("f"), None);
     }
 
     #[test]

@@ -80,5 +80,7 @@ pub use error::CubrickError;
 pub use ingest::{parse_rows, ParsedBatch, ParsedRecord};
 pub use maintenance::PurgeDaemon;
 pub use persist::{BrickDelta, DeltaRun};
-pub use query::{AggFn, Aggregation, DimFilter, OrderBy, Query, QueryResult, QueryStats};
+pub use query::{
+    AggFn, Aggregation, DimFilter, OrderBy, Query, QueryResult, QueryStats, ScanKernel,
+};
 pub use shard::{ShardPool, TaskHandle};

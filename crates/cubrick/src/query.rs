@@ -13,13 +13,29 @@
 //! brick's entire coordinate range — the Granular Partitioning
 //! benefit of Section V-A.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
-use columnar::{Bitmap, Value};
+use columnar::{Bitmap, Column, OnesCursor, Value};
 
 use crate::brick::Brick;
 use crate::cube::Cube;
 use crate::error::CubrickError;
+
+/// Which brick scan/aggregate kernel executes queries (see
+/// [`crate::engine::ScanConfig`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanKernel {
+    /// Batch kernels: chunked selection vectors materialized from the
+    /// visibility bitmap/ranges, dictionary-id predicate compaction
+    /// over column slices, and fused type-specialized aggregation
+    /// loops. The production default.
+    #[default]
+    Vectorized,
+    /// Row-at-a-time loops — the differential-testing reference
+    /// executor. [`crate::Engine::query_at_reference`] is pinned to
+    /// this kernel; `oracle::scan` diffs the two bit-for-bit.
+    RowAtATime,
+}
 
 /// Aggregation function.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -288,12 +304,77 @@ impl GroupSpec {
     }
 }
 
+/// Coordinate bound under which a [`FilterSet`] also materializes a
+/// dense bitset for O(1) membership probes in the scan kernels (8 KiB
+/// worst case — comfortably cache-resident).
+const FILTER_BITSET_MAX: u32 = 1 << 16;
+
+/// A resolved IN-list filter over one dimension's encoded
+/// coordinates: a sorted, deduplicated id list (for range reasoning
+/// during brick pruning and large-id membership via binary search)
+/// plus, when every id is small, a dense bitset the kernels probe per
+/// row.
+#[derive(Clone, Debug)]
+pub(crate) struct FilterSet {
+    sorted: Vec<u32>,
+    bitset: Option<Vec<u64>>,
+}
+
+impl FilterSet {
+    pub(crate) fn from_coords(coords: impl IntoIterator<Item = u32>) -> Self {
+        let mut sorted: Vec<u32> = coords.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let bitset = match sorted.last() {
+            Some(&max) if max < FILTER_BITSET_MAX => {
+                let mut words = vec![0u64; max as usize / 64 + 1];
+                for &c in &sorted {
+                    words[c as usize / 64] |= 1u64 << (c % 64);
+                }
+                Some(words)
+            }
+            _ => None,
+        };
+        FilterSet { sorted, bitset }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, coord: u32) -> bool {
+        match &self.bitset {
+            Some(words) => words
+                .get(coord as usize / 64)
+                .is_some_and(|&w| w & (1u64 << (coord % 64)) != 0),
+            None => self.sorted.binary_search(&coord).is_ok(),
+        }
+    }
+
+    /// Does any accepted coordinate fall in `[lo, hi)`? (Brick
+    /// pruning against a dimension's range bounds.)
+    pub(crate) fn intersects_range(&self, lo: u32, hi: u32) -> bool {
+        let start = self.sorted.partition_point(|&c| c < lo);
+        self.sorted.get(start).is_some_and(|&c| c < hi)
+    }
+
+    /// Does the set accept every storable coordinate `[0,
+    /// cardinality)`? Such a filter cannot reject a row, so resolve
+    /// drops it and the scan takes the unfiltered ranges path.
+    pub(crate) fn covers_all(&self, cardinality: u32) -> bool {
+        // Deduplicated ids are distinct; `cardinality` of them with a
+        // maximum of `cardinality - 1` is exactly `0..cardinality`.
+        self.sorted.len() as u64 == u64::from(cardinality)
+            && self
+                .sorted
+                .last()
+                .is_some_and(|&max| u64::from(max) == u64::from(cardinality) - 1)
+    }
+}
+
 /// A query resolved against a cube's schema: names replaced by column
 /// indexes and filter values by coordinate sets. Cheap to clone into
 /// shard tasks.
 #[derive(Clone, Debug)]
 pub struct ResolvedQuery {
-    pub(crate) filters: Vec<(usize, HashSet<u32>)>,
+    pub(crate) filters: Vec<(usize, FilterSet)>,
     pub(crate) aggs: Vec<(AggFn, usize)>,
     pub(crate) group_by: Option<GroupSpec>,
     /// `(key position or agg index, descending)` — key positions are
@@ -319,11 +400,17 @@ impl ResolvedQuery {
             let dim = schema
                 .dim_index(&f.dim)
                 .ok_or_else(|| CubrickError::UnknownColumn(f.dim.clone()))?;
-            let coords: HashSet<u32> = f
-                .values
-                .iter()
-                .filter_map(|v| cube.encode_filter_value(dim, v))
-                .collect();
+            let coords = FilterSet::from_coords(
+                f.values
+                    .iter()
+                    .filter_map(|v| cube.encode_filter_value(dim, v)),
+            );
+            if coords.covers_all(schema.dimensions[dim].cardinality) {
+                // Accepts every storable coordinate: dropping the
+                // filter is semantically identical and keeps the scan
+                // on the unfiltered ranges path.
+                continue;
+            }
             filters.push((dim, coords));
         }
         let mut aggs = Vec::with_capacity(query.aggregations.len());
@@ -406,7 +493,7 @@ impl ResolvedQuery {
         let ranges = layout.range_indexes_of_bid(bid);
         for (dim, coords) in &self.filters {
             let (lo, hi) = layout.range_bounds(*dim, ranges[*dim]);
-            if !coords.iter().any(|&c| c >= lo && c < hi) {
+            if !coords.intersects_range(lo, hi) {
                 return false;
             }
         }
@@ -443,54 +530,76 @@ impl PartialResult {
     }
 }
 
-/// Scans one brick: seeds from the (possibly cached, shared)
-/// `visibility` bitmap, applies the resolved filters while iterating
-/// — bits are never mutated, so one cached artifact serves many
-/// concurrent scans without cloning. Isolation bits are never
-/// widened: filters only drop rows.
+/// Scans one brick row-at-a-time (the reference kernel): seeds from
+/// the (possibly cached, shared) `visibility` bitmap, applies the
+/// resolved filters while iterating — bits are never mutated, so one
+/// cached artifact serves many concurrent scans without cloning.
+/// Isolation bits are never widened: filters only drop rows.
 pub(crate) fn scan_brick_shared(
     brick: &Brick,
     visibility: &Bitmap,
     resolved: &ResolvedQuery,
 ) -> PartialResult {
+    let traversed = visibility.count_ones() as u64;
     let rows = visibility.iter_ones().filter(|&row| {
         resolved
             .filters
             .iter()
-            .all(|(dim, coords)| coords.contains(&brick.dim_value(*dim, row)))
+            .all(|(dim, coords)| coords.contains(brick.dim_value(*dim, row)))
     });
-    let mut result = accumulate(brick, rows, resolved);
+    let mut result = accumulate(brick, rows, resolved, traversed);
     result.stats.bitmap_scans = 1;
     result
 }
 
-/// The unfiltered-scan fast path: iterate the snapshot's visible
+/// The unfiltered-scan reference path: iterate the snapshot's visible
 /// ranges directly — no bitmap is ever materialized. Equivalent to
-/// [`scan_brick`] with an unfiltered visibility bitmap (the ranges
-/// are proven bitmap-equivalent by property test in `aosi`).
+/// [`scan_brick_shared`] with an unfiltered visibility bitmap (the
+/// ranges are proven bitmap-equivalent by property test in `aosi`).
 pub(crate) fn scan_brick_ranges(
     brick: &Brick,
     ranges: &[std::ops::Range<u64>],
     resolved: &ResolvedQuery,
 ) -> PartialResult {
     debug_assert!(resolved.filters.is_empty(), "ranges path is unfiltered");
+    let traversed: u64 = ranges.iter().map(|r| r.end - r.start).sum();
     let rows = ranges
         .iter()
         .flat_map(|r| (r.start as usize)..(r.end as usize));
-    let mut result = accumulate(brick, rows, resolved);
+    let mut result = accumulate(brick, rows, resolved, traversed);
     result.stats.range_scans = 1;
     result
 }
 
+/// Row-at-a-time observation of one row into one aggregation's
+/// accumulator. `Count` counts the row regardless of metric payload;
+/// every other function skips non-numeric cells — a missing metric is
+/// absent from the aggregate, never folded in as `0.0`.
+#[inline]
+fn observe_row(brick: &Brick, func: AggFn, metric: usize, row: usize, acc: &mut Acc) {
+    match func {
+        AggFn::Count => acc.observe(0.0),
+        _ => {
+            if let Some(v) = brick.metric_column(metric).get_numeric(row) {
+                acc.observe(v);
+            }
+        }
+    }
+}
+
+/// The row-at-a-time reference accumulator. `traversed` is the number
+/// of rows the caller's iterator walks before dimension filtering
+/// (visible rows), reported as `rows_scanned`.
 fn accumulate(
     brick: &Brick,
     rows: impl Iterator<Item = usize>,
     resolved: &ResolvedQuery,
+    traversed: u64,
 ) -> PartialResult {
     let mut result = PartialResult {
         stats: QueryStats {
             bricks_scanned: 1,
-            rows_scanned: brick.row_count(),
+            rows_scanned: traversed,
             ..Default::default()
         },
         ..Default::default()
@@ -504,11 +613,7 @@ fn accumulate(
             for row in rows {
                 result.stats.rows_visible += 1;
                 for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
-                    let v = match func {
-                        AggFn::Count => 0.0,
-                        _ => brick.metric_column(metric).get_numeric(row).unwrap_or(0.0),
-                    };
-                    acc.observe(v);
+                    observe_row(brick, func, metric, row, acc);
                 }
             }
             if result.stats.rows_visible > 0 {
@@ -540,11 +645,7 @@ fn accumulate(
                     }
                 };
                 for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
-                    let v = match func {
-                        AggFn::Count => 0.0,
-                        _ => brick.metric_column(metric).get_numeric(row).unwrap_or(0.0),
-                    };
-                    acc.observe(v);
+                    observe_row(brick, func, metric, row, acc);
                 }
             }
             if let Some((key, accs)) = cached.take() {
@@ -552,6 +653,494 @@ fn accumulate(
             }
         }
     }
+    result
+}
+
+/// Rows per selection-vector chunk. Small enough that the selection,
+/// gathered coordinates, and packed keys all stay cache-resident
+/// while a brick is scanned; large enough to amortize per-chunk
+/// overhead.
+const SCAN_CHUNK: usize = 2048;
+
+/// Where a vectorized scan draws its selection vectors from: a
+/// visibility bitmap (filtered scans) or the snapshot's visible
+/// ranges (unfiltered scans).
+enum Selection<'a> {
+    Bitmap(OnesCursor<'a>),
+    Ranges {
+        ranges: &'a [std::ops::Range<u64>],
+        idx: usize,
+        next: u64,
+    },
+}
+
+impl Selection<'_> {
+    /// Fills `sel` (cleared first) with the next up-to-[`SCAN_CHUNK`]
+    /// visible row ids, ascending; `false` once exhausted.
+    fn next_chunk(&mut self, sel: &mut Vec<u32>) -> bool {
+        match self {
+            Selection::Bitmap(cursor) => cursor.next_chunk(sel, SCAN_CHUNK) > 0,
+            Selection::Ranges { ranges, idx, next } => {
+                sel.clear();
+                while sel.len() < SCAN_CHUNK {
+                    let Some(r) = ranges.get(*idx) else { break };
+                    let start = (*next).max(r.start);
+                    let take = (r.end - start).min((SCAN_CHUNK - sel.len()) as u64);
+                    sel.extend((start..start + take).map(|row| row as u32));
+                    if start + take == r.end {
+                        *idx += 1;
+                        *next = 0;
+                    } else {
+                        *next = start + take;
+                    }
+                }
+                !sel.is_empty()
+            }
+        }
+    }
+}
+
+/// Scratch buffers one vectorized brick scan reuses across chunks.
+#[derive(Default)]
+struct ScanScratch {
+    /// Selection vector: row ids surviving visibility (then filters).
+    sel: Vec<u32>,
+    /// Gathered dimension coordinates (bess bricks, and plain key
+    /// packing).
+    gathered: Vec<u32>,
+    /// Packed group keys, parallel to `sel`.
+    keys: Vec<u64>,
+}
+
+/// Compacts `sel` in place to the rows every filter accepts.
+/// Plain-layout dimensions are probed directly through their `u32`
+/// column slice; bess-packed dimensions gather the chunk's
+/// coordinates into scratch first.
+fn apply_filters(
+    brick: &Brick,
+    filters: &[(usize, FilterSet)],
+    sel: &mut Vec<u32>,
+    gathered: &mut Vec<u32>,
+) {
+    for (dim, coords) in filters {
+        if sel.is_empty() {
+            return;
+        }
+        match brick.dim_slice(*dim) {
+            Some(col) => sel.retain(|&row| coords.contains(col[row as usize])),
+            None => {
+                brick.gather_dim(*dim, sel, gathered);
+                let mut keep = gathered.iter().map(|&c| coords.contains(c));
+                sel.retain(|_| keep.next().expect("gathered is parallel to sel"));
+            }
+        }
+    }
+}
+
+/// Packs the group key of every selected row into `keys`, one
+/// dimension column at a time (column-major, so each dimension's data
+/// streams through cache once per chunk).
+fn pack_keys(
+    brick: &Brick,
+    spec: &GroupSpec,
+    sel: &[u32],
+    gathered: &mut Vec<u32>,
+    keys: &mut Vec<u64>,
+) {
+    keys.clear();
+    keys.resize(sel.len(), 0);
+    for &(dim, shift, _) in &spec.dims {
+        match brick.dim_slice(dim) {
+            Some(col) => {
+                for (key, &row) in keys.iter_mut().zip(sel) {
+                    *key |= u64::from(col[row as usize]) << shift;
+                }
+            }
+            None => {
+                brick.gather_dim(dim, sel, gathered);
+                for (key, &coord) in keys.iter_mut().zip(gathered.iter()) {
+                    *key |= u64::from(coord) << shift;
+                }
+            }
+        }
+    }
+}
+
+/// Fused filter+aggregate kernel: folds the selected rows of one
+/// metric column into `acc` with a type-specialized loop.
+///
+/// Only the accumulator fields `func`'s finalization reads are
+/// maintained (e.g. `Sum` updates `sum` alone); the f64 operations on
+/// those fields happen in the same ascending-row order as the
+/// reference kernel's [`Acc::observe`] calls, so finalized results
+/// are bit-identical. `Count` counts rows regardless of metric
+/// payload; other functions skip non-numeric cells, mirroring the
+/// reference's `get_numeric` miss.
+fn fused_accumulate(brick: &Brick, func: AggFn, metric: usize, sel: &[u32], acc: &mut Acc) {
+    if sel.is_empty() {
+        return;
+    }
+    if func == AggFn::Count {
+        // Count never dereferences the metric column (`COUNT(*)`
+        // resolves with a placeholder index).
+        acc.count += sel.len() as u64;
+        return;
+    }
+    match (func, brick.metric_column(metric)) {
+        (AggFn::Sum, Column::I64(v)) => {
+            let mut sum = acc.sum;
+            for &row in sel {
+                sum += v[row as usize] as f64;
+            }
+            acc.sum = sum;
+        }
+        (AggFn::Sum, Column::F64(v)) => {
+            let mut sum = acc.sum;
+            for &row in sel {
+                sum += v[row as usize];
+            }
+            acc.sum = sum;
+        }
+        (AggFn::Avg, Column::I64(v)) => {
+            let mut sum = acc.sum;
+            for &row in sel {
+                sum += v[row as usize] as f64;
+            }
+            acc.sum = sum;
+            acc.count += sel.len() as u64;
+        }
+        (AggFn::Avg, Column::F64(v)) => {
+            let mut sum = acc.sum;
+            for &row in sel {
+                sum += v[row as usize];
+            }
+            acc.sum = sum;
+            acc.count += sel.len() as u64;
+        }
+        (AggFn::Min, Column::I64(v)) => {
+            let mut min = acc.min;
+            for &row in sel {
+                min = min.min(v[row as usize] as f64);
+            }
+            acc.min = min;
+        }
+        (AggFn::Min, Column::F64(v)) => {
+            let mut min = acc.min;
+            for &row in sel {
+                min = min.min(v[row as usize]);
+            }
+            acc.min = min;
+        }
+        (AggFn::Max, Column::I64(v)) => {
+            let mut max = acc.max;
+            for &row in sel {
+                max = max.max(v[row as usize] as f64);
+            }
+            acc.max = max;
+        }
+        (AggFn::Max, Column::F64(v)) => {
+            let mut max = acc.max;
+            for &row in sel {
+                max = max.max(v[row as usize]);
+            }
+            acc.max = max;
+        }
+        // Non-numeric cells are skipped — the vectorized twin of the
+        // reference kernel's `get_numeric` miss.
+        (_, Column::Str(_)) => {}
+        (AggFn::Count, _) => unreachable!("handled above"),
+    }
+}
+
+/// Packed-key width (in bits) up to which grouped vectorized scans
+/// accumulate into a dense table indexed by the key itself instead of
+/// hashing. 4096 slots × a handful of aggregates stays well inside
+/// L2, and the common analytics shapes (one or two low-cardinality
+/// group dimensions) all fit; workloads whose adjacent rows alternate
+/// groups — where the run cache degenerates to per-row hash traffic —
+/// become a bounds-checked array update instead.
+const DENSE_GROUP_BITS: u32 = 12;
+
+/// Dense-table twin of [`fused_accumulate`]: folds the selected rows
+/// of one metric column into per-group accumulators addressed as
+/// `dense[key * num_aggs + agg_idx]`. Row order within each group is
+/// ascending — the same f64 operation sequence as the reference
+/// kernel — because `sel`/`keys` are ascending and groups only ever
+/// take updates from their own rows.
+#[allow(clippy::too_many_arguments)]
+fn fused_accumulate_dense(
+    brick: &Brick,
+    func: AggFn,
+    metric: usize,
+    agg_idx: usize,
+    num_aggs: usize,
+    sel: &[u32],
+    keys: &[u64],
+    dense: &mut [Acc],
+) {
+    let slot = |key: u64| key as usize * num_aggs + agg_idx;
+    if func == AggFn::Count {
+        for &key in keys {
+            dense[slot(key)].count += 1;
+        }
+        return;
+    }
+    match (func, brick.metric_column(metric)) {
+        (AggFn::Sum, Column::I64(v)) => {
+            for (&row, &key) in sel.iter().zip(keys) {
+                dense[slot(key)].sum += v[row as usize] as f64;
+            }
+        }
+        (AggFn::Sum, Column::F64(v)) => {
+            for (&row, &key) in sel.iter().zip(keys) {
+                dense[slot(key)].sum += v[row as usize];
+            }
+        }
+        (AggFn::Avg, Column::I64(v)) => {
+            for (&row, &key) in sel.iter().zip(keys) {
+                let acc = &mut dense[slot(key)];
+                acc.sum += v[row as usize] as f64;
+                acc.count += 1;
+            }
+        }
+        (AggFn::Avg, Column::F64(v)) => {
+            for (&row, &key) in sel.iter().zip(keys) {
+                let acc = &mut dense[slot(key)];
+                acc.sum += v[row as usize];
+                acc.count += 1;
+            }
+        }
+        (AggFn::Min, Column::I64(v)) => {
+            for (&row, &key) in sel.iter().zip(keys) {
+                let acc = &mut dense[slot(key)];
+                acc.min = acc.min.min(v[row as usize] as f64);
+            }
+        }
+        (AggFn::Min, Column::F64(v)) => {
+            for (&row, &key) in sel.iter().zip(keys) {
+                let acc = &mut dense[slot(key)];
+                acc.min = acc.min.min(v[row as usize]);
+            }
+        }
+        (AggFn::Max, Column::I64(v)) => {
+            for (&row, &key) in sel.iter().zip(keys) {
+                let acc = &mut dense[slot(key)];
+                acc.max = acc.max.max(v[row as usize] as f64);
+            }
+        }
+        (AggFn::Max, Column::F64(v)) => {
+            for (&row, &key) in sel.iter().zip(keys) {
+                let acc = &mut dense[slot(key)];
+                acc.max = acc.max.max(v[row as usize]);
+            }
+        }
+        // Non-numeric cells are skipped (Count above still counted).
+        (_, Column::Str(_)) => {}
+        (AggFn::Count, _) => unreachable!("handled above"),
+    }
+}
+
+/// The vectorized brick scan: chunked selection vectors, predicate
+/// compaction, fused per-column aggregation, and batch-packed group
+/// keys feeding a dense group table (small key spaces) or the
+/// run-cached hash probe (wide keys).
+fn vectorized_scan(
+    brick: &Brick,
+    mut selection: Selection<'_>,
+    traversed: u64,
+    resolved: &ResolvedQuery,
+) -> PartialResult {
+    let mut result = PartialResult {
+        stats: QueryStats {
+            bricks_scanned: 1,
+            rows_scanned: traversed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let num_aggs = resolved.aggs.len();
+    let mut scratch = ScanScratch::default();
+    match &resolved.group_by {
+        None => {
+            let mut accs = vec![Acc::default(); num_aggs];
+            while selection.next_chunk(&mut scratch.sel) {
+                apply_filters(
+                    brick,
+                    &resolved.filters,
+                    &mut scratch.sel,
+                    &mut scratch.gathered,
+                );
+                if scratch.sel.is_empty() {
+                    continue;
+                }
+                result.stats.rows_visible += scratch.sel.len() as u64;
+                for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
+                    fused_accumulate(brick, func, metric, &scratch.sel, acc);
+                }
+            }
+            if result.stats.rows_visible > 0 {
+                result.groups.insert(0, accs);
+            }
+        }
+        Some(spec) => {
+            let total_bits = spec
+                .dims
+                .iter()
+                .map(|&(_, shift, width)| shift + width)
+                .max()
+                .unwrap_or(0);
+            if total_bits <= DENSE_GROUP_BITS {
+                // Small packed-key space: skip hashing entirely and
+                // index a flat per-key accumulator table with the key
+                // itself. `touched` remembers first-seen keys so
+                // untouched slots never materialize as groups.
+                let num_keys = 1usize << total_bits;
+                let mut dense = vec![Acc::default(); num_keys * num_aggs];
+                let mut seen = vec![false; num_keys];
+                let mut touched: Vec<u64> = Vec::new();
+                while selection.next_chunk(&mut scratch.sel) {
+                    apply_filters(
+                        brick,
+                        &resolved.filters,
+                        &mut scratch.sel,
+                        &mut scratch.gathered,
+                    );
+                    if scratch.sel.is_empty() {
+                        continue;
+                    }
+                    result.stats.rows_visible += scratch.sel.len() as u64;
+                    pack_keys(
+                        brick,
+                        spec,
+                        &scratch.sel,
+                        &mut scratch.gathered,
+                        &mut scratch.keys,
+                    );
+                    for &key in &scratch.keys {
+                        let k = key as usize;
+                        if !seen[k] {
+                            seen[k] = true;
+                            touched.push(key);
+                        }
+                    }
+                    for (agg_idx, &(func, metric)) in resolved.aggs.iter().enumerate() {
+                        fused_accumulate_dense(
+                            brick,
+                            func,
+                            metric,
+                            agg_idx,
+                            num_aggs,
+                            &scratch.sel,
+                            &scratch.keys,
+                            &mut dense,
+                        );
+                    }
+                }
+                for key in touched {
+                    let base = key as usize * num_aggs;
+                    result
+                        .groups
+                        .insert(key, dense[base..base + num_aggs].to_vec());
+                }
+                return result;
+            }
+            // Wide keys: keep the reference kernel's one-entry run
+            // cache, but feed it whole runs of identical packed keys:
+            // group boundaries are found over the batch-packed key
+            // vector, and each run goes through the fused kernels as
+            // one slice.
+            let mut cached: Option<(u64, Vec<Acc>)> = None;
+            while selection.next_chunk(&mut scratch.sel) {
+                apply_filters(
+                    brick,
+                    &resolved.filters,
+                    &mut scratch.sel,
+                    &mut scratch.gathered,
+                );
+                if scratch.sel.is_empty() {
+                    continue;
+                }
+                result.stats.rows_visible += scratch.sel.len() as u64;
+                pack_keys(
+                    brick,
+                    spec,
+                    &scratch.sel,
+                    &mut scratch.gathered,
+                    &mut scratch.keys,
+                );
+                let mut start = 0;
+                while start < scratch.sel.len() {
+                    let key = scratch.keys[start];
+                    let mut end = start + 1;
+                    while end < scratch.sel.len() && scratch.keys[end] == key {
+                        end += 1;
+                    }
+                    let accs = match &mut cached {
+                        Some((cached_key, accs)) if *cached_key == key => accs,
+                        _ => {
+                            if let Some((old_key, old_accs)) = cached.take() {
+                                merge_accs(&mut result.groups, old_key, old_accs);
+                            }
+                            cached = Some((
+                                key,
+                                result
+                                    .groups
+                                    .remove(&key)
+                                    .unwrap_or_else(|| vec![Acc::default(); num_aggs]),
+                            ));
+                            &mut cached.as_mut().expect("just set").1
+                        }
+                    };
+                    for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
+                        fused_accumulate(brick, func, metric, &scratch.sel[start..end], acc);
+                    }
+                    start = end;
+                }
+            }
+            if let Some((key, accs)) = cached.take() {
+                merge_accs(&mut result.groups, key, accs);
+            }
+        }
+    }
+    result
+}
+
+/// Vectorized twin of [`scan_brick_shared`].
+pub(crate) fn scan_brick_shared_vectorized(
+    brick: &Brick,
+    visibility: &Bitmap,
+    resolved: &ResolvedQuery,
+) -> PartialResult {
+    let traversed = visibility.count_ones() as u64;
+    let mut result = vectorized_scan(
+        brick,
+        Selection::Bitmap(visibility.ones_cursor()),
+        traversed,
+        resolved,
+    );
+    result.stats.bitmap_scans = 1;
+    result
+}
+
+/// Vectorized twin of [`scan_brick_ranges`].
+pub(crate) fn scan_brick_ranges_vectorized(
+    brick: &Brick,
+    ranges: &[std::ops::Range<u64>],
+    resolved: &ResolvedQuery,
+) -> PartialResult {
+    debug_assert!(resolved.filters.is_empty(), "ranges path is unfiltered");
+    let traversed: u64 = ranges.iter().map(|r| r.end - r.start).sum();
+    let mut result = vectorized_scan(
+        brick,
+        Selection::Ranges {
+            ranges,
+            idx: 0,
+            next: 0,
+        },
+        traversed,
+        resolved,
+    );
+    result.stats.range_scans = 1;
     result
 }
 
@@ -975,5 +1564,304 @@ mod tests {
         let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
         let result = QueryResult::finalize(&cube, &r, partial);
         assert_eq!(result.scalar(), None);
+    }
+
+    /// Bit-for-bit comparison: keys equal, aggregate values equal by
+    /// `f64::to_bits` (no epsilon — the kernels must perform the same
+    /// float operation sequence).
+    fn assert_bits_identical(a: &QueryResult, b: &QueryResult, context: &str) {
+        assert_eq!(a.rows.len(), b.rows.len(), "{context}: row count");
+        for (i, ((ka, va), (kb, vb))) in a.rows.iter().zip(&b.rows).enumerate() {
+            assert_eq!(ka, kb, "{context}: key of row {i}");
+            let bits_a: Vec<u64> = va.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = vb.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                bits_a, bits_b,
+                "{context}: values of row {i} ({va:?} vs {vb:?})"
+            );
+        }
+    }
+
+    /// A brick big enough that selection vectors cross the
+    /// `SCAN_CHUNK` boundary, with three epochs so a snapshot can
+    /// leave a suffix invisible, built on either dimension layout.
+    fn big_brick(cube: &Cube, storage: crate::brick::DimStorage) -> Brick {
+        let dict = cube.dictionaries()[0].as_ref().unwrap();
+        dict.lock().encode("us");
+        dict.lock().encode("br");
+        dict.lock().encode("mx");
+        let mut brick = Brick::with_storage(cube.schema(), storage);
+        for epoch in 1..=3u64 {
+            let recs: Vec<ParsedRecord> = (0..1500i64)
+                .map(|k| {
+                    let i = k + epoch as i64 * 17;
+                    ParsedRecord {
+                        bid: 0,
+                        coords: vec![(i % 3) as u32, (i % 8) as u32],
+                        metrics: vec![Value::I64(i * 3 - 40), Value::F64(i as f64 * 0.25 - 7.0)],
+                    }
+                })
+                .collect();
+            brick.append(epoch, &recs);
+        }
+        brick
+    }
+
+    /// Every query shape the executor supports, including filters
+    /// that match nothing and order/limit over multi-dimension
+    /// groups.
+    fn differential_battery() -> Vec<Query> {
+        vec![
+            Query::aggregate(vec![
+                Aggregation::new(AggFn::Sum, "likes"),
+                Aggregation::new(AggFn::Count, "likes"),
+                Aggregation::new(AggFn::Avg, "score"),
+                Aggregation::new(AggFn::Min, "score"),
+                Aggregation::new(AggFn::Max, "likes"),
+            ]),
+            Query::aggregate(vec![
+                Aggregation::new(AggFn::Sum, "likes"),
+                Aggregation::new(AggFn::Avg, "score"),
+            ])
+            .filter(DimFilter::new(
+                "region",
+                vec![Value::from("us"), Value::from("mx")],
+            ))
+            .grouped_by("day"),
+            Query::aggregate(vec![
+                Aggregation::new(AggFn::Sum, "score"),
+                Aggregation::new(AggFn::Min, "likes"),
+            ])
+            .filter(DimFilter::new(
+                "day",
+                vec![Value::from(1i64), Value::from(3i64), Value::from(5i64)],
+            ))
+            .grouped_by("region")
+            .grouped_by("day")
+            .ordered_by(OrderBy::Aggregation(0), true)
+            .limited(4),
+            Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")])
+                .filter(DimFilter::new("region", vec![Value::from("atlantis")])),
+            Query::aggregate(vec![Aggregation::new(AggFn::Max, "score")])
+                .grouped_by("day")
+                .ordered_by(OrderBy::Dimension("day".into()), false),
+        ]
+    }
+
+    #[test]
+    fn vectorized_bitmap_kernel_matches_reference_bit_for_bit() {
+        for storage in [
+            crate::brick::DimStorage::Plain,
+            crate::brick::DimStorage::Bess,
+        ] {
+            let cube = cube();
+            let brick = big_brick(&cube, storage);
+            // Epoch 2 of 3: the last 1500 rows stay invisible, and the
+            // 3000 visible ones cross the SCAN_CHUNK boundary.
+            let vis = brick.visibility(&Snapshot::committed(2));
+            for (qi, q) in differential_battery().iter().enumerate() {
+                let r = resolved(&cube, q);
+                let reference = scan_brick_shared(&brick, &vis, &r);
+                let fast = scan_brick_shared_vectorized(&brick, &vis, &r);
+                assert_eq!(
+                    reference.stats.rows_scanned, fast.stats.rows_scanned,
+                    "query {qi} ({storage:?}): rows_scanned"
+                );
+                assert_eq!(
+                    reference.stats.rows_visible, fast.stats.rows_visible,
+                    "query {qi} ({storage:?}): rows_visible"
+                );
+                assert_bits_identical(
+                    &QueryResult::finalize(&cube, &r, reference),
+                    &QueryResult::finalize(&cube, &r, fast),
+                    &format!("query {qi} ({storage:?})"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_ranges_kernel_matches_reference_bit_for_bit() {
+        for storage in [
+            crate::brick::DimStorage::Plain,
+            crate::brick::DimStorage::Bess,
+        ] {
+            let cube = cube();
+            let brick = big_brick(&cube, storage);
+            let ranges = brick.epochs().visible_ranges(&Snapshot::committed(2));
+            // Filterless shapes only: the engine takes the ranges path
+            // exactly when no filters survive resolution.
+            let battery = [
+                Query::aggregate(vec![
+                    Aggregation::new(AggFn::Sum, "likes"),
+                    Aggregation::new(AggFn::Count, "likes"),
+                    Aggregation::new(AggFn::Avg, "score"),
+                    Aggregation::new(AggFn::Min, "score"),
+                    Aggregation::new(AggFn::Max, "likes"),
+                ]),
+                Query::aggregate(vec![Aggregation::new(AggFn::Sum, "score")])
+                    .grouped_by("region")
+                    .grouped_by("day")
+                    .ordered_by(OrderBy::Aggregation(0), true)
+                    .limited(5),
+            ];
+            for (qi, q) in battery.iter().enumerate() {
+                let r = resolved(&cube, q);
+                let reference = scan_brick_ranges(&brick, &ranges, &r);
+                let fast = scan_brick_ranges_vectorized(&brick, &ranges, &r);
+                assert_eq!(
+                    reference.stats.rows_scanned, fast.stats.rows_scanned,
+                    "query {qi} ({storage:?}): rows_scanned"
+                );
+                assert_bits_identical(
+                    &QueryResult::finalize(&cube, &r, reference),
+                    &QueryResult::finalize(&cube, &r, fast),
+                    &format!("query {qi} ({storage:?})"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_selection_chunks_and_resumes_across_boundaries() {
+        let cube = cube();
+        let brick = big_brick(&cube, crate::brick::DimStorage::Plain);
+        // Hand-crafted ranges: an empty range, a gap, a range crossing
+        // the SCAN_CHUNK boundary mid-way, and a tail chunk.
+        let ranges = vec![0..1, 1..1, 3..700, 2040..2060, 4000..4500];
+        let expected_rows: u64 = ranges.iter().map(|r| r.end - r.start).sum();
+        let q = Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Avg, "score"),
+        ])
+        .grouped_by("region");
+        let r = resolved(&cube, &q);
+        let reference = scan_brick_ranges(&brick, &ranges, &r);
+        let fast = scan_brick_ranges_vectorized(&brick, &ranges, &r);
+        assert_eq!(reference.stats.rows_scanned, expected_rows);
+        assert_eq!(fast.stats.rows_scanned, expected_rows);
+        assert_bits_identical(
+            &QueryResult::finalize(&cube, &r, reference),
+            &QueryResult::finalize(&cube, &r, fast),
+            "hand-crafted ranges",
+        );
+    }
+
+    /// Regression (bug 2): rows whose metric cell is not numeric must
+    /// be skipped by Sum/Min/Max/Avg — not coerced to `0.0` — while
+    /// Count still counts the row. Before the fix `get_numeric(row)
+    /// .unwrap_or(0.0)` fed phantom zeros into every accumulator.
+    #[test]
+    fn non_numeric_metric_cells_are_skipped_not_zeroed() {
+        let cube = cube();
+        let mut brick = brick_with_data(&cube);
+        // The schema cannot produce a non-numeric metric cell, so
+        // inject one: replace "score" with a dictionary-id column.
+        brick.replace_metric_for_test(1, Column::Str(vec![0, 1, 2]));
+        let q = Query::aggregate(vec![
+            Aggregation::new(AggFn::Count, "score"),
+            Aggregation::new(AggFn::Sum, "score"),
+            Aggregation::new(AggFn::Min, "score"),
+            Aggregation::new(AggFn::Max, "score"),
+            Aggregation::new(AggFn::Avg, "score"),
+        ]);
+        let r = resolved(&cube, &q);
+        let vis = brick.visibility(&Snapshot::committed(1));
+        let partials = [
+            ("reference", scan_brick_shared(&brick, &vis, &r)),
+            ("vectorized", scan_brick_shared_vectorized(&brick, &vis, &r)),
+        ];
+        for (kernel, partial) in partials {
+            let result = QueryResult::finalize(&cube, &r, partial);
+            let v = &result.rows[0].1;
+            assert_eq!(v[0], 3.0, "{kernel}: Count counts rows");
+            assert_eq!(v[1], 0.0, "{kernel}: Sum over no numeric cells");
+            assert_eq!(v[2], f64::INFINITY, "{kernel}: Min saw no value");
+            assert_eq!(v[3], f64::NEG_INFINITY, "{kernel}: Max saw no value");
+            assert!(
+                v[4].is_nan(),
+                "{kernel}: Avg of nothing is NaN, got {}",
+                v[4]
+            );
+        }
+    }
+
+    /// Regression (bug 3): `rows_scanned` is the number of rows the
+    /// kernel actually traversed pre-filter, not the brick's physical
+    /// row count — a historical snapshot that hides a suffix must not
+    /// inflate the stat.
+    #[test]
+    fn rows_scanned_reports_traversed_rows_on_both_paths() {
+        let cube = cube();
+        let mut brick = brick_with_data(&cube);
+        brick.append(
+            3,
+            &[ParsedRecord {
+                bid: 0,
+                coords: vec![1, 4],
+                metrics: vec![Value::I64(999), Value::F64(9.9)],
+            }],
+        );
+        assert_eq!(brick.row_count(), 4);
+        let snap = Snapshot::committed(1);
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")]);
+        let r = resolved(&cube, &q);
+        let vis = brick.visibility(&snap);
+        let ranges = brick.epochs().visible_ranges(&snap);
+        assert_eq!(scan_brick_shared(&brick, &vis, &r).stats.rows_scanned, 3);
+        assert_eq!(
+            scan_brick_shared_vectorized(&brick, &vis, &r)
+                .stats
+                .rows_scanned,
+            3
+        );
+        assert_eq!(scan_brick_ranges(&brick, &ranges, &r).stats.rows_scanned, 3);
+        assert_eq!(
+            scan_brick_ranges_vectorized(&brick, &ranges, &r)
+                .stats
+                .rows_scanned,
+            3
+        );
+    }
+
+    #[test]
+    fn filter_set_membership_ranges_and_coverage() {
+        let small = FilterSet::from_coords([5u32, 1, 3, 3]);
+        assert!(small.bitset.is_some(), "small ids get a dense bitset");
+        assert!(small.contains(1) && small.contains(3) && small.contains(5));
+        assert!(!small.contains(0) && !small.contains(2) && !small.contains(4));
+        assert!(!small.contains(1_000_000), "probe past the bitset");
+        assert!(small.intersects_range(4, 6));
+        assert!(!small.intersects_range(6, u32::MAX));
+        assert!(!small.covers_all(6));
+
+        let big = FilterSet::from_coords([FILTER_BITSET_MAX + 7, 2]);
+        assert!(big.bitset.is_none(), "large ids fall back to binary search");
+        assert!(big.contains(FILTER_BITSET_MAX + 7) && big.contains(2));
+        assert!(!big.contains(3));
+
+        let full = FilterSet::from_coords(0..4u32);
+        assert!(full.covers_all(4));
+        assert!(!full.covers_all(5));
+
+        let empty = FilterSet::from_coords(std::iter::empty::<u32>());
+        assert!(!empty.contains(0));
+        assert!(!empty.intersects_range(0, u32::MAX));
+    }
+
+    /// A filter accepting every storable coordinate cannot reject a
+    /// row: resolve drops it, so the scan takes the cheaper
+    /// unfiltered ranges path with identical semantics.
+    #[test]
+    fn exhaustive_filter_is_dropped_at_resolve() {
+        let cube = cube();
+        let all_days: Vec<Value> = (0..8i64).map(Value::from).collect();
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")])
+            .filter(DimFilter::new("day", all_days));
+        assert!(resolved(&cube, &q).filters.is_empty());
+        let most_days: Vec<Value> = (0..7i64).map(Value::from).collect();
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")])
+            .filter(DimFilter::new("day", most_days));
+        assert_eq!(resolved(&cube, &q).filters.len(), 1);
     }
 }

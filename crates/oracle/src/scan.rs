@@ -26,8 +26,8 @@
 //! [`compare_paths`] reports the divergence.
 
 use aosi::Snapshot;
-use cubrick::{Engine, QueryResult, ScanConfig};
-use workload::ops::{oracle_schema, LogicalOp, Schedule};
+use cubrick::{AggFn, Aggregation, DimStorage, Engine, OrderBy, Query, QueryResult, ScanConfig};
+use workload::ops::{oracle_schema, LogicalOp, Schedule, DAY_CARD};
 
 use crate::checks::{build_query, NUM_QUERIES};
 use crate::harness::Divergence;
@@ -56,13 +56,107 @@ pub struct ScanReport {
 }
 
 /// Builds the engine the scan oracle drives: oracle cube, parallel
-/// threshold 1 (every multi-brick query fans out), warm cache.
+/// threshold 1 (every multi-brick query fans out), warm cache, plain
+/// dimension storage.
 pub fn scan_engine() -> Engine {
-    let engine = Engine::new(2).with_scan_config(ScanConfig::parallel_cached(CACHE_CAPACITY));
+    scan_engine_with(DimStorage::Plain)
+}
+
+/// [`scan_engine`] with a chosen brick dimension layout — bess-packed
+/// bricks route the kernels through the gather fallback instead of
+/// per-dimension slices.
+pub fn scan_engine_with(storage: DimStorage) -> Engine {
+    let engine = Engine::new(2)
+        .with_scan_config(ScanConfig::parallel_cached(CACHE_CAPACITY))
+        .with_dim_storage(storage);
     engine
         .create_cube(oracle_schema())
         .expect("oracle schema registers");
     engine
+}
+
+/// Size of the scan-only differential battery: the shared AOSI-vs-MVCC
+/// check queries plus scan-specific shapes (ORDER BY + LIMIT, an
+/// exhaustive filter the resolver drops, an empty coordinate set, and
+/// a multi-filter Min/Max) that only need kernel-vs-kernel agreement
+/// and therefore don't burden the MVCC model in `crate::checks`.
+pub const NUM_SCAN_QUERIES: usize = NUM_QUERIES + 5;
+
+/// Builds scan-battery query `idx`; indexes below [`NUM_QUERIES`] are
+/// the shared [`build_query`] battery.
+pub fn build_scan_query(idx: usize) -> Query {
+    if idx < NUM_QUERIES {
+        return build_query(idx);
+    }
+    match idx - NUM_QUERIES {
+        // Top-k groups by aggregate, descending: ORDER BY + LIMIT
+        // over multi-dimension group keys.
+        0 => Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Count, ""),
+        ])
+        .grouped_by("region")
+        .grouped_by("day")
+        .ordered_by(OrderBy::Aggregation(0), true)
+        .limited(5),
+        // Filtered Avg with a dimension-ordered, limited result.
+        1 => Query::aggregate(vec![
+            Aggregation::new(AggFn::Avg, "score"),
+            Aggregation::new(AggFn::Max, "likes"),
+        ])
+        .filter(DimFilter::new(
+            "day",
+            vec![Value::I64(1), Value::I64(6), Value::I64(11)],
+        ))
+        .grouped_by("region")
+        .ordered_by(OrderBy::Dimension("region".into()), false)
+        .limited(6),
+        // Exhaustive day filter: accepts every storable coordinate,
+        // so the resolver drops it and the scan must take the
+        // unfiltered ranges path with identical answers.
+        2 => Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Min, "score"),
+            Aggregation::new(AggFn::Max, "score"),
+        ])
+        .filter(DimFilter::new(
+            "day",
+            (0..DAY_CARD as i64).map(Value::I64).collect(),
+        ))
+        .grouped_by("region"),
+        // Strings with no dictionary id: an empty coordinate set that
+        // must match nothing on every path.
+        3 => Query::aggregate(vec![
+            Aggregation::new(AggFn::Count, ""),
+            Aggregation::new(AggFn::Sum, "likes"),
+        ])
+        .filter(DimFilter::new(
+            "region",
+            vec![Value::Str("zz".into()), Value::Str("yy".into())],
+        )),
+        // Two filters at once, Min/Max only: the conjunctive
+        // selection-vector compaction.
+        4 => Query::aggregate(vec![
+            Aggregation::new(AggFn::Min, "likes"),
+            Aggregation::new(AggFn::Max, "likes"),
+            Aggregation::new(AggFn::Min, "score"),
+        ])
+        .filter(DimFilter::new(
+            "region",
+            vec![
+                Value::Str("r0".into()),
+                Value::Str("r2".into()),
+                Value::Str("r4".into()),
+            ],
+        ))
+        .filter(DimFilter::new(
+            "day",
+            vec![Value::I64(2), Value::I64(5), Value::I64(9), Value::I64(11)],
+        ))
+        .grouped_by("day")
+        .ordered_by(OrderBy::Aggregation(1), true),
+        other => unreachable!("no scan check query {other}"),
+    }
 }
 
 fn fail(op_index: Option<usize>, detail: impl Into<String>) -> Divergence {
@@ -109,8 +203,8 @@ pub fn compare_paths(
     label: &str,
 ) -> Result<u64, Divergence> {
     let mut comparisons = 0;
-    for idx in 0..NUM_QUERIES {
-        let query = build_query(idx);
+    for idx in 0..NUM_SCAN_QUERIES {
+        let query = build_scan_query(idx);
         let fast = engine
             .query_at(ORACLE_CUBE, &query, snapshot)
             .map_err(|e| fail(op_index, format!("{label} q{idx} fast path failed: {e}")))?;
@@ -228,6 +322,14 @@ impl ScanState {
 /// sweeps the full readable window twice (cold, then warm cache).
 /// Returns counters on agreement or the first [`Divergence`].
 pub fn run_scan_schedule(schedule: &Schedule) -> Result<ScanReport, Divergence> {
+    run_scan_schedule_with(schedule, DimStorage::Plain)
+}
+
+/// [`run_scan_schedule`] with a chosen brick dimension layout.
+pub fn run_scan_schedule_with(
+    schedule: &Schedule,
+    storage: DimStorage,
+) -> Result<ScanReport, Divergence> {
     let max_slot = schedule
         .ops
         .iter()
@@ -242,7 +344,7 @@ pub fn run_scan_schedule(schedule: &Schedule) -> Result<ScanReport, Divergence> 
         .max()
         .unwrap_or(0);
     let mut state = ScanState {
-        engine: scan_engine(),
+        engine: scan_engine_with(storage),
         slots: (0..=max_slot).map(|_| None).collect(),
         comparisons: 0,
         parallel_tasks: 0,

@@ -11,8 +11,9 @@
 
 use aosi::Snapshot;
 use columnar::Value;
+use cubrick::DimStorage;
 use oracle::checks::build_query;
-use oracle::scan::{compare_paths, run_scan_schedule, scan_engine};
+use oracle::scan::{compare_paths, run_scan_schedule_with, scan_engine};
 use workload::ops::{GenConfig, Schedule, ORACLE_CUBE};
 
 /// Shorter schedules than the MVCC oracle's default: each seed's
@@ -29,10 +30,18 @@ fn cfg() -> GenConfig {
 
 fn check_scan_seed(seed: u64) -> oracle::ScanReport {
     let schedule = Schedule::generate(seed, &cfg());
-    match run_scan_schedule(&schedule) {
+    // Every third seed runs on bess-packed bricks, so the corpus
+    // exercises the kernels' gather fallback as well as the
+    // per-dimension slice fast path.
+    let storage = if seed % 3 == 0 {
+        DimStorage::Bess
+    } else {
+        DimStorage::Plain
+    };
+    match run_scan_schedule_with(&schedule, storage) {
         Ok(report) => report,
         Err(divergence) => panic!(
-            "scan oracle diverged on seed {seed}: {divergence}\n\
+            "scan oracle diverged on seed {seed} ({storage:?}): {divergence}\n\
              reproduce: AOSI_SCAN_SEEDS={seed} cargo test -p oracle --test scan_oracle"
         ),
     }

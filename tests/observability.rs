@@ -67,6 +67,52 @@ fn query_results_carry_populated_stats_end_to_end() {
     );
 }
 
+/// Regression: `rows_scanned` counts the rows a scan actually
+/// traversed, not the brick's physical row count. On the unfiltered
+/// visible-ranges path an open transaction's uncommitted suffix is
+/// never walked — before the fix the stat still reported every
+/// stored row.
+#[test]
+fn rows_scanned_excludes_rows_hidden_from_the_snapshot() {
+    let engine = Engine::new(2);
+    engine.create_cube(schema()).unwrap();
+    let rows: Vec<_> = (0..100).map(|i| row("us", i % 32, 1)).collect();
+    engine.load("events", &rows, 0).unwrap();
+    // An open (never committed) transaction appends 40 more rows:
+    // physically stored, invisible to committed snapshots.
+    let txn = engine.begin();
+    let pending: Vec<_> = (0..40).map(|i| row("br", i % 32, 1)).collect();
+    engine.append("events", &pending, &txn).unwrap();
+
+    // Unfiltered: ranges path. Only the 100 committed rows are walked.
+    let unfiltered = engine
+        .query("events", &sum_query(), IsolationMode::Snapshot)
+        .unwrap();
+    assert_eq!(unfiltered.scalar(), Some(100.0));
+    assert!(unfiltered.stats.range_scans >= 1);
+    assert_eq!(unfiltered.stats.rows_scanned, 100);
+    assert_eq!(unfiltered.stats.rows_visible, 100);
+
+    // Filtered: bitmap path. Same traversal accounting.
+    let filtered = engine
+        .query(
+            "events",
+            &sum_query().filter(DimFilter::new("region", vec![Value::from("us")])),
+            IsolationMode::Snapshot,
+        )
+        .unwrap();
+    assert!(filtered.stats.bitmap_scans >= 1);
+    assert_eq!(filtered.stats.rows_scanned, 100);
+    assert_eq!(filtered.stats.rows_visible, 100);
+
+    // Read-uncommitted sees (and traverses) everything.
+    let dirty = engine
+        .query("events", &sum_query(), IsolationMode::ReadUncommitted)
+        .unwrap();
+    assert_eq!(dirty.scalar(), Some(140.0));
+    assert_eq!(dirty.stats.rows_scanned, 140);
+}
+
 #[test]
 fn metrics_report_covers_every_single_node_subsystem() {
     let engine = Engine::new(2);

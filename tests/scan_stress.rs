@@ -24,7 +24,7 @@ use std::sync::Arc;
 use aosi::Snapshot;
 use checker::{SiChecker, TxnEvent};
 use columnar::{Row, Value};
-use cubrick::{CubrickError, Engine, ScanConfig};
+use cubrick::{CubrickError, DimStorage, Engine, ScanConfig, ScanKernel};
 use oracle::checks::{build_query, fingerprint, normalize, NUM_QUERIES};
 use oracle::compare_paths;
 use workload::ops::{oracle_schema, ORACLE_CUBE};
@@ -187,4 +187,65 @@ fn concurrent_writers_and_cached_readers_stay_si_consistent() {
         )
         .unwrap();
     assert_eq!(total.rows[0].1[0], expected as f64, "row count drifted");
+}
+
+/// BESS-packed bricks through the full scan battery (which includes
+/// GROUP BY + ORDER BY + LIMIT and empty/full coordinate-set filter
+/// shapes via `oracle::compare_paths`), in both cold- and warm-cache
+/// configurations. Bess bricks have no per-dimension slices, so this
+/// pins the kernels' gather fallback against the row-at-a-time
+/// reference at every epoch, including an open transaction's
+/// snapshot with a non-empty deps set.
+#[test]
+fn bess_bricks_agree_with_reference_cold_and_warm() {
+    let configs = [
+        (
+            "cold",
+            ScanConfig {
+                parallel_threshold: 1,
+                cache_capacity: 0,
+                kernel: ScanKernel::Vectorized,
+            },
+        ),
+        ("warm", ScanConfig::parallel_cached(4096)),
+    ];
+    for (label, config) in configs {
+        let engine = Engine::new(4)
+            .with_scan_config(config)
+            .with_dim_storage(DimStorage::Bess);
+        engine.create_cube(oracle_schema()).unwrap();
+        for round in 0..8 {
+            engine
+                .load(ORACLE_CUBE, &gen_rows(round, round), 0)
+                .unwrap();
+        }
+        // An open transaction: its uncommitted rows must stay
+        // invisible to committed snapshots on both paths.
+        let txn = engine.begin();
+        engine.append(ORACLE_CUBE, &gen_rows(50, 1), &txn).unwrap();
+        let (lse, lce) = (engine.manager().lse(), engine.manager().lce());
+        for pass in 0..2 {
+            for epoch in lse..=lce {
+                let snapshot = Snapshot::committed(epoch);
+                compare_paths(
+                    &engine,
+                    &snapshot,
+                    None,
+                    &format!("bess {label} pass {pass}"),
+                )
+                .unwrap_or_else(|d| panic!("bess {label} diverged: {d}"));
+            }
+        }
+        let in_txn = txn.snapshot().clone();
+        compare_paths(&engine, &in_txn, None, &format!("bess {label} in-txn"))
+            .unwrap_or_else(|d| panic!("bess {label} in-txn diverged: {d}"));
+        match engine.visibility_cache_stats() {
+            Some(stats) => {
+                assert_eq!(label, "warm");
+                assert!(stats.hits > 0, "warm run never hit the cache: {stats:?}");
+            }
+            None => assert_eq!(label, "cold", "cold config must disable the cache"),
+        }
+        engine.commit(&txn).unwrap();
+    }
 }
