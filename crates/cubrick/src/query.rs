@@ -224,6 +224,13 @@ pub(crate) struct Acc {
     count: u64,
     min: f64,
     max: f64,
+    /// Whether any numeric value was folded into `min`/`max`. The
+    /// `±INFINITY` identities must never escape finalization: a
+    /// `Min`/`Max` over zero numeric observations finalizes to `NaN`
+    /// (SQL NULL), exactly like `Avg` — `±inf` is not representable
+    /// in JSON and is indistinguishable from a legitimate infinite
+    /// metric at the result surface.
+    seen: bool,
 }
 
 impl Default for Acc {
@@ -233,6 +240,7 @@ impl Default for Acc {
             count: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            seen: false,
         }
     }
 }
@@ -243,6 +251,7 @@ impl Acc {
         self.count += 1;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        self.seen = true;
     }
 
     fn merge(&mut self, other: &Acc) {
@@ -250,14 +259,27 @@ impl Acc {
         self.count += other.count;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.seen |= other.seen;
     }
 
     fn finalize(&self, func: AggFn) -> f64 {
         match func {
             AggFn::Sum => self.sum,
             AggFn::Count => self.count as f64,
-            AggFn::Min => self.min,
-            AggFn::Max => self.max,
+            AggFn::Min => {
+                if self.seen {
+                    self.min
+                } else {
+                    f64::NAN
+                }
+            }
+            AggFn::Max => {
+                if self.seen {
+                    self.max
+                } else {
+                    f64::NAN
+                }
+            }
             AggFn::Avg => {
                 if self.count == 0 {
                     f64::NAN
@@ -823,6 +845,7 @@ fn fused_accumulate(brick: &Brick, func: AggFn, metric: usize, sel: &[u32], acc:
                 min = min.min(v[row as usize] as f64);
             }
             acc.min = min;
+            acc.seen = true;
         }
         (AggFn::Min, Column::F64(v)) => {
             let mut min = acc.min;
@@ -830,6 +853,7 @@ fn fused_accumulate(brick: &Brick, func: AggFn, metric: usize, sel: &[u32], acc:
                 min = min.min(v[row as usize]);
             }
             acc.min = min;
+            acc.seen = true;
         }
         (AggFn::Max, Column::I64(v)) => {
             let mut max = acc.max;
@@ -837,6 +861,7 @@ fn fused_accumulate(brick: &Brick, func: AggFn, metric: usize, sel: &[u32], acc:
                 max = max.max(v[row as usize] as f64);
             }
             acc.max = max;
+            acc.seen = true;
         }
         (AggFn::Max, Column::F64(v)) => {
             let mut max = acc.max;
@@ -844,6 +869,7 @@ fn fused_accumulate(brick: &Brick, func: AggFn, metric: usize, sel: &[u32], acc:
                 max = max.max(v[row as usize]);
             }
             acc.max = max;
+            acc.seen = true;
         }
         // Non-numeric cells are skipped — the vectorized twin of the
         // reference kernel's `get_numeric` miss.
@@ -914,24 +940,28 @@ fn fused_accumulate_dense(
             for (&row, &key) in sel.iter().zip(keys) {
                 let acc = &mut dense[slot(key)];
                 acc.min = acc.min.min(v[row as usize] as f64);
+                acc.seen = true;
             }
         }
         (AggFn::Min, Column::F64(v)) => {
             for (&row, &key) in sel.iter().zip(keys) {
                 let acc = &mut dense[slot(key)];
                 acc.min = acc.min.min(v[row as usize]);
+                acc.seen = true;
             }
         }
         (AggFn::Max, Column::I64(v)) => {
             for (&row, &key) in sel.iter().zip(keys) {
                 let acc = &mut dense[slot(key)];
                 acc.max = acc.max.max(v[row as usize] as f64);
+                acc.seen = true;
             }
         }
         (AggFn::Max, Column::F64(v)) => {
             for (&row, &key) in sel.iter().zip(keys) {
                 let acc = &mut dense[slot(key)];
                 acc.max = acc.max.max(v[row as usize]);
+                acc.seen = true;
             }
         }
         // Non-numeric cells are skipped (Count above still counted).
@@ -1157,6 +1187,27 @@ fn merge_accs(groups: &mut HashMap<u64, Vec<Acc>>, key: u64, accs: Vec<Acc>) {
     }
 }
 
+/// Total ordering for `ORDER BY <agg>` values: NaN (the finalization
+/// of an empty-group `Min`/`Max`/`Avg`, i.e. SQL NULL) sorts last in
+/// both directions — `desc` reverses only the comparison between
+/// non-NaN values. Built on `f64::total_cmp` so the comparator is
+/// total even among NaN payloads; `partial_cmp(..).unwrap_or(Equal)`
+/// is NOT total under NaN and lets output order drift across merges.
+fn cmp_aggs_nan_last(a: f64, b: f64, desc: bool) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => {
+            if desc {
+                b.total_cmp(&a)
+            } else {
+                a.total_cmp(&b)
+            }
+        }
+    }
+}
+
 fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
     match (a, b) {
         (Value::Str(x), Value::Str(y)) => x.cmp(y),
@@ -1184,7 +1235,7 @@ impl QueryResult {
     pub(crate) fn finalize(cube: &Cube, resolved: &ResolvedQuery, partial: PartialResult) -> Self {
         // Deterministic output order: by packed group key.
         let ordered: BTreeMap<u64, Vec<Acc>> = partial.groups.into_iter().collect();
-        let mut rows: Vec<(Vec<Value>, Vec<f64>)> = ordered
+        let mut rows: Vec<(u64, Vec<Value>, Vec<f64>)> = ordered
             .into_iter()
             .map(|(key, accs)| {
                 let decoded = match &resolved.group_by {
@@ -1200,29 +1251,39 @@ impl QueryResult {
                     .zip(&resolved.aggs)
                     .map(|(acc, &(func, _))| acc.finalize(func))
                     .collect();
-                (decoded, values)
+                (key, decoded, values)
             })
             .collect();
         if let Some((order, desc)) = &resolved.order_by {
-            match order {
-                ResolvedOrder::Aggregation(idx) => rows.sort_by(|a, b| {
-                    a.1[*idx]
-                        .partial_cmp(&b.1[*idx])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                }),
-                ResolvedOrder::GroupKey(pos) => {
-                    rows.sort_by(|a, b| compare_values(&a.0[*pos], &b.0[*pos]))
-                }
-            }
-            if *desc {
-                rows.reverse();
-            }
+            // Ordering conventions: the comparator itself is reversed
+            // for DESC (never `rows.reverse()`, which would flip tie
+            // order and make `DESC LIMIT n` keep different tied groups
+            // than a descending comparator); ties always break by
+            // ascending packed group key; NaN aggregates (empty-group
+            // Min/Max/Avg) sort last in BOTH directions, via
+            // `f64::total_cmp` so the comparator stays total.
+            rows.sort_by(|a, b| {
+                let primary = match order {
+                    ResolvedOrder::Aggregation(idx) => {
+                        cmp_aggs_nan_last(a.2[*idx], b.2[*idx], *desc)
+                    }
+                    ResolvedOrder::GroupKey(pos) => {
+                        let ord = compare_values(&a.1[*pos], &b.1[*pos]);
+                        if *desc {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    }
+                };
+                primary.then(a.0.cmp(&b.0))
+            });
         }
         if let Some(limit) = resolved.limit {
             rows.truncate(limit);
         }
         QueryResult {
-            rows,
+            rows: rows.into_iter().map(|(_, k, v)| (k, v)).collect(),
             stats: partial.stats,
         }
     }
@@ -1776,14 +1837,103 @@ mod tests {
             let v = &result.rows[0].1;
             assert_eq!(v[0], 3.0, "{kernel}: Count counts rows");
             assert_eq!(v[1], 0.0, "{kernel}: Sum over no numeric cells");
-            assert_eq!(v[2], f64::INFINITY, "{kernel}: Min saw no value");
-            assert_eq!(v[3], f64::NEG_INFINITY, "{kernel}: Max saw no value");
+            // Min/Max over zero numeric observations finalize to NaN
+            // (SQL NULL) like Avg — the `±INFINITY` fold identities
+            // must never leak to the result surface (they are not
+            // representable in JSON and are indistinguishable from a
+            // genuinely infinite metric).
+            assert!(v[2].is_nan(), "{kernel}: Min saw no value, got {}", v[2]);
+            assert!(v[3].is_nan(), "{kernel}: Max saw no value, got {}", v[3]);
             assert!(
                 v[4].is_nan(),
                 "{kernel}: Avg of nothing is NaN, got {}",
                 v[4]
             );
         }
+    }
+
+    /// Regression: `ORDER BY <agg>` must use a *total* comparator
+    /// with NaN sorting last in both directions. Before the fix the
+    /// comparator was `partial_cmp(..).unwrap_or(Equal)`, which under
+    /// a NaN aggregate (e.g. `Avg` of a group with no numeric cells)
+    /// is non-total: the NaN row compares Equal to everything and
+    /// stays wherever the pre-sort packed-key order left it — here,
+    /// first — instead of sorting last.
+    #[test]
+    fn order_by_agg_puts_nan_last_in_both_directions() {
+        let cube = cube();
+        let dict = cube.dictionaries()[0].as_ref().unwrap();
+        dict.lock().encode("us");
+        let mut brick = Brick::new(cube.schema());
+        // day=0 carries a literal NaN score (so its Avg is NaN) and
+        // owns the smallest packed group key: pre-fix, the ascending
+        // stable sort leaves it FIRST (NaN compares Equal to
+        // everything under `partial_cmp(..).unwrap_or(Equal)`, and
+        // the pre-sort BTreeMap order is by packed key).
+        let scores = [f64::NAN, 5.0, 1.0];
+        let recs: Vec<ParsedRecord> = scores
+            .iter()
+            .enumerate()
+            .map(|(day, &score)| ParsedRecord {
+                bid: 0,
+                coords: vec![0, day as u32],
+                metrics: vec![Value::I64(1), Value::F64(score)],
+            })
+            .collect();
+        brick.append(1, &recs);
+        for desc in [false, true] {
+            let q = Query::aggregate(vec![Aggregation::new(AggFn::Avg, "score")])
+                .grouped_by("day")
+                .ordered_by(OrderBy::Aggregation(0), desc);
+            let r = resolved(&cube, &q);
+            let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
+            let result = QueryResult::finalize(&cube, &r, partial);
+            assert_eq!(result.rows.len(), 3);
+            let aggs: Vec<f64> = result.rows.iter().map(|(_, v)| v[0]).collect();
+            assert!(
+                aggs[2].is_nan(),
+                "desc={desc}: NaN group must sort last, got {aggs:?}"
+            );
+            let numeric: Vec<f64> = aggs[..2].to_vec();
+            let expected = if desc { vec![5.0, 1.0] } else { vec![1.0, 5.0] };
+            assert_eq!(numeric, expected, "desc={desc}: non-NaN prefix order");
+        }
+    }
+
+    /// Regression: `DESC` must reverse the *comparator*, not the
+    /// sorted rows. Before the fix, DESC was a stable ascending sort
+    /// followed by `rows.reverse()` — which also reverses the order
+    /// of tied groups, so `ORDER BY .. DESC LIMIT n` kept the
+    /// highest-keyed tied groups instead of the lowest-keyed ones.
+    /// Ties must break by ascending packed group key regardless of
+    /// direction.
+    #[test]
+    fn desc_ties_break_by_ascending_group_key_under_limit() {
+        let cube = cube();
+        let dict = cube.dictionaries()[0].as_ref().unwrap();
+        dict.lock().encode("us");
+        let mut brick = Brick::new(cube.schema());
+        // Four day groups, all with sum(likes) == 7 (tied).
+        let recs: Vec<ParsedRecord> = (0..4u32)
+            .map(|day| ParsedRecord {
+                bid: 0,
+                coords: vec![0, day],
+                metrics: vec![Value::I64(7), Value::F64(0.0)],
+            })
+            .collect();
+        brick.append(1, &recs);
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .grouped_by("day")
+            .ordered_by(OrderBy::Aggregation(0), true)
+            .limited(2);
+        let r = resolved(&cube, &q);
+        let partial = scan_brick_shared(&brick, &brick.visibility(&Snapshot::committed(1)), &r);
+        let result = QueryResult::finalize(&cube, &r, partial);
+        let days: Vec<Value> = result.rows.iter().map(|(k, _)| k[0].clone()).collect();
+        // Pre-fix: reverse() emitted days [3, 2]. The descending
+        // comparator with ascending-key tie-break keeps [0, 1].
+        assert_eq!(days, vec![Value::I64(0), Value::I64(1)]);
+        assert_eq!(result.rows[0].1[0], 7.0);
     }
 
     /// Regression (bug 3): `rows_scanned` is the number of rows the

@@ -3,6 +3,8 @@
 use super::parser::Statement;
 use super::SqlError;
 use crate::engine::{Engine, IsolationMode};
+use crate::query::{Query, ScanStats};
+use columnar::Value;
 
 /// The result of executing one statement.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,7 +53,10 @@ impl SqlOutput {
     }
 }
 
-fn render_float(v: f64) -> String {
+/// Renders one aggregate cell for the console table: NaN (SQL NULL)
+/// renders as `NULL`, integral values without a fraction, everything
+/// else with four decimals.
+pub fn render_float(v: f64) -> String {
     if v.is_nan() {
         "NULL".to_owned()
     } else if v.fract() == 0.0 && v.abs() < 1e15 {
@@ -61,13 +66,102 @@ fn render_float(v: f64) -> String {
     }
 }
 
+/// A typed SELECT result: the wire-protocol layer renders these rows
+/// itself (JSON `null` for NaN aggregates, numbers for numbers),
+/// while the console path stringifies them via [`render_float`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectOutcome {
+    /// Column headers: the group-by dimensions followed by the
+    /// aggregations in request order (or `rows` for an
+    /// aggregation-free SELECT).
+    pub columns: Vec<String>,
+    /// One row per group: decoded group-key values plus aggregate
+    /// values. NaN aggregates are SQL NULL (empty-group
+    /// `Min`/`Max`/`Avg`).
+    pub rows: Vec<(Vec<Value>, Vec<f64>)>,
+    /// Scan counters from the underlying query.
+    pub stats: ScanStats,
+}
+
+/// Executes one SELECT and returns typed rows.
+///
+/// `as_of` pins the read to an explicit epoch via the guarded
+/// [`Engine::query_as_of`] window check; `None` reads the freshest
+/// committed snapshot. Result-shape conventions shared by every
+/// result surface:
+///
+/// * an aggregation-free SELECT yields one `rows` column holding the
+///   visible row count;
+/// * an ungrouped aggregation over an empty set yields one row —
+///   COUNT is `0.0`, every other aggregate is NaN (SQL NULL).
+pub fn execute_select(
+    engine: &Engine,
+    cube: &str,
+    query: &Query,
+    as_of: Option<u64>,
+) -> Result<SelectOutcome, SqlError> {
+    let result = match as_of {
+        Some(epoch) => engine.query_as_of(cube, query, epoch)?,
+        None => engine.query(cube, query, IsolationMode::Snapshot)?,
+    };
+    let mut columns = Vec::new();
+    for group in &query.group_by {
+        columns.push(group.clone());
+    }
+    for agg in &query.aggregations {
+        let metric = if agg.metric.is_empty() {
+            "*"
+        } else {
+            &agg.metric
+        };
+        columns.push(format!("{:?}({})", agg.func, metric).to_lowercase());
+    }
+    let mut rows: Vec<(Vec<Value>, Vec<f64>)>;
+    if query.aggregations.is_empty() {
+        // An aggregation-free SELECT still reports the visible row
+        // count (useful for the single-column dataset).
+        columns.push("rows".into());
+        rows = vec![(Vec::new(), vec![result.stats.rows_visible as f64])];
+    } else {
+        rows = result.rows;
+        // SQL semantics for an ungrouped aggregation over an empty
+        // set: one row — COUNT is 0, the rest are NULL.
+        if rows.is_empty() && query.group_by.is_empty() {
+            rows.push((
+                Vec::new(),
+                query
+                    .aggregations
+                    .iter()
+                    .map(|a| match a.func {
+                        crate::query::AggFn::Count => 0.0,
+                        _ => f64::NAN,
+                    })
+                    .collect(),
+            ));
+        }
+    }
+    Ok(SelectOutcome {
+        columns,
+        rows,
+        stats: result.stats,
+    })
+}
+
 /// Parses and executes one statement against `engine`.
 ///
 /// Queries run under snapshot isolation (the system's default mode);
 /// inserts and deletes are implicit transactions, exactly like the
 /// engine's native API.
 pub fn execute(engine: &Engine, sql: &str) -> Result<SqlOutput, SqlError> {
-    let statement = super::parser::parse(sql)?;
+    execute_statement(engine, super::parser::parse(sql)?)
+}
+
+/// Executes one already-parsed statement against `engine`.
+///
+/// Split from [`execute`] so callers that inspect or rewrite the
+/// statement first (the server overlays session-pinned `AS OF`
+/// epochs) don't parse twice.
+pub fn execute_statement(engine: &Engine, statement: Statement) -> Result<SqlOutput, SqlError> {
     match statement {
         Statement::CreateCube(schema) => {
             let name = schema.name.clone();
@@ -85,53 +179,18 @@ pub fn execute(engine: &Engine, sql: &str) -> Result<SqlOutput, SqlError> {
             )))
         }
         Statement::Select { cube, query, as_of } => {
-            let result = match as_of {
-                Some(epoch) => engine.query_as_of(&cube, &query, epoch)?,
-                None => engine.query(&cube, &query, IsolationMode::Snapshot)?,
-            };
-            let mut columns = Vec::new();
-            for group in &query.group_by {
-                columns.push(group.clone());
-            }
-            for agg in &query.aggregations {
-                let metric = if agg.metric.is_empty() {
-                    "*"
-                } else {
-                    &agg.metric
-                };
-                columns.push(format!("{:?}({})", agg.func, metric).to_lowercase());
-            }
-            // An aggregation-free SELECT still reports the visible
-            // row count (useful for the single-column dataset).
-            if query.aggregations.is_empty() {
-                columns.push("rows".into());
-            }
-            let mut rows_out = Vec::new();
-            if query.aggregations.is_empty() {
-                rows_out.push(vec![result.stats.rows_visible.to_string()]);
-            } else {
-                for (keys, values) in &result.rows {
+            let outcome = execute_select(engine, &cube, &query, as_of)?;
+            let rows_out = outcome
+                .rows
+                .iter()
+                .map(|(keys, values)| {
                     let mut row: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
                     row.extend(values.iter().map(|&v| render_float(v)));
-                    rows_out.push(row);
-                }
-                // SQL semantics for an ungrouped aggregation over an
-                // empty set: one row — COUNT is 0, the rest are NULL.
-                if rows_out.is_empty() && query.group_by.is_empty() {
-                    rows_out.push(
-                        query
-                            .aggregations
-                            .iter()
-                            .map(|a| match a.func {
-                                crate::query::AggFn::Count => "0".to_owned(),
-                                _ => "NULL".to_owned(),
-                            })
-                            .collect(),
-                    );
-                }
-            }
+                    row
+                })
+                .collect();
             Ok(SqlOutput::Table {
-                columns,
+                columns: outcome.columns,
                 rows: rows_out,
             })
         }

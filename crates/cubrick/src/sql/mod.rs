@@ -45,7 +45,9 @@ mod exec;
 mod lexer;
 mod parser;
 
-pub use exec::{execute, SqlOutput};
+pub use exec::{
+    execute, execute_select, execute_statement, render_float, SelectOutcome, SqlOutput,
+};
 pub use parser::{parse, Statement};
 
 /// Errors from the SQL layer.

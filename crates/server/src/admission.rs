@@ -1,0 +1,189 @@
+//! Per-query admission control: a bounded in-flight semaphore with a
+//! bounded, time-limited wait queue.
+//!
+//! The engine's `ShardPool` parallelizes one scan across cores; it
+//! has no notion of *how many* scans should run at once. Layering a
+//! semaphore above it turns overload into typed backpressure instead
+//! of unbounded thread pileup: up to `max_inflight` queries execute,
+//! up to `max_queue` more wait at most `queue_timeout`, and everyone
+//! else is rejected immediately with a 429-style [`Saturated`]
+//! outcome the client can retry against.
+//!
+//! [`Saturated`]: AdmitError::Saturated
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use obs::{Counter, Gauge, Histogram};
+
+/// Why a query was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The in-flight limit and the wait queue are both full, or the
+    /// wait timed out. Maps to HTTP 429.
+    Saturated,
+}
+
+/// Admission state + metrics. One per server.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max_inflight: usize,
+    max_queue: usize,
+    queue_timeout: Duration,
+    state: Mutex<GateState>,
+    freed: Condvar,
+    /// Queries admitted (including after a queue wait).
+    pub admitted: Counter,
+    /// Queries rejected at the door or after a timed-out wait.
+    pub rejected: Counter,
+    /// High-water mark of the wait queue.
+    pub queue_high_water: Gauge,
+    /// Nanoseconds spent waiting for admission (admitted queries
+    /// only; a zero-wait admit records 0).
+    pub queue_wait_nanos: Histogram,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    inflight: usize,
+    queued: usize,
+}
+
+impl AdmissionGate {
+    /// A gate admitting `max_inflight` concurrent queries with up to
+    /// `max_queue` waiters. `max_inflight == 0` rejects everything —
+    /// useful for testing the saturated path deterministically.
+    pub fn new(max_inflight: usize, max_queue: usize, queue_timeout: Duration) -> Self {
+        AdmissionGate {
+            max_inflight,
+            max_queue,
+            queue_timeout,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+            admitted: Counter::new(),
+            rejected: Counter::new(),
+            queue_high_water: Gauge::new(),
+            queue_wait_nanos: Histogram::new(),
+        }
+    }
+
+    /// Acquires one in-flight slot, waiting in the bounded queue if
+    /// necessary. The returned permit releases the slot on drop.
+    pub fn admit(&self) -> Result<Permit<'_>, AdmitError> {
+        let started = Instant::now();
+        let mut state = self.state.lock().unwrap();
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            self.admitted.inc();
+            self.queue_wait_nanos.record(0);
+            return Ok(Permit { gate: self });
+        }
+        if state.queued >= self.max_queue {
+            drop(state);
+            self.rejected.inc();
+            return Err(AdmitError::Saturated);
+        }
+        state.queued += 1;
+        self.queue_high_water.set_max(state.queued as u64);
+        let deadline = started + self.queue_timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                state.queued -= 1;
+                drop(state);
+                self.rejected.inc();
+                return Err(AdmitError::Saturated);
+            }
+            let (next, timeout) = self.freed.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+            if state.inflight < self.max_inflight {
+                state.queued -= 1;
+                state.inflight += 1;
+                self.admitted.inc();
+                self.queue_wait_nanos.record_duration(started.elapsed());
+                return Ok(Permit { gate: self });
+            }
+            // Spurious wake or someone else took the slot; loop
+            // unless the deadline passed.
+            let _ = timeout;
+        }
+    }
+
+    /// Current in-flight and queued counts (for gauges/tests).
+    pub fn depths(&self) -> (usize, usize) {
+        let state = self.state.lock().unwrap();
+        (state.inflight, state.queued)
+    }
+}
+
+/// RAII in-flight slot; dropping it wakes one queued waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().unwrap();
+        state.inflight -= 1;
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let gate = AdmissionGate::new(0, 4, Duration::from_millis(10));
+        assert_eq!(gate.admit().unwrap_err(), AdmitError::Saturated);
+        assert_eq!(gate.rejected.get(), 1);
+        assert_eq!(gate.admitted.get(), 0);
+    }
+
+    #[test]
+    fn slots_release_on_drop_and_queue_drains() {
+        let gate = Arc::new(AdmissionGate::new(1, 8, Duration::from_secs(5)));
+        let permit = gate.admit().unwrap();
+        assert_eq!(gate.depths(), (1, 0));
+        let worker = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                // Blocks in the queue until the main thread drops.
+                let _p = gate.admit().unwrap();
+            })
+        };
+        // Wait for the worker to be queued, then release.
+        while gate.depths().1 == 0 {
+            std::thread::yield_now();
+        }
+        drop(permit);
+        worker.join().unwrap();
+        assert_eq!(gate.depths(), (0, 0));
+        assert_eq!(gate.admitted.get(), 2);
+        assert_eq!(gate.queue_high_water.get(), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        let gate = Arc::new(AdmissionGate::new(1, 0, Duration::from_secs(5)));
+        let _permit = gate.admit().unwrap();
+        // No queue slots: the second query bounces without waiting.
+        let started = Instant::now();
+        assert_eq!(gate.admit().unwrap_err(), AdmitError::Saturated);
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn queued_waiter_times_out() {
+        let gate = AdmissionGate::new(1, 4, Duration::from_millis(20));
+        let _permit = gate.admit().unwrap();
+        assert_eq!(gate.admit().unwrap_err(), AdmitError::Saturated);
+        assert_eq!(gate.rejected.get(), 1);
+        let (inflight, queued) = gate.depths();
+        assert_eq!((inflight, queued), (1, 0), "timed-out waiter dequeued");
+    }
+}

@@ -1,0 +1,292 @@
+//! Serving-path load generator: drives concurrent HTTP clients
+//! through a mixed SELECT/INSERT workload against a live in-process
+//! server, sweeping client concurrency, with the online SI checker
+//! attached to every transaction and read.
+//!
+//! Emits `BENCH_serve.json` (override with `AOSI_BENCH_OUT`): per
+//! concurrency level, QPS plus p50/p95/p99 end-to-end latency, 429
+//! rejections, and dedup share counts.
+//!
+//! Knobs: `AOSI_SERVE_LEVELS` (comma-separated client counts,
+//! default `8,32,128`), `AOSI_SERVE_OPS` (requests per client),
+//! `AOSI_SERVE_INFLIGHT` (admission limit), `AOSI_SERVE_SHARDS`
+//! (engine shard threads), `AOSI_SERVE_MAX_P99_MS` (when > 0,
+//! exit 1 if any level's SELECT p99 exceeds it — the serve-smoke CI
+//! gate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use checker::{SiChecker, TxnEvent};
+use cubrick::Engine;
+use server::client::Client;
+use server::json::Json;
+use server::{Server, ServerConfig};
+
+const CUBE: &str = "servebench";
+const NODE: u64 = 1;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The read battery: live aggregates, grouped/ordered shapes (the
+/// fixed statement texts also make dedup collisions likely under
+/// concurrency, which is the point of the dedup layer).
+fn select_battery(i: usize) -> String {
+    match i % 4 {
+        0 => format!("SELECT SUM(likes), COUNT(*) FROM {CUBE}"),
+        1 => format!(
+            "SELECT AVG(score) FROM {CUBE} GROUP BY region ORDER BY AVG(score) DESC LIMIT 4"
+        ),
+        2 => format!("SELECT MIN(likes), MAX(likes) FROM {CUBE} GROUP BY day ORDER BY day LIMIT 8"),
+        _ => format!("SELECT COUNT(*) FROM {CUBE} WHERE region IN ('r0', 'r1') GROUP BY day"),
+    }
+}
+
+fn insert_statement(client: usize, op: usize) -> String {
+    let i = client * 10_000 + op;
+    format!(
+        "INSERT INTO {CUBE} VALUES ('r{}', {}, {}, {}.5)",
+        i % 8,
+        i % 16,
+        i % 100,
+        i % 7
+    )
+}
+
+#[derive(Default)]
+struct LevelTally {
+    select_micros: Vec<u64>,
+    insert_micros: Vec<u64>,
+    rejected: u64,
+    dedup_shared: u64,
+    errors: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let levels: Vec<usize> = std::env::var("AOSI_SERVE_LEVELS")
+        .unwrap_or_else(|_| "8,32,128".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let ops = env_usize("AOSI_SERVE_OPS", 60);
+    let shards = env_usize("AOSI_SERVE_SHARDS", 4);
+    let inflight = env_usize("AOSI_SERVE_INFLIGHT", 64);
+    let max_p99_ms = env_f64("AOSI_SERVE_MAX_P99_MS", 0.0);
+    let out = std::env::var("AOSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+
+    println!("================================================================");
+    println!("serve_bench: HTTP serving path under a client-concurrency sweep");
+    println!("  levels = {levels:?}");
+    println!("  ops_per_client = {ops}");
+    println!("  shards = {shards}, max_inflight = {inflight}");
+    println!("================================================================");
+
+    let engine = Arc::new(Engine::new(shards));
+    let checker = Arc::new(SiChecker::new(NODE));
+    cubrick::sql::execute(
+        &engine,
+        &format!(
+            "CREATE CUBE {CUBE} (region STRING DIM(8, 2), day INT DIM(16, 4), \
+             likes INT METRIC, score FLOAT METRIC)"
+        ),
+    )
+    .expect("create cube");
+    // Seed data so the first SELECTs have bricks to scan.
+    for seed in 0..8 {
+        cubrick::sql::execute(&engine, &insert_statement(999, seed)).expect("seed insert");
+    }
+
+    let handle = Server::start_with_checker(
+        Arc::clone(&engine),
+        ServerConfig {
+            max_inflight: inflight,
+            ..ServerConfig::default()
+        },
+        Some((Arc::clone(&checker), NODE)),
+    )
+    .expect("start server");
+    let addr = handle.addr();
+    println!("serving on {addr}");
+
+    let mut level_reports = Vec::new();
+    let mut level_p99s = Vec::new();
+    for &clients in &levels {
+        let rejected = Arc::new(AtomicU64::new(0));
+        let dedup_shared = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        let started = Instant::now();
+        let mut joins = Vec::new();
+        for client_id in 0..clients {
+            let rejected = Arc::clone(&rejected);
+            let dedup_shared = Arc::clone(&dedup_shared);
+            let errors = Arc::clone(&errors);
+            joins.push(std::thread::spawn(move || {
+                let mut selects = Vec::new();
+                let mut inserts = Vec::new();
+                let mut client = Client::connect(addr).expect("connect");
+                // A tenth of the clients run through a pinned
+                // session: their reads are frozen at the pin epoch.
+                let session = if client_id % 10 == 3 {
+                    let opened = client
+                        .request("POST", "/session", None)
+                        .expect("open session");
+                    let id = opened
+                        .json()
+                        .ok()
+                        .and_then(|j| j.get("session").and_then(Json::as_f64))
+                        .expect("session id") as u64;
+                    let pin = server::json::obj([("session", Json::num(id as f64))]);
+                    client
+                        .request("POST", "/session/pin", Some(&pin))
+                        .expect("pin session");
+                    Some(id)
+                } else {
+                    None
+                };
+                for op in 0..ops {
+                    let is_insert = session.is_none() && op % 10 == 9;
+                    let sql = if is_insert {
+                        insert_statement(client_id, op)
+                    } else {
+                        select_battery(client_id + op)
+                    };
+                    let op_started = Instant::now();
+                    let mut attempts = 0;
+                    loop {
+                        let response = match client.query(&sql, session) {
+                            Ok(response) => response,
+                            Err(_) => {
+                                // Connection died (e.g. idle timeout
+                                // under extreme scheduling delay):
+                                // reconnect once and retry.
+                                client = Client::connect(addr).expect("reconnect");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        };
+                        if response.status == 429 {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            attempts += 1;
+                            std::thread::sleep(
+                                Duration::from_millis((2 * attempts).min(20) as u64),
+                            );
+                            continue;
+                        }
+                        if response.header("x-cubrick-dedup").is_some() {
+                            dedup_shared.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if response.status != 200 {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                    let micros = op_started.elapsed().as_micros() as u64;
+                    if is_insert {
+                        inserts.push(micros);
+                    } else {
+                        selects.push(micros);
+                    }
+                }
+                (selects, inserts)
+            }));
+        }
+        let mut tally = LevelTally {
+            rejected: 0,
+            dedup_shared: 0,
+            errors: 0,
+            ..Default::default()
+        };
+        for join in joins {
+            let (selects, inserts) = join.join().expect("client thread");
+            tally.select_micros.extend(selects);
+            tally.insert_micros.extend(inserts);
+        }
+        let elapsed = started.elapsed();
+        tally.rejected = rejected.load(Ordering::Relaxed);
+        tally.dedup_shared = dedup_shared.load(Ordering::Relaxed);
+        tally.errors = errors.load(Ordering::Relaxed);
+        tally.select_micros.sort_unstable();
+        tally.insert_micros.sort_unstable();
+        let total_ops = tally.select_micros.len() + tally.insert_micros.len();
+        let qps = total_ops as f64 / elapsed.as_secs_f64();
+        let p50 = percentile(&tally.select_micros, 0.50) as f64 / 1000.0;
+        let p95 = percentile(&tally.select_micros, 0.95) as f64 / 1000.0;
+        let p99 = percentile(&tally.select_micros, 0.99) as f64 / 1000.0;
+        let insert_p99 = percentile(&tally.insert_micros, 0.99) as f64 / 1000.0;
+        println!(
+            "clients={clients:>4}  qps={qps:>8.0}  select p50={p50:.2}ms p95={p95:.2}ms \
+             p99={p99:.2}ms  insert p99={insert_p99:.2}ms  429s={}  dedup={}  errors={}",
+            tally.rejected, tally.dedup_shared, tally.errors
+        );
+        assert_eq!(tally.errors, 0, "non-200 responses under load");
+        level_p99s.push(p99);
+        level_reports.push(format!(
+            "    {{\"clients\": {clients}, \"ops\": {total_ops}, \"qps\": {qps:.1}, \
+             \"select_p50_ms\": {p50:.3}, \"select_p95_ms\": {p95:.3}, \
+             \"select_p99_ms\": {p99:.3}, \"insert_p99_ms\": {insert_p99:.3}, \
+             \"rejected_429\": {}, \"dedup_shared\": {}}}",
+            tally.rejected, tally.dedup_shared
+        ));
+    }
+
+    // Quiescent clock sample, then the verdict: the serving path must
+    // be SI-clean under the whole sweep.
+    let clock = engine.manager().clock();
+    checker.record(TxnEvent::ClockSample {
+        node: NODE,
+        ec: clock.current_ec(),
+        lce: clock.lce(),
+        lse: clock.lse(),
+    });
+    let violations = checker.violations();
+    assert!(
+        violations.is_empty(),
+        "{} SI violation(s) on the serving path, first: {}",
+        violations.len(),
+        violations[0]
+    );
+    println!("SI checker: clean across the sweep");
+    println!("\n{}", handle.state().metrics_report());
+    handle.shutdown();
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"config\": {{\"ops_per_client\": {ops}, \
+         \"shards\": {shards}, \"max_inflight\": {inflight}}},\n  \"levels\": [\n{}\n  ]\n}}\n",
+        level_reports.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+
+    if max_p99_ms > 0.0 {
+        let worst: f64 = level_p99s.iter().copied().fold(0.0, f64::max);
+        if worst > max_p99_ms {
+            eprintln!(
+                "ENFORCE FAILED: worst select p99 {worst:.2}ms exceeds the \
+                 {max_p99_ms:.2}ms ceiling"
+            );
+            std::process::exit(1);
+        }
+        println!("enforce: worst select p99 {worst:.2}ms <= {max_p99_ms:.2}ms — ok");
+    }
+}

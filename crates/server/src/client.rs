@@ -1,0 +1,126 @@
+//! A minimal blocking HTTP/1.1 client for tests and the load
+//! generator. Speaks exactly the server's dialect: JSON bodies,
+//! `Content-Length` framing, keep-alive.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::{self, Json};
+
+/// One response as the client sees it.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Raw body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        json::parse(&self.body)
+    }
+
+    /// A header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to the server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with a generous I/O timeout.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> std::io::Result<ClientResponse> {
+        let body_text = body.map(Json::render).unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: cubrick\r\ncontent-length: {}\r\ncontent-type: application/json\r\n\r\n",
+            body_text.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body_text.as_bytes())?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    /// `POST /query` with a SQL statement (and optional session id).
+    pub fn query(&mut self, sql: &str, session: Option<u64>) -> std::io::Result<ClientResponse> {
+        let mut members = vec![("sql", Json::str(sql))];
+        if let Some(id) = session {
+            members.push(("session", Json::num(id as f64)));
+        }
+        let body = Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        );
+        self.request("POST", "/query", Some(&body))
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line {line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let name = name.to_ascii_lowercase();
+                let value = value.trim().to_owned();
+                if name == "content-length" {
+                    content_length = value.parse().unwrap_or(0);
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+}

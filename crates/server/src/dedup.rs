@@ -1,0 +1,215 @@
+//! In-flight read-request deduplication.
+//!
+//! OLAP dashboards fan the same query out from many widgets at once;
+//! under AOSI all of them read an immutable snapshot, so identical
+//! (statement, snapshot-epoch) requests arriving while one is already
+//! executing can share that execution's result instead of re-scanning
+//! the bricks. The first arrival becomes the *leader* and runs the
+//! query; *followers* block on a condvar and receive the leader's
+//! rendered response verbatim.
+//!
+//! Correctness rests on snapshot immutability: the key includes the
+//! effective epoch, and a query at a fixed epoch is deterministic, so
+//! sharing is invisible to clients. Read-your-writes is preserved —
+//! a client that just committed samples a fresher LCE, which is a
+//! different key than any older in-flight leader.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use obs::Counter;
+
+/// A shared rendered response: HTTP status plus body.
+pub type SharedResponse = Arc<(u16, String)>;
+
+#[derive(Default)]
+struct Inflight {
+    done: Mutex<Option<Option<SharedResponse>>>,
+    ready: Condvar,
+}
+
+/// The in-flight table. One per server.
+#[derive(Default)]
+pub struct DedupMap {
+    inflight: Mutex<HashMap<(String, u64), Arc<Inflight>>>,
+    /// Queries that executed (first arrivals).
+    pub leaders: Counter,
+    /// Queries answered from a leader's execution.
+    pub followers: Counter,
+}
+
+/// What [`DedupMap::join`] decided for this request.
+pub enum Role<'a> {
+    /// Execute the query, then call [`LeaderGuard::publish`].
+    Leader(LeaderGuard<'a>),
+    /// The leader's response, shared verbatim.
+    Follower(SharedResponse),
+}
+
+impl DedupMap {
+    /// An empty table.
+    pub fn new() -> Self {
+        DedupMap::default()
+    }
+
+    /// Joins the in-flight execution for `(statement, epoch)`, or
+    /// starts one. Followers block until the leader publishes.
+    ///
+    /// A leader that dies without publishing (panic, connection
+    /// teardown) wakes its followers with `None` via the guard's
+    /// `Drop`; those followers return `None` and re-execute as
+    /// ordinary queries rather than hanging.
+    pub fn join(&self, statement: &str, epoch: u64) -> Option<Role<'_>> {
+        let key = (statement.to_owned(), epoch);
+        let entry = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(&key) {
+                Some(entry) => Some(Arc::clone(entry)),
+                None => {
+                    inflight.insert(key.clone(), Arc::new(Inflight::default()));
+                    None
+                }
+            }
+        };
+        match entry {
+            None => {
+                self.leaders.inc();
+                Some(Role::Leader(LeaderGuard {
+                    map: self,
+                    key,
+                    published: false,
+                }))
+            }
+            Some(entry) => {
+                let mut done = entry.done.lock().unwrap();
+                while done.is_none() {
+                    done = entry.ready.wait(done).unwrap();
+                }
+                match done.as_ref().unwrap() {
+                    Some(response) => {
+                        self.followers.inc();
+                        Some(Role::Follower(Arc::clone(response)))
+                    }
+                    // Leader died without a result; caller re-executes.
+                    None => None,
+                }
+            }
+        }
+    }
+}
+
+/// The leader's obligation: publish a response (or wake followers
+/// empty-handed on drop).
+pub struct LeaderGuard<'a> {
+    map: &'a DedupMap,
+    key: (String, u64),
+    published: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// Publishes the rendered response to all followers and removes
+    /// the in-flight entry (later arrivals start a fresh execution —
+    /// by then the result may be cheap to recompute, and unbounded
+    /// result caching is a different feature).
+    pub fn publish(mut self, response: SharedResponse) {
+        self.finish(Some(response));
+        self.published = true;
+    }
+
+    fn finish(&mut self, response: Option<SharedResponse>) {
+        let entry = {
+            let mut inflight = self.map.inflight.lock().unwrap();
+            inflight.remove(&self.key)
+        };
+        if let Some(entry) = entry {
+            let mut done = entry.done.lock().unwrap();
+            *done = Some(response);
+            entry.ready.notify_all();
+        }
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.finish(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn followers_share_the_leaders_response() {
+        let map = Arc::new(DedupMap::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let map = Arc::clone(&map);
+            let executions = Arc::clone(&executions);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                match map.join("SELECT 1", 7).unwrap() {
+                    Role::Leader(guard) => {
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        // Give followers time to pile up on the entry.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        guard.publish(Arc::new((200, "body".into())));
+                        "leader".to_owned()
+                    }
+                    Role::Follower(shared) => {
+                        assert_eq!(shared.1, "body");
+                        "follower".to_owned()
+                    }
+                }
+            }));
+        }
+        let roles: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let leaders = roles.iter().filter(|r| *r == "leader").count();
+        assert_eq!(leaders, 1, "exactly one execution: {roles:?}");
+        assert_eq!(executions.load(Ordering::SeqCst), 1);
+        assert_eq!(map.leaders.get(), 1);
+        assert_eq!(map.followers.get(), 3);
+    }
+
+    #[test]
+    fn different_epochs_do_not_share() {
+        let map = DedupMap::new();
+        let Role::Leader(a) = map.join("SELECT 1", 1).unwrap() else {
+            panic!("first arrival must lead");
+        };
+        let Role::Leader(b) = map.join("SELECT 1", 2).unwrap() else {
+            panic!("different epoch must not share");
+        };
+        a.publish(Arc::new((200, "a".into())));
+        b.publish(Arc::new((200, "b".into())));
+    }
+
+    #[test]
+    fn dead_leader_wakes_followers_empty_handed() {
+        let map = Arc::new(DedupMap::new());
+        let Role::Leader(guard) = map.join("q", 1).unwrap() else {
+            panic!()
+        };
+        let follower = {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || map.join("q", 1).is_none())
+        };
+        // Wait until the follower is parked on the entry, then drop
+        // the guard without publishing (simulates a panicking leader).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(guard);
+        assert!(
+            follower.join().unwrap(),
+            "follower must observe the dead leader"
+        );
+        // The entry is gone: the next arrival leads fresh.
+        assert!(matches!(map.join("q", 1), Some(Role::Leader(_))));
+    }
+}

@@ -1,0 +1,165 @@
+//! A hand-rolled HTTP/1.1 server core over `std::net`.
+//!
+//! Implements exactly what the JSON protocol needs: request-line +
+//! header parsing, `Content-Length` bodies (no chunked encoding),
+//! keep-alive connections, a body-size cap (413), and a per-read
+//! timeout so an idle or half-dead client cannot pin a connection
+//! thread forever.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body, in bytes. Requests beyond it are
+/// answered `413` and the connection closed (the body is unread, so
+/// the stream is no longer framed).
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// Largest accepted header block, in bytes.
+const MAX_HEADER_BYTES: usize = 64 << 10;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (no query string split —
+    /// the protocol carries everything in JSON bodies).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF before any request bytes: the client closed an idle
+    /// keep-alive connection. Not an error worth answering.
+    Closed,
+    /// Malformed request framing; answer 400 and close.
+    Bad(String),
+    /// Body larger than [`MAX_BODY_BYTES`]; answer 413 and close.
+    TooLarge,
+}
+
+/// Reads one request from the stream. `timeout` bounds each
+/// underlying read; an idle keep-alive connection times out into
+/// `Closed` so the connection thread can exit.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    timeout: Duration,
+) -> Result<Request, ReadError> {
+    reader
+        .get_ref()
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| ReadError::Bad(format!("set_read_timeout: {e}")))?;
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(ReadError::Closed),
+        Ok(_) => {}
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            return Err(ReadError::Closed)
+        }
+        Err(e) => return Err(ReadError::Bad(format!("request line: {e}"))),
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(ReadError::Bad(format!("malformed request line {line:?}")));
+    };
+    let method = method.to_ascii_uppercase();
+    let path = path.to_owned();
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err(ReadError::Bad("eof in headers".into())),
+            Ok(n) => header_bytes += n,
+            Err(e) => return Err(ReadError::Bad(format!("header read: {e}"))),
+        }
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ReadError::Bad("header block too large".into()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ReadError::Bad(format!("malformed header {header:?}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ReadError::Bad(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ReadError::Bad("chunked bodies unsupported".into()));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| ReadError::Bad(format!("body read: {e}")))?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// Writes one response. Always includes `Content-Length` so
+/// keep-alive framing works.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if !keep_alive {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Response",
+    }
+}

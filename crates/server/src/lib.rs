@@ -1,0 +1,797 @@
+//! The serving front door: HTTP/JSON over the Cubrick engine.
+//!
+//! The paper's protocol exists so *many concurrent clients* can read
+//! cheap snapshots under heavy ingestion; this crate is where those
+//! clients actually connect. It is a hand-rolled HTTP/1.1 server
+//! (`std::net` only — the build has no crates.io access) wrapping the
+//! SQL layer with the three serving-layer mechanisms an in-process
+//! engine cannot provide:
+//!
+//! * **Sessions** ([`session`]) — a session pins an `AS OF` epoch
+//!   behind an AOSI read guard, so a dashboard paging through results
+//!   sees one frozen snapshot across requests and purge cannot
+//!   reclaim it mid-pagination.
+//! * **Admission control** ([`admission`]) — a bounded in-flight
+//!   semaphore above the `ShardPool` turns overload into typed `429`
+//!   backpressure instead of unbounded thread pileup.
+//! * **In-flight dedup** ([`dedup`]) — identical (statement, epoch)
+//!   reads arriving while one is executing share that execution's
+//!   response; snapshot immutability makes the sharing invisible.
+//!
+//! Result-surface conventions (shared with the console path, enforced
+//! by the query layer): empty-group `Min`/`Max`/`Avg` finalize to NaN
+//! and serialize as JSON `null`; `ORDER BY` is total with NaN last in
+//! both directions; `DESC` reverses the comparator (never the rows),
+//! tie-breaking by packed group key.
+//!
+//! # Protocol
+//!
+//! | Route                | Body                          | Answer |
+//! |----------------------|-------------------------------|--------|
+//! | `POST /query`        | `{"sql": "...", "session"?}`  | result table / ack |
+//! | `POST /session`      | —                             | `{"session": id}` |
+//! | `POST /session/pin`  | `{"session", "epoch"?}`       | `{"session", "epoch"}` |
+//! | `POST /session/close`| `{"session"}`                 | `{"closed": true}` |
+//! | `GET /health`        | —                             | `{"status":"ok", ...}` |
+//! | `GET /metrics`       | —                             | plain-text report |
+//!
+//! Errors: 400 (malformed JSON/SQL), 404 (route, unknown session),
+//! 405 (method), 413 (body cap), 422 (engine errors, bad epochs),
+//! 429 (saturated; body carries `"kind":"saturated"`).
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod dedup;
+pub mod http;
+pub mod json;
+pub mod session;
+
+use std::collections::BTreeSet;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aosi::Snapshot;
+use checker::{SiChecker, TxnEvent};
+use columnar::Value;
+use cubrick::sql::{self, SelectOutcome, SqlError, SqlOutput, Statement};
+use cubrick::Engine;
+use obs::{Counter, Histogram, ReportBuilder};
+
+use admission::{AdmissionGate, AdmitError};
+use dedup::{DedupMap, Role};
+use http::{read_request, write_response, ReadError, Request};
+use json::{obj, Json};
+use session::{SessionError, SessionRegistry};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks a free port.
+    pub bind: SocketAddr,
+    /// Queries executing at once; 0 rejects everything (tests).
+    pub max_inflight: usize,
+    /// Queries waiting for a slot beyond the in-flight limit.
+    pub max_queue: usize,
+    /// Longest a query waits in the admission queue before a 429.
+    pub queue_timeout: Duration,
+    /// Live session cap.
+    pub max_sessions: usize,
+    /// Idle read timeout per connection; an idle keep-alive
+    /// connection is closed after this.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: "127.0.0.1:0".parse().unwrap(),
+            max_inflight: 64,
+            max_queue: 256,
+            queue_timeout: Duration::from_secs(10),
+            max_sessions: 1024,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// `[server]`-section counters.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// `POST /query` requests.
+    pub query_requests: Counter,
+    /// SELECTs among them.
+    pub select_queries: Counter,
+    /// INSERTs among them.
+    pub insert_queries: Counter,
+    /// Session-endpoint requests.
+    pub session_requests: Counter,
+    /// `GET /health` requests.
+    pub health_requests: Counter,
+    /// `GET /metrics` requests.
+    pub metrics_requests: Counter,
+    /// Responses by status class.
+    pub responses_2xx: Counter,
+    /// 4xx responses other than 429.
+    pub responses_4xx: Counter,
+    /// 429 responses (admission rejections).
+    pub responses_429: Counter,
+    /// 5xx responses.
+    pub responses_5xx: Counter,
+    /// Connections accepted.
+    pub connections_opened: Counter,
+    /// Connections finished.
+    pub connections_closed: Counter,
+    /// End-to-end `/query` latency in nanoseconds.
+    pub query_nanos: Histogram,
+}
+
+/// Shared server state: engine, gates, tables, metrics.
+pub struct ServerState {
+    engine: Arc<Engine>,
+    gate: AdmissionGate,
+    sessions: SessionRegistry,
+    dedup: DedupMap,
+    metrics: ServerMetrics,
+    checker: Option<(Arc<SiChecker>, u64)>,
+    started: Instant,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// Renders the `[server.*]` sections followed by the engine's own
+    /// report — one text artifact with the whole node's health.
+    pub fn metrics_report(&self) -> String {
+        let uptime = self.started.elapsed();
+        let queries = self.metrics.query_requests.get();
+        let qps = queries as f64 / uptime.as_secs_f64().max(1e-9);
+        let (inflight, queued) = self.gate.depths();
+        let mut report = ReportBuilder::new();
+        report
+            .section("server")
+            .metric("uptime_seconds", format!("{:.1}", uptime.as_secs_f64()))
+            .counter("query.requests", &self.metrics.query_requests)
+            .metric("query.qps", format!("{qps:.1}"))
+            .counter("query.selects", &self.metrics.select_queries)
+            .counter("query.inserts", &self.metrics.insert_queries)
+            .counter("session.requests", &self.metrics.session_requests)
+            .counter("health.requests", &self.metrics.health_requests)
+            .counter("metrics.requests", &self.metrics.metrics_requests)
+            .counter("responses.2xx", &self.metrics.responses_2xx)
+            .counter("responses.4xx", &self.metrics.responses_4xx)
+            .counter("responses.429", &self.metrics.responses_429)
+            .counter("responses.5xx", &self.metrics.responses_5xx)
+            .counter("connections.opened", &self.metrics.connections_opened)
+            .counter("connections.closed", &self.metrics.connections_closed)
+            .histogram("query_nanos", &self.metrics.query_nanos);
+        report
+            .section("server.admission")
+            .counter("admitted", &self.gate.admitted)
+            .counter("rejected", &self.gate.rejected)
+            .metric("inflight", inflight)
+            .metric("queued", queued)
+            .gauge("queue_high_water", &self.gate.queue_high_water)
+            .histogram("queue_wait_nanos", &self.gate.queue_wait_nanos);
+        report
+            .section("server.dedup")
+            .counter("leaders", &self.dedup.leaders)
+            .counter("followers", &self.dedup.followers);
+        report
+            .section("server.sessions")
+            .metric("live", self.sessions.len());
+        let mut text = report.finish();
+        text.push('\n');
+        text.push_str(&self.engine.metrics_report());
+        text
+    }
+}
+
+/// A running server: bound address plus shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (the OS-assigned port when `bind` used 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for metrics inspection in tests and benches.
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// Already-open connections finish their current request and are
+    /// closed by their idle timeout.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Builds and starts servers.
+pub struct Server;
+
+impl Server {
+    /// Starts serving `engine` per `config`. Returns once the
+    /// listener is bound; connections are handled on background
+    /// threads (one per connection — plenty for the scale this
+    /// reproduction targets, and the admission gate bounds the
+    /// queries behind them regardless of connection count).
+    pub fn start(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        Self::start_with_checker(engine, config, None)
+    }
+
+    /// [`Server::start`] with the online SI checker riding along:
+    /// every transaction on the insert path and every read records a
+    /// checker event under `node`.
+    pub fn start_with_checker(
+        engine: Arc<Engine>,
+        config: ServerConfig,
+        checker: Option<(Arc<SiChecker>, u64)>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(config.bind)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            engine,
+            gate: AdmissionGate::new(config.max_inflight, config.max_queue, config.queue_timeout),
+            sessions: SessionRegistry::new(config.max_sessions),
+            dedup: DedupMap::new(),
+            metrics: ServerMetrics::default(),
+            checker,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+        });
+        let read_timeout = config.read_timeout;
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("cubrick-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    accept_state.metrics.connections_opened.inc();
+                    let state = Arc::clone(&accept_state);
+                    let _ = std::thread::Builder::new()
+                        .name("cubrick-conn".into())
+                        .spawn(move || {
+                            handle_connection(&state, stream, read_timeout);
+                            state.metrics.connections_closed.inc();
+                        });
+                }
+            })?;
+        Ok(ServerHandle {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream, read_timeout: Duration) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match read_request(&mut reader, read_timeout) {
+            Ok(request) => request,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::TooLarge) => {
+                let body = error_body("request body too large", "too_large").render();
+                let _ = write_response(
+                    reader.get_mut(),
+                    413,
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+            Err(ReadError::Bad(msg)) => {
+                let body = error_body(&msg, "protocol").render();
+                let _ = write_response(
+                    reader.get_mut(),
+                    400,
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let (status, content_type, extra, body) = route(state, &request);
+        match status {
+            200 => state.metrics.responses_2xx.inc(),
+            429 => state.metrics.responses_429.inc(),
+            400..=499 => state.metrics.responses_4xx.inc(),
+            _ => state.metrics.responses_5xx.inc(),
+        }
+        let extra_refs: Vec<(&str, &str)> = extra
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+            .collect();
+        if write_response(
+            reader.get_mut(),
+            status,
+            content_type,
+            &extra_refs,
+            body.as_bytes(),
+            keep_alive,
+        )
+        .is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+type Routed = (u16, &'static str, Vec<(String, String)>, String);
+
+fn route(state: &ServerState, request: &Request) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            state.metrics.health_requests.inc();
+            let manager = state.engine.manager();
+            let body = obj([
+                ("status", Json::str("ok")),
+                ("lce", Json::num(manager.lce() as f64)),
+                ("lse", Json::num(manager.lse() as f64)),
+                ("sessions", Json::num(state.sessions.len() as f64)),
+            ]);
+            (200, "application/json", Vec::new(), body.render())
+        }
+        ("GET", "/metrics") => {
+            state.metrics.metrics_requests.inc();
+            (200, "text/plain", Vec::new(), state.metrics_report())
+        }
+        ("POST", "/query") => {
+            let started = Instant::now();
+            let routed = handle_query(state, &request.body);
+            state.metrics.query_nanos.record_duration(started.elapsed());
+            routed
+        }
+        ("POST", "/session") => {
+            state.metrics.session_requests.inc();
+            match state.sessions.open() {
+                Ok(id) => json_ok(obj([("session", Json::num(id as f64))])),
+                Err(e) => session_error(e),
+            }
+        }
+        ("POST", "/session/pin") => {
+            state.metrics.session_requests.inc();
+            let parsed = match parse_body(&request.body) {
+                Ok(parsed) => parsed,
+                Err(routed) => return routed,
+            };
+            let Some(session) = parsed.get("session").and_then(Json::as_f64) else {
+                return bad_request("body needs a numeric `session`");
+            };
+            let epoch = parsed.get("epoch").and_then(Json::as_f64).map(|e| e as u64);
+            match state.sessions.pin(&state.engine, session as u64, epoch) {
+                Ok(epoch) => json_ok(obj([
+                    ("session", Json::num(session)),
+                    ("epoch", Json::num(epoch as f64)),
+                ])),
+                Err(e) => session_error(e),
+            }
+        }
+        ("POST", "/session/close") => {
+            state.metrics.session_requests.inc();
+            let parsed = match parse_body(&request.body) {
+                Ok(parsed) => parsed,
+                Err(routed) => return routed,
+            };
+            let Some(session) = parsed.get("session").and_then(Json::as_f64) else {
+                return bad_request("body needs a numeric `session`");
+            };
+            match state.sessions.close(session as u64) {
+                Ok(()) => json_ok(obj([("closed", Json::Bool(true))])),
+                Err(e) => session_error(e),
+            }
+        }
+        ("POST" | "GET", _) => (
+            404,
+            "application/json",
+            Vec::new(),
+            error_body(&format!("no route {}", request.path), "route").render(),
+        ),
+        _ => (
+            405,
+            "application/json",
+            Vec::new(),
+            error_body(&format!("method {} not allowed", request.method), "method").render(),
+        ),
+    }
+}
+
+fn handle_query(state: &ServerState, body: &[u8]) -> Routed {
+    state.metrics.query_requests.inc();
+    let parsed = match parse_body(body) {
+        Ok(parsed) => parsed,
+        Err(routed) => return routed,
+    };
+    let Some(sql) = parsed.get("sql").and_then(Json::as_str) else {
+        return bad_request("body needs a string `sql`");
+    };
+    let session = parsed
+        .get("session")
+        .and_then(Json::as_f64)
+        .map(|s| s as u64);
+    let statement = match sql::parse(sql) {
+        Ok(statement) => statement,
+        Err(e) => return sql_error(e),
+    };
+    match statement {
+        Statement::Select { cube, query, as_of } => {
+            state.metrics.select_queries.inc();
+            handle_select(state, sql, &cube, &query, as_of, session)
+        }
+        Statement::Insert { cube, rows } => {
+            state.metrics.insert_queries.inc();
+            let _permit = match state.gate.admit() {
+                Ok(permit) => permit,
+                Err(AdmitError::Saturated) => return saturated(),
+            };
+            handle_insert(state, &cube, &rows)
+        }
+        other => {
+            let _permit = match state.gate.admit() {
+                Ok(permit) => permit,
+                Err(AdmitError::Saturated) => return saturated(),
+            };
+            match sql::execute_statement(&state.engine, other) {
+                Ok(SqlOutput::Ok(msg)) => json_ok(obj([("ok", Json::str(msg))])),
+                Ok(SqlOutput::Table { columns, rows }) => {
+                    let columns = Json::Arr(columns.into_iter().map(Json::Str).collect());
+                    let rows = Json::Arr(
+                        rows.into_iter()
+                            .map(|r| Json::Arr(r.into_iter().map(Json::Str).collect()))
+                            .collect(),
+                    );
+                    json_ok(obj([("columns", columns), ("rows", rows)]))
+                }
+                Err(e) => sql_error(e),
+            }
+        }
+    }
+}
+
+/// The SELECT path: resolve the effective epoch (statement `AS OF` >
+/// session pin > freshest committed), admit, dedup, execute, render.
+fn handle_select(
+    state: &ServerState,
+    sql: &str,
+    cube: &str,
+    query: &cubrick::Query,
+    as_of: Option<u64>,
+    session: Option<u64>,
+) -> Routed {
+    // Effective epoch. The live case takes a guard *before*
+    // re-validating the window (the engine's own TOCTOU-safe order)
+    // so the epoch in the dedup key stays readable for as long as the
+    // leader executes.
+    let manager = state.engine.manager();
+    let (epoch, _guard) = match as_of {
+        Some(epoch) => (epoch, None),
+        None => {
+            let pinned = match session {
+                Some(id) => match state.sessions.pinned_epoch(id) {
+                    Ok(pinned) => pinned,
+                    Err(e) => return session_error(e),
+                },
+                None => None,
+            };
+            match pinned {
+                Some(epoch) => (epoch, None),
+                None => {
+                    // Freshest committed epoch; retry the sample if a
+                    // purge wins the race between sample and guard.
+                    let mut attempt = 0;
+                    loop {
+                        let epoch = manager.lce();
+                        let guard = manager.guard_snapshot(Snapshot::committed(epoch));
+                        if epoch >= manager.lse() {
+                            break (epoch, Some(guard));
+                        }
+                        attempt += 1;
+                        if attempt > 8 {
+                            return (
+                                500,
+                                "application/json",
+                                Vec::new(),
+                                error_body("cannot stabilize a read epoch", "internal").render(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    };
+    let statement_key = sql.trim();
+    match state.dedup.join(statement_key, epoch) {
+        Some(Role::Follower(shared)) => {
+            let (status, body) = (shared.0, shared.1.clone());
+            (
+                status,
+                "application/json",
+                vec![("x-cubrick-dedup".to_owned(), "shared".to_owned())],
+                body,
+            )
+        }
+        Some(Role::Leader(leader)) => {
+            let routed = execute_select_routed(state, cube, query, epoch, statement_key);
+            leader.publish(Arc::new((routed.0, routed.3.clone())));
+            routed
+        }
+        // The previous leader died without publishing; run it solo.
+        None => execute_select_routed(state, cube, query, epoch, statement_key),
+    }
+}
+
+fn execute_select_routed(
+    state: &ServerState,
+    cube: &str,
+    query: &cubrick::Query,
+    epoch: u64,
+    statement_key: &str,
+) -> Routed {
+    let _permit = match state.gate.admit() {
+        Ok(permit) => permit,
+        Err(AdmitError::Saturated) => return saturated(),
+    };
+    let outcome = match sql::execute_select(&state.engine, cube, query, Some(epoch)) {
+        Ok(outcome) => outcome,
+        Err(e) => return sql_error(e),
+    };
+    if let Some((checker, node)) = &state.checker {
+        checker.record(TxnEvent::Read {
+            node: *node,
+            snapshot_epoch: epoch,
+            deps: BTreeSet::new(),
+            observed: BTreeSet::new(),
+            reader: None,
+            key: format!("{cube}:{statement_key}"),
+            fingerprint: fingerprint_outcome(&outcome),
+        });
+    }
+    let body = render_select(&outcome, epoch);
+    (200, "application/json", Vec::new(), body.render())
+}
+
+fn handle_insert(state: &ServerState, cube: &str, rows: &[columnar::Row]) -> Routed {
+    // Explicit transaction so the SI checker sees Begin/Commit (or
+    // Rollback when rows are rejected), exactly like a native writer.
+    let txn = state.engine.begin();
+    if let Some((checker, node)) = &state.checker {
+        checker.record(TxnEvent::Begin {
+            node: *node,
+            epoch: txn.epoch(),
+            deps: txn.snapshot().deps().clone(),
+        });
+    }
+    let epoch = txn.epoch();
+    match state.engine.append(cube, rows, &txn) {
+        Ok((accepted, 0)) => match state.engine.commit(&txn) {
+            Ok(()) => {
+                if let Some((checker, node)) = &state.checker {
+                    checker.record(TxnEvent::Commit { node: *node, epoch });
+                }
+                json_ok(obj([
+                    (
+                        "ok",
+                        Json::str(format!(
+                            "inserted {accepted} row(s) as transaction T{epoch}"
+                        )),
+                    ),
+                    ("epoch", Json::num(epoch as f64)),
+                    ("accepted", Json::num(accepted as f64)),
+                ]))
+            }
+            Err(e) => engine_error(&e.to_string()),
+        },
+        Ok((_, rejected)) => {
+            let rolled_back = state.engine.rollback(&txn);
+            if let Some((checker, node)) = &state.checker {
+                checker.record(TxnEvent::Rollback { node: *node, epoch });
+            }
+            let _ = rolled_back;
+            engine_error(&format!(
+                "{rejected} row(s) rejected; transaction rolled back"
+            ))
+        }
+        Err(e) => {
+            let rolled_back = state.engine.rollback(&txn);
+            if let Some((checker, node)) = &state.checker {
+                checker.record(TxnEvent::Rollback { node: *node, epoch });
+            }
+            let _ = rolled_back;
+            engine_error(&e.to_string())
+        }
+    }
+}
+
+/// Renders a SELECT outcome: group-key cells keep their native JSON
+/// types, aggregate cells are numbers with NaN/±inf as `null`.
+fn render_select(outcome: &SelectOutcome, epoch: u64) -> Json {
+    let rows = outcome
+        .rows
+        .iter()
+        .map(|(keys, values)| {
+            let mut cells: Vec<Json> = keys.iter().map(value_to_json).collect();
+            cells.extend(values.iter().map(|&v| Json::num(v)));
+            Json::Arr(cells)
+        })
+        .collect();
+    obj([
+        (
+            "columns",
+            Json::Arr(outcome.columns.iter().map(Json::str).collect()),
+        ),
+        ("rows", Json::Arr(rows)),
+        ("row_count", Json::num(outcome.rows.len() as f64)),
+        ("epoch", Json::num(epoch as f64)),
+        (
+            "stats",
+            obj([
+                ("rows_scanned", Json::num(outcome.stats.rows_scanned as f64)),
+                ("rows_visible", Json::num(outcome.stats.rows_visible as f64)),
+                (
+                    "bricks_scanned",
+                    Json::num(outcome.stats.bricks_scanned as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Str(s) => Json::str(s.as_str()),
+        Value::I64(i) => Json::num(*i as f64),
+        Value::F64(f) => Json::num(*f),
+    }
+}
+
+/// Order-insensitive fingerprint of a SELECT outcome for the SI
+/// checker: FNV-1a per row, combined commutatively.
+fn fingerprint_outcome(outcome: &SelectOutcome) -> u64 {
+    let row_hashes = outcome.rows.iter().map(|(keys, values)| {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for key in keys {
+            match key {
+                Value::Str(s) => fold(s.as_bytes()),
+                Value::I64(i) => fold(&i.to_le_bytes()),
+                Value::F64(f) => fold(&f.to_bits().to_le_bytes()),
+            }
+            fold(&[0xfe]);
+        }
+        for value in values {
+            fold(&value.to_bits().to_le_bytes());
+        }
+        hash
+    });
+    checker::fingerprint_rows(row_hashes)
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, Routed> {
+    let text = std::str::from_utf8(body).map_err(|_| bad_request("body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Ok(Json::Obj(Default::default()));
+    }
+    json::parse(text).map_err(|e| bad_request(&format!("bad JSON body: {e}")))
+}
+
+fn error_body(message: &str, kind: &str) -> Json {
+    obj([("error", Json::str(message)), ("kind", Json::str(kind))])
+}
+
+fn json_ok(body: Json) -> Routed {
+    (200, "application/json", Vec::new(), body.render())
+}
+
+fn bad_request(message: &str) -> Routed {
+    (
+        400,
+        "application/json",
+        Vec::new(),
+        error_body(message, "bad_request").render(),
+    )
+}
+
+fn engine_error(message: &str) -> Routed {
+    (
+        422,
+        "application/json",
+        Vec::new(),
+        error_body(message, "engine").render(),
+    )
+}
+
+fn saturated() -> Routed {
+    (
+        429,
+        "application/json",
+        Vec::new(),
+        error_body(
+            "server saturated: in-flight and queue limits reached; retry with backoff",
+            "saturated",
+        )
+        .render(),
+    )
+}
+
+fn sql_error(e: SqlError) -> Routed {
+    match e {
+        SqlError::Lex(msg) => (
+            400,
+            "application/json",
+            Vec::new(),
+            error_body(&format!("lex error: {msg}"), "parse").render(),
+        ),
+        SqlError::Parse(msg) => (
+            400,
+            "application/json",
+            Vec::new(),
+            error_body(&format!("parse error: {msg}"), "parse").render(),
+        ),
+        SqlError::Unsupported(msg) => (
+            400,
+            "application/json",
+            Vec::new(),
+            error_body(&format!("unsupported: {msg}"), "unsupported").render(),
+        ),
+        SqlError::Engine(msg) => engine_error(&msg),
+    }
+}
+
+fn session_error(e: SessionError) -> Routed {
+    let status = match e {
+        SessionError::Unknown(_) => 404,
+        SessionError::EpochOutOfRange { .. } => 422,
+        SessionError::TooManySessions => 429,
+    };
+    (
+        status,
+        "application/json",
+        Vec::new(),
+        error_body(&e.to_string(), "session").render(),
+    )
+}

@@ -1,0 +1,79 @@
+//! `cubrick-serve`: boot a fresh in-memory engine behind the
+//! HTTP/JSON front door and serve until interrupted.
+//!
+//! ```sh
+//! cargo run --release --bin cubrick-serve -- --bind 127.0.0.1:7717
+//! curl -s localhost:7717/health
+//! curl -s localhost:7717/query -d '{"sql": "SHOW CUBES"}'
+//! ```
+//!
+//! Flags: `--bind ADDR:PORT` (default `127.0.0.1:7717`; port 0 picks
+//! an ephemeral port), `--shards N` (shard pool size, default 4),
+//! `--max-inflight N` (admission limit, default 64).
+
+use std::sync::Arc;
+
+use aosi_repro::cubrick::Engine;
+use aosi_repro::server::{Server, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig {
+        bind: "127.0.0.1:7717".parse().expect("static bind address"),
+        ..ServerConfig::default()
+    };
+    let mut shards = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--bind" => {
+                config.bind = value("--bind").parse().unwrap_or_else(|_| {
+                    eprintln!("--bind needs ADDR:PORT");
+                    std::process::exit(2);
+                })
+            }
+            "--shards" => {
+                shards = value("--shards").parse().unwrap_or_else(|_| {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--max-inflight" => {
+                config.max_inflight = value("--max-inflight").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-inflight needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: cubrick-serve \
+                     [--bind ADDR:PORT] [--shards N] [--max-inflight N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let engine = Arc::new(Engine::new(shards.max(1)));
+    let handle = match Server::start(engine, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cubrick-serve: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("cubrick-serve listening on http://{}", handle.addr());
+    println!("  POST /query {{\"sql\": \"...\", \"session\": n?}}");
+    println!("  POST /session | /session/pin | /session/close");
+    println!("  GET  /health | /metrics");
+    // Serve until the process is killed; the accept loop owns the
+    // lifetime from here.
+    loop {
+        std::thread::park();
+    }
+}

@@ -11,11 +11,13 @@
 //! * [`mvcc_baseline`] — MVCC / 2PL baselines.
 //! * [`wal`] — persistence and recovery.
 //! * [`workload`] — dataset and query generators.
+//! * [`server`] — the HTTP/JSON serving front door.
 
 pub use aosi;
 pub use cluster;
 pub use columnar;
 pub use cubrick;
 pub use mvcc_baseline;
+pub use server;
 pub use wal;
 pub use workload;

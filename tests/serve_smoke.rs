@@ -1,0 +1,108 @@
+//! Tier-1 smoke: boot the HTTP server on an ephemeral port, drive it
+//! through DDL, ingest, and reads over a real socket, and check the
+//! result surface (typed JSON, NULL aggregates, snapshot pinning).
+
+use std::sync::Arc;
+
+use aosi_repro::cubrick::Engine;
+use aosi_repro::server::client::Client;
+use aosi_repro::server::json::Json;
+use aosi_repro::server::{Server, ServerConfig};
+
+#[test]
+fn serve_smoke() {
+    let engine = Arc::new(Engine::new(2));
+    let handle = Server::start(Arc::clone(&engine), ServerConfig::default()).expect("start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // DDL + ingest over the wire.
+    let created = client
+        .query(
+            "CREATE CUBE smoke (region STRING DIM(4, 2), likes INT METRIC)",
+            None,
+        )
+        .unwrap();
+    assert_eq!(created.status, 200, "{}", created.body);
+    let inserted = client
+        .query("INSERT INTO smoke VALUES ('us', 5), ('br', 7)", None)
+        .unwrap();
+    assert_eq!(inserted.status, 200, "{}", inserted.body);
+
+    // A grouped read comes back as typed JSON.
+    let response = client
+        .query(
+            "SELECT SUM(likes) FROM smoke GROUP BY region ORDER BY region",
+            None,
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let json = response.json().unwrap();
+    let rows = json.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].as_arr().unwrap()[0], Json::Str("br".into()));
+    assert_eq!(rows[0].as_arr().unwrap()[1], Json::Num(7.0));
+
+    // Empty-match Min/Max surface as JSON null, never ±inf.
+    let empty = client
+        .query(
+            "SELECT MIN(likes), MAX(likes) FROM smoke WHERE region IN ('nowhere')",
+            None,
+        )
+        .unwrap();
+    assert_eq!(empty.status, 200, "{}", empty.body);
+    let row = empty
+        .json()
+        .unwrap()
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap()[0]
+        .as_arr()
+        .unwrap()
+        .to_vec();
+    assert_eq!(row, vec![Json::Null, Json::Null], "{}", empty.body);
+
+    // A pinned session keeps reading the old snapshot.
+    let session = client
+        .request("POST", "/session", None)
+        .unwrap()
+        .json()
+        .unwrap()
+        .get("session")
+        .and_then(Json::as_f64)
+        .unwrap() as u64;
+    let pin = aosi_repro::server::json::obj([("session", Json::num(session as f64))]);
+    assert_eq!(
+        client
+            .request("POST", "/session/pin", Some(&pin))
+            .unwrap()
+            .status,
+        200
+    );
+    client
+        .query("INSERT INTO smoke VALUES ('mx', 9)", None)
+        .unwrap();
+    let count = |client: &mut Client, session: Option<u64>| -> f64 {
+        let response = client.query("SELECT COUNT(*) FROM smoke", session).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        response
+            .json()
+            .unwrap()
+            .get("rows")
+            .and_then(Json::as_arr)
+            .unwrap()[0]
+            .as_arr()
+            .unwrap()[0]
+            .as_f64()
+            .unwrap()
+    };
+    assert_eq!(count(&mut client, Some(session)), 2.0, "pinned read moved");
+    assert_eq!(count(&mut client, None), 3.0, "live read is stale");
+
+    // Health + metrics respond and carry the server sections.
+    assert_eq!(client.request("GET", "/health", None).unwrap().status, 200);
+    let metrics = client.request("GET", "/metrics", None).unwrap();
+    assert!(metrics.body.contains("[server]"), "{}", metrics.body);
+    assert!(metrics.body.contains("[aosi]"), "{}", metrics.body);
+
+    handle.shutdown();
+}
