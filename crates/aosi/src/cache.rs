@@ -1,15 +1,23 @@
-//! Snapshot-keyed memoization of per-partition visibility artifacts.
+//! Snapshot-keyed memoization of per-partition scan artifacts.
 //!
 //! Building visibility (epochs vector → bitmap or ranges) dominates
 //! repeated-snapshot query cost: the artifact is a pure function of
 //! the partition's entries and the snapshot's `(epoch, deps)` pair,
-//! so identical reads can share one materialization. The cache keys
-//! each artifact on
+//! so identical reads can share one materialization. The same
+//! argument covers anything else derived purely from a partition's
+//! content and a snapshot — Cubrick layers per-brick *aggregate*
+//! partials on the identical keying — so the machinery is a generic
+//! [`SnapshotCache`] and [`VisibilityCache`] is its oldest client.
+//! Each cached value is keyed on
 //!
 //! ```text
 //! (partition id, epochs-vector generation, snapshot epoch,
-//!  snapshot deps set, artifact kind)
+//!  snapshot deps set, client tag)
 //! ```
+//!
+//! where the *tag* is a client-chosen structural description of what
+//! the value is (artifact kind for visibility; resolved query shape
+//! for aggregates).
 //!
 //! The epochs-vector *generation* (see
 //! [`EpochsVector::generation`]) is the invalidation token: every
@@ -18,14 +26,16 @@
 //! a `(generation, snapshot)` pair can never silently alias two
 //! different entry lists. A stale entry therefore becomes
 //! *unreachable* the moment its partition mutates; explicit
-//! [`invalidate`](VisibilityCache::invalidate) calls exist to reclaim
+//! [`invalidate`](SnapshotCache::invalidate) calls exist to reclaim
 //! the memory eagerly, not for correctness.
 //!
 //! Snapshot identity is full structural equality on the deps set (via
 //! the snapshot's shared handle, no copy on lookup) rather than a
-//! hash fingerprint: a fingerprint collision would silently violate
-//! snapshot isolation, which is exactly the failure mode the
-//! scan-oracle test layer exists to catch.
+//! hash fingerprint — and the same rule binds the client tag: a
+//! fingerprint collision would silently violate snapshot isolation,
+//! which is exactly the failure mode the scan-oracle test layer
+//! exists to catch. Tags must compare structurally (`Eq`), never by
+//! digest.
 //!
 //! Capacity is bounded with least-recently-used eviction. Lookups
 //! probe under a short mutex hold and compute outside the lock, so
@@ -45,51 +55,37 @@ use crate::epochs::EpochsVector;
 use crate::snapshot::Snapshot;
 use crate::visibility;
 
-/// Which artifact a cache slot holds. Bitmaps and ranges for the same
-/// `(generation, snapshot)` are distinct entries: queries with
-/// per-row filters need the bitmap while unfiltered scans take the
-/// range fast path, and the two are not interconvertible for free.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum ArtifactKind {
-    Bitmap,
-    Ranges,
-}
-
-/// Full structural key for one artifact within a partition's slot.
+/// Full structural key for one cached value within a partition's
+/// slot map: the invalidation token, the snapshot identity, and the
+/// client's tag.
 #[derive(Clone, PartialEq, Eq, Hash)]
-struct ArtifactKey {
+struct SlotKey<T> {
     generation: u64,
     epoch: Epoch,
     /// The complete deps set, compared structurally. `Arc` keeps the
     /// common path (snapshot reused across partitions) allocation-free.
     deps: Arc<BTreeSet<Epoch>>,
-    kind: ArtifactKind,
+    tag: T,
 }
 
-impl ArtifactKey {
-    fn new(vector: &EpochsVector, snapshot: &Snapshot, kind: ArtifactKind) -> Self {
-        ArtifactKey {
+impl<T> SlotKey<T> {
+    fn new(vector: &EpochsVector, snapshot: &Snapshot, tag: T) -> Self {
+        SlotKey {
             generation: vector.generation(),
             epoch: snapshot.epoch(),
             deps: snapshot.shared_deps(),
-            kind,
+            tag,
         }
     }
 }
 
-#[derive(Clone)]
-enum Artifact {
-    Bitmap(Arc<Bitmap>),
-    Ranges(Arc<Vec<Range<u64>>>),
-}
-
-struct Slot {
-    artifact: Artifact,
+struct Slot<V> {
+    value: V,
     last_used: u64,
 }
 
-struct Inner<K> {
-    partitions: HashMap<K, HashMap<ArtifactKey, Slot>>,
+struct Inner<K, T, V> {
+    partitions: HashMap<K, HashMap<SlotKey<T>, Slot<V>>>,
     /// Total slots across all partitions (the LRU bound applies
     /// globally, not per partition).
     len: usize,
@@ -100,11 +96,11 @@ struct Inner<K> {
 /// Point-in-time cache statistics, for tests and reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from a cached artifact.
+    /// Lookups answered from a cached value.
     pub hits: u64,
-    /// Lookups that had to materialize the artifact.
+    /// Lookups that had to materialize the value.
     pub misses: u64,
-    /// Slots removed by explicit [`VisibilityCache::invalidate`].
+    /// Slots removed by explicit [`SnapshotCache::invalidate`].
     pub invalidations: u64,
     /// Slots removed by the LRU capacity bound.
     pub evictions: u64,
@@ -112,15 +108,15 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// A bounded, snapshot-keyed cache of visibility artifacts, generic
+/// A bounded, snapshot-keyed cache of per-partition values, generic
 /// over the partition identifier `K` (Cubrick uses `(cube, brick
-/// id)`).
+/// id)`), the client tag `T`, and the cached value `V`.
 ///
-/// Thread-safe; see the module docs for the key derivation and why
-/// the epochs-vector generation makes staleness structurally
-/// unreachable.
-pub struct VisibilityCache<K: Eq + Hash + Clone> {
-    inner: Mutex<Inner<K>>,
+/// Thread-safe; see the module docs for the key derivation, why the
+/// epochs-vector generation makes staleness structurally
+/// unreachable, and why tags must be structural (no fingerprints).
+pub struct SnapshotCache<K: Eq + Hash + Clone, T: Eq + Hash + Clone, V: Clone> {
+    inner: Mutex<Inner<K, T, V>>,
     capacity: usize,
     hits: Counter,
     misses: Counter,
@@ -128,10 +124,10 @@ pub struct VisibilityCache<K: Eq + Hash + Clone> {
     evictions: Counter,
 }
 
-impl<K: Eq + Hash + Clone> VisibilityCache<K> {
-    /// A cache holding at most `capacity` artifacts (clamped to ≥ 1).
+impl<K: Eq + Hash + Clone, T: Eq + Hash + Clone, V: Clone> SnapshotCache<K, T, V> {
+    /// A cache holding at most `capacity` values (clamped to ≥ 1).
     pub fn new(capacity: usize) -> Self {
-        VisibilityCache {
+        SnapshotCache {
             inner: Mutex::new(Inner {
                 partitions: HashMap::new(),
                 len: 0,
@@ -145,45 +141,33 @@ impl<K: Eq + Hash + Clone> VisibilityCache<K> {
         }
     }
 
-    /// The visibility bitmap for `snapshot` over `vector`, memoized.
+    /// The value for `(partition, vector, snapshot, tag)`, memoized:
+    /// a probe under a short lock hold, then `build` runs *outside*
+    /// the lock on a miss and the result is inserted.
     ///
-    /// Returns the artifact and whether it was served from cache. The
+    /// Returns the value and whether it was served from cache. The
     /// caller must pass the *current* vector of the partition named by
     /// `partition` — under Cubrick's single-writer shards that is the
     /// owning shard thread's view, which is exactly what makes the
     /// probe race-free.
-    pub fn bitmap(
+    pub fn get_or_build(
         &self,
         partition: &K,
         vector: &EpochsVector,
         snapshot: &Snapshot,
-    ) -> (Arc<Bitmap>, bool) {
-        let key = ArtifactKey::new(vector, snapshot, ArtifactKind::Bitmap);
-        if let Some(Artifact::Bitmap(b)) = self.probe(partition, &key) {
-            return (b, true);
+        tag: T,
+        build: impl FnOnce() -> V,
+    ) -> (V, bool) {
+        let key = SlotKey::new(vector, snapshot, tag);
+        if let Some(value) = self.probe(partition, &key) {
+            return (value, true);
         }
-        let built = Arc::new(visibility::visible_bitmap(vector, snapshot));
-        self.insert(partition, key, Artifact::Bitmap(Arc::clone(&built)));
+        let built = build();
+        self.insert(partition, key, built.clone());
         (built, false)
     }
 
-    /// The visible ranges for `snapshot` over `vector`, memoized.
-    pub fn ranges(
-        &self,
-        partition: &K,
-        vector: &EpochsVector,
-        snapshot: &Snapshot,
-    ) -> (Arc<Vec<Range<u64>>>, bool) {
-        let key = ArtifactKey::new(vector, snapshot, ArtifactKind::Ranges);
-        if let Some(Artifact::Ranges(r)) = self.probe(partition, &key) {
-            return (r, true);
-        }
-        let built = Arc::new(visibility::visible_ranges(vector, snapshot));
-        self.insert(partition, key, Artifact::Ranges(Arc::clone(&built)));
-        (built, false)
-    }
-
-    /// Drops every artifact cached for `partition`, returning how many
+    /// Drops every value cached for `partition`, returning how many
     /// slots were reclaimed. Called by the engine after any mutation
     /// of the partition (append, delete, purge, rollback); the
     /// generation key already makes the stale slots unreachable, so
@@ -250,35 +234,22 @@ impl<K: Eq + Hash + Clone> VisibilityCache<K> {
             .metric("capacity", self.capacity);
     }
 
-    /// Corrupts every cached artifact in place — bitmaps are inverted,
-    /// range lists emptied — *without* touching generations or keys,
-    /// simulating the exact failure the generation token exists to
-    /// prevent. Test-only: exists so the scan-oracle meta-test can
-    /// prove the oracle detects a stale cache serving wrong bytes.
+    /// Applies `corrupt` to every cached value in place — *without*
+    /// touching generations or keys, simulating the exact failure the
+    /// generation token exists to prevent (a stale cache serving
+    /// wrong bytes). Test-only: exists so oracle meta-tests can prove
+    /// their differential layer detects a poisoned cache.
     #[doc(hidden)]
-    pub fn corrupt_for_test(&self) {
+    pub fn corrupt_values_for_test(&self, mut corrupt: impl FnMut(&mut V)) {
         let mut inner = self.inner.lock();
         for slots in inner.partitions.values_mut() {
             for slot in slots.values_mut() {
-                match &slot.artifact {
-                    Artifact::Bitmap(b) => {
-                        let mut inverted = Bitmap::new(b.len());
-                        for i in 0..b.len() {
-                            if !b.get(i) {
-                                inverted.set(i);
-                            }
-                        }
-                        slot.artifact = Artifact::Bitmap(Arc::new(inverted));
-                    }
-                    Artifact::Ranges(_) => {
-                        slot.artifact = Artifact::Ranges(Arc::new(Vec::new()));
-                    }
-                }
+                corrupt(&mut slot.value);
             }
         }
     }
 
-    fn probe(&self, partition: &K, key: &ArtifactKey) -> Option<Artifact> {
+    fn probe(&self, partition: &K, key: &SlotKey<T>) -> Option<V> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -290,7 +261,7 @@ impl<K: Eq + Hash + Clone> VisibilityCache<K> {
             Some(slot) => {
                 slot.last_used = tick;
                 self.hits.inc();
-                Some(slot.artifact.clone())
+                Some(slot.value.clone())
             }
             None => {
                 self.misses.inc();
@@ -299,7 +270,7 @@ impl<K: Eq + Hash + Clone> VisibilityCache<K> {
         }
     }
 
-    fn insert(&self, partition: &K, key: ArtifactKey, artifact: Artifact) {
+    fn insert(&self, partition: &K, key: SlotKey<T>, value: V) {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -315,7 +286,7 @@ impl<K: Eq + Hash + Clone> VisibilityCache<K> {
             .insert(
                 key,
                 Slot {
-                    artifact,
+                    value,
                     last_used: tick,
                 },
             )
@@ -328,8 +299,8 @@ impl<K: Eq + Hash + Clone> VisibilityCache<K> {
     /// Removes the globally least-recently-used slot. Linear in the
     /// number of slots — acceptable because it only runs at capacity,
     /// and capacity bounds the scan.
-    fn evict_lru(inner: &mut Inner<K>) -> bool {
-        let mut victim: Option<(K, ArtifactKey, u64)> = None;
+    fn evict_lru(inner: &mut Inner<K, T, V>) -> bool {
+        let mut victim: Option<(K, SlotKey<T>, u64)> = None;
         for (pk, slots) in &inner.partitions {
             for (ak, slot) in slots {
                 if victim.as_ref().is_none_or(|(_, _, t)| slot.last_used < *t) {
@@ -348,6 +319,138 @@ impl<K: Eq + Hash + Clone> VisibilityCache<K> {
         }
         inner.len -= 1;
         true
+    }
+}
+
+/// Which artifact a visibility-cache slot holds. Bitmaps and ranges
+/// for the same `(generation, snapshot)` are distinct entries:
+/// queries with per-row filters need the bitmap while unfiltered
+/// scans take the range fast path, and the two are not
+/// interconvertible for free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum ArtifactKind {
+    Bitmap,
+    Ranges,
+}
+
+#[derive(Clone)]
+enum Artifact {
+    Bitmap(Arc<Bitmap>),
+    Ranges(Arc<Vec<Range<u64>>>),
+}
+
+/// A bounded, snapshot-keyed cache of visibility artifacts, generic
+/// over the partition identifier `K` — a [`SnapshotCache`] tagged by
+/// artifact kind.
+pub struct VisibilityCache<K: Eq + Hash + Clone> {
+    cache: SnapshotCache<K, ArtifactKind, Artifact>,
+}
+
+impl<K: Eq + Hash + Clone> VisibilityCache<K> {
+    /// A cache holding at most `capacity` artifacts (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        VisibilityCache {
+            cache: SnapshotCache::new(capacity),
+        }
+    }
+
+    /// The visibility bitmap for `snapshot` over `vector`, memoized.
+    ///
+    /// Returns the artifact and whether it was served from cache.
+    pub fn bitmap(
+        &self,
+        partition: &K,
+        vector: &EpochsVector,
+        snapshot: &Snapshot,
+    ) -> (Arc<Bitmap>, bool) {
+        let (artifact, hit) =
+            self.cache
+                .get_or_build(partition, vector, snapshot, ArtifactKind::Bitmap, || {
+                    Artifact::Bitmap(Arc::new(visibility::visible_bitmap(vector, snapshot)))
+                });
+        match artifact {
+            Artifact::Bitmap(b) => (b, hit),
+            Artifact::Ranges(_) => unreachable!("Bitmap tag only ever stores bitmaps"),
+        }
+    }
+
+    /// The visible ranges for `snapshot` over `vector`, memoized.
+    pub fn ranges(
+        &self,
+        partition: &K,
+        vector: &EpochsVector,
+        snapshot: &Snapshot,
+    ) -> (Arc<Vec<Range<u64>>>, bool) {
+        let (artifact, hit) =
+            self.cache
+                .get_or_build(partition, vector, snapshot, ArtifactKind::Ranges, || {
+                    Artifact::Ranges(Arc::new(visibility::visible_ranges(vector, snapshot)))
+                });
+        match artifact {
+            Artifact::Ranges(r) => (r, hit),
+            Artifact::Bitmap(_) => unreachable!("Ranges tag only ever stores ranges"),
+        }
+    }
+
+    /// Drops every artifact cached for `partition`, returning how many
+    /// slots were reclaimed.
+    pub fn invalidate(&self, partition: &K) -> usize {
+        self.cache.invalidate(partition)
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.cache.clear()
+    }
+
+    /// Live slots across all partitions.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The LRU bound this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Counters plus the live-slot count.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Appends a `[section]` block with the cache counters to an obs
+    /// report.
+    pub fn report_as(&self, report: &mut ReportBuilder, section: &str) {
+        self.cache.report_as(report, section)
+    }
+
+    /// Corrupts every cached artifact in place — bitmaps are inverted,
+    /// range lists emptied — *without* touching generations or keys,
+    /// simulating the exact failure the generation token exists to
+    /// prevent. Test-only: exists so the scan-oracle meta-test can
+    /// prove the oracle detects a stale cache serving wrong bytes.
+    #[doc(hidden)]
+    pub fn corrupt_for_test(&self) {
+        self.cache
+            .corrupt_values_for_test(|artifact| match artifact {
+                Artifact::Bitmap(b) => {
+                    let mut inverted = Bitmap::new(b.len());
+                    for i in 0..b.len() {
+                        if !b.get(i) {
+                            inverted.set(i);
+                        }
+                    }
+                    *artifact = Artifact::Bitmap(Arc::new(inverted));
+                }
+                Artifact::Ranges(_) => {
+                    *artifact = Artifact::Ranges(Arc::new(Vec::new()));
+                }
+            });
     }
 }
 
@@ -587,5 +690,50 @@ mod tests {
         let text = report.finish();
         assert!(text.contains("[cache]"));
         assert!(text.contains("hits"));
+    }
+
+    // SnapshotCache-generic behavior, exercised with an arbitrary
+    // value type the visibility wrapper never stores.
+
+    #[test]
+    fn generic_cache_keys_on_the_client_tag_structurally() {
+        let cache: SnapshotCache<&'static str, (u32, Vec<u32>), u64> = SnapshotCache::new(64);
+        let v = vector(&[(1, 3)]);
+        let s = Snapshot::committed(1);
+        let (a, hit) = cache.get_or_build(&"p", &v, &s, (7, vec![1, 2]), || 10);
+        assert!(!hit);
+        assert_eq!(a, 10);
+        // Same tag value, built fresh elsewhere: structural equality
+        // means it hits, and the builder must not run.
+        let (b, hit) = cache.get_or_build(&"p", &v, &s, (7, vec![1, 2]), || {
+            panic!("hit path must not rebuild")
+        });
+        assert!(hit);
+        assert_eq!(b, 10);
+        // A different tag is a different slot.
+        let (c, hit) = cache.get_or_build(&"p", &v, &s, (7, vec![1, 3]), || 20);
+        assert!(!hit);
+        assert_eq!(c, 20);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn generic_cache_invalidation_and_corruption() {
+        let cache: SnapshotCache<&'static str, u8, u64> = SnapshotCache::new(64);
+        let v = vector(&[(1, 3)]);
+        let s = Snapshot::committed(1);
+        cache.get_or_build(&"p", &v, &s, 0, || 1);
+        cache.get_or_build(&"q", &v, &s, 0, || 2);
+        cache.corrupt_values_for_test(|value| *value += 100);
+        let (poisoned, hit) = cache.get_or_build(&"p", &v, &s, 0, || 1);
+        assert!(hit, "corruption must not evict");
+        assert_eq!(poisoned, 101);
+        assert_eq!(cache.invalidate(&"p"), 1);
+        let (rebuilt, hit) = cache.get_or_build(&"p", &v, &s, 0, || 1);
+        assert!(!hit);
+        assert_eq!(rebuilt, 1);
+        let (other, hit) = cache.get_or_build(&"q", &v, &s, 0, || 2);
+        assert!(hit, "unaffected partition must keep hitting");
+        assert_eq!(other, 102, "…even if what it serves was poisoned");
     }
 }

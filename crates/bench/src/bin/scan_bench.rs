@@ -1,19 +1,28 @@
 //! Scan-path benchmark: vectorized vs. reference scan kernels, serial
-//! vs. parallel brick scans, cold vs. warm visibility cache, on
-//! identical data and queries — the fig5-style workload shape (many
-//! small appended batches, so epochs vectors grow long and visibility
-//! materialization competes with the residual scan).
+//! vs. parallel brick scans, shard-merge vs. brick-funnel partial
+//! aggregation, cold vs. warm caches, on identical data and queries —
+//! the fig5-style workload shape (many small appended batches, so
+//! epochs vectors grow long and visibility materialization competes
+//! with the residual scan).
 //!
 //! Emits `BENCH_scan.json` (override with `AOSI_BENCH_OUT`) with one
-//! cell per {vectorized, reference} x {serial, parallel} x
-//! {cold, warm} combination plus the derived speedups.
+//! cell per measured combination plus the derived speedups. The
+//! `merge` axis compares [`cubrick::MergePath`] variants on the
+//! parallel cold point: `shard` folds brick partials into per-shard
+//! [`cubrick::AggState`] tables merged once at the coordinator,
+//! `funnel` ships every brick's partial through the coordinator
+//! thread (the pre-shard-merge baseline). The `aggwarm` cache level
+//! measures the snapshot-keyed aggregate cache: brick partials
+//! replayed without touching visibility or columns at all.
 //! `AOSI_BENCH_ENFORCE=1` turns the sanity bounds into an exit code:
 //! the parallel cold path must not be more than 2x slower than the
-//! serial cold path, and the vectorized kernel must beat the
+//! serial cold path, the vectorized kernel must beat the
 //! row-at-a-time reference kernel on pure scan time by at least
 //! `AOSI_BENCH_MIN_KERNEL` (default 1.5; the committed paper-scale
 //! run clears 3x — the smoke default absorbs noisy shared runners
-//! and tiny smoke workloads).
+//! and tiny smoke workloads), and shard-merge must not lose to the
+//! funnel by more than `AOSI_BENCH_MIN_MERGE` (default 0.9 — i.e.
+//! within 10% — the committed run shows it winning).
 //!
 //! Knobs: `AOSI_BATCHES` (epochs-vector length driver), `AOSI_BATCH`
 //! (rows per batch), `AOSI_QUERIES` (timed repetitions per cell),
@@ -24,8 +33,8 @@ use std::time::Instant;
 use aosi::Snapshot;
 use columnar::{Row, Value};
 use cubrick::{
-    AggFn, Aggregation, CubeSchema, DimFilter, Dimension, Engine, Metric, Query, ScanConfig,
-    ScanKernel,
+    AggFn, Aggregation, CubeSchema, DimFilter, Dimension, Engine, MergePath, Metric, Query,
+    ScanConfig, ScanKernel,
 };
 
 const CUBE: &str = "scanbench";
@@ -88,12 +97,15 @@ struct Cell {
     kernel: &'static str,
     mode: &'static str,
     cache: &'static str,
+    merge: &'static str,
     total_ns: u128,
     mean_ns: u128,
     p50_ns: u128,
     queries: usize,
     cache_hits: u64,
     cache_misses: u64,
+    agg_cache_hits: u64,
+    agg_cache_misses: u64,
     parallel_tasks: u64,
     visibility_build_ns: u64,
     scan_ns: u64,
@@ -121,6 +133,7 @@ fn run_cell(
     kernel: &'static str,
     mode: &'static str,
     cache: &'static str,
+    merge: &'static str,
     config: ScanConfig,
     batches: usize,
     rows_per_batch: usize,
@@ -191,6 +204,8 @@ fn run_cell(
     let mut scan_samples: Vec<Vec<u64>> = vec![Vec::with_capacity(reps); slots];
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
+    let mut agg_cache_hits = 0u64;
+    let mut agg_cache_misses = 0u64;
     let mut parallel_tasks = 0u64;
     let mut visibility_build_ns = 0u64;
     let mut scan_ns = 0u64;
@@ -204,6 +219,8 @@ fn run_cell(
                 scan_samples[si * battery.len() + qi].push(result.stats.scan_nanos);
                 cache_hits += result.stats.vis_cache_hits;
                 cache_misses += result.stats.vis_cache_misses;
+                agg_cache_hits += result.stats.agg_cache_hits;
+                agg_cache_misses += result.stats.agg_cache_misses;
                 parallel_tasks += result.stats.parallel_tasks;
                 visibility_build_ns += result.stats.visibility_build_nanos;
                 scan_ns += result.stats.scan_nanos;
@@ -225,12 +242,15 @@ fn run_cell(
         kernel,
         mode,
         cache,
+        merge,
         total_ns: total,
         mean_ns: total / latencies.len() as u128,
         p50_ns: latencies[latencies.len() / 2],
         queries: latencies.len(),
         cache_hits,
         cache_misses,
+        agg_cache_hits,
+        agg_cache_misses,
         parallel_tasks,
         visibility_build_ns,
         scan_ns,
@@ -240,20 +260,25 @@ fn run_cell(
 
 fn cell_json(c: &Cell) -> String {
     format!(
-        "    {{\"kernel\": \"{}\", \"mode\": \"{}\", \"cache\": \"{}\", \"queries\": {}, \
+        "    {{\"kernel\": \"{}\", \"mode\": \"{}\", \"cache\": \"{}\", \"merge\": \"{}\", \
+         \"queries\": {}, \
          \"total_ns\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
          \"vis_cache_hits\": {}, \"vis_cache_misses\": {}, \
+         \"agg_cache_hits\": {}, \"agg_cache_misses\": {}, \
          \"parallel_tasks\": {}, \"visibility_build_ns\": {}, \"scan_ns\": {}, \
          \"scan_p50_battery_ns\": {}}}",
         c.kernel,
         c.mode,
         c.cache,
+        c.merge,
         c.queries,
         c.total_ns,
         c.mean_ns,
         c.p50_ns,
         c.cache_hits,
         c.cache_misses,
+        c.agg_cache_hits,
+        c.agg_cache_misses,
         c.parallel_tasks,
         c.visibility_build_ns,
         c.scan_ns,
@@ -279,32 +304,77 @@ fn main() {
         ],
     );
 
-    // Cold = cache disabled entirely (every query pays the full
-    // visibility build); warm = large cache, one untimed priming
-    // pass. The data is static during timing, so warm cells are pure
-    // cache-hit runs. Each (mode, cache) point runs once per scan
-    // kernel so the vectorized speedup is measured on identical data.
-    let base_configs: [(&'static str, &'static str, ScanConfig); 4] = [
-        ("serial", "cold", ScanConfig::sequential_uncached()),
+    // Cold = caches disabled entirely (every query pays the full
+    // visibility build); warm = large *visibility* cache, aggregate
+    // cache off, one untimed priming pass; aggwarm = both caches on,
+    // so warm bricks replay cached partials without touching columns
+    // at all. The data is static during timing, so warm cells are
+    // pure cache-hit runs. Kernel-speedup cells run once per scan
+    // kernel on identical data; the merge and aggwarm comparison
+    // cells are vectorized-only (the reference kernel adds nothing to
+    // those axes).
+    let vis_warm_only = |base: ScanConfig| ScanConfig {
+        agg_cache_capacity: 0,
+        ..base
+    };
+    let base_configs: [(&'static str, &'static str, &'static str, ScanConfig, bool); 6] = [
+        (
+            "serial",
+            "cold",
+            "shard",
+            ScanConfig::sequential_uncached(),
+            true,
+        ),
         (
             "serial",
             "warm",
-            ScanConfig {
+            "shard",
+            vis_warm_only(ScanConfig {
                 parallel_threshold: usize::MAX,
                 cache_capacity: 4096,
-                kernel: ScanKernel::Vectorized,
-            },
+                ..ScanConfig::default()
+            }),
+            true,
         ),
         (
             "parallel",
             "cold",
+            "shard",
             ScanConfig {
                 parallel_threshold: 1,
                 cache_capacity: 0,
-                kernel: ScanKernel::Vectorized,
+                agg_cache_capacity: 0,
+                ..ScanConfig::default()
             },
+            true,
         ),
-        ("parallel", "warm", ScanConfig::parallel_cached(4096)),
+        (
+            "parallel",
+            "cold",
+            "funnel",
+            ScanConfig {
+                parallel_threshold: 1,
+                cache_capacity: 0,
+                agg_cache_capacity: 0,
+                merge: MergePath::Funnel,
+                ..ScanConfig::default()
+            },
+            false,
+        ),
+        (
+            "parallel",
+            "warm",
+            "shard",
+            vis_warm_only(ScanConfig::parallel_cached(4096)),
+            true,
+        ),
+        (
+            "parallel",
+            "aggwarm",
+            "shard",
+            ScanConfig::parallel_cached(4096),
+            false,
+        ),
     ];
     let kernels: [(&'static str, ScanKernel); 2] = [
         ("vectorized", ScanKernel::Vectorized),
@@ -313,12 +383,16 @@ fn main() {
 
     let mut cells = Vec::new();
     for (kernel_name, kernel) in kernels {
-        for (mode, cache, base) in &base_configs {
+        for (mode, cache, merge, base, both_kernels) in &base_configs {
+            if kernel == ScanKernel::RowAtATime && !both_kernels {
+                continue;
+            }
             let config = ScanConfig { kernel, ..*base };
             cells.push(run_cell(
                 kernel_name,
                 mode,
                 cache,
+                merge,
                 config,
                 batches,
                 rows_per_batch,
@@ -329,38 +403,49 @@ fn main() {
     }
 
     println!(
-        "\nkernel      mode      cache   mean(us)   p50(us)    vis(us)    scan(us)   scanp50(us)  hits    misses"
+        "\nkernel      mode      cache    merge   mean(us)   p50(us)    vis(us)    scan(us)   scanp50(us)  hits    agghits"
     );
     for c in &cells {
         println!(
-            "{:<12}{:<10}{:<8}{:<11.1}{:<11.1}{:<11.1}{:<11.1}{:<13.1}{:<8}{}",
+            "{:<12}{:<10}{:<9}{:<8}{:<11.1}{:<11.1}{:<11.1}{:<11.1}{:<13.1}{:<8}{}",
             c.kernel,
             c.mode,
             c.cache,
+            c.merge,
             c.mean_ns as f64 / 1e3,
             c.p50_ns as f64 / 1e3,
             c.visibility_build_ns as f64 / 1e3 / c.queries as f64,
             c.scan_ns as f64 / 1e3 / c.queries as f64,
             c.scan_p50_battery_ns as f64 / 1e3,
             c.cache_hits,
-            c.cache_misses
+            c.agg_cache_hits
         );
     }
 
-    let cell_of = |kernel: &str, mode: &str, cache: &str| {
+    let cell_of = |kernel: &str, mode: &str, cache: &str, merge: &str| {
         cells
             .iter()
-            .find(|c| c.kernel == kernel && c.mode == mode && c.cache == cache)
+            .find(|c| c.kernel == kernel && c.mode == mode && c.cache == cache && c.merge == merge)
             .expect("cell exists")
     };
-    let mean_of =
-        |kernel: &str, mode: &str, cache: &str| cell_of(kernel, mode, cache).mean_ns as f64;
-    let parallel_warm_speedup =
-        mean_of("vectorized", "serial", "cold") / mean_of("vectorized", "parallel", "warm");
-    let parallel_cold_speedup =
-        mean_of("vectorized", "serial", "cold") / mean_of("vectorized", "parallel", "cold");
-    let warm_cache_speedup =
-        mean_of("vectorized", "serial", "cold") / mean_of("vectorized", "serial", "warm");
+    let mean_of = |kernel: &str, mode: &str, cache: &str, merge: &str| {
+        cell_of(kernel, mode, cache, merge).mean_ns as f64
+    };
+    let parallel_warm_speedup = mean_of("vectorized", "serial", "cold", "shard")
+        / mean_of("vectorized", "parallel", "warm", "shard");
+    let parallel_cold_speedup = mean_of("vectorized", "serial", "cold", "shard")
+        / mean_of("vectorized", "parallel", "cold", "shard");
+    let warm_cache_speedup = mean_of("vectorized", "serial", "cold", "shard")
+        / mean_of("vectorized", "serial", "warm", "shard");
+    // Shard merge vs. the brick funnel, parallel cold, identical data:
+    // how much the per-shard AggState fold buys over shipping every
+    // brick partial through the coordinator.
+    let merge_speedup = mean_of("vectorized", "parallel", "cold", "funnel")
+        / mean_of("vectorized", "parallel", "cold", "shard");
+    // The aggregate cache on top of everything: warm partial replay
+    // vs. the cold serial baseline.
+    let agg_cache_speedup = mean_of("vectorized", "serial", "cold", "shard")
+        / mean_of("vectorized", "parallel", "aggwarm", "shard");
     // The kernel speedup compares pure scan time (visibility build
     // excluded — it is kernel-independent) on the serial warm point,
     // where the cache removes visibility-build noise from the
@@ -369,14 +454,17 @@ fn main() {
     // preemption or frequency ramp landing inside a sub-millisecond
     // cell distorts the sum by integer factors, while the median of
     // 40 reps of a deterministic scan is stable.
-    let scan_of = |kernel: &str| cell_of(kernel, "serial", "warm").scan_p50_battery_ns as f64;
+    let scan_of =
+        |kernel: &str| cell_of(kernel, "serial", "warm", "shard").scan_p50_battery_ns as f64;
     let kernel_speedup = scan_of("reference") / scan_of("vectorized");
-    let kernel_mean_speedup =
-        mean_of("reference", "serial", "warm") / mean_of("vectorized", "serial", "warm");
+    let kernel_mean_speedup = mean_of("reference", "serial", "warm", "shard")
+        / mean_of("vectorized", "serial", "warm", "shard");
     println!("\nspeedup vs serial cold (vectorized):");
     println!("  parallel warm: {parallel_warm_speedup:.2}x");
     println!("  parallel cold: {parallel_cold_speedup:.2}x");
-    println!("  serial warm (cache only): {warm_cache_speedup:.2}x");
+    println!("  serial warm (vis cache only): {warm_cache_speedup:.2}x");
+    println!("  parallel aggwarm (aggregate cache): {agg_cache_speedup:.2}x");
+    println!("\nshard merge vs brick funnel (parallel cold): {merge_speedup:.2}x");
     println!("\nvectorized kernel vs reference (serial warm):");
     println!("  scan_ns: {kernel_speedup:.2}x");
     println!("  end-to-end mean: {kernel_mean_speedup:.2}x");
@@ -387,7 +475,9 @@ fn main() {
          \"shards\": {shards}}},\n  \"cells\": [\n{}\n  ],\n  \
          \"speedup_vs_serial_cold\": {{\"parallel_warm\": {parallel_warm_speedup:.4}, \
          \"parallel_cold\": {parallel_cold_speedup:.4}, \
-         \"serial_warm\": {warm_cache_speedup:.4}}},\n  \
+         \"serial_warm\": {warm_cache_speedup:.4}, \
+         \"parallel_aggwarm\": {agg_cache_speedup:.4}}},\n  \
+         \"merge_speedup\": {merge_speedup:.4},\n  \
          \"kernel_speedup\": {{\"scan_ns\": {kernel_speedup:.4}, \
          \"mean_ns\": {kernel_mean_speedup:.4}}}\n}}\n",
         cells.iter().map(cell_json).collect::<Vec<_>>().join(",\n")
@@ -401,6 +491,7 @@ fn main() {
         // runners), and the vectorized kernel must beat the reference
         // kernel on pure scan time.
         let min_kernel = bench::env_f64("AOSI_BENCH_MIN_KERNEL", 1.5);
+        let min_merge = bench::env_f64("AOSI_BENCH_MIN_MERGE", 0.9);
         if parallel_cold_speedup < 0.5 {
             eprintln!(
                 "ENFORCE FAILED: parallel cold is {:.2}x slower than serial cold",
@@ -415,7 +506,15 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if merge_speedup < min_merge {
+            eprintln!(
+                "ENFORCE FAILED: shard merge vs funnel speedup {merge_speedup:.2}x \
+                 is below the {min_merge:.2}x bound"
+            );
+            std::process::exit(1);
+        }
         println!("enforce: parallel cold within 2x of serial cold — ok");
         println!("enforce: vectorized kernel >= {min_kernel:.2}x reference on scan_ns — ok");
+        println!("enforce: shard merge >= {min_merge:.2}x funnel on parallel cold mean — ok");
     }
 }

@@ -25,7 +25,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aosi::{CacheStats, Epoch, Snapshot, Txn, TxnManager, TxnPartitionIndex, VisibilityCache};
+use aosi::{
+    CacheStats, Epoch, Snapshot, SnapshotCache, Txn, TxnManager, TxnPartitionIndex, VisibilityCache,
+};
 use columnar::{Bitmap, Row};
 use obs::{Counter, Histogram, ReportBuilder};
 use parking_lot::RwLock;
@@ -35,7 +37,9 @@ use crate::cube::{Cube, CubeMemory};
 use crate::ddl::CubeSchema;
 use crate::error::CubrickError;
 use crate::ingest::{parse_rows, ParsedBatch};
-use crate::query::{PartialResult, Query, QueryResult, ResolvedQuery, ScanKernel};
+use crate::query::{
+    AggQueryShape, CachedAgg, PartialResult, Query, QueryResult, ResolvedQuery, ScanKernel,
+};
 use crate::shard::ShardPool;
 
 /// Partition key the engine caches visibility artifacts under. Brick
@@ -44,21 +48,52 @@ use crate::shard::ShardPool;
 /// refcount bump on the hot path.
 pub(crate) type BrickKey = (Arc<str>, u64);
 
+/// The per-brick aggregate cache: the visibility cache's keying
+/// (generation + snapshot, see [`aosi::SnapshotCache`]) one level up,
+/// tagged by the query's structural scan shape. A hit skips the
+/// brick's visibility build *and* its scan.
+pub(crate) type AggCache = SnapshotCache<BrickKey, Arc<AggQueryShape>, CachedAgg>;
+
+/// How a parallel scan's per-brick partials reach the coordinator
+/// (see [`ScanConfig::merge`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MergePath {
+    /// One task per involved shard: each shard folds its own bricks
+    /// (ascending bid) into a local partial, and the coordinator
+    /// merges one result per shard in shard order. Merge work scales
+    /// with shards, not bricks — the default.
+    #[default]
+    Shard,
+    /// One task per brick, all partials funneled to the coordinator
+    /// and merged there in submission order. Kept as a comparison
+    /// point (`scan_bench` measures the difference) and for workloads
+    /// with few, huge bricks per shard.
+    Funnel,
+}
+
 /// How the engine runs brick scans (see [`Engine::with_scan_config`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ScanConfig {
-    /// Dispatch per-brick parallel scan tasks when a query matches at
-    /// least this many bricks after pruning; below the threshold the
+    /// Dispatch parallel scan tasks when a query matches at least
+    /// this many bricks after pruning; below the threshold the
     /// engine falls back to the sequential per-shard walk (the
     /// per-task dispatch overhead is not worth it for tiny scans).
     /// `usize::MAX` disables the parallel path entirely.
     pub parallel_threshold: usize,
     /// Visibility-cache capacity in artifacts; `0` disables caching.
     pub cache_capacity: usize,
+    /// Aggregate-cache capacity in cached brick partials; `0`
+    /// disables it. Snapshot-isolated scans of unchanged bricks under
+    /// a repeated query shape are then served without touching the
+    /// brick at all.
+    pub agg_cache_capacity: usize,
     /// Which scan/aggregate kernel brick scans run
     /// ([`ScanKernel::Vectorized`] unless diffing against the
     /// row-at-a-time reference).
     pub kernel: ScanKernel,
+    /// How parallel partials merge ([`MergePath::Shard`] unless
+    /// measuring the funnel).
+    pub merge: MergePath,
 }
 
 impl Default for ScanConfig {
@@ -66,31 +101,38 @@ impl Default for ScanConfig {
         ScanConfig {
             parallel_threshold: 2,
             cache_capacity: 4096,
+            agg_cache_capacity: 1024,
             kernel: ScanKernel::Vectorized,
+            merge: MergePath::Shard,
         }
     }
 }
 
 impl ScanConfig {
     /// The differential-testing reference configuration: every scan
-    /// sequential, no cache, row-at-a-time kernel.
+    /// sequential, no caches, row-at-a-time kernel.
     /// [`Engine::query_at_reference`] uses this regardless of the
     /// engine's own configuration.
     pub fn sequential_uncached() -> Self {
         ScanConfig {
             parallel_threshold: usize::MAX,
             cache_capacity: 0,
+            agg_cache_capacity: 0,
             kernel: ScanKernel::RowAtATime,
+            merge: MergePath::Shard,
         }
     }
 
-    /// Always-parallel with the given cache capacity (benches and
-    /// stress tests use this to force the interesting path).
+    /// Always-parallel with the given cache capacity for both caches
+    /// (benches and stress tests use this to force the interesting
+    /// path).
     pub fn parallel_cached(cache_capacity: usize) -> Self {
         ScanConfig {
             parallel_threshold: 1,
             cache_capacity,
+            agg_cache_capacity: cache_capacity,
             kernel: ScanKernel::Vectorized,
+            merge: MergePath::Shard,
         }
     }
 }
@@ -224,6 +266,7 @@ pub struct Engine {
     rollback_index: Option<TxnPartitionIndex>,
     scan_config: ScanConfig,
     vis_cache: Option<Arc<VisibilityCache<BrickKey>>>,
+    agg_cache: Option<Arc<AggCache>>,
     /// Bids whose scan tasks panic on purpose (test injection only).
     panic_bids: RwLock<HashSet<u64>>,
     ops: OpCounters,
@@ -248,6 +291,7 @@ impl Engine {
             rollback_index: None,
             scan_config,
             vis_cache: Some(Arc::new(VisibilityCache::new(scan_config.cache_capacity))),
+            agg_cache: Some(Arc::new(AggCache::new(scan_config.agg_cache_capacity))),
             panic_bids: RwLock::new(HashSet::new()),
             ops: OpCounters::default(),
             metrics: EngineMetrics::default(),
@@ -255,12 +299,14 @@ impl Engine {
     }
 
     /// Reconfigures how scans run (parallel threshold, cache
-    /// capacity). Choose before serving queries: swapping the config
-    /// replaces the visibility cache.
+    /// capacities, merge path). Choose before serving queries:
+    /// swapping the config replaces both caches.
     pub fn with_scan_config(mut self, config: ScanConfig) -> Self {
         self.scan_config = config;
         self.vis_cache = (config.cache_capacity > 0)
             .then(|| Arc::new(VisibilityCache::new(config.cache_capacity)));
+        self.agg_cache = (config.agg_cache_capacity > 0)
+            .then(|| Arc::new(AggCache::new(config.agg_cache_capacity)));
         self
     }
 
@@ -274,13 +320,37 @@ impl Engine {
         self.vis_cache.as_ref().map(|cache| cache.stats())
     }
 
+    /// Aggregate-cache statistics, when the aggregate cache is
+    /// enabled.
+    pub fn agg_cache_stats(&self) -> Option<CacheStats> {
+        self.agg_cache.as_ref().map(|cache| cache.stats())
+    }
+
     /// Corrupts every cached visibility artifact in place, simulating
-    /// a stale cache that serves wrong bytes. Exists solely so the
-    /// scan-oracle meta-test can prove the oracle detects it.
+    /// a stale cache that serves wrong bytes. The aggregate cache
+    /// layered above it is emptied at the same time — warm brick
+    /// partials would otherwise replay without ever touching the
+    /// poisoned artifacts, making the corruption unreachable. Exists
+    /// solely so the scan-oracle meta-test can prove the oracle
+    /// detects it.
     #[doc(hidden)]
     pub fn corrupt_visibility_cache_for_test(&self) {
         if let Some(cache) = &self.vis_cache {
             cache.corrupt_for_test();
+        }
+        if let Some(cache) = &self.agg_cache {
+            cache.clear();
+        }
+    }
+
+    /// Corrupts every cached aggregate partial in place (counts and
+    /// sums nudged, keys untouched), simulating a stale aggregate
+    /// cache. Exists solely so the merge-oracle meta-test can prove
+    /// the differential layer detects it.
+    #[doc(hidden)]
+    pub fn corrupt_agg_cache_for_test(&self) {
+        if let Some(cache) = &self.agg_cache {
+            cache.corrupt_values_for_test(CachedAgg::corrupt_for_test);
         }
     }
 
@@ -348,6 +418,9 @@ impl Engine {
             .histogram("scan_task_nanos", &self.metrics.scan_task_nanos);
         if let Some(cache) = &self.vis_cache {
             cache.report_as(report, &format!("{prefix}engine.vis_cache"));
+        }
+        if let Some(cache) = &self.agg_cache {
+            cache.report_as(report, &format!("{prefix}engine.agg_cache"));
         }
         self.shards.report_as(report, &format!("{prefix}shards"));
     }
@@ -424,11 +497,13 @@ impl Engine {
                     .unwrap_or_default()
             })
         });
-        if let Some(cache) = &self.vis_cache {
-            let cube_key: Arc<str> = Arc::from(name.as_str());
-            for bid in dropped.into_iter().flatten() {
-                cache.invalidate(&(Arc::clone(&cube_key), bid));
-            }
+        let cube_key: Arc<str> = Arc::from(name.as_str());
+        for bid in dropped.into_iter().flatten() {
+            invalidate_brick(
+                &self.vis_cache,
+                &self.agg_cache,
+                &(Arc::clone(&cube_key), bid),
+            );
         }
         Ok(())
     }
@@ -521,6 +596,7 @@ impl Engine {
             let cube = cube.clone();
             let storage = self.dim_storage;
             let cache = self.vis_cache.clone();
+            let agg_cache = self.agg_cache.clone();
             let key: BrickKey = (Arc::clone(&cube_key), bid);
             self.shards.submit(shard, move |bricks| {
                 let brick = bricks
@@ -530,11 +606,9 @@ impl Engine {
                     .or_insert_with(|| Brick::with_storage(cube.schema(), storage));
                 brick.append(epoch, &records);
                 // Mutation class: append. Reclaim the brick's cached
-                // visibility eagerly (the generation bump already made
-                // it unreachable).
-                if let Some(cache) = &cache {
-                    cache.invalidate(&key);
-                }
+                // artifacts eagerly (the generation bump already made
+                // them unreachable).
+                invalidate_brick(&cache, &agg_cache, &key);
             });
         }
         // Barrier only on the shards we touched.
@@ -600,6 +674,7 @@ impl Engine {
             let mut removed = 0u64;
             for (shard, bids) in by_shard {
                 let cache = self.vis_cache.clone();
+                let agg_cache = self.agg_cache.clone();
                 removed += self.shards.submit_and_wait(shard, move |bricks| {
                     let mut removed = 0u64;
                     for (cube_name, cube_bricks) in bricks.iter_mut() {
@@ -607,9 +682,11 @@ impl Engine {
                             if let Some(brick) = cube_bricks.get_mut(bid) {
                                 removed += brick.rollback(epoch);
                                 // Mutation class: rollback.
-                                if let Some(cache) = &cache {
-                                    cache.invalidate(&(Arc::from(cube_name.as_str()), *bid));
-                                }
+                                invalidate_brick(
+                                    &cache,
+                                    &agg_cache,
+                                    &(Arc::from(cube_name.as_str()), *bid),
+                                );
                             }
                         }
                     }
@@ -620,15 +697,14 @@ impl Engine {
         }
         let removed = self.shards.map_shards(|_| {
             let cache = self.vis_cache.clone();
+            let agg_cache = self.agg_cache.clone();
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
                 let mut removed = 0u64;
                 for (cube_name, cube_bricks) in bricks.iter_mut() {
                     for (&bid, brick) in cube_bricks.iter_mut() {
                         removed += brick.rollback(epoch);
                         // Mutation class: rollback.
-                        if let Some(cache) = &cache {
-                            cache.invalidate(&(Arc::from(cube_name.as_str()), bid));
-                        }
+                        invalidate_brick(&cache, &agg_cache, &(Arc::from(cube_name.as_str()), bid));
                     }
                 }
                 removed
@@ -738,7 +814,173 @@ impl Engine {
             Some(snapshot.clone()),
             ScanConfig::sequential_uncached(),
             None,
+            None,
+            None,
         )?;
+        Ok(QueryResult::finalize(&cube, &resolved, merged))
+    }
+
+    /// Runs a query like [`Engine::query_at`], additionally invoking
+    /// `on_partial` with a finalized snapshot of the merged-so-far
+    /// result each time a scan task's partial lands at the
+    /// coordinator. Refinements arrive in the executor's
+    /// deterministic merge order; the returned result is the complete
+    /// one (identical to what `query_at` would produce). The server's
+    /// progressive mode streams these refinements to the client.
+    pub fn query_at_with_progress(
+        &self,
+        cube: &str,
+        query: &Query,
+        snapshot: &Snapshot,
+        mut on_partial: impl FnMut(QueryResult),
+    ) -> Result<QueryResult, CubrickError> {
+        let cube = self.cube(cube)?;
+        let resolved = ResolvedQuery::resolve(&cube, query)?;
+        let mut forward = |partial: &PartialResult| {
+            on_partial(QueryResult::finalize(&cube, &resolved, partial.clone()));
+        };
+        let merged = self.execute_partial_with(
+            &cube,
+            &resolved,
+            Some(snapshot.clone()),
+            self.scan_config,
+            self.vis_cache.clone(),
+            self.agg_cache.clone(),
+            Some(&mut forward),
+        )?;
+        Ok(QueryResult::finalize(&cube, &resolved, merged))
+    }
+
+    /// [`Engine::query_as_of`] with progressive refinements: the
+    /// same guarded `[LSE, LCE]` window check, but `on_partial`
+    /// observes the merged-so-far result after each scan task lands.
+    /// The server's progressive `/query` mode is a thin wrapper over
+    /// this.
+    pub fn query_as_of_with_progress(
+        &self,
+        cube: &str,
+        query: &Query,
+        epoch: Epoch,
+        on_partial: impl FnMut(QueryResult),
+    ) -> Result<QueryResult, CubrickError> {
+        // Guard before validating, exactly like `query_as_of`: the
+        // guard and the LSE advance share a lock, so a validated
+        // epoch cannot be purged mid-stream.
+        let guard = self.manager.guard_snapshot(Snapshot::committed(epoch));
+        let (lse, lce) = (self.manager.lse(), self.manager.lce());
+        if epoch < lse || epoch > lce {
+            return Err(CubrickError::EpochOutOfRange {
+                requested: epoch,
+                lse,
+                lce,
+            });
+        }
+        self.ops.queries.inc();
+        self.query_at_with_progress(cube, query, guard.snapshot(), on_partial)
+    }
+
+    /// Runs the scan fan-out but returns the *per-brick* partials
+    /// instead of merging them: one [`PartialResult`] per scanned
+    /// brick, ordered by shard then brick id ascending — the same
+    /// deterministic order the merge paths fold in.
+    /// [`Engine::finalize_partials`] completes the query from any
+    /// partitioning of this list; the merge oracle exercises every
+    /// other association and ordering against the single-pass
+    /// reference.
+    pub fn query_brick_partials(
+        &self,
+        cube: &str,
+        query: &Query,
+        snapshot: &Snapshot,
+    ) -> Result<Vec<PartialResult>, CubrickError> {
+        let cube = self.cube(cube)?;
+        let resolved = ResolvedQuery::resolve(&cube, query)?;
+        let cube_key: Arc<str> = Arc::from(cube.name());
+        let shape = Arc::new(AggQueryShape::of(&resolved, self.scan_config.kernel));
+        let per_shard_bids: Vec<Vec<u64>> = self.shards.map_shards(|_| {
+            let name = cube.name().to_owned();
+            Box::new(move |bricks: &mut crate::shard::ShardBricks| {
+                bricks
+                    .get(&name)
+                    .map(|m| {
+                        let mut bids: Vec<u64> = m.keys().copied().collect();
+                        bids.sort_unstable();
+                        bids
+                    })
+                    .unwrap_or_default()
+            })
+        });
+        let mut out = Vec::new();
+        for (shard, bids) in per_shard_bids.into_iter().enumerate() {
+            let targets: Vec<u64> = bids
+                .into_iter()
+                .filter(|&bid| resolved.brick_can_match(&cube, bid))
+                .collect();
+            if targets.is_empty() {
+                continue;
+            }
+            let task_cube = cube.clone();
+            let resolved = resolved.clone();
+            let snapshot = snapshot.clone();
+            let cache = self.vis_cache.clone();
+            let agg_cache = self.agg_cache.clone();
+            let cube_key = Arc::clone(&cube_key);
+            let shape = Arc::clone(&shape);
+            let kernel = self.scan_config.kernel;
+            let handle = self.shards.submit_handle(shard, move |bricks| {
+                let mut partials = Vec::new();
+                let Some(cube_bricks) = bricks.get(task_cube.name()) else {
+                    return partials;
+                };
+                for &bid in &targets {
+                    let Some(brick) = cube_bricks.get(&bid) else {
+                        continue;
+                    };
+                    let key: BrickKey = (Arc::clone(&cube_key), bid);
+                    partials.push(scan_one_brick(
+                        brick,
+                        &resolved,
+                        Some(&snapshot),
+                        cache.as_deref(),
+                        agg_cache.as_deref(),
+                        &key,
+                        &shape,
+                        kernel,
+                    ));
+                }
+                partials
+            });
+            match handle.join() {
+                Ok(partials) => out.extend(partials),
+                Err(_) => {
+                    return Err(CubrickError::ScanTaskPanicked {
+                        cube: cube.name().to_owned(),
+                        bid: None,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Merges externally produced brick partials (in the given order,
+    /// folding from the identity) and finalizes the query — the other
+    /// half of [`Engine::query_brick_partials`]. The merge is
+    /// associative and commutative on the workload's exact
+    /// arithmetic, so any partitioning of the same brick set
+    /// finalizes identically; `oracle::agg` pins that property.
+    pub fn finalize_partials(
+        &self,
+        cube: &str,
+        query: &Query,
+        partials: impl IntoIterator<Item = PartialResult>,
+    ) -> Result<QueryResult, CubrickError> {
+        let cube = self.cube(cube)?;
+        let resolved = ResolvedQuery::resolve(&cube, query)?;
+        let mut merged = PartialResult::default();
+        for partial in partials {
+            merged.merge(partial);
+        }
         Ok(QueryResult::finalize(&cube, &resolved, merged))
     }
 
@@ -770,18 +1012,31 @@ impl Engine {
             snapshot,
             self.scan_config,
             self.vis_cache.clone(),
+            self.agg_cache.clone(),
+            None,
         )
     }
 
     /// The scan executor behind every query path.
     ///
-    /// Both paths work from one deterministic work list — each shard's
-    /// bids sorted ascending, pruned at the caller — and both merge
-    /// partials in that submission order, so parallel and sequential
-    /// executions are byte-identical (aggregate sums over the
+    /// Every path works from one deterministic work list — each
+    /// shard's bids sorted ascending, pruned at the caller — and
+    /// every path merges partials in that order: shard ascending,
+    /// brick ascending within the shard. The default
+    /// [`MergePath::Shard`] runs one task per involved shard (each
+    /// folds its own bricks locally, the coordinator merges the shard
+    /// partials in shard order), [`MergePath::Funnel`] funnels one
+    /// task per brick through the coordinator, and the sequential
+    /// fallback joins each shard task before submitting the next. All
+    /// three fold the exact same sequence of brick partials, so every
+    /// execution is byte-identical (aggregate sums over the
     /// workload's integer-valued floats are exact and
     /// order-independent; the deterministic order removes even the
     /// merge-order variable).
+    ///
+    /// `progress`, when supplied, observes the merged-so-far partial
+    /// after each coordinator-side merge — the progressive query
+    /// protocol's refinement stream.
     ///
     /// Bricks created *after* enumeration are safe to miss: a brick
     /// can only appear via a flush whose transaction either committed
@@ -789,6 +1044,7 @@ impl Engine {
     /// is excluded by the snapshot's epoch/deps, so the rows such a
     /// brick holds are invisible to `snapshot` anyway. RU scans have
     /// no snapshot and are best-effort by definition.
+    #[allow(clippy::too_many_arguments)]
     fn execute_partial_with(
         &self,
         cube: &Cube,
@@ -796,7 +1052,10 @@ impl Engine {
         snapshot: Option<Snapshot>,
         config: ScanConfig,
         cache: Option<Arc<VisibilityCache<BrickKey>>>,
+        agg_cache: Option<Arc<AggCache>>,
+        mut progress: Option<&mut dyn FnMut(&PartialResult)>,
     ) -> Result<PartialResult, CubrickError> {
+        let shape = Arc::new(AggQueryShape::of(resolved, config.kernel));
         let cube_key: Arc<str> = Arc::from(cube.name());
         let per_shard_bids: Vec<Vec<u64>> = self.shards.map_shards(|_| {
             let name = cube.name().to_owned();
@@ -829,9 +1088,110 @@ impl Engine {
         let mut merged = PartialResult::default();
         merged.stats.bricks_pruned = pruned;
 
-        if total_targets >= config.parallel_threshold {
-            // Parallel path: one task per brick, fanned out across the
-            // owning shards.
+        if total_targets >= config.parallel_threshold && config.merge == MergePath::Shard {
+            // Default parallel path: one task per *involved shard*.
+            // Each task folds its own bricks (sorted ascending) into a
+            // single local partial, so the coordinator merges one
+            // partial per shard instead of funneling every brick's
+            // group table through a single thread. Per-brick
+            // `catch_unwind` keeps panic attribution exact: the task
+            // reports which brick blew up, the shard thread survives,
+            // and the query fails with the same typed error the
+            // funnel path produces.
+            self.metrics.parallel_queries.inc();
+            let mut handles = Vec::new();
+            for (shard, targets) in per_shard_targets.iter().enumerate() {
+                if targets.is_empty() {
+                    continue;
+                }
+                merged.stats.parallel_tasks += 1;
+                let task_cube = cube.clone();
+                let resolved = resolved.clone();
+                let snapshot = snapshot.clone();
+                let cache = cache.clone();
+                let agg_cache = agg_cache.clone();
+                let cube_key = Arc::clone(&cube_key);
+                let shape = Arc::clone(&shape);
+                let kernel = config.kernel;
+                let targets = targets.clone();
+                let panic_injected: Vec<u64> = {
+                    let set = self.panic_bids.read();
+                    targets
+                        .iter()
+                        .copied()
+                        .filter(|b| set.contains(b))
+                        .collect()
+                };
+                let handle = self.shards.submit_handle(shard, move |bricks| {
+                    let mut partial = PartialResult::default();
+                    let mut task_nanos = Vec::new();
+                    let Some(cube_bricks) = bricks.get(task_cube.name()) else {
+                        return Ok((partial, task_nanos));
+                    };
+                    for &bid in &targets {
+                        let Some(brick) = cube_bricks.get(&bid) else {
+                            // Dropped between enumeration and scan
+                            // (DDL): nothing to see.
+                            continue;
+                        };
+                        let key: BrickKey = (Arc::clone(&cube_key), bid);
+                        let started = Instant::now();
+                        let scanned =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if panic_injected.contains(&bid) {
+                                    panic!("injected scan panic for brick {bid}");
+                                }
+                                scan_one_brick(
+                                    brick,
+                                    &resolved,
+                                    snapshot.as_ref(),
+                                    cache.as_deref(),
+                                    agg_cache.as_deref(),
+                                    &key,
+                                    &shape,
+                                    kernel,
+                                )
+                            }))
+                            .map_err(|_| bid)?;
+                        task_nanos.push(started.elapsed().as_nanos() as u64);
+                        partial.merge(scanned);
+                    }
+                    Ok((partial, task_nanos))
+                });
+                handles.push(handle);
+            }
+            // Join in shard order: a panicking brick fails the whole
+            // query with a typed error — never a partial result.
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok((partial, nanos))) => {
+                        for n in nanos {
+                            self.metrics.scan_task_nanos.record(n);
+                        }
+                        merged.merge(partial);
+                        if let Some(observe) = progress.as_mut() {
+                            observe(&merged);
+                        }
+                    }
+                    Ok(Err(bid)) => {
+                        return Err(CubrickError::ScanTaskPanicked {
+                            cube: cube.name().to_owned(),
+                            bid: Some(bid),
+                        });
+                    }
+                    Err(_) => {
+                        return Err(CubrickError::ScanTaskPanicked {
+                            cube: cube.name().to_owned(),
+                            bid: None,
+                        });
+                    }
+                }
+            }
+        } else if total_targets >= config.parallel_threshold {
+            // Funnel path (`MergePath::Funnel`): one task per brick,
+            // every brick partial merged by the coordinator thread.
+            // Kept as the pre-shard-merge baseline the bench suite
+            // compares against.
             self.metrics.parallel_queries.inc();
             merged.stats.parallel_tasks = total_targets as u64;
             let mut handles = Vec::with_capacity(total_targets);
@@ -841,7 +1201,9 @@ impl Engine {
                     let resolved = resolved.clone();
                     let snapshot = snapshot.clone();
                     let cache = cache.clone();
+                    let agg_cache = agg_cache.clone();
                     let key: BrickKey = (Arc::clone(&cube_key), bid);
+                    let shape = Arc::clone(&shape);
                     let kernel = config.kernel;
                     let panic_injected = self.panic_bids.read().contains(&bid);
                     let handle =
@@ -862,7 +1224,9 @@ impl Engine {
                                     &resolved,
                                     snapshot.as_ref(),
                                     cache.as_deref(),
+                                    agg_cache.as_deref(),
                                     &key,
+                                    &shape,
                                     kernel,
                                 );
                                 (partial, started.elapsed().as_nanos() as u64)
@@ -877,6 +1241,9 @@ impl Engine {
                     Ok((partial, task_nanos)) => {
                         self.metrics.scan_task_nanos.record(task_nanos);
                         merged.merge(partial);
+                        if let Some(observe) = progress.as_mut() {
+                            observe(&merged);
+                        }
                     }
                     Err(_) => {
                         return Err(CubrickError::ScanTaskPanicked {
@@ -904,7 +1271,9 @@ impl Engine {
                 let resolved = resolved.clone();
                 let snapshot = snapshot.clone();
                 let cache = cache.clone();
+                let agg_cache = agg_cache.clone();
                 let cube_key = Arc::clone(&cube_key);
+                let shape = Arc::clone(&shape);
                 let kernel = config.kernel;
                 let panic_injected: Vec<u64> = {
                     let set = self.panic_bids.read();
@@ -934,7 +1303,9 @@ impl Engine {
                             &resolved,
                             snapshot.as_ref(),
                             cache.as_deref(),
+                            agg_cache.as_deref(),
                             &key,
+                            &shape,
                             kernel,
                         );
                         task_nanos.push(started.elapsed().as_nanos() as u64);
@@ -948,6 +1319,9 @@ impl Engine {
                             self.metrics.scan_task_nanos.record(n);
                         }
                         merged.merge(partial);
+                        if let Some(observe) = progress.as_mut() {
+                            observe(&merged);
+                        }
                     }
                     Err(_) => {
                         return Err(CubrickError::ScanTaskPanicked {
@@ -1024,6 +1398,7 @@ impl Engine {
             let cube = cube.clone();
             let resolved = resolved.clone();
             let cache = self.vis_cache.clone();
+            let agg_cache = self.agg_cache.clone();
             let cube_key = Arc::clone(&cube_key);
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
                 let mut marked = 0u64;
@@ -1041,9 +1416,7 @@ impl Engine {
                         brick.mark_delete(epoch);
                         marked += 1;
                         // Mutation class: partition delete.
-                        if let Some(cache) = &cache {
-                            cache.invalidate(&(Arc::clone(&cube_key), bid));
-                        }
+                        invalidate_brick(&cache, &agg_cache, &(Arc::clone(&cube_key), bid));
                     }
                 }
                 marked
@@ -1059,6 +1432,7 @@ impl Engine {
         let lse = self.manager.lse();
         let stats = self.shards.map_shards(|_| {
             let cache = self.vis_cache.clone();
+            let agg_cache = self.agg_cache.clone();
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
                 let mut stats = PurgeStats::default();
                 for (cube_name, cube_bricks) in bricks.iter_mut() {
@@ -1071,9 +1445,7 @@ impl Engine {
                         stats.entries_reclaimed += entries as u64;
                         stats.bricks_changed += 1;
                         // Mutation class: purge / LSE advance.
-                        if let Some(cache) = &cache {
-                            cache.invalidate(&(Arc::from(cube_name.as_str()), bid));
-                        }
+                        invalidate_brick(&cache, &agg_cache, &(Arc::from(cube_name.as_str()), bid));
                     }
                 }
                 stats
@@ -1132,6 +1504,68 @@ impl Engine {
     }
 }
 
+/// Drops every cached artifact for one brick — visibility *and*
+/// aggregate — after a mutation. Both caches key on the brick's
+/// generation counter, so anything left behind is unreachable anyway;
+/// this reclaims the memory eagerly and keeps the two caches'
+/// invalidation disciplines from drifting apart.
+fn invalidate_brick(
+    vis: &Option<Arc<VisibilityCache<BrickKey>>>,
+    agg: &Option<Arc<AggCache>>,
+    key: &BrickKey,
+) {
+    if let Some(cache) = vis {
+        cache.invalidate(key);
+    }
+    if let Some(cache) = agg {
+        cache.invalidate(key);
+    }
+}
+
+/// Scans one brick, consulting the aggregate cache first: a hit
+/// replays the brick's grouped [`crate::AggState`] table without
+/// touching the brick's columns (the visibility build is skipped
+/// too — the cached partial was keyed on the same generation +
+/// snapshot that a fresh build would use). Runs on the shard thread
+/// that owns the brick, which is what makes both cache probes
+/// race-free.
+///
+/// RU scans (no snapshot) bypass both caches — there is no snapshot
+/// to key on.
+#[allow(clippy::too_many_arguments)]
+fn scan_one_brick(
+    brick: &Brick,
+    resolved: &ResolvedQuery,
+    snapshot: Option<&Snapshot>,
+    cache: Option<&VisibilityCache<BrickKey>>,
+    agg_cache: Option<&AggCache>,
+    key: &BrickKey,
+    shape: &Arc<AggQueryShape>,
+    kernel: ScanKernel,
+) -> PartialResult {
+    let (Some(agg_cache), Some(snap)) = (agg_cache, snapshot) else {
+        return scan_one_brick_uncached(brick, resolved, snapshot, cache, key, kernel);
+    };
+    // On a miss the builder runs the real scan and hands the cache a
+    // scrubbed capture, keeping the full partial (live work counters
+    // included) for this query's own result.
+    let mut fresh: Option<PartialResult> = None;
+    let (cached, _hit) =
+        agg_cache.get_or_build(key, brick.epochs(), snap, Arc::clone(shape), || {
+            let scanned = scan_one_brick_uncached(brick, resolved, snapshot, cache, key, kernel);
+            let captured = CachedAgg::capture(&scanned);
+            fresh = Some(scanned);
+            captured
+        });
+    match fresh {
+        Some(mut scanned) => {
+            scanned.stats.agg_cache_misses = 1;
+            scanned
+        }
+        None => cached.replay(),
+    }
+}
+
 /// Scans one brick under an optional snapshot, consulting the
 /// visibility cache when one is configured. Runs on the shard thread
 /// that owns the brick, which is what makes the cache probe
@@ -1140,7 +1574,7 @@ impl Engine {
 ///
 /// RU scans (no snapshot) bypass the cache — there is no snapshot to
 /// key on and the artifact is trivial.
-fn scan_one_brick(
+fn scan_one_brick_uncached(
     brick: &Brick,
     resolved: &ResolvedQuery,
     snapshot: Option<&Snapshot>,
@@ -1807,9 +2241,15 @@ mod tests {
             assert!(fast.stats.parallel_tasks > 0, "parallel path not taken");
             assert_eq!(reference.stats.parallel_tasks, 0);
             assert_rows_identical(&fast, &reference);
-            // Warm repeat: served from cache, still identical.
+            // Warm repeat: brick partials served straight from the
+            // aggregate cache (one level above visibility), still
+            // identical.
             let warm = engine.query_at("events", query, &snapshot).unwrap();
-            assert!(warm.stats.vis_cache_hits > 0, "warm run should hit cache");
+            assert!(
+                warm.stats.agg_cache_hits > 0,
+                "warm run should hit the aggregate cache"
+            );
+            assert_eq!(warm.stats.vis_cache_hits, 0);
             assert_rows_identical(&warm, &reference);
         }
     }
@@ -1867,7 +2307,13 @@ mod tests {
 
     #[test]
     fn cache_stats_trace_hits_and_mutation_invalidation() {
-        let engine = engine().with_scan_config(ScanConfig::parallel_cached(256));
+        // Aggregate cache off so the warm run actually re-probes the
+        // visibility cache (with it on, warm bricks replay cached
+        // partials and never reach the visibility layer).
+        let engine = engine().with_scan_config(ScanConfig {
+            agg_cache_capacity: 0,
+            ..ScanConfig::parallel_cached(256)
+        });
         spread_load(&engine);
         let filtered = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
             .filter(DimFilter::new("region", vec![Value::from("us")]));
@@ -1910,5 +2356,155 @@ mod tests {
         assert_eq!(result.stats.vis_cache_hits, 0);
         assert_eq!(result.stats.vis_cache_misses, 0);
         assert_eq!(result.rows[0].1[0], 16.0);
+    }
+
+    #[test]
+    fn agg_cache_heals_after_invalidation() {
+        let engine = engine().with_scan_config(ScanConfig::parallel_cached(256));
+        spread_load(&engine);
+        let query = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .filter(DimFilter::new("region", vec![Value::from("us")]))
+            .grouped_by("day");
+        let snapshot = Snapshot::committed(engine.manager().lce());
+        let cold = engine.query_at("events", &query, &snapshot).unwrap();
+        assert!(cold.stats.agg_cache_misses > 0);
+        assert_eq!(cold.stats.agg_cache_hits, 0);
+        let warm = engine.query_at("events", &query, &snapshot).unwrap();
+        assert_eq!(warm.stats.agg_cache_misses, 0);
+        assert_eq!(warm.stats.agg_cache_hits, cold.stats.agg_cache_misses);
+        assert_rows_identical(&warm, &cold);
+        let before = engine.agg_cache_stats().unwrap();
+        assert!(before.hits > 0 && before.entries > 0);
+        // A load mutates bricks: cached partials must be dropped, and
+        // the rebuilt entries must serve the old snapshot correctly.
+        engine.load("events", &[row("us", 0, 1, 0.0)], 0).unwrap();
+        let after = engine.agg_cache_stats().unwrap();
+        assert!(
+            after.invalidations > before.invalidations,
+            "append must invalidate cached aggregate partials"
+        );
+        let healed = engine.query_at("events", &query, &snapshot).unwrap();
+        assert!(healed.stats.agg_cache_misses > 0, "rebuild, not stale hit");
+        assert_rows_identical(&healed, &cold);
+        // And the rebuilt entries are warm again.
+        let rewarmed = engine.query_at("events", &query, &snapshot).unwrap();
+        assert!(rewarmed.stats.agg_cache_hits > 0);
+        assert_rows_identical(&rewarmed, &cold);
+        let report = engine.metrics_report();
+        assert!(report.contains("agg_cache"), "{report}");
+    }
+
+    #[test]
+    fn corrupted_agg_cache_partial_is_observable() {
+        // The corruption hook exists so the oracle can prove a stale
+        // or bit-flipped cached partial would be *caught* by the
+        // reference diff — if corruption were invisible here, that
+        // meta-test would be vacuous.
+        let engine = engine().with_scan_config(ScanConfig::parallel_cached(256));
+        spread_load(&engine);
+        let query = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]);
+        let snapshot = Snapshot::committed(engine.manager().lce());
+        let honest = engine.query_at("events", &query, &snapshot).unwrap();
+        engine.corrupt_agg_cache_for_test();
+        let poisoned = engine.query_at("events", &query, &snapshot).unwrap();
+        assert!(poisoned.stats.agg_cache_hits > 0, "must replay the cache");
+        assert_ne!(
+            poisoned.rows[0].1[0], honest.rows[0].1[0],
+            "corrupted partial must change the answer"
+        );
+        let reference = engine
+            .query_at_reference("events", &query, &snapshot)
+            .unwrap();
+        assert_eq!(reference.rows[0].1[0], honest.rows[0].1[0]);
+    }
+
+    #[test]
+    fn funnel_and_shard_merge_paths_are_bit_identical() {
+        let shard_engine = engine().with_scan_config(ScanConfig::parallel_cached(256));
+        let funnel_engine = engine().with_scan_config(ScanConfig {
+            merge: MergePath::Funnel,
+            ..ScanConfig::parallel_cached(256)
+        });
+        spread_load(&shard_engine);
+        spread_load(&funnel_engine);
+        let queries = vec![
+            Query::aggregate(vec![
+                Aggregation::new(AggFn::Sum, "likes"),
+                Aggregation::new(AggFn::Avg, "score"),
+                Aggregation::new(AggFn::Count, "likes"),
+            ]),
+            Query::aggregate(vec![
+                Aggregation::new(AggFn::Min, "likes"),
+                Aggregation::new(AggFn::Max, "score"),
+            ])
+            .grouped_by("region")
+            .grouped_by("day"),
+        ];
+        for query in &queries {
+            let a = shard_engine
+                .query("events", query, IsolationMode::Snapshot)
+                .unwrap();
+            let b = funnel_engine
+                .query("events", query, IsolationMode::Snapshot)
+                .unwrap();
+            assert_rows_identical(&a, &b);
+            // Shard merge dispatches one task per involved shard;
+            // the funnel dispatches one per brick.
+            assert!(a.stats.parallel_tasks > 0);
+            assert!(b.stats.parallel_tasks >= a.stats.parallel_tasks);
+        }
+    }
+
+    #[test]
+    fn brick_partials_roundtrip_through_finalize() {
+        let engine = engine().with_scan_config(ScanConfig::parallel_cached(256));
+        spread_load(&engine);
+        let query = Query::aggregate(vec![
+            Aggregation::new(AggFn::Sum, "likes"),
+            Aggregation::new(AggFn::Avg, "score"),
+        ])
+        .grouped_by("region");
+        let snapshot = Snapshot::committed(engine.manager().lce());
+        let direct = engine.query_at("events", &query, &snapshot).unwrap();
+        let partials = engine
+            .query_brick_partials("events", &query, &snapshot)
+            .unwrap();
+        assert!(partials.len() > 1, "load must spread across bricks");
+        // Forward order reproduces the query; so does reverse — the
+        // merge is commutative on this workload's exact arithmetic.
+        let forward = engine
+            .finalize_partials("events", &query, partials.clone())
+            .unwrap();
+        assert_rows_identical(&forward, &direct);
+        let backward = engine
+            .finalize_partials("events", &query, partials.into_iter().rev())
+            .unwrap();
+        assert_rows_identical(&backward, &direct);
+    }
+
+    #[test]
+    fn progressive_refinements_end_at_the_complete_result() {
+        let engine = engine().with_scan_config(ScanConfig::parallel_cached(256));
+        spread_load(&engine);
+        let query =
+            Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]).grouped_by("region");
+        let snapshot = Snapshot::committed(engine.manager().lce());
+        let mut refinements: Vec<QueryResult> = Vec::new();
+        let complete = engine
+            .query_at_with_progress("events", &query, &snapshot, |r| refinements.push(r))
+            .unwrap();
+        assert!(!refinements.is_empty(), "at least one refinement lands");
+        // Refinements only grow (each merge folds more bricks in) and
+        // the last one is exactly the complete result.
+        for pair in refinements.windows(2) {
+            assert!(pair[0].stats.bricks_scanned <= pair[1].stats.bricks_scanned);
+        }
+        let last = refinements.last().unwrap();
+        assert_rows_identical(last, &complete);
+        assert_eq!(last.stats.bricks_scanned, complete.stats.bricks_scanned);
+        let reference = engine
+            .query_at_reference("events", &query, &snapshot)
+            .unwrap();
+        assert_rows_identical(&complete, &reference);
     }
 }

@@ -54,6 +54,7 @@
 //! # Ok::<(), cubrick::CubrickError>(())
 //! ```
 
+pub mod agg;
 pub mod bid;
 mod brick;
 mod cube;
@@ -68,19 +69,21 @@ mod query;
 mod shard;
 pub mod sql;
 
+pub use agg::AggState;
 pub use brick::{Brick, BrickMemory, DimStorage};
 pub use cube::{Cube, CubeMemory};
 pub use ddl::{CubeSchema, Dimension, Metric, MetricType};
 pub use distributed::{DistributedEngine, DistributedLoadOutcome};
 pub use engine::{
-    Engine, EngineMemory, EngineOpStats, IsolationMode, LoadOutcome, LoadStageTimings, PurgeStats,
-    ScanConfig,
+    Engine, EngineMemory, EngineOpStats, IsolationMode, LoadOutcome, LoadStageTimings, MergePath,
+    PurgeStats, ScanConfig,
 };
 pub use error::CubrickError;
 pub use ingest::{parse_rows, ParsedBatch, ParsedRecord};
 pub use maintenance::PurgeDaemon;
 pub use persist::{BrickDelta, DeltaRun};
 pub use query::{
-    AggFn, Aggregation, DimFilter, OrderBy, Query, QueryResult, QueryStats, ScanKernel,
+    AggFn, Aggregation, CmpOp, DimFilter, Having, OrderBy, PartialResult, Query, QueryResult,
+    QueryStats, ScanKernel,
 };
 pub use shard::{ShardPool, TaskHandle};

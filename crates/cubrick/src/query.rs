@@ -15,15 +15,16 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use columnar::{Bitmap, Column, OnesCursor, Value};
+use columnar::{Bitmap, OnesCursor, Value};
 
+use crate::agg::{self, AggState};
 use crate::brick::Brick;
 use crate::cube::Cube;
 use crate::error::CubrickError;
 
 /// Which brick scan/aggregate kernel executes queries (see
 /// [`crate::engine::ScanConfig`]).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ScanKernel {
     /// Batch kernels: chunked selection vectors materialized from the
     /// visibility bitmap/ranges, dictionary-id predicate compaction
@@ -38,7 +39,7 @@ pub enum ScanKernel {
 }
 
 /// Aggregation function.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AggFn {
     /// Sum of a metric.
     Sum,
@@ -91,6 +92,68 @@ impl DimFilter {
     }
 }
 
+/// A comparison operator (HAVING predicates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Does `lhs op rhs` hold? NaN (a finalized empty-group
+    /// `Min`/`Max`/`Avg`, i.e. SQL NULL) fails **every** comparison
+    /// including `Ne` — three-valued SQL logic, where `NULL <> x` is
+    /// UNKNOWN and HAVING drops UNKNOWN groups.
+    pub fn holds(self, lhs: f64, rhs: f64) -> bool {
+        if lhs.is_nan() || rhs.is_nan() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A HAVING predicate: compares the `agg`-th requested aggregation's
+/// finalized value against a literal. Applied after finalization and
+/// before ORDER BY/LIMIT, per SQL semantics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Having {
+    /// Index into the query's aggregation list.
+    pub agg: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal right-hand side.
+    pub value: f64,
+}
+
 /// What a query's result rows are ordered by.
 #[derive(Clone, Debug, PartialEq)]
 pub enum OrderBy {
@@ -110,6 +173,9 @@ pub struct Query {
     pub aggregations: Vec<Aggregation>,
     /// Group results by these dimensions (empty = one global group).
     pub group_by: Vec<String>,
+    /// Keep only groups whose finalized aggregate satisfies this
+    /// predicate (applied before ordering/limit).
+    pub having: Option<Having>,
     /// Result ordering; `None` keeps the deterministic group-key
     /// order.
     pub order_by: Option<(OrderBy, bool)>,
@@ -137,6 +203,12 @@ impl Query {
     /// several dimensions).
     pub fn grouped_by(mut self, dim: impl Into<String>) -> Self {
         self.group_by.push(dim.into());
+        self
+    }
+
+    /// Keeps only groups where aggregation `agg` satisfies `op value`.
+    pub fn having(mut self, agg: usize, op: CmpOp, value: f64) -> Self {
+        self.having = Some(Having { agg, op, value });
         self
     }
 
@@ -182,8 +254,15 @@ pub struct QueryStats {
     /// Visibility artifacts the cache had to materialize.
     pub vis_cache_misses: u64,
     /// Per-brick scan tasks dispatched through the parallel path
-    /// (0 means the query took the sequential per-shard walk).
+    /// (0 means the query took the sequential per-shard walk). Under
+    /// the default shard-merge path this counts shard tasks; under
+    /// the funnel path it counts brick tasks.
     pub parallel_tasks: u64,
+    /// Brick partials served straight from the aggregate cache (the
+    /// scan and its visibility build were both skipped).
+    pub agg_cache_hits: u64,
+    /// Brick partials the aggregate cache had to scan for.
+    pub agg_cache_misses: u64,
 }
 
 impl QueryStats {
@@ -200,6 +279,8 @@ impl QueryStats {
         self.vis_cache_hits += other.vis_cache_hits;
         self.vis_cache_misses += other.vis_cache_misses;
         self.parallel_tasks += other.parallel_tasks;
+        self.agg_cache_hits += other.agg_cache_hits;
+        self.agg_cache_misses += other.agg_cache_misses;
     }
 
     /// Total visibility-materialization time.
@@ -216,80 +297,6 @@ impl QueryStats {
 /// Former name of [`QueryStats`], kept for readability where only the
 /// scan-side counters are meant.
 pub type ScanStats = QueryStats;
-
-/// Mergeable aggregation accumulator.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub(crate) struct Acc {
-    sum: f64,
-    count: u64,
-    min: f64,
-    max: f64,
-    /// Whether any numeric value was folded into `min`/`max`. The
-    /// `±INFINITY` identities must never escape finalization: a
-    /// `Min`/`Max` over zero numeric observations finalizes to `NaN`
-    /// (SQL NULL), exactly like `Avg` — `±inf` is not representable
-    /// in JSON and is indistinguishable from a legitimate infinite
-    /// metric at the result surface.
-    seen: bool,
-}
-
-impl Default for Acc {
-    fn default() -> Self {
-        Acc {
-            sum: 0.0,
-            count: 0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            seen: false,
-        }
-    }
-}
-
-impl Acc {
-    fn observe(&mut self, v: f64) {
-        self.sum += v;
-        self.count += 1;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-        self.seen = true;
-    }
-
-    fn merge(&mut self, other: &Acc) {
-        self.sum += other.sum;
-        self.count += other.count;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        self.seen |= other.seen;
-    }
-
-    fn finalize(&self, func: AggFn) -> f64 {
-        match func {
-            AggFn::Sum => self.sum,
-            AggFn::Count => self.count as f64,
-            AggFn::Min => {
-                if self.seen {
-                    self.min
-                } else {
-                    f64::NAN
-                }
-            }
-            AggFn::Max => {
-                if self.seen {
-                    self.max
-                } else {
-                    f64::NAN
-                }
-            }
-            AggFn::Avg => {
-                if self.count == 0 {
-                    f64::NAN
-                } else {
-                    self.sum / self.count as f64
-                }
-            }
-        }
-    }
-}
 
 /// The packed group-key layout: every group dimension contributes
 /// `ceil(log2(cardinality))` bits of a single `u64` key, exactly like
@@ -399,6 +406,7 @@ pub struct ResolvedQuery {
     pub(crate) filters: Vec<(usize, FilterSet)>,
     pub(crate) aggs: Vec<(AggFn, usize)>,
     pub(crate) group_by: Option<GroupSpec>,
+    pub(crate) having: Option<Having>,
     /// `(key position or agg index, descending)` — key positions are
     /// offsets into the decoded group-key vector.
     pub(crate) order_by: Option<(ResolvedOrder, bool)>,
@@ -474,6 +482,19 @@ impl ResolvedQuery {
             }
             Some(GroupSpec { dims })
         };
+        let having = match &query.having {
+            None => None,
+            Some(h) => {
+                if h.agg >= query.aggregations.len() {
+                    return Err(CubrickError::UnknownColumn(format!(
+                        "HAVING aggregation #{} (only {} requested)",
+                        h.agg,
+                        query.aggregations.len()
+                    )));
+                }
+                Some(*h)
+            }
+        };
         let order_by = match &query.order_by {
             None => None,
             Some((OrderBy::Aggregation(idx), desc)) => {
@@ -500,6 +521,7 @@ impl ResolvedQuery {
             filters,
             aggs,
             group_by,
+            having,
             order_by,
             limit: query.limit,
         })
@@ -523,32 +545,142 @@ impl ResolvedQuery {
     }
 }
 
+/// The structural identity of a resolved query's *brick-scan shape* —
+/// the aggregate cache's tag. Two resolved queries with equal shapes
+/// produce bit-identical per-brick partials for the same `(brick
+/// generation, snapshot)`, because the shape captures everything the
+/// scan consumes: the filter coordinate sets, the aggregation list,
+/// the packed group-key layout, and the kernel. HAVING / ORDER BY /
+/// LIMIT are deliberately absent — they act on *finalized* results at
+/// the coordinator and never change what a brick scan produces.
+///
+/// Compared structurally (full `Eq` on the coordinate vectors), never
+/// by hash fingerprint, per the `aosi::cache` contract: a fingerprint
+/// collision would silently serve one query's partial to another.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct AggQueryShape {
+    /// `(dimension index, sorted deduplicated coordinate ids)` per
+    /// filter — the canonical form of [`FilterSet`].
+    filters: Vec<(usize, Vec<u32>)>,
+    aggs: Vec<(AggFn, usize)>,
+    /// `(dimension index, shift, width)` per group dimension; empty
+    /// for ungrouped queries (a zero-dimension GROUP BY does not
+    /// exist, so empty is unambiguous).
+    group_dims: Vec<(usize, u32, u32)>,
+    kernel: ScanKernel,
+}
+
+impl AggQueryShape {
+    pub(crate) fn of(resolved: &ResolvedQuery, kernel: ScanKernel) -> Self {
+        AggQueryShape {
+            filters: resolved
+                .filters
+                .iter()
+                .map(|(dim, set)| (*dim, set.sorted.clone()))
+                .collect(),
+            aggs: resolved.aggs.clone(),
+            group_dims: resolved
+                .group_by
+                .as_ref()
+                .map(|spec| spec.dims.clone())
+                .unwrap_or_default(),
+            kernel,
+        }
+    }
+}
+
+/// One brick's scanned partial, as stored in the aggregate cache.
+/// The stats keep what describes the brick's data (rows scanned,
+/// visibility path taken) and drop what describes the *work* of the
+/// original miss (wall nanoseconds, visibility-cache probes): a hit
+/// replays the former and did none of the latter.
+#[derive(Clone, Debug)]
+pub(crate) struct CachedAgg {
+    groups: HashMap<u64, Vec<AggState>>,
+    stats: ScanStats,
+}
+
+impl CachedAgg {
+    /// Captures `partial` for caching, scrubbing the work counters.
+    pub(crate) fn capture(partial: &PartialResult) -> Self {
+        let mut stats = partial.stats;
+        stats.visibility_build_nanos = 0;
+        stats.scan_nanos = 0;
+        stats.vis_cache_hits = 0;
+        stats.vis_cache_misses = 0;
+        stats.agg_cache_hits = 0;
+        stats.agg_cache_misses = 0;
+        CachedAgg {
+            groups: partial.groups.clone(),
+            stats,
+        }
+    }
+
+    /// Replays the cached partial as a served result.
+    pub(crate) fn replay(&self) -> PartialResult {
+        let mut stats = self.stats;
+        stats.agg_cache_hits = 1;
+        PartialResult {
+            groups: self.groups.clone(),
+            stats,
+        }
+    }
+
+    /// Test-only corruption hook: nudges every cached aggregate state
+    /// without touching keys, simulating a stale cache serving wrong
+    /// bytes (what the generation token exists to prevent).
+    #[doc(hidden)]
+    pub(crate) fn corrupt_for_test(&mut self) {
+        for states in self.groups.values_mut() {
+            for state in states {
+                *state = match *state {
+                    AggState::Count { count } => AggState::Count { count: count + 1 },
+                    AggState::Sum { sum } => AggState::Sum { sum: sum + 1.0 },
+                    AggState::Min { min, seen } => AggState::Min {
+                        min: min - 1.0,
+                        seen,
+                    },
+                    AggState::Max { max, seen } => AggState::Max {
+                        max: max + 1.0,
+                        seen,
+                    },
+                    AggState::Avg { sum, count } => AggState::Avg {
+                        sum: sum + 1.0,
+                        count,
+                    },
+                };
+            }
+        }
+    }
+}
+
 /// Per-group partial aggregates produced by one brick/shard/node and
-/// merged upward.
+/// merged upward. `PartialResult::default()` is the merge identity:
+/// merging it into anything (or anything into it) is a no-op on the
+/// groups and adds zero to every counter.
 #[derive(Clone, Debug, Default)]
 pub struct PartialResult {
-    /// Packed group key -> accumulators (key 0 for ungrouped).
-    pub(crate) groups: HashMap<u64, Vec<Acc>>,
+    /// Packed group key -> mergeable aggregation states (key 0 for
+    /// ungrouped).
+    pub(crate) groups: HashMap<u64, Vec<AggState>>,
     /// Scan counters.
     pub stats: ScanStats,
 }
 
 impl PartialResult {
-    /// Merges `other` into `self`.
+    /// Merges `other` into `self` — the coordinator-side half of the
+    /// [`AggState`] merge algebra: group tables union, colliding keys
+    /// merge state-by-state.
     pub fn merge(&mut self, other: PartialResult) {
-        for (key, accs) in other.groups {
-            match self.groups.entry(key) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for (mine, theirs) in e.get_mut().iter_mut().zip(&accs) {
-                        mine.merge(theirs);
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(accs);
-                }
-            }
+        for (key, states) in other.groups {
+            merge_states(&mut self.groups, key, states);
         }
         self.stats.absorb(&other.stats);
+    }
+
+    /// Number of groups accumulated so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
     }
 }
 
@@ -594,16 +726,16 @@ pub(crate) fn scan_brick_ranges(
 }
 
 /// Row-at-a-time observation of one row into one aggregation's
-/// accumulator. `Count` counts the row regardless of metric payload;
-/// every other function skips non-numeric cells — a missing metric is
+/// state. `Count` counts the row regardless of metric payload; every
+/// other function skips non-numeric cells — a missing metric is
 /// absent from the aggregate, never folded in as `0.0`.
 #[inline]
-fn observe_row(brick: &Brick, func: AggFn, metric: usize, row: usize, acc: &mut Acc) {
+fn observe_row(brick: &Brick, func: AggFn, metric: usize, row: usize, state: &mut AggState) {
     match func {
-        AggFn::Count => acc.observe(0.0),
+        AggFn::Count => state.observe(0.0),
         _ => {
             if let Some(v) = brick.metric_column(metric).get_numeric(row) {
-                acc.observe(v);
+                state.observe(v);
             }
         }
     }
@@ -626,52 +758,51 @@ fn accumulate(
         },
         ..Default::default()
     };
-    let num_aggs = resolved.aggs.len();
     match &resolved.group_by {
         // Ungrouped: accumulate into a flat local vector — no hash
         // lookup per row.
         None => {
-            let mut accs = vec![Acc::default(); num_aggs];
+            let mut states = agg::init_states(&resolved.aggs);
             for row in rows {
                 result.stats.rows_visible += 1;
-                for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
-                    observe_row(brick, func, metric, row, acc);
+                for (state, &(func, metric)) in states.iter_mut().zip(&resolved.aggs) {
+                    observe_row(brick, func, metric, row, state);
                 }
             }
             if result.stats.rows_visible > 0 {
-                result.groups.insert(0, accs);
+                result.groups.insert(0, states);
             }
         }
         Some(spec) => {
             // Grouped: one packed-key hash lookup per row, with a
             // one-entry cache for runs of identical keys (sorted or
             // clustered data hits it constantly).
-            let mut cached: Option<(u64, Vec<Acc>)> = None;
+            let mut cached: Option<(u64, Vec<AggState>)> = None;
             for row in rows {
                 result.stats.rows_visible += 1;
                 let key = spec.pack(brick, row);
-                let accs = match &mut cached {
-                    Some((cached_key, accs)) if *cached_key == key => accs,
+                let states = match &mut cached {
+                    Some((cached_key, states)) if *cached_key == key => states,
                     _ => {
-                        if let Some((old_key, old_accs)) = cached.take() {
-                            merge_accs(&mut result.groups, old_key, old_accs);
+                        if let Some((old_key, old_states)) = cached.take() {
+                            merge_states(&mut result.groups, old_key, old_states);
                         }
                         cached = Some((
                             key,
                             result
                                 .groups
                                 .remove(&key)
-                                .unwrap_or_else(|| vec![Acc::default(); num_aggs]),
+                                .unwrap_or_else(|| agg::init_states(&resolved.aggs)),
                         ));
                         &mut cached.as_mut().expect("just set").1
                     }
                 };
-                for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
-                    observe_row(brick, func, metric, row, acc);
+                for (state, &(func, metric)) in states.iter_mut().zip(&resolved.aggs) {
+                    observe_row(brick, func, metric, row, state);
                 }
             }
-            if let Some((key, accs)) = cached.take() {
-                merge_accs(&mut result.groups, key, accs);
+            if let Some((key, states)) = cached.take() {
+                merge_states(&mut result.groups, key, states);
             }
         }
     }
@@ -788,96 +919,6 @@ fn pack_keys(
     }
 }
 
-/// Fused filter+aggregate kernel: folds the selected rows of one
-/// metric column into `acc` with a type-specialized loop.
-///
-/// Only the accumulator fields `func`'s finalization reads are
-/// maintained (e.g. `Sum` updates `sum` alone); the f64 operations on
-/// those fields happen in the same ascending-row order as the
-/// reference kernel's [`Acc::observe`] calls, so finalized results
-/// are bit-identical. `Count` counts rows regardless of metric
-/// payload; other functions skip non-numeric cells, mirroring the
-/// reference's `get_numeric` miss.
-fn fused_accumulate(brick: &Brick, func: AggFn, metric: usize, sel: &[u32], acc: &mut Acc) {
-    if sel.is_empty() {
-        return;
-    }
-    if func == AggFn::Count {
-        // Count never dereferences the metric column (`COUNT(*)`
-        // resolves with a placeholder index).
-        acc.count += sel.len() as u64;
-        return;
-    }
-    match (func, brick.metric_column(metric)) {
-        (AggFn::Sum, Column::I64(v)) => {
-            let mut sum = acc.sum;
-            for &row in sel {
-                sum += v[row as usize] as f64;
-            }
-            acc.sum = sum;
-        }
-        (AggFn::Sum, Column::F64(v)) => {
-            let mut sum = acc.sum;
-            for &row in sel {
-                sum += v[row as usize];
-            }
-            acc.sum = sum;
-        }
-        (AggFn::Avg, Column::I64(v)) => {
-            let mut sum = acc.sum;
-            for &row in sel {
-                sum += v[row as usize] as f64;
-            }
-            acc.sum = sum;
-            acc.count += sel.len() as u64;
-        }
-        (AggFn::Avg, Column::F64(v)) => {
-            let mut sum = acc.sum;
-            for &row in sel {
-                sum += v[row as usize];
-            }
-            acc.sum = sum;
-            acc.count += sel.len() as u64;
-        }
-        (AggFn::Min, Column::I64(v)) => {
-            let mut min = acc.min;
-            for &row in sel {
-                min = min.min(v[row as usize] as f64);
-            }
-            acc.min = min;
-            acc.seen = true;
-        }
-        (AggFn::Min, Column::F64(v)) => {
-            let mut min = acc.min;
-            for &row in sel {
-                min = min.min(v[row as usize]);
-            }
-            acc.min = min;
-            acc.seen = true;
-        }
-        (AggFn::Max, Column::I64(v)) => {
-            let mut max = acc.max;
-            for &row in sel {
-                max = max.max(v[row as usize] as f64);
-            }
-            acc.max = max;
-            acc.seen = true;
-        }
-        (AggFn::Max, Column::F64(v)) => {
-            let mut max = acc.max;
-            for &row in sel {
-                max = max.max(v[row as usize]);
-            }
-            acc.max = max;
-            acc.seen = true;
-        }
-        // Non-numeric cells are skipped — the vectorized twin of the
-        // reference kernel's `get_numeric` miss.
-        (_, Column::Str(_)) => {}
-        (AggFn::Count, _) => unreachable!("handled above"),
-    }
-}
-
 /// Packed-key width (in bits) up to which grouped vectorized scans
 /// accumulate into a dense table indexed by the key itself instead of
 /// hashing. 4096 slots × a handful of aggregates stays well inside
@@ -886,89 +927,6 @@ fn fused_accumulate(brick: &Brick, func: AggFn, metric: usize, sel: &[u32], acc:
 /// groups — where the run cache degenerates to per-row hash traffic —
 /// become a bounds-checked array update instead.
 const DENSE_GROUP_BITS: u32 = 12;
-
-/// Dense-table twin of [`fused_accumulate`]: folds the selected rows
-/// of one metric column into per-group accumulators addressed as
-/// `dense[key * num_aggs + agg_idx]`. Row order within each group is
-/// ascending — the same f64 operation sequence as the reference
-/// kernel — because `sel`/`keys` are ascending and groups only ever
-/// take updates from their own rows.
-#[allow(clippy::too_many_arguments)]
-fn fused_accumulate_dense(
-    brick: &Brick,
-    func: AggFn,
-    metric: usize,
-    agg_idx: usize,
-    num_aggs: usize,
-    sel: &[u32],
-    keys: &[u64],
-    dense: &mut [Acc],
-) {
-    let slot = |key: u64| key as usize * num_aggs + agg_idx;
-    if func == AggFn::Count {
-        for &key in keys {
-            dense[slot(key)].count += 1;
-        }
-        return;
-    }
-    match (func, brick.metric_column(metric)) {
-        (AggFn::Sum, Column::I64(v)) => {
-            for (&row, &key) in sel.iter().zip(keys) {
-                dense[slot(key)].sum += v[row as usize] as f64;
-            }
-        }
-        (AggFn::Sum, Column::F64(v)) => {
-            for (&row, &key) in sel.iter().zip(keys) {
-                dense[slot(key)].sum += v[row as usize];
-            }
-        }
-        (AggFn::Avg, Column::I64(v)) => {
-            for (&row, &key) in sel.iter().zip(keys) {
-                let acc = &mut dense[slot(key)];
-                acc.sum += v[row as usize] as f64;
-                acc.count += 1;
-            }
-        }
-        (AggFn::Avg, Column::F64(v)) => {
-            for (&row, &key) in sel.iter().zip(keys) {
-                let acc = &mut dense[slot(key)];
-                acc.sum += v[row as usize];
-                acc.count += 1;
-            }
-        }
-        (AggFn::Min, Column::I64(v)) => {
-            for (&row, &key) in sel.iter().zip(keys) {
-                let acc = &mut dense[slot(key)];
-                acc.min = acc.min.min(v[row as usize] as f64);
-                acc.seen = true;
-            }
-        }
-        (AggFn::Min, Column::F64(v)) => {
-            for (&row, &key) in sel.iter().zip(keys) {
-                let acc = &mut dense[slot(key)];
-                acc.min = acc.min.min(v[row as usize]);
-                acc.seen = true;
-            }
-        }
-        (AggFn::Max, Column::I64(v)) => {
-            for (&row, &key) in sel.iter().zip(keys) {
-                let acc = &mut dense[slot(key)];
-                acc.max = acc.max.max(v[row as usize] as f64);
-                acc.seen = true;
-            }
-        }
-        (AggFn::Max, Column::F64(v)) => {
-            for (&row, &key) in sel.iter().zip(keys) {
-                let acc = &mut dense[slot(key)];
-                acc.max = acc.max.max(v[row as usize]);
-                acc.seen = true;
-            }
-        }
-        // Non-numeric cells are skipped (Count above still counted).
-        (_, Column::Str(_)) => {}
-        (AggFn::Count, _) => unreachable!("handled above"),
-    }
-}
 
 /// The vectorized brick scan: chunked selection vectors, predicate
 /// compaction, fused per-column aggregation, and batch-packed group
@@ -992,7 +950,7 @@ fn vectorized_scan(
     let mut scratch = ScanScratch::default();
     match &resolved.group_by {
         None => {
-            let mut accs = vec![Acc::default(); num_aggs];
+            let mut states = agg::init_states(&resolved.aggs);
             while selection.next_chunk(&mut scratch.sel) {
                 apply_filters(
                     brick,
@@ -1004,12 +962,12 @@ fn vectorized_scan(
                     continue;
                 }
                 result.stats.rows_visible += scratch.sel.len() as u64;
-                for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
-                    fused_accumulate(brick, func, metric, &scratch.sel, acc);
+                for (state, &(_, metric)) in states.iter_mut().zip(&resolved.aggs) {
+                    state.accumulate_batch(brick, metric, &scratch.sel);
                 }
             }
             if result.stats.rows_visible > 0 {
-                result.groups.insert(0, accs);
+                result.groups.insert(0, states);
             }
         }
         Some(spec) => {
@@ -1025,7 +983,11 @@ fn vectorized_scan(
                 // itself. `touched` remembers first-seen keys so
                 // untouched slots never materialize as groups.
                 let num_keys = 1usize << total_bits;
-                let mut dense = vec![Acc::default(); num_keys * num_aggs];
+                let proto = agg::init_states(&resolved.aggs);
+                let mut dense = Vec::with_capacity(num_keys * num_aggs);
+                for _ in 0..num_keys {
+                    dense.extend_from_slice(&proto);
+                }
                 let mut seen = vec![false; num_keys];
                 let mut touched: Vec<u64> = Vec::new();
                 while selection.next_chunk(&mut scratch.sel) {
@@ -1054,7 +1016,7 @@ fn vectorized_scan(
                         }
                     }
                     for (agg_idx, &(func, metric)) in resolved.aggs.iter().enumerate() {
-                        fused_accumulate_dense(
+                        agg::accumulate_batch_dense(
                             brick,
                             func,
                             metric,
@@ -1079,7 +1041,7 @@ fn vectorized_scan(
             // group boundaries are found over the batch-packed key
             // vector, and each run goes through the fused kernels as
             // one slice.
-            let mut cached: Option<(u64, Vec<Acc>)> = None;
+            let mut cached: Option<(u64, Vec<AggState>)> = None;
             while selection.next_chunk(&mut scratch.sel) {
                 apply_filters(
                     brick,
@@ -1105,30 +1067,30 @@ fn vectorized_scan(
                     while end < scratch.sel.len() && scratch.keys[end] == key {
                         end += 1;
                     }
-                    let accs = match &mut cached {
-                        Some((cached_key, accs)) if *cached_key == key => accs,
+                    let states = match &mut cached {
+                        Some((cached_key, states)) if *cached_key == key => states,
                         _ => {
-                            if let Some((old_key, old_accs)) = cached.take() {
-                                merge_accs(&mut result.groups, old_key, old_accs);
+                            if let Some((old_key, old_states)) = cached.take() {
+                                merge_states(&mut result.groups, old_key, old_states);
                             }
                             cached = Some((
                                 key,
                                 result
                                     .groups
                                     .remove(&key)
-                                    .unwrap_or_else(|| vec![Acc::default(); num_aggs]),
+                                    .unwrap_or_else(|| agg::init_states(&resolved.aggs)),
                             ));
                             &mut cached.as_mut().expect("just set").1
                         }
                     };
-                    for (acc, &(func, metric)) in accs.iter_mut().zip(&resolved.aggs) {
-                        fused_accumulate(brick, func, metric, &scratch.sel[start..end], acc);
+                    for (state, &(_, metric)) in states.iter_mut().zip(&resolved.aggs) {
+                        state.accumulate_batch(brick, metric, &scratch.sel[start..end]);
                     }
                     start = end;
                 }
             }
-            if let Some((key, accs)) = cached.take() {
-                merge_accs(&mut result.groups, key, accs);
+            if let Some((key, states)) = cached.take() {
+                merge_states(&mut result.groups, key, states);
             }
         }
     }
@@ -1174,15 +1136,15 @@ pub(crate) fn scan_brick_ranges_vectorized(
     result
 }
 
-fn merge_accs(groups: &mut HashMap<u64, Vec<Acc>>, key: u64, accs: Vec<Acc>) {
+fn merge_states(groups: &mut HashMap<u64, Vec<AggState>>, key: u64, states: Vec<AggState>) {
     match groups.entry(key) {
         std::collections::hash_map::Entry::Occupied(mut e) => {
-            for (mine, theirs) in e.get_mut().iter_mut().zip(&accs) {
+            for (mine, theirs) in e.get_mut().iter_mut().zip(&states) {
                 mine.merge(theirs);
             }
         }
         std::collections::hash_map::Entry::Vacant(e) => {
-            e.insert(accs);
+            e.insert(states);
         }
     }
 }
@@ -1234,10 +1196,10 @@ impl QueryResult {
     /// through `cube`.
     pub(crate) fn finalize(cube: &Cube, resolved: &ResolvedQuery, partial: PartialResult) -> Self {
         // Deterministic output order: by packed group key.
-        let ordered: BTreeMap<u64, Vec<Acc>> = partial.groups.into_iter().collect();
+        let ordered: BTreeMap<u64, Vec<AggState>> = partial.groups.into_iter().collect();
         let mut rows: Vec<(u64, Vec<Value>, Vec<f64>)> = ordered
             .into_iter()
-            .map(|(key, accs)| {
+            .map(|(key, states)| {
                 let decoded = match &resolved.group_by {
                     Some(spec) => spec
                         .unpack(key)
@@ -1246,14 +1208,17 @@ impl QueryResult {
                         .collect(),
                     None => Vec::new(),
                 };
-                let values = accs
-                    .iter()
-                    .zip(&resolved.aggs)
-                    .map(|(acc, &(func, _))| acc.finalize(func))
-                    .collect();
+                let values = states.iter().map(|state| state.finalize()).collect();
                 (key, decoded, values)
             })
             .collect();
+        // HAVING filters *finalized* aggregates — after the merge
+        // tree collapses (so a group partially visible in several
+        // bricks is judged on its total), before ORDER BY/LIMIT.
+        // NaN aggregates (SQL NULL) fail every comparison.
+        if let Some(having) = &resolved.having {
+            rows.retain(|(_, _, values)| having.op.holds(values[having.agg], having.value));
+        }
         if let Some((order, desc)) = &resolved.order_by {
             // Ordering conventions: the comparator itself is reversed
             // for DESC (never `rows.reverse()`, which would flip tie
@@ -1303,6 +1268,7 @@ mod tests {
     use crate::ddl::{CubeSchema, Dimension, Metric};
     use crate::ingest::ParsedRecord;
     use aosi::Snapshot;
+    use columnar::Column;
 
     fn cube() -> Cube {
         Cube::new(
@@ -1997,6 +1963,230 @@ mod tests {
         let empty = FilterSet::from_coords(std::iter::empty::<u32>());
         assert!(!empty.contains(0));
         assert!(!empty.intersects_range(0, u32::MAX));
+    }
+
+    /// A naive row-model reference for GROUP BY + HAVING: walks the
+    /// visible rows in order, groups them by raw coordinate vectors,
+    /// computes each aggregate by folding observed values in row
+    /// order (the same f64 operation sequence as the kernels), and
+    /// applies HAVING on the finalized values. Returns rows sorted by
+    /// the engine's packed-key order.
+    fn naive_group_having(
+        cube: &Cube,
+        brick: &Brick,
+        vis: &Bitmap,
+        resolved: &ResolvedQuery,
+    ) -> Vec<(Vec<Value>, Vec<f64>)> {
+        let spec = resolved.group_by.as_ref().expect("grouped query");
+        let mut groups: BTreeMap<u64, Vec<Vec<f64>>> = BTreeMap::new();
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for row in vis.iter_ones() {
+            if !resolved
+                .filters
+                .iter()
+                .all(|(dim, coords)| coords.contains(brick.dim_value(*dim, row)))
+            {
+                continue;
+            }
+            let key = spec.pack(brick, row);
+            let observed = groups
+                .entry(key)
+                .or_insert_with(|| vec![Vec::new(); resolved.aggs.len()]);
+            *counts.entry(key).or_insert(0) += 1;
+            for (values, &(_, metric)) in observed.iter_mut().zip(&resolved.aggs) {
+                if let Some(v) = brick.metric_column(metric).get_numeric(row) {
+                    values.push(v);
+                }
+            }
+        }
+        let mut rows: Vec<(Vec<Value>, Vec<f64>)> = Vec::new();
+        for (key, observed) in groups {
+            let finalized: Vec<f64> = observed
+                .iter()
+                .zip(&resolved.aggs)
+                .map(|(values, &(func, _))| match func {
+                    AggFn::Count => counts[&key] as f64,
+                    AggFn::Sum => values.iter().fold(0.0, |s, &v| s + v),
+                    AggFn::Min => {
+                        if values.is_empty() {
+                            f64::NAN
+                        } else {
+                            values.iter().fold(f64::INFINITY, |m, &v| m.min(v))
+                        }
+                    }
+                    AggFn::Max => {
+                        if values.is_empty() {
+                            f64::NAN
+                        } else {
+                            values.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+                        }
+                    }
+                    AggFn::Avg => {
+                        if values.is_empty() {
+                            f64::NAN
+                        } else {
+                            values.iter().fold(0.0, |s, &v| s + v) / values.len() as f64
+                        }
+                    }
+                })
+                .collect();
+            if let Some(h) = &resolved.having {
+                if !h.op.holds(finalized[h.agg], h.value) {
+                    continue;
+                }
+            }
+            let decoded = spec
+                .unpack(key)
+                .into_iter()
+                .map(|(dim, coord)| cube.decode_coord(dim, coord))
+                .collect();
+            rows.push((decoded, finalized));
+        }
+        rows
+    }
+
+    /// Differential: GROUP BY + HAVING through both kernels must
+    /// match the naive row model bit-for-bit, for every comparison
+    /// operator, including thresholds that keep all, some, or no
+    /// groups (the empty-result edge).
+    #[test]
+    fn group_by_having_matches_naive_row_model() {
+        for storage in [
+            crate::brick::DimStorage::Plain,
+            crate::brick::DimStorage::Bess,
+        ] {
+            let cube = cube();
+            let brick = big_brick(&cube, storage);
+            let vis = brick.visibility(&Snapshot::committed(2));
+            let cases: Vec<(CmpOp, f64)> = vec![
+                (CmpOp::Gt, 10_000.0),
+                (CmpOp::Ge, 0.0),
+                (CmpOp::Lt, -1e18),  // drops every group
+                (CmpOp::Le, 1e18),   // keeps every group
+                (CmpOp::Eq, 1000.0), // unlikely exact hit
+                (CmpOp::Ne, 1000.0),
+            ];
+            for (op, value) in cases {
+                for agg_idx in [0usize, 1] {
+                    let q = Query::aggregate(vec![
+                        Aggregation::new(AggFn::Sum, "likes"),
+                        Aggregation::new(AggFn::Avg, "score"),
+                        Aggregation::new(AggFn::Count, "likes"),
+                    ])
+                    .filter(DimFilter::new(
+                        "region",
+                        vec![Value::from("us"), Value::from("br")],
+                    ))
+                    .grouped_by("region")
+                    .grouped_by("day")
+                    .having(agg_idx, op, value);
+                    let r = resolved(&cube, &q);
+                    let naive = naive_group_having(&cube, &brick, &vis, &r);
+                    for (kernel, partial) in [
+                        ("reference", scan_brick_shared(&brick, &vis, &r)),
+                        ("vectorized", scan_brick_shared_vectorized(&brick, &vis, &r)),
+                    ] {
+                        let result = QueryResult::finalize(&cube, &r, partial);
+                        let context =
+                            format!("{storage:?}/{kernel}: HAVING #{agg_idx} {op:?} {value}");
+                        assert_eq!(result.rows.len(), naive.len(), "{context}: group count");
+                        for (i, ((ek, ev), (nk, nv))) in result.rows.iter().zip(&naive).enumerate()
+                        {
+                            assert_eq!(ek, nk, "{context}: key of row {i}");
+                            let eb: Vec<u64> = ev.iter().map(|v| v.to_bits()).collect();
+                            let nb: Vec<u64> = nv.iter().map(|v| v.to_bits()).collect();
+                            assert_eq!(eb, nb, "{context}: values of row {i}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// HAVING on NaN-finalized aggregates (all-NULL metric groups):
+    /// NULL fails every comparison, `Ne` included — three-valued SQL
+    /// logic — so a HAVING on the NaN aggregate drops every group,
+    /// while the same groups survive a HAVING on a non-NULL one.
+    #[test]
+    fn having_on_nan_finalized_aggregates_drops_groups() {
+        let cube = cube();
+        let mut brick = brick_with_data(&cube);
+        // Make every `score` cell non-numeric: Min/Max/Avg(score)
+        // finalize to NaN in every group.
+        brick.replace_metric_for_test(1, Column::Str(vec![0, 1, 2]));
+        let vis = brick.visibility(&Snapshot::committed(1));
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            let q = Query::aggregate(vec![
+                Aggregation::new(AggFn::Avg, "score"),
+                Aggregation::new(AggFn::Count, "likes"),
+            ])
+            .grouped_by("region")
+            .having(0, op, 0.0);
+            let r = resolved(&cube, &q);
+            for (kernel, partial) in [
+                ("reference", scan_brick_shared(&brick, &vis, &r)),
+                ("vectorized", scan_brick_shared_vectorized(&brick, &vis, &r)),
+            ] {
+                let result = QueryResult::finalize(&cube, &r, partial);
+                assert!(
+                    result.rows.is_empty(),
+                    "{kernel}: NULL {op:?} 0.0 must drop every group, kept {:?}",
+                    result.rows
+                );
+            }
+            // The naive model agrees.
+            assert!(naive_group_having(&cube, &brick, &vis, &r).is_empty());
+        }
+        // Sanity: HAVING on the Count aggregate keeps the groups.
+        let q = Query::aggregate(vec![
+            Aggregation::new(AggFn::Avg, "score"),
+            Aggregation::new(AggFn::Count, "likes"),
+        ])
+        .grouped_by("region")
+        .having(1, CmpOp::Ge, 1.0);
+        let r = resolved(&cube, &q);
+        let partial = scan_brick_shared(&brick, &vis, &r);
+        assert_eq!(QueryResult::finalize(&cube, &r, partial).rows.len(), 2);
+    }
+
+    /// HAVING applies before ORDER BY/LIMIT: the limit counts
+    /// surviving groups, not pre-HAVING ones.
+    #[test]
+    fn having_applies_before_order_and_limit() {
+        let cube = cube();
+        let brick = brick_with_data(&cube);
+        let vis = brick.visibility(&Snapshot::committed(1));
+        // Groups by day: sums 10, 20, 30. HAVING > 10 leaves {20, 30};
+        // LIMIT 2 ascending keeps both (not {10, 20}).
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .grouped_by("day")
+            .having(0, CmpOp::Gt, 10.0)
+            .ordered_by(OrderBy::Aggregation(0), false)
+            .limited(2);
+        let r = resolved(&cube, &q);
+        let partial = scan_brick_shared(&brick, &vis, &r);
+        let result = QueryResult::finalize(&cube, &r, partial);
+        let sums: Vec<f64> = result.rows.iter().map(|(_, v)| v[0]).collect();
+        assert_eq!(sums, vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn having_out_of_range_aggregation_is_rejected() {
+        let cube = cube();
+        let q = Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")])
+            .grouped_by("region")
+            .having(3, CmpOp::Gt, 0.0);
+        assert!(matches!(
+            ResolvedQuery::resolve(&cube, &q),
+            Err(CubrickError::UnknownColumn(_))
+        ));
     }
 
     /// A filter accepting every storable coordinate cannot reject a

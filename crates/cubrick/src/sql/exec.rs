@@ -104,6 +104,30 @@ pub fn execute_select(
         Some(epoch) => engine.query_as_of(cube, query, epoch)?,
         None => engine.query(cube, query, IsolationMode::Snapshot)?,
     };
+    Ok(shape_outcome(query, result))
+}
+
+/// [`execute_select`] pinned to `epoch`, with every coordinator-side
+/// refinement shaped and forwarded through `on_partial` before the
+/// complete outcome is returned. The server's progressive `/query`
+/// mode streams the refinements as NDJSON lines.
+pub fn execute_select_with_progress(
+    engine: &Engine,
+    cube: &str,
+    query: &Query,
+    epoch: u64,
+    mut on_partial: impl FnMut(SelectOutcome),
+) -> Result<SelectOutcome, SqlError> {
+    let result = engine.query_as_of_with_progress(cube, query, epoch, |partial| {
+        on_partial(shape_outcome(query, partial));
+    })?;
+    Ok(shape_outcome(query, result))
+}
+
+/// Shapes an engine result into the shared SELECT surface: column
+/// headers, the aggregation-free row count, and the one-NULL-row
+/// convention for ungrouped aggregation over an empty set.
+fn shape_outcome(query: &Query, result: crate::query::QueryResult) -> SelectOutcome {
     let mut columns = Vec::new();
     for group in &query.group_by {
         columns.push(group.clone());
@@ -140,11 +164,11 @@ pub fn execute_select(
             ));
         }
     }
-    Ok(SelectOutcome {
+    SelectOutcome {
         columns,
         rows,
         stats: result.stats,
-    })
+    }
 }
 
 /// Parses and executes one statement against `engine`.
@@ -359,6 +383,71 @@ mod tests {
             execute(
                 &engine,
                 "SELECT SUM(likes) FROM test GROUP BY region ORDER BY MAX(likes)"
+            ),
+            Err(SqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn having_filters_groups_via_sql() {
+        let engine = engine_with_data();
+        // Sums by region: us=19, br=5, mx=9. HAVING > 8 keeps us, mx.
+        let out = execute(
+            &engine,
+            "SELECT SUM(likes) FROM test GROUP BY region HAVING SUM(likes) > 8 \
+             ORDER BY SUM(likes) DESC",
+        )
+        .unwrap();
+        let SqlOutput::Table { rows, .. } = out else {
+            panic!("expected table");
+        };
+        assert_eq!(
+            rows,
+            vec![
+                vec!["us".to_string(), "19".to_string()],
+                vec!["mx".to_string(), "9".to_string()],
+            ]
+        );
+        // Every operator spelling parses and executes.
+        for (clause, expected_regions) in [
+            ("HAVING COUNT(*) = 1", 2usize),
+            ("HAVING COUNT(*) != 1", 1),
+            ("HAVING COUNT(*) <> 1", 1),
+            ("HAVING COUNT(*) >= 1", 3),
+            ("HAVING COUNT(*) <= 1", 2),
+            ("HAVING COUNT(*) < 1", 0),
+        ] {
+            let out = execute(
+                &engine,
+                &format!("SELECT COUNT(*) FROM test GROUP BY region {clause}"),
+            )
+            .unwrap();
+            let SqlOutput::Table { rows, .. } = out else {
+                panic!("expected table");
+            };
+            assert_eq!(rows.len(), expected_regions, "{clause}");
+        }
+        // HAVING referencing an aggregation outside the SELECT list
+        // is a parse error, exactly like ORDER BY.
+        assert!(matches!(
+            execute(
+                &engine,
+                "SELECT SUM(likes) FROM test GROUP BY region HAVING MAX(likes) > 0"
+            ),
+            Err(SqlError::Parse(_))
+        ));
+        // Malformed HAVING clauses fail cleanly.
+        assert!(matches!(
+            execute(
+                &engine,
+                "SELECT SUM(likes) FROM test GROUP BY region HAVING SUM(likes) 5"
+            ),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            execute(
+                &engine,
+                "SELECT SUM(likes) FROM test GROUP BY region HAVING SUM(likes) > 'x'"
             ),
             Err(SqlError::Parse(_))
         ));

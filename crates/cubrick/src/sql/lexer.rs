@@ -25,6 +25,16 @@ pub enum Token {
     /// `=` (recognized so that rejected statements like UPDATE lex
     /// cleanly and fail with the right explanation).
     Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
 }
 
 impl Token {
@@ -70,6 +80,39 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             '=' => {
                 tokens.push(Token::Eq);
                 i += 1;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        tokens.push(Token::Le);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token::Ne);
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Lt);
+                        i += 1;
+                    }
+                };
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex("dangling '!' (did you mean !=?)".into()));
+                }
             }
             '\'' => {
                 let mut out = String::new();
@@ -187,6 +230,28 @@ mod tests {
         assert!(matches!(tokenize("'oops"), Err(SqlError::Lex(_))));
         assert!(matches!(tokenize("a @ b"), Err(SqlError::Lex(_))));
         assert!(matches!(tokenize("- x"), Err(SqlError::Lex(_))));
+        assert!(matches!(tokenize("a ! b"), Err(SqlError::Lex(_))));
+    }
+
+    #[test]
+    fn comparison_operators_tokenize_greedily() {
+        let tokens = tokenize("a < b <= c > d >= e <> f != g = h").unwrap();
+        let ops: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                &Token::Lt,
+                &Token::Le,
+                &Token::Gt,
+                &Token::Ge,
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Eq,
+            ]
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use columnar::Value;
 use super::lexer::{tokenize, Token};
 use super::SqlError;
 use crate::ddl::{CubeSchema, Dimension, Metric};
-use crate::query::{AggFn, Aggregation, DimFilter, OrderBy, Query};
+use crate::query::{AggFn, Aggregation, CmpOp, DimFilter, Having, OrderBy, Query};
 
 /// A parsed statement.
 #[derive(Clone, Debug, PartialEq)]
@@ -293,7 +293,8 @@ fn parse_where(p: &mut Parser) -> Result<Vec<DimFilter>, SqlError> {
     Ok(filters)
 }
 
-/// `SELECT agg(col)[, …] FROM cube [WHERE …] [GROUP BY dim]`
+/// `SELECT agg(col)[, …] FROM cube [WHERE …] [GROUP BY dim[, …]]
+/// [HAVING agg(col) op literal] [ORDER BY …] [LIMIT n] [AS OF epoch]`
 fn parse_select(p: &mut Parser) -> Result<Statement, SqlError> {
     let mut aggregations = Vec::new();
     loop {
@@ -343,36 +344,46 @@ fn parse_select(p: &mut Parser) -> Result<Statement, SqlError> {
             }
         }
     }
+    // HAVING agg(metric) op literal
+    let mut having = None;
+    if p.eat_kw("HAVING") {
+        let name = p.ident()?;
+        let idx = parse_agg_ref(p, &aggregations, &name, "HAVING")?;
+        let op = match p.next()? {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected comparison operator in HAVING, found {other:?}"
+                )))
+            }
+        };
+        let value = match p.next()? {
+            Token::Int(v) => v as f64,
+            Token::Float(v) => v,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected numeric literal in HAVING, found {other:?}"
+                )))
+            }
+        };
+        having = Some(Having {
+            agg: idx,
+            op,
+            value,
+        });
+    }
     // ORDER BY agg(metric) | dimension [ASC|DESC]
     let mut order_by = None;
     if p.eat_kw("ORDER") {
         p.expect_kw("BY")?;
         let name = p.ident()?;
         let target = if p.peek() == Some(&Token::LParen) {
-            // An aggregation reference: must match one in the SELECT
-            // list.
-            p.pos += 1;
-            let metric = match p.next()? {
-                Token::Star => String::new(),
-                Token::Ident(m) => m,
-                other => {
-                    return Err(SqlError::Parse(format!(
-                        "expected metric in ORDER BY, found {other:?}"
-                    )))
-                }
-            };
-            p.expect(Token::RParen)?;
-            let idx = aggregations
-                .iter()
-                .position(|a| {
-                    format!("{:?}", a.func).eq_ignore_ascii_case(&name) && a.metric == metric
-                })
-                .ok_or_else(|| {
-                    SqlError::Parse(format!(
-                        "ORDER BY {name}({metric}) must appear in the SELECT list"
-                    ))
-                })?;
-            OrderBy::Aggregation(idx)
+            OrderBy::Aggregation(parse_agg_ref(p, &aggregations, &name, "ORDER BY")?)
         } else {
             OrderBy::Dimension(name)
         };
@@ -410,11 +421,43 @@ fn parse_select(p: &mut Parser) -> Result<Statement, SqlError> {
             filters,
             aggregations,
             group_by,
+            having,
             order_by,
             limit,
         },
         as_of,
     })
+}
+
+/// Parses the `(metric)` tail of an aggregation reference (the
+/// function name identifier is already consumed as `name`) and
+/// matches it against the SELECT list, returning the aggregation's
+/// index. HAVING and ORDER BY both reference aggregations this way.
+fn parse_agg_ref(
+    p: &mut Parser,
+    aggregations: &[Aggregation],
+    name: &str,
+    context: &str,
+) -> Result<usize, SqlError> {
+    p.expect(Token::LParen)?;
+    let metric = match p.next()? {
+        Token::Star => String::new(),
+        Token::Ident(m) => m,
+        other => {
+            return Err(SqlError::Parse(format!(
+                "expected metric in {context}, found {other:?}"
+            )))
+        }
+    };
+    p.expect(Token::RParen)?;
+    aggregations
+        .iter()
+        .position(|a| format!("{:?}", a.func).eq_ignore_ascii_case(name) && a.metric == metric)
+        .ok_or_else(|| {
+            SqlError::Parse(format!(
+                "{context} {name}({metric}) must appear in the SELECT list"
+            ))
+        })
 }
 
 /// `DELETE FROM cube [WHERE …]`
@@ -554,6 +597,31 @@ mod tests {
             parse("SELECT COUNT(*) FROM t GROUP region"),
             Err(SqlError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn parses_having_between_group_by_and_order_by() {
+        let stmt = parse(
+            "SELECT SUM(likes), COUNT(*) FROM test GROUP BY region \
+             HAVING SUM(likes) >= 2.5 ORDER BY COUNT(*) DESC LIMIT 3",
+        )
+        .unwrap();
+        let Statement::Select { query, .. } = stmt else {
+            panic!("not a select");
+        };
+        let having = query.having.expect("having parsed");
+        assert_eq!(having.agg, 0);
+        assert_eq!(having.op, crate::query::CmpOp::Ge);
+        assert_eq!(having.value, 2.5);
+        assert!(query.order_by.is_some());
+        assert_eq!(query.limit, Some(3));
+        // HAVING COUNT(*) matches the star aggregation; negative
+        // literals work.
+        let stmt = parse("SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) < -2").unwrap();
+        let Statement::Select { query, .. } = stmt else {
+            panic!("not a select");
+        };
+        assert_eq!(query.having.unwrap().value, -2.0);
     }
 
     #[test]

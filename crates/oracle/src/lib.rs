@@ -39,11 +39,16 @@
 //!   torture (`cargo test -p oracle --test crash_torture`).
 //! * `AOSI_CRASH_REPLAY=/path/a.seed` — replay dumped crash-torture
 //!   artifacts.
+//! * `AOSI_AGG_SEEDS=7,99` — run extra seeds through the merge
+//!   oracle (`cargo test -p oracle --test agg_oracle`).
+//! * `AOSI_AGG_REPLAY=/path/a.seed` — replay dumped merge-oracle
+//!   artifacts.
 //!
 //! See `TESTING.md` at the repo root for the full workflow.
 
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod checks;
 pub mod crash;
 pub mod harness;
@@ -51,6 +56,7 @@ pub mod minimize;
 pub mod reference;
 pub mod scan;
 
+pub use agg::{check_agg_seed, compare_merges, run_agg_schedule, AggReport};
 pub use crash::{
     check_crash_seed, replay_crash_artifact, run_torture, BugHooks, TortureConfig, TortureFailure,
     TortureReport,

@@ -1,6 +1,7 @@
 //! A minimal blocking HTTP/1.1 client for tests and the load
 //! generator. Speaks exactly the server's dialect: JSON bodies,
-//! `Content-Length` framing, keep-alive.
+//! `Content-Length` framing (plus chunked responses for the
+//! progressive query stream), keep-alive.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -23,6 +24,16 @@ impl ClientResponse {
     /// Parses the body as JSON.
     pub fn json(&self) -> Result<Json, String> {
         json::parse(&self.body)
+    }
+
+    /// Parses the body as NDJSON — one JSON document per line, the
+    /// shape of a progressive query stream.
+    pub fn ndjson(&self) -> Result<Vec<Json>, String> {
+        self.body
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(json::parse)
+            .collect()
     }
 
     /// A header value by (case-insensitive) name.
@@ -71,9 +82,33 @@ impl Client {
 
     /// `POST /query` with a SQL statement (and optional session id).
     pub fn query(&mut self, sql: &str, session: Option<u64>) -> std::io::Result<ClientResponse> {
+        self.post_query(sql, session, false)
+    }
+
+    /// `POST /query` with `"progressive": true`. A 200 response is
+    /// the whole chunked NDJSON stream (parse with
+    /// [`ClientResponse::ndjson`]); a pre-stream rejection comes back
+    /// as the ordinary one-shot status.
+    pub fn query_progressive(
+        &mut self,
+        sql: &str,
+        session: Option<u64>,
+    ) -> std::io::Result<ClientResponse> {
+        self.post_query(sql, session, true)
+    }
+
+    fn post_query(
+        &mut self,
+        sql: &str,
+        session: Option<u64>,
+        progressive: bool,
+    ) -> std::io::Result<ClientResponse> {
         let mut members = vec![("sql", Json::str(sql))];
         if let Some(id) = session {
             members.push(("session", Json::num(id as f64)));
+        }
+        if progressive {
+            members.push(("progressive", Json::Bool(true)));
         }
         let body = Json::Obj(
             members
@@ -99,6 +134,7 @@ impl Client {
             })?;
         let mut headers = Vec::new();
         let mut content_length = 0usize;
+        let mut chunked = false;
         loop {
             let mut header = String::new();
             self.reader.read_line(&mut header)?;
@@ -111,16 +147,50 @@ impl Client {
                 let value = value.trim().to_owned();
                 if name == "content-length" {
                     content_length = value.parse().unwrap_or(0);
+                } else if name == "transfer-encoding" {
+                    chunked = value.eq_ignore_ascii_case("chunked");
                 }
                 headers.push((name, value));
             }
         }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
+        let body = if chunked {
+            self.read_chunked_body()?
+        } else {
+            let mut body = vec![0u8; content_length];
+            self.reader.read_exact(&mut body)?;
+            body
+        };
         Ok(ClientResponse {
             status,
             headers,
             body: String::from_utf8_lossy(&body).into_owned(),
         })
+    }
+
+    /// Drains a chunked message: hex-size line, payload, CRLF,
+    /// repeated until the zero-length terminator chunk.
+    fn read_chunked_body(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            self.reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad chunk size {size_line:?}"),
+                )
+            })?;
+            if size == 0 {
+                // Trailing CRLF after the terminator chunk.
+                let mut crlf = String::new();
+                self.reader.read_line(&mut crlf)?;
+                return Ok(out);
+            }
+            let start = out.len();
+            out.resize(start + size, 0);
+            self.reader.read_exact(&mut out[start..])?;
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+        }
     }
 }

@@ -1,10 +1,11 @@
 //! A hand-rolled HTTP/1.1 server core over `std::net`.
 //!
 //! Implements exactly what the JSON protocol needs: request-line +
-//! header parsing, `Content-Length` bodies (no chunked encoding),
-//! keep-alive connections, a body-size cap (413), and a per-read
-//! timeout so an idle or half-dead client cannot pin a connection
-//! thread forever.
+//! header parsing, `Content-Length` bodies (chunked *request* bodies
+//! are rejected; chunked *responses* are written for the progressive
+//! query stream), keep-alive connections, a body-size cap (413), and
+//! a per-read timeout so an idle or half-dead client cannot pin a
+//! connection thread forever.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -147,6 +148,47 @@ pub fn write_response(
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Starts a `Transfer-Encoding: chunked` response: status line and
+/// headers only. Follow with [`write_chunk`] per payload piece and
+/// [`finish_chunked`] to close the message; keep-alive framing stays
+/// intact because the zero-length chunk marks the end.
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\n"
+    );
+    if !keep_alive {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())
+}
+
+/// Writes one chunk and flushes, so a streaming client observes the
+/// refinement as soon as it exists. Empty payloads are skipped — an
+/// empty chunk is the terminator, which only [`finish_chunked`] may
+/// write.
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response (the zero-length chunk).
+pub fn finish_chunked(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }
 

@@ -73,6 +73,22 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Inserts (or replaces) an object member; a no-op on
+    /// non-objects.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(members) = self {
+            members.insert(key.to_owned(), value);
+        }
+    }
+
     /// The array payload, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {

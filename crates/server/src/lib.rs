@@ -29,11 +29,25 @@
 //! | Route                | Body                          | Answer |
 //! |----------------------|-------------------------------|--------|
 //! | `POST /query`        | `{"sql": "...", "session"?}`  | result table / ack |
+//! | `POST /query` + `"progressive": true` | same          | chunked NDJSON refinement stream |
 //! | `POST /session`      | —                             | `{"session": id}` |
 //! | `POST /session/pin`  | `{"session", "epoch"?}`       | `{"session", "epoch"}` |
 //! | `POST /session/close`| `{"session"}`                 | `{"closed": true}` |
 //! | `GET /health`        | —                             | `{"status":"ok", ...}` |
 //! | `GET /metrics`       | —                             | plain-text report |
+//!
+//! **Progressive SELECTs**: a `"progressive": true` member on
+//! `POST /query` switches the response to `Transfer-Encoding:
+//! chunked` NDJSON — one full result object per line as brick
+//! partials land at the merge coordinator, each marked
+//! `"partial": true`, with the final complete result (identical to
+//! the non-progressive answer at the same epoch) marked
+//! `"partial": false`. Refinements arrive in the executor's
+//! deterministic merge order. Progressive responses bypass the
+//! dedup layer (a stream cannot be shared) but still pass admission
+//! control. Errors detected before the first byte (parse errors,
+//! non-SELECT statements, bad epochs, saturation) come back as the
+//! usual one-shot JSON statuses.
 //!
 //! Errors: 400 (malformed JSON/SQL), 404 (route, unknown session),
 //! 405 (method), 413 (body cap), 422 (engine errors, bad epochs),
@@ -55,7 +69,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aosi::Snapshot;
+use aosi::{ReadGuard, Snapshot};
 use checker::{SiChecker, TxnEvent};
 use columnar::Value;
 use cubrick::sql::{self, SelectOutcome, SqlError, SqlOutput, Statement};
@@ -64,7 +78,10 @@ use obs::{Counter, Histogram, ReportBuilder};
 
 use admission::{AdmissionGate, AdmitError};
 use dedup::{DedupMap, Role};
-use http::{read_request, write_response, ReadError, Request};
+use http::{
+    finish_chunked, read_request, write_chunk, write_chunked_head, write_response, ReadError,
+    Request,
+};
 use json::{obj, Json};
 use session::{SessionError, SessionRegistry};
 
@@ -106,6 +123,8 @@ pub struct ServerMetrics {
     pub query_requests: Counter,
     /// SELECTs among them.
     pub select_queries: Counter,
+    /// Progressive (streamed NDJSON) SELECTs among them.
+    pub progressive_queries: Counter,
     /// INSERTs among them.
     pub insert_queries: Counter,
     /// Session-endpoint requests.
@@ -157,6 +176,7 @@ impl ServerState {
             .counter("query.requests", &self.metrics.query_requests)
             .metric("query.qps", format!("{qps:.1}"))
             .counter("query.selects", &self.metrics.select_queries)
+            .counter("query.progressive", &self.metrics.progressive_queries)
             .counter("query.inserts", &self.metrics.insert_queries)
             .counter("session.requests", &self.metrics.session_requests)
             .counter("health.requests", &self.metrics.health_requests)
@@ -330,6 +350,68 @@ fn handle_connection(state: &ServerState, stream: TcpStream, read_timeout: Durat
             }
         };
         let keep_alive = request.keep_alive;
+        // Progressive queries stream their own (chunked) response and
+        // cannot go through the buffered `route` path.
+        let progressive = request.method == "POST"
+            && request.path == "/query"
+            && parse_body(&request.body)
+                .ok()
+                .and_then(|b| b.get("progressive").and_then(Json::as_bool))
+                == Some(true);
+        if progressive {
+            let started = Instant::now();
+            state.metrics.query_requests.inc();
+            state.metrics.progressive_queries.inc();
+            let outcome =
+                handle_progressive_query(state, reader.get_mut(), &request.body, keep_alive);
+            state.metrics.query_nanos.record_duration(started.elapsed());
+            match outcome {
+                // Streamed to completion; the chunked terminator keeps
+                // keep-alive framing intact.
+                Ok(true) => {
+                    state.metrics.responses_2xx.inc();
+                    if !keep_alive {
+                        return;
+                    }
+                    continue;
+                }
+                // Mid-stream I/O failure: the message is unframed, so
+                // the connection must close.
+                Ok(false) => {
+                    state.metrics.responses_5xx.inc();
+                    return;
+                }
+                // Rejected before any bytes went out: fall through to
+                // the ordinary one-shot response writer below.
+                Err(routed) => {
+                    let (status, content_type, extra, body) = routed;
+                    match status {
+                        200 => state.metrics.responses_2xx.inc(),
+                        429 => state.metrics.responses_429.inc(),
+                        400..=499 => state.metrics.responses_4xx.inc(),
+                        _ => state.metrics.responses_5xx.inc(),
+                    }
+                    let extra_refs: Vec<(&str, &str)> = extra
+                        .iter()
+                        .map(|(n, v)| (n.as_str(), v.as_str()))
+                        .collect();
+                    if write_response(
+                        reader.get_mut(),
+                        status,
+                        content_type,
+                        &extra_refs,
+                        body.as_bytes(),
+                        keep_alive,
+                    )
+                    .is_err()
+                        || !keep_alive
+                    {
+                        return;
+                    }
+                    continue;
+                }
+            }
+        }
         let (status, content_type, extra, body) = route(state, &request);
         match status {
             200 => state.metrics.responses_2xx.inc(),
@@ -498,46 +580,9 @@ fn handle_select(
     as_of: Option<u64>,
     session: Option<u64>,
 ) -> Routed {
-    // Effective epoch. The live case takes a guard *before*
-    // re-validating the window (the engine's own TOCTOU-safe order)
-    // so the epoch in the dedup key stays readable for as long as the
-    // leader executes.
-    let manager = state.engine.manager();
-    let (epoch, _guard) = match as_of {
-        Some(epoch) => (epoch, None),
-        None => {
-            let pinned = match session {
-                Some(id) => match state.sessions.pinned_epoch(id) {
-                    Ok(pinned) => pinned,
-                    Err(e) => return session_error(e),
-                },
-                None => None,
-            };
-            match pinned {
-                Some(epoch) => (epoch, None),
-                None => {
-                    // Freshest committed epoch; retry the sample if a
-                    // purge wins the race between sample and guard.
-                    let mut attempt = 0;
-                    loop {
-                        let epoch = manager.lce();
-                        let guard = manager.guard_snapshot(Snapshot::committed(epoch));
-                        if epoch >= manager.lse() {
-                            break (epoch, Some(guard));
-                        }
-                        attempt += 1;
-                        if attempt > 8 {
-                            return (
-                                500,
-                                "application/json",
-                                Vec::new(),
-                                error_body("cannot stabilize a read epoch", "internal").render(),
-                            );
-                        }
-                    }
-                }
-            }
-        }
+    let (epoch, _guard) = match resolve_read_epoch(state, as_of, session) {
+        Ok(resolved) => resolved,
+        Err(routed) => return routed,
     };
     let statement_key = sql.trim();
     match state.dedup.join(statement_key, epoch) {
@@ -558,6 +603,178 @@ fn handle_select(
         // The previous leader died without publishing; run it solo.
         None => execute_select_routed(state, cube, query, epoch, statement_key),
     }
+}
+
+/// Resolves the effective read epoch for a SELECT — statement
+/// `AS OF` beats the session pin beats the freshest committed. The
+/// live case takes a guard *before* re-validating the window (the
+/// engine's own TOCTOU-safe order) so the resolved epoch stays
+/// readable for as long as the caller holds the guard — the dedup
+/// key for buffered responses, the whole refinement stream for
+/// progressive ones.
+fn resolve_read_epoch(
+    state: &ServerState,
+    as_of: Option<u64>,
+    session: Option<u64>,
+) -> Result<(u64, Option<ReadGuard>), Routed> {
+    let manager = state.engine.manager();
+    match as_of {
+        Some(epoch) => Ok((epoch, None)),
+        None => {
+            let pinned = match session {
+                Some(id) => match state.sessions.pinned_epoch(id) {
+                    Ok(pinned) => pinned,
+                    Err(e) => return Err(session_error(e)),
+                },
+                None => None,
+            };
+            match pinned {
+                Some(epoch) => Ok((epoch, None)),
+                None => {
+                    // Freshest committed epoch; retry the sample if a
+                    // purge wins the race between sample and guard.
+                    let mut attempt = 0;
+                    loop {
+                        let epoch = manager.lce();
+                        let guard = manager.guard_snapshot(Snapshot::committed(epoch));
+                        if epoch >= manager.lse() {
+                            return Ok((epoch, Some(guard)));
+                        }
+                        attempt += 1;
+                        if attempt > 8 {
+                            return Err((
+                                500,
+                                "application/json",
+                                Vec::new(),
+                                error_body("cannot stabilize a read epoch", "internal").render(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writes the progressive NDJSON stream: lazily opens the chunked
+/// response on the first line, then one flushed chunk per line. The
+/// lazy head is what lets every pre-stream error (parse, admission,
+/// window) still go out as an ordinary status response.
+struct ProgressiveSink<'a> {
+    stream: &'a mut TcpStream,
+    keep_alive: bool,
+    started: bool,
+    failed: bool,
+}
+
+impl ProgressiveSink<'_> {
+    fn send(&mut self, line: &Json) {
+        if self.failed {
+            return;
+        }
+        if !self.started {
+            // Head bytes may be partially written on failure, so the
+            // connection counts as unframed either way.
+            self.started = true;
+            if write_chunked_head(self.stream, 200, "application/x-ndjson", self.keep_alive)
+                .is_err()
+            {
+                self.failed = true;
+                return;
+            }
+        }
+        let mut text = line.render();
+        text.push('\n');
+        if write_chunk(self.stream, text.as_bytes()).is_err() {
+            self.failed = true;
+        }
+    }
+
+    fn finish(&mut self) {
+        if !self.failed && finish_chunked(self.stream).is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+/// The progressive `/query` path. `Ok(true)`: the chunked stream was
+/// written to completion (keep-alive framing intact). `Ok(false)`:
+/// an I/O failure mid-stream left the message unframed — close the
+/// connection. `Err`: the request was rejected before any response
+/// byte; the caller writes the ordinary one-shot answer.
+fn handle_progressive_query(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    body: &[u8],
+    keep_alive: bool,
+) -> Result<bool, Routed> {
+    let parsed = parse_body(body)?;
+    let Some(sql) = parsed.get("sql").and_then(Json::as_str) else {
+        return Err(bad_request("body needs a string `sql`"));
+    };
+    let session = parsed
+        .get("session")
+        .and_then(Json::as_f64)
+        .map(|s| s as u64);
+    let statement = sql::parse(sql).map_err(sql_error)?;
+    let Statement::Select { cube, query, as_of } = statement else {
+        return Err(bad_request("progressive mode requires a SELECT"));
+    };
+    state.metrics.select_queries.inc();
+    let (epoch, _guard) = resolve_read_epoch(state, as_of, session)?;
+    let _permit = state.gate.admit().map_err(|_| saturated())?;
+    let mut sink = ProgressiveSink {
+        stream,
+        keep_alive,
+        started: false,
+        failed: false,
+    };
+    let outcome =
+        sql::execute_select_with_progress(&state.engine, &cube, &query, epoch, |refinement| {
+            sink.send(&render_progressive(&refinement, epoch, true));
+        });
+    match outcome {
+        Ok(complete) => {
+            if let Some((checker, node)) = &state.checker {
+                checker.record(TxnEvent::Read {
+                    node: *node,
+                    snapshot_epoch: epoch,
+                    deps: BTreeSet::new(),
+                    observed: BTreeSet::new(),
+                    reader: None,
+                    key: format!("{cube}:{}", sql.trim()),
+                    fingerprint: fingerprint_outcome(&complete),
+                });
+            }
+            sink.send(&render_progressive(&complete, epoch, false));
+            sink.finish();
+            Ok(!sink.failed)
+        }
+        Err(e) => {
+            let routed = sql_error(e);
+            if !sink.started {
+                // Nothing streamed yet (the usual case: resolution
+                // fails before any partial lands) — ordinary status.
+                return Err(routed);
+            }
+            // Refinements already went out; terminate the stream with
+            // a final error line so the client is not left waiting.
+            let mut line = json::parse(&routed.3)
+                .unwrap_or_else(|_| error_body("query failed mid-stream", "engine"));
+            line.set("partial", Json::Bool(false));
+            sink.send(&line);
+            sink.finish();
+            Ok(!sink.failed)
+        }
+    }
+}
+
+/// One NDJSON line of the progressive stream: the ordinary SELECT
+/// rendering plus the `partial` marker.
+fn render_progressive(outcome: &SelectOutcome, epoch: u64, partial: bool) -> Json {
+    let mut body = render_select(outcome, epoch);
+    body.set("partial", Json::Bool(partial));
+    body
 }
 
 fn execute_select_routed(

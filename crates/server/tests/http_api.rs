@@ -122,6 +122,135 @@ fn empty_grouped_result_is_an_empty_rows_array() {
 }
 
 #[test]
+fn progressive_select_streams_refinements_then_the_complete_result() {
+    let (_engine, handle) = start_seeded(ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Spread rows across day buckets (DIM(8, 4) partitions days by 4)
+    // so the scan produces more than one brick partial.
+    let inserted = client
+        .query(
+            "INSERT INTO t VALUES ('us', 4, 40, 4.5), ('br', 5, 50, 5.5), ('mx', 7, 70, 7.5)",
+            None,
+        )
+        .unwrap();
+    assert_eq!(inserted.status, 200, "{}", inserted.body);
+    let sql = "SELECT SUM(likes), COUNT(*) FROM t GROUP BY region ORDER BY region";
+    let buffered = client.query(sql, None).unwrap();
+    assert_eq!(buffered.status, 200, "{}", buffered.body);
+    let complete = buffered.json().unwrap();
+
+    let streamed = client.query_progressive(sql, None).unwrap();
+    assert_eq!(streamed.status, 200, "{}", streamed.body);
+    assert_eq!(streamed.header("transfer-encoding"), Some("chunked"));
+    let lines = streamed.ndjson().unwrap();
+    assert!(!lines.is_empty(), "stream carried no lines");
+    // Every line but the last is a refinement; the last is complete.
+    for (i, line) in lines.iter().enumerate() {
+        let expected = i + 1 < lines.len();
+        assert_eq!(
+            line.get("partial"),
+            Some(&Json::Bool(expected)),
+            "line {i} of {}: {}",
+            lines.len(),
+            streamed.body
+        );
+    }
+    // Refinements grow monotonically in scan coverage.
+    let covered: Vec<f64> = lines
+        .iter()
+        .map(|l| {
+            l.get("stats")
+                .and_then(|s| s.get("bricks_scanned"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        covered.windows(2).all(|w| w[0] <= w[1]),
+        "bricks_scanned regressed across refinements: {covered:?}"
+    );
+    assert!(
+        *covered.last().unwrap() >= 2.0,
+        "final line must cover multiple bricks: {covered:?}"
+    );
+    // The final line matches the buffered answer cell for cell.
+    let last = lines.last().unwrap();
+    assert_eq!(last.get("rows"), complete.get("rows"), "{}", streamed.body);
+    assert_eq!(last.get("columns"), complete.get("columns"));
+    assert_eq!(last.get("row_count"), complete.get("row_count"));
+    // Keep-alive framing survived the chunked response: the same
+    // connection serves another request.
+    let again = client.query("SELECT COUNT(*) FROM t", None).unwrap();
+    assert_eq!(again.status, 200, "{}", again.body);
+    // The stream is visible in the metrics report.
+    let report = handle.state().metrics_report();
+    let progressive = report
+        .lines()
+        .find(|l| l.starts_with("query.progressive = "))
+        .unwrap();
+    assert!(progressive.ends_with("= 1"), "{progressive}");
+}
+
+#[test]
+fn progressive_rejections_are_ordinary_statuses() {
+    let (_engine, handle) = start_seeded(ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Non-SELECT statements cannot stream.
+    let response = client
+        .query_progressive("INSERT INTO t VALUES ('us', 0, 1, 1.0)", None)
+        .unwrap();
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(response.body.contains("requires a SELECT"));
+    // Parse errors, bad epochs, and unknown sessions keep their
+    // one-shot status codes.
+    let response = client.query_progressive("SELEKT 1", None).unwrap();
+    assert_eq!(response.status, 400, "{}", response.body);
+    let response = client
+        .query_progressive("SELECT COUNT(*) FROM t AS OF 99", None)
+        .unwrap();
+    assert_eq!(response.status, 422, "{}", response.body);
+    let response = client
+        .query_progressive("SELECT COUNT(*) FROM t", Some(777))
+        .unwrap();
+    assert_eq!(response.status, 404, "{}", response.body);
+    // None of the rejections were chunked.
+    assert!(response.header("transfer-encoding").is_none());
+    // The connection is still framed for ordinary traffic.
+    let ok = client.query("SELECT COUNT(*) FROM t", None).unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body);
+}
+
+#[test]
+fn progressive_select_respects_admission_control() {
+    let engine = Arc::new(Engine::new(2));
+    cubrick::sql::execute(
+        &engine,
+        "CREATE CUBE t (region STRING DIM(4, 2), likes INT METRIC)",
+    )
+    .unwrap();
+    cubrick::sql::execute(&engine, "INSERT INTO t VALUES ('us', 10)").unwrap();
+    let handle = Server::start(
+        Arc::clone(&engine),
+        ServerConfig {
+            max_inflight: 0,
+            max_queue: 0,
+            queue_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let response = client
+        .query_progressive("SELECT COUNT(*) FROM t", None)
+        .unwrap();
+    assert_eq!(response.status, 429, "{}", response.body);
+    assert_eq!(
+        response.json().unwrap().get("kind"),
+        Some(&Json::Str("saturated".into()))
+    );
+}
+
+#[test]
 fn session_pins_a_snapshot_across_requests() {
     let (_engine, handle) = start_seeded(ServerConfig::default());
     let mut client = Client::connect(handle.addr()).unwrap();

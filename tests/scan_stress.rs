@@ -204,7 +204,9 @@ fn bess_bricks_agree_with_reference_cold_and_warm() {
             ScanConfig {
                 parallel_threshold: 1,
                 cache_capacity: 0,
+                agg_cache_capacity: 0,
                 kernel: ScanKernel::Vectorized,
+                ..ScanConfig::default()
             },
         ),
         ("warm", ScanConfig::parallel_cached(4096)),
