@@ -1,0 +1,200 @@
+//! Rebalance benchmark: read latency while a shard move is in flight
+//! vs. steady state.
+//!
+//! An elastic cluster (3 active members of 4 provisioned slots,
+//! replication factor 2) is loaded, then hammered with single-origin
+//! aggregate reads in two phases: a steady-state baseline, and a
+//! phase where node 4 joins mid-read-storm — `join_node` streams its
+//! ring share of bricks over the simulated network while the reader
+//! keeps going. The claim under test is DESIGN.md §17's "reads keep
+//! answering from surviving replicas mid-move": every read must be
+//! answered (`unanswered == 0`) and the moving-phase p99 must stay
+//! within a generous ceiling of sanity.
+//!
+//! Emits `BENCH_rebalance.json` (override with `AOSI_BENCH_OUT`) with
+//! per-phase read counts and p50/p99 latencies, the move duration,
+//! and the brick count moved. `AOSI_BENCH_ENFORCE=1` turns the
+//! bounds into an exit code: zero unanswered reads in both phases,
+//! and moving-phase p99 ≤ `AOSI_REBAL_MAX_P99_MS` (default 250 —
+//! the gate is for pathological regressions such as a handoff
+//! holding the scan gate for the whole stream, not µs tuning).
+//!
+//! Knobs: `AOSI_REBAL_BATCHES` (load volume), `AOSI_REBAL_READS`
+//! (steady-phase reads), `AOSI_BATCH` (rows per batch).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use cluster::{FaultPlan, LatencyModel, NodeId, SimulatedNetwork};
+use columnar::{Row, Value};
+use cubrick::{CubeSchema, Dimension, DistributedEngine, ElasticConfig, Metric};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const CUBE: &str = "events";
+const METRIC: &str = "likes";
+
+fn batch(rng: &mut StdRng, rows: usize) -> Vec<Row> {
+    (0..rows)
+        .map(|_| vec![Value::from(rng.gen_range(0..32i64)), Value::from(1i64)])
+        .collect()
+}
+
+/// One timed read from a random steady member; returns its latency.
+/// The read itself is the conservation query the elastic suite uses —
+/// never memory accounting.
+fn timed_read(d: &DistributedEngine, rng: &mut StdRng, expected: f64) -> u128 {
+    let origin: NodeId = rng.gen_range(1..=3);
+    let t = Instant::now();
+    let seen = d
+        .committed_total(origin, CUBE, METRIC)
+        .expect("read went unanswered");
+    let ns = t.elapsed().as_nanos();
+    assert_eq!(seen, expected, "conservation violated mid-bench");
+    ns
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Phase {
+    reads: usize,
+    p50_ns: u128,
+    p99_ns: u128,
+}
+
+fn phase_stats(mut lat: Vec<u128>) -> Phase {
+    lat.sort_unstable();
+    Phase {
+        reads: lat.len(),
+        p50_ns: percentile(&lat, 0.50),
+        p99_ns: percentile(&lat, 0.99),
+    }
+}
+
+fn main() {
+    let batches = bench::env_usize("AOSI_REBAL_BATCHES", 400);
+    let rows_per_batch = bench::env_usize("AOSI_BATCH", 40);
+    let steady_reads = bench::env_usize("AOSI_REBAL_READS", 500);
+    let out = std::env::var("AOSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_rebalance.json".into());
+    bench::banner(
+        "Rebalance bench",
+        "read p50/p99 during a timed shard move vs steady state",
+        &[
+            ("batches", batches.to_string()),
+            ("rows per batch", rows_per_batch.to_string()),
+            ("steady reads", steady_reads.to_string()),
+        ],
+    );
+
+    let network = SimulatedNetwork::with_faults(LatencyModel::instant(), FaultPlan::seeded(1));
+    let d = DistributedEngine::elastic(
+        ElasticConfig {
+            capacity: 4,
+            active: vec![1, 2, 3],
+            shards_per_node: 2,
+            replication: 2,
+            retry: Default::default(),
+        },
+        network,
+    );
+    d.create_cube(
+        CubeSchema::new(
+            CUBE,
+            vec![Dimension::int("day", 32, 1)],
+            vec![Metric::int(METRIC)],
+        )
+        .expect("static schema"),
+    )
+    .expect("create cube");
+
+    let mut rng = StdRng::seed_from_u64(0x5EBA1);
+    let mut committed = 0.0f64;
+    for _ in 0..batches {
+        let origin: NodeId = rng.gen_range(1..=3);
+        d.load(origin, CUBE, &batch(&mut rng, rows_per_batch), 0)
+            .expect("load");
+        committed += rows_per_batch as f64;
+    }
+    assert!(d.protocol().settle(), "cluster failed to settle after load");
+
+    // Phase 1: steady state.
+    let steady = phase_stats(
+        (0..steady_reads)
+            .map(|_| timed_read(&d, &mut rng, committed))
+            .collect(),
+    );
+
+    // Phase 2: node 4 joins (brick handoff streams over the network)
+    // while the reader keeps hammering. The reader stops when the
+    // join thread reports completion.
+    let done = AtomicBool::new(false);
+    let (moving_lat, move_ns, bricks_moved) = std::thread::scope(|s| {
+        let mover = s.spawn(|| {
+            let t = Instant::now();
+            let moved = d.join_node(4).expect("join failed");
+            done.store(true, Ordering::SeqCst);
+            (t.elapsed().as_nanos(), moved)
+        });
+        let mut lat = Vec::new();
+        while !done.load(Ordering::SeqCst) {
+            lat.push(timed_read(&d, &mut rng, committed));
+        }
+        let (move_ns, moved) = mover.join().expect("mover panicked");
+        (lat, move_ns, moved)
+    });
+    let moving = phase_stats(moving_lat);
+    let (_, _, unanswered) = d.read_routing_stats();
+
+    println!(
+        "\nsteady:  {} reads, p50 {} ns, p99 {} ns",
+        steady.reads, steady.p50_ns, steady.p99_ns
+    );
+    println!(
+        "moving:  {} reads, p50 {} ns, p99 {} ns (move {} ms, {} bricks)",
+        moving.reads,
+        moving.p50_ns,
+        moving.p99_ns,
+        move_ns / 1_000_000,
+        bricks_moved
+    );
+    println!("unanswered reads: {unanswered}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"rebalance\",\n  \"config\": {{\"batches\": {batches}, \
+         \"rows_per_batch\": {rows_per_batch}, \"steady_reads\": {steady_reads}, \
+         \"replication\": 2}},\n  \
+         \"steady\": {{\"reads\": {}, \"p50_ns\": {}, \"p99_ns\": {}}},\n  \
+         \"moving\": {{\"reads\": {}, \"p50_ns\": {}, \"p99_ns\": {}}},\n  \
+         \"move_ns\": {move_ns},\n  \"bricks_moved\": {bricks_moved},\n  \
+         \"unanswered_reads\": {unanswered}\n}}\n",
+        steady.reads, steady.p50_ns, steady.p99_ns, moving.reads, moving.p50_ns, moving.p99_ns
+    );
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+
+    if bench::env_u64("AOSI_BENCH_ENFORCE", 0) != 0 {
+        let max_p99_ms = bench::env_f64("AOSI_REBAL_MAX_P99_MS", 250.0);
+        if unanswered != 0 {
+            eprintln!("ENFORCE FAILED: {unanswered} reads went unanswered during the move");
+            std::process::exit(1);
+        }
+        let moving_p99_ms = moving.p99_ns as f64 / 1e6;
+        if moving_p99_ms > max_p99_ms {
+            eprintln!(
+                "ENFORCE FAILED: moving-phase read p99 {moving_p99_ms:.2} ms exceeds \
+                 {max_p99_ms:.2} ms"
+            );
+            std::process::exit(1);
+        }
+        if moving.reads == 0 {
+            eprintln!("ENFORCE FAILED: no read completed while the move was in flight");
+            std::process::exit(1);
+        }
+        println!("enforce: OK");
+    }
+}

@@ -350,6 +350,75 @@ impl SiChecker {
     }
 }
 
+/// Replica-divergence checker: every replica of a brick answering the
+/// same query at the same snapshot must produce an identical result
+/// fingerprint. Feed it one observation per `(brick, replica)` pair;
+/// the first fingerprint observed for a brick becomes the reference
+/// and every later replica is compared against it.
+///
+/// This is the read-side complement of the [`SiChecker`]: SI says a
+/// committed read is stable over *time*; this says it is stable over
+/// *placement* — which replica happened to answer must be
+/// unobservable.
+#[derive(Debug, Default)]
+pub struct ReplicaDivergenceChecker {
+    /// `(cube, bid)` → (first replica seen, its fingerprint).
+    reference: std::collections::HashMap<(String, u64), (NodeId, String)>,
+    violations: Vec<String>,
+    observations: u64,
+}
+
+impl ReplicaDivergenceChecker {
+    /// Fresh checker with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one replica's answer for one brick. Any replica that
+    /// disagrees with the first answer recorded for that brick is a
+    /// violation.
+    pub fn observe(&mut self, cube: &str, bid: u64, node: NodeId, fingerprint: &str) {
+        self.observations += 1;
+        let key = (cube.to_owned(), bid);
+        match self.reference.get(&key) {
+            None => {
+                self.reference.insert(key, (node, fingerprint.to_owned()));
+            }
+            Some((ref_node, ref_fp)) => {
+                if ref_fp != fingerprint {
+                    self.violations.push(format!(
+                        "cube {cube:?} brick {bid}: replica {node} diverges from \
+                         replica {ref_node} ({fingerprint:?} != {ref_fp:?})"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// All divergences recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// `Err` with every divergence joined, `Ok` if replicas agree.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} replica divergence(s):\n  {}",
+                self.violations.len(),
+                self.violations.join("\n  ")
+            ))
+        }
+    }
+}
+
 /// Order-insensitive fingerprint helper for read stability: combine
 /// each row's hash with a commutative fold so shard scheduling
 /// cannot change the fingerprint of an identical result set.
@@ -555,5 +624,31 @@ mod tests {
         let d = fingerprint_rows([1u64, 2, 3, 3]);
         assert_eq!(a, b);
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn replica_divergence_agreeing_replicas_are_clean() {
+        let mut c = ReplicaDivergenceChecker::new();
+        c.observe("events", 3, 1, "fp-a");
+        c.observe("events", 3, 2, "fp-a");
+        c.observe("events", 7, 2, "fp-b");
+        c.observe("events", 7, 3, "fp-b");
+        assert_eq!(c.observations(), 4);
+        assert!(c.finish().is_ok());
+    }
+
+    #[test]
+    fn replica_divergence_flags_the_disagreeing_replica() {
+        let mut c = ReplicaDivergenceChecker::new();
+        c.observe("events", 3, 1, "fp-a");
+        c.observe("events", 3, 2, "fp-DIFFERENT");
+        let err = c.finish().unwrap_err();
+        assert!(err.contains("brick 3"), "{err}");
+        assert!(err.contains("replica 2"), "{err}");
+        // Same fingerprint on a different brick is not a divergence.
+        let mut c = ReplicaDivergenceChecker::new();
+        c.observe("events", 3, 1, "fp-a");
+        c.observe("events", 4, 2, "fp-b");
+        assert!(c.finish().is_ok());
     }
 }

@@ -305,12 +305,16 @@ pub enum MsgKind {
     RollbackRequest,
     /// Rollback response.
     RollbackResponse,
+    /// One chunk of brick state streamed during a rebalance handoff.
+    HandoffChunk,
+    /// Receiver's acknowledgement that a handoff installed completely.
+    HandoffAck,
     /// Sent through the untyped [`SimulatedNetwork::transmit`] path.
     Other,
 }
 
 /// All kinds, in reporting order.
-const MSG_KINDS: [(MsgKind, &str); 8] = [
+const MSG_KINDS: [(MsgKind, &str); 10] = [
     (MsgKind::BeginRequest, "begin_request"),
     (MsgKind::BeginResponse, "begin_response"),
     (MsgKind::Forward, "forward"),
@@ -318,6 +322,8 @@ const MSG_KINDS: [(MsgKind, &str); 8] = [
     (MsgKind::CommitResponse, "commit_response"),
     (MsgKind::RollbackRequest, "rollback_request"),
     (MsgKind::RollbackResponse, "rollback_response"),
+    (MsgKind::HandoffChunk, "handoff_chunk"),
+    (MsgKind::HandoffAck, "handoff_ack"),
     (MsgKind::Other, "other"),
 ];
 
@@ -394,6 +400,19 @@ impl SimulatedNetwork {
     /// windows and delay due-times are expressed in).
     pub fn current_seq(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Whether `node` is currently unreachable — manually crashed or
+    /// inside a planned crash window at the present sequence number.
+    /// Routing uses this to skip dark replicas without spending a
+    /// timeout on them.
+    pub fn is_down(&self, node: u64) -> bool {
+        match &self.faults {
+            None => false,
+            Some(f) => {
+                f.manual_down.lock().contains(&node) || f.plan.crashed(node, self.current_seq())
+            }
+        }
     }
 
     /// Accounts for and "transmits" a message of `payload_bytes`,

@@ -42,6 +42,7 @@ mod bus;
 mod protocol;
 mod replication;
 mod ring;
+mod topology;
 
 pub use bus::{
     CrashWindow, Fate, FaultPlan, LatencyModel, LinkFaults, MsgKind, NetworkStats, SimulatedNetwork,
@@ -49,3 +50,4 @@ pub use bus::{
 pub use protocol::{DistributedTxn, NodeId, ProtocolCluster, ProtocolMetrics, RetryPolicy};
 pub use replication::ReplicationTracker;
 pub use ring::Ring;
+pub use topology::Topology;

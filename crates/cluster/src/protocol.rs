@@ -48,7 +48,7 @@ use std::time::Duration;
 
 use aosi::{AosiError, Epoch, Snapshot, TxnManager};
 use obs::{Counter, ReportBuilder};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::bus::{Fate, MsgKind, SimulatedNetwork};
 
@@ -240,6 +240,11 @@ pub struct ProtocolCluster {
     delayed: Mutex<Vec<DelayedMsg>>,
     unacked: Mutex<Vec<UnackedOp>>,
     metrics: ProtocolMetrics,
+    /// Nodes currently participating in begin broadcasts. Slots are
+    /// provisioned up to capacity (`managers.len()`) so epoch stride
+    /// residues stay stable across join/leave; membership changes
+    /// only flip entries in this set.
+    active: RwLock<BTreeSet<NodeId>>,
 }
 
 impl ProtocolCluster {
@@ -251,10 +256,37 @@ impl ProtocolCluster {
 
     /// A cluster with an explicit retry budget.
     pub fn with_retry(num_nodes: u64, network: SimulatedNetwork, retry: RetryPolicy) -> Self {
-        let managers = (1..=num_nodes)
-            .map(|i| TxnManager::new(i, num_nodes))
+        Self::with_capacity(
+            num_nodes,
+            &(1..=num_nodes).collect::<Vec<_>>(),
+            network,
+            retry,
+        )
+    }
+
+    /// An elastic cluster: manager slots provisioned for nodes
+    /// `1..=capacity` (fixing the epoch stride for good), with only
+    /// `active` participating in broadcasts initially. Nodes outside
+    /// the active set are dormant until
+    /// [`ProtocolCluster::activate`]d by a join.
+    ///
+    /// # Panics
+    /// Panics if `active` is empty or names a node beyond capacity.
+    pub fn with_capacity(
+        capacity: u64,
+        active: &[NodeId],
+        network: SimulatedNetwork,
+        retry: RetryPolicy,
+    ) -> Self {
+        assert!(!active.is_empty(), "need at least one active node");
+        assert!(
+            active.iter().all(|&n| (1..=capacity).contains(&n)),
+            "active nodes must be within 1..=capacity"
+        );
+        let managers = (1..=capacity)
+            .map(|i| TxnManager::new(i, capacity))
             .collect();
-        let endpoints = (0..num_nodes).map(|_| Endpoint::default()).collect();
+        let endpoints = (0..capacity).map(|_| Endpoint::default()).collect();
         ProtocolCluster {
             managers,
             network,
@@ -263,12 +295,59 @@ impl ProtocolCluster {
             delayed: Mutex::new(Vec::new()),
             unacked: Mutex::new(Vec::new()),
             metrics: ProtocolMetrics::default(),
+            active: RwLock::new(active.iter().copied().collect()),
         }
     }
 
-    /// Cluster size.
+    /// Provisioned cluster size (manager slots, active or not).
     pub fn num_nodes(&self) -> u64 {
         self.managers.len() as u64
+    }
+
+    /// Nodes currently participating in broadcasts, ascending.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.active.read().iter().copied().collect()
+    }
+
+    /// Whether `node` currently participates in broadcasts.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active.read().contains(&node)
+    }
+
+    /// Activates a dormant slot (a node join). The joiner's clock is
+    /// caught up to the highest EC among already-active nodes so its
+    /// first epoch sorts after everything already begun. Idempotent.
+    ///
+    /// # Panics
+    /// Panics on a node beyond capacity.
+    pub fn activate(&self, node: NodeId) {
+        assert!(
+            (1..=self.num_nodes()).contains(&node),
+            "node {node} beyond provisioned capacity"
+        );
+        let mut active = self.active.write();
+        if active.insert(node) {
+            let max_ec = active
+                .iter()
+                .filter(|&&n| n != node)
+                .map(|&n| self.manager(n).clock().current_ec())
+                .max()
+                .unwrap_or(0);
+            self.manager(node).clock().observe(max_ec);
+        }
+    }
+
+    /// Deactivates a slot (a node leave): it stops receiving begin
+    /// broadcasts. Its manager keeps its state, so a later
+    /// [`ProtocolCluster::activate`] resumes cleanly. Idempotent.
+    ///
+    /// # Panics
+    /// Panics when deactivating the last active node.
+    pub fn deactivate(&self, node: NodeId) {
+        let mut active = self.active.write();
+        if active.remove(&node) {
+            assert!(!active.is_empty(), "cannot deactivate the last active node");
+        }
     }
 
     /// The manager of `node` (1-based).
@@ -317,8 +396,17 @@ impl ProtocolCluster {
                     self.metrics.dedup_hits.inc();
                     return;
                 }
-                applied.insert((epoch, CLASS_BEGIN));
                 let remote = self.manager(to);
+                // A begin for an epoch at or below this node's LCE is a
+                // stale reordered delivery (delayed copy or redrive of a
+                // roundtrip that already failed at the coordinator): the
+                // epoch is globally finished here, and resurrecting it
+                // into pendingTxs would let its late finish regress LCE.
+                if epoch <= remote.lce() {
+                    self.metrics.stale_ops.inc();
+                    return;
+                }
+                applied.insert((epoch, CLASS_BEGIN));
                 remote.clock().observe(origin_ec);
                 remote.register_remote(epoch);
             }
@@ -497,7 +585,7 @@ impl ProtocolCluster {
             origin: node,
             epoch,
             deps,
-            broadcasted: self.num_nodes() == 1,
+            broadcasted: self.active.read().len() == 1,
             begun_on: BTreeSet::new(),
             failed_on: BTreeSet::new(),
         }
@@ -519,14 +607,37 @@ impl ProtocolCluster {
         txn: &mut DistributedTxn,
         payload_bytes: usize,
     ) -> Result<(), AosiError> {
+        self.broadcast_begin_excluding(txn, payload_bytes, &BTreeSet::new())
+    }
+
+    /// [`ProtocolCluster::broadcast_begin`], skipping the nodes in
+    /// `skip` entirely — the degraded-write path for replicas known to
+    /// be down. A skipped node lands in neither `begun_on` nor
+    /// `failed_on`, so finishes never target it; the caller must
+    /// record the miss (e.g.
+    /// [`ReplicationTracker::mark_missed`](crate::ReplicationTracker::mark_missed))
+    /// so the §III-D gate holds the purge floor below the epoch until
+    /// the node heals.
+    ///
+    /// Skipping dark nodes is SI-safe: deps come from the union of
+    /// *reachable* pending sets, and every broadcasted transaction is
+    /// registered on all nodes that were alive at its begin — so any
+    /// transaction concurrent with this one is pending on some node
+    /// this broadcast does reach.
+    pub fn broadcast_begin_excluding(
+        &self,
+        txn: &mut DistributedTxn,
+        payload_bytes: usize,
+        skip: &BTreeSet<NodeId>,
+    ) -> Result<(), AosiError> {
         if txn.broadcasted {
             return Ok(());
         }
         self.flush_due_delayed();
         let origin_ec = self.manager(txn.origin).clock().current_ec();
         let mut first_err = None;
-        for node in 1..=self.num_nodes() {
-            if node == txn.origin || txn.begun_on.contains(&node) {
+        for node in self.active_nodes() {
+            if node == txn.origin || txn.begun_on.contains(&node) || skip.contains(&node) {
                 continue;
             }
             let remote = self.manager(node);
@@ -1220,6 +1331,90 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dormant_slots_receive_no_begins() {
+        // Capacity 4, only nodes 1 and 2 active: a broadcast touches
+        // one remote, and the dormant managers never hear of it.
+        let c = ProtocolCluster::with_capacity(
+            4,
+            &[1, 2],
+            SimulatedNetwork::instant(),
+            RetryPolicy::default(),
+        );
+        assert_eq!(c.active_nodes(), vec![1, 2]);
+        let mut t = c.begin_rw(1);
+        c.broadcast_begin(&mut t, 64).unwrap();
+        assert_eq!(c.network().stats().messages, 2, "one remote roundtrip");
+        assert!(c.manager(3).pending_txs().is_empty());
+        assert!(c.manager(4).pending_txs().is_empty());
+        c.commit(&t).unwrap();
+        assert_eq!(c.manager(2).lce(), t.epoch);
+        assert_eq!(c.manager(3).lce(), 0, "dormant slot untouched");
+    }
+
+    #[test]
+    fn lone_active_node_needs_no_broadcast() {
+        let c = ProtocolCluster::with_capacity(
+            3,
+            &[2],
+            SimulatedNetwork::instant(),
+            RetryPolicy::default(),
+        );
+        let t = c.begin_rw(2);
+        assert!(t.is_broadcasted());
+        c.commit(&t).unwrap();
+        assert_eq!(c.network().stats().messages, 0);
+    }
+
+    #[test]
+    fn activation_catches_up_the_joiner_clock() {
+        let c = ProtocolCluster::with_capacity(
+            3,
+            &[1, 2],
+            SimulatedNetwork::instant(),
+            RetryPolicy::default(),
+        );
+        // Push the active clocks forward.
+        for _ in 0..5 {
+            let mut t = c.begin_rw(1);
+            c.broadcast_begin(&mut t, 0).unwrap();
+            c.commit(&t).unwrap();
+        }
+        let frontier = c.manager(1).clock().current_ec();
+        c.activate(3);
+        assert!(c.is_active(3));
+        let t = c.begin_rw(3);
+        assert!(
+            t.epoch > frontier,
+            "joiner epoch {} must sort after the pre-join frontier {frontier}",
+            t.epoch
+        );
+        c.deactivate(3);
+        assert_eq!(c.active_nodes(), vec![1, 2]);
+        // Idempotent both ways.
+        c.deactivate(3);
+        c.activate(2);
+        assert_eq!(c.active_nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn broadcast_excluding_skips_dark_node_entirely() {
+        let c = cluster(3);
+        let mut t = c.begin_rw(1);
+        let skip: BTreeSet<NodeId> = [2].into_iter().collect();
+        c.broadcast_begin_excluding(&mut t, 64, &skip).unwrap();
+        assert!(t.is_broadcasted());
+        assert!(!t.begun_on().contains(&2));
+        assert!(!t.failed_on().contains(&2));
+        assert!(c.manager(2).pending_txs().is_empty());
+        let before = c.network().stats().messages;
+        c.commit(&t).unwrap();
+        // Finish targets only node 3: one roundtrip.
+        assert_eq!(c.network().stats().messages, before + 2);
+        assert_eq!(c.manager(3).lce(), t.epoch);
+        assert_eq!(c.manager(2).lce(), 0, "skipped node never saw the txn");
     }
 
     #[test]

@@ -29,10 +29,25 @@ impl Ring {
     /// # Panics
     /// Panics if either argument is zero.
     pub fn new(num_nodes: u64, vnodes: u32) -> Self {
-        assert!(num_nodes >= 1, "ring needs at least one node");
+        let nodes: Vec<NodeId> = (1..=num_nodes).collect();
+        Ring::of_nodes(&nodes, vnodes)
+    }
+
+    /// Builds a ring over an **arbitrary** node set — the elastic
+    /// topology's constructor, where join/leave produce non-contiguous
+    /// memberships like `{1, 2, 4}`. Each node's virtual points depend
+    /// only on its own id, so a node contributes the same arcs no
+    /// matter who else is on the ring: `Ring::of_nodes(&[1..=n])` is
+    /// identical to `Ring::new(n, vnodes)`, and removing a node moves
+    /// only the keys it owned.
+    ///
+    /// # Panics
+    /// Panics on an empty node set or zero vnodes.
+    pub fn of_nodes(nodes: &[NodeId], vnodes: u32) -> Self {
+        assert!(!nodes.is_empty(), "ring needs at least one node");
         assert!(vnodes >= 1, "ring needs at least one vnode per node");
-        let mut points = Vec::with_capacity((num_nodes * vnodes as u64) as usize);
-        for node in 1..=num_nodes {
+        let mut points = Vec::with_capacity(nodes.len() * vnodes as usize);
+        for &node in nodes {
             for v in 0..vnodes as u64 {
                 points.push((
                     hash64(node.wrapping_mul(0x1_0000_0001).wrapping_add(v)),
@@ -161,5 +176,47 @@ mod tests {
     #[test]
     fn node_count_reports_distinct_nodes() {
         assert_eq!(Ring::new(7, 16).node_count(), 7);
+    }
+
+    #[test]
+    fn of_nodes_matches_new_for_contiguous_ids() {
+        let a = Ring::new(5, 64);
+        let b = Ring::of_nodes(&[1, 2, 3, 4, 5], 64);
+        for key in 0..2000 {
+            assert_eq!(a.node_for(key), b.node_for(key));
+            assert_eq!(a.nodes_for(key, 2), b.nodes_for(key, 2));
+        }
+    }
+
+    #[test]
+    fn sparse_membership_moves_only_the_removed_nodes_keys() {
+        // {1,2,3,4} -> {1,2,4}: only keys node 3 owned may move.
+        let before = Ring::of_nodes(&[1, 2, 3, 4], 64);
+        let after = Ring::of_nodes(&[1, 2, 4], 64);
+        let mut moved = 0;
+        for key in 0..10_000u64 {
+            let b = before.node_for(key);
+            let a = after.node_for(key);
+            if b != a {
+                moved += 1;
+                assert_eq!(b, 3, "only the removed node's keys may move");
+            }
+        }
+        assert!(moved > 0, "node 3 owned something");
+    }
+
+    #[test]
+    fn joining_node_only_gains_keys() {
+        // {1,2,3} -> {1,2,3,9}: a key changes owner only by landing
+        // on the new node.
+        let before = Ring::of_nodes(&[1, 2, 3], 64);
+        let after = Ring::of_nodes(&[1, 2, 3, 9], 64);
+        for key in 0..10_000u64 {
+            let b = before.node_for(key);
+            let a = after.node_for(key);
+            if b != a {
+                assert_eq!(a, 9, "moves must land on the joiner");
+            }
+        }
     }
 }

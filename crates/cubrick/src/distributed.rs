@@ -1,40 +1,70 @@
-//! The multi-node Cubrick cluster (Sections IV and V-B).
+//! The multi-node Cubrick cluster (Sections IV and V-B), elastic.
 //!
 //! One [`Engine`] per node, one shared [`ProtocolCluster`] for the
-//! transaction traffic, one consistent-hashing [`Ring`] assigning
-//! bricks to nodes, and one [`SimulatedNetwork`] accounting every
-//! hop. The load pipeline is the paper's:
+//! transaction traffic, a [`Topology`] (consistent-hash ring +
+//! membership) placing brick replicas on nodes, and one
+//! [`SimulatedNetwork`] accounting every hop. The load pipeline is
+//! the paper's:
 //!
 //! 1. **Parse** on the node that received the buffer (any node).
 //! 2. **Validate & forward**: check `max_rejected`; create the
-//!    transaction; forward per-bid record groups to the owning nodes,
-//!    piggybacking the begin broadcast (pending sets + clocks) on the
-//!    same messages.
-//! 3. **Flush**: each owning node applies the appends on its shard
+//!    transaction; forward per-bid record groups to **every replica**
+//!    of the owning arc, piggybacking the begin broadcast (pending
+//!    sets + clocks) on the same messages.
+//! 3. **Flush**: each replica applies the appends on its shard
 //!    threads.
 //!
 //! Commit is a single roundtrip: "all remote nodes are required to
 //! commit the transaction and no consensus protocol is required".
 //!
-//! Distributed queries take one snapshot at the coordinator, register
-//! it as an active reader on *every* node (so no node's purge can
-//! disturb the scan), fan out, and merge partial aggregates before
-//! finalizing.
+//! ## Replica reads and the cluster-wide LSE gate (§III-D)
+//!
+//! The **brick directory** records which nodes hold a complete,
+//! readable copy of each brick. A distributed query routes every
+//! brick to the first *live* host in its replica preference order and
+//! scans it exactly once cluster-wide; when the preferred replica is
+//! dark the read falls back to the next copy, and only when no live
+//! copy exists does the read fail ([`CubrickError::NoReplicaAvailable`]).
+//!
+//! Writes degrade rather than block: a replica that is down when a
+//! load commits is *demoted* — dropped from the brick's readable set
+//! and recorded as having **missed** the epoch in the
+//! [`ReplicationTracker`], which caps its durability watermark below
+//! the hole. [`DistributedEngine::purge_all`] then enforces the
+//! paper's rule cluster-wide: the purge floor is the tracker's safe
+//! epoch — the minimum over every replica's acked watermark, withheld
+//! entirely while any node is offline — so "LSE needs to be prevented
+//! from advancing if data is not safely stored on all replicas or if
+//! any replica is offline".
+//!
+//! Node join/leave and the brick handoff protocol live in the
+//! `elastic` module ([`DistributedEngine::join_node`] /
+//! [`DistributedEngine::leave_node`] / [`DistributedEngine::transfer_brick`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use aosi::{ReadGuard, Snapshot};
-use cluster::{MsgKind, NodeId, ProtocolCluster, Ring, SimulatedNetwork};
+use cluster::{
+    MsgKind, NodeId, ProtocolCluster, ReplicationTracker, RetryPolicy, SimulatedNetwork, Topology,
+};
 use columnar::Row;
-use obs::ReportBuilder;
+use obs::{Counter, ReportBuilder};
+use parking_lot::{Mutex, RwLock};
 
 use crate::cube::Cube;
 use crate::ddl::CubeSchema;
+use crate::elastic::HandoffBreak;
 use crate::engine::{Engine, EngineMemory, IsolationMode, LoadStageTimings, PurgeStats};
 use crate::error::CubrickError;
 use crate::ingest::{parse_rows, ParsedBatch};
 use crate::query::{PartialResult, Query, QueryResult, ResolvedQuery};
+
+/// Read-routing plan: which bricks each node answers for, plus the
+/// set of directory-known bids (bricks outside the directory fall
+/// back to whichever node stores them).
+type ReadRouting = (HashMap<NodeId, HashSet<u64>>, HashSet<u64>);
 
 /// Result of a distributed load request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,31 +81,124 @@ pub struct DistributedLoadOutcome {
     pub timings: LoadStageTimings,
 }
 
+/// Configuration for an elastic cluster
+/// ([`DistributedEngine::elastic`]).
+#[derive(Clone, Debug)]
+pub struct ElasticConfig {
+    /// Provisioned node slots (`1..=capacity`). Fixes the epoch
+    /// stride for the cluster's lifetime; joins can only activate
+    /// slots within capacity.
+    pub capacity: u64,
+    /// Initially active members.
+    pub active: Vec<NodeId>,
+    /// Shard threads per node.
+    pub shards_per_node: usize,
+    /// Copies of every brick (1 = no redundancy).
+    pub replication: usize,
+    /// Protocol retry budget.
+    pub retry: RetryPolicy,
+}
+
+/// Which nodes host one brick.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BrickHosts {
+    /// Nodes holding a complete, readable copy.
+    pub(crate) readable: Vec<NodeId>,
+    /// Nodes mid-handoff: writes fan out to them, reads skip them.
+    pub(crate) pending: Vec<NodeId>,
+}
+
+/// `[cluster.rebalance]` counters.
+#[derive(Debug, Default)]
+pub(crate) struct RebalanceMetrics {
+    pub(crate) replica_reads: Counter,
+    pub(crate) fallback_reads: Counter,
+    pub(crate) unanswered_reads: Counter,
+    pub(crate) degraded_writes: Counter,
+    pub(crate) handoffs_started: Counter,
+    pub(crate) handoffs_completed: Counter,
+    pub(crate) handoffs_failed: Counter,
+    pub(crate) handoff_chunks: Counter,
+    pub(crate) handoff_chunk_retries: Counter,
+    pub(crate) bricks_moved: Counter,
+}
+
 /// An N-node Cubrick cluster in one process.
 pub struct DistributedEngine {
-    protocol: ProtocolCluster,
-    engines: Vec<Engine>,
-    ring: Ring,
+    pub(crate) protocol: ProtocolCluster,
+    pub(crate) engines: Vec<Engine>,
+    pub(crate) topology: Topology,
+    pub(crate) tracker: ReplicationTracker,
+    /// `(cube, bid)` → hosts. The single source of truth for which
+    /// node answers a brick read and which nodes receive its writes.
+    pub(crate) directory: RwLock<HashMap<(String, u64), BrickHosts>>,
+    /// Loads hold this shared for their route+flush window; a handoff
+    /// capture holds it exclusively, so every write either lands in
+    /// the captured state or fans out to the subscribed pending host.
+    pub(crate) write_gate: RwLock<()>,
+    /// Queries hold this shared for their fan-out; a brick retire
+    /// holds it exclusively so no in-flight scan loses a brick.
+    pub(crate) scan_gate: RwLock<()>,
+    pub(crate) rebal: RebalanceMetrics,
+    /// Deliberate handoff sabotage for meta-tests (see
+    /// [`DistributedEngine::set_handoff_break`]).
+    pub(crate) handoff_break: Mutex<Option<HandoffBreak>>,
 }
 
 impl DistributedEngine {
-    /// Builds a cluster of `num_nodes` nodes, each with
-    /// `shards_per_node` shard threads, over `network`.
+    /// Builds a fixed cluster of `num_nodes` nodes (all active,
+    /// replication factor 1), each with `shards_per_node` shard
+    /// threads, over `network`.
     pub fn new(num_nodes: u64, shards_per_node: usize, network: SimulatedNetwork) -> Self {
-        let protocol = ProtocolCluster::new(num_nodes, network);
-        let engines = (1..=num_nodes)
-            .map(|node| Engine::with_manager(protocol.manager(node).clone(), shards_per_node))
+        Self::elastic(
+            ElasticConfig {
+                capacity: num_nodes,
+                active: (1..=num_nodes).collect(),
+                shards_per_node,
+                replication: 1,
+                retry: RetryPolicy::default(),
+            },
+            network,
+        )
+    }
+
+    /// Builds an elastic cluster: `capacity` provisioned slots,
+    /// `config.active` initially members, `config.replication` copies
+    /// per brick.
+    pub fn elastic(config: ElasticConfig, network: SimulatedNetwork) -> Self {
+        let protocol =
+            ProtocolCluster::with_capacity(config.capacity, &config.active, network, config.retry);
+        let engines: Vec<Engine> = (1..=config.capacity)
+            .map(|node| {
+                Engine::with_manager(protocol.manager(node).clone(), config.shards_per_node)
+            })
             .collect();
+        let topology = Topology::new(&config.active, 64, config.replication);
+        let tracker = ReplicationTracker::default();
+        for &node in &config.active {
+            tracker.add_node(node, 0);
+        }
         DistributedEngine {
             protocol,
             engines,
-            ring: Ring::new(num_nodes, 64),
+            topology,
+            tracker,
+            directory: RwLock::new(HashMap::new()),
+            write_gate: RwLock::new(()),
+            scan_gate: RwLock::new(()),
+            rebal: RebalanceMetrics::default(),
+            handoff_break: Mutex::new(None),
         }
     }
 
-    /// Cluster size.
+    /// Provisioned cluster capacity (slots, active or not).
     pub fn num_nodes(&self) -> u64 {
         self.engines.len() as u64
+    }
+
+    /// Currently active members, ascending.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.protocol.active_nodes()
     }
 
     /// The engine running on `node` (1-based).
@@ -93,8 +216,98 @@ impl DistributedEngine {
         &self.protocol
     }
 
-    /// Cluster DDL: creates the cube on every node with shared
-    /// metadata (schema + dictionaries distributed at DDL time).
+    /// The replica durability tracker (§III-D gate).
+    pub fn tracker(&self) -> &ReplicationTracker {
+        &self.tracker
+    }
+
+    /// The placement topology (membership + ring).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Read-routing tallies: `(replica_reads, fallback_reads,
+    /// unanswered_reads)` — bricks answered by their preferred
+    /// replica, bricks re-routed to a surviving copy, and bricks no
+    /// live replica could serve (the chaos suites require the last to
+    /// stay zero).
+    pub fn read_routing_stats(&self) -> (u64, u64, u64) {
+        (
+            self.rebal.replica_reads.get(),
+            self.rebal.fallback_reads.get(),
+            self.rebal.unanswered_reads.get(),
+        )
+    }
+
+    /// The brick's primary (arc owner) under the current topology.
+    pub fn primary(&self, bid: u64) -> NodeId {
+        self.topology.primary(bid)
+    }
+
+    /// The nodes currently serving readable copies of `bid`, replica
+    /// preference order. Empty for a brick the cluster has never seen.
+    pub fn brick_hosts(&self, cube: &str, bid: u64) -> Vec<NodeId> {
+        let dir = self.directory.read();
+        match dir.get(&(cube.to_owned(), bid)) {
+            Some(entry) => self.prefer(bid, &entry.readable),
+            None => Vec::new(),
+        }
+    }
+
+    /// Every brick the directory tracks for `cube`, ascending.
+    pub fn known_bricks(&self, cube: &str) -> Vec<u64> {
+        let mut bids: Vec<u64> = self
+            .directory
+            .read()
+            .keys()
+            .filter(|(c, _)| c == cube)
+            .map(|&(_, bid)| bid)
+            .collect();
+        bids.sort_unstable();
+        bids
+    }
+
+    /// Marks `node` unreachable: network messages to/from it drop and
+    /// the durability tracker withholds the cluster purge floor
+    /// (§III-D: any replica offline ⇒ LSE frozen).
+    pub fn crash_node(&self, node: NodeId) {
+        self.network().crash_node(node);
+        self.tracker.mark_offline(node);
+    }
+
+    /// Brings a crashed node back (its state survived — fail-stutter
+    /// model). The node may still be missing epochs written while it
+    /// was dark; [`DistributedEngine::heal_node`] re-streams those.
+    pub fn restart_node(&self, node: NodeId) {
+        self.network().restart_node(node);
+        self.tracker.mark_online(node);
+    }
+
+    /// Whether `node` is currently unreachable (manual crash, planned
+    /// crash window, or tracker-known outage).
+    pub(crate) fn is_node_down(&self, node: NodeId) -> bool {
+        self.network().is_down(node) || self.tracker.is_offline(node)
+    }
+
+    /// Orders `hosts` by the brick's replica preference (ring order
+    /// first, then any remaining hosts ascending — e.g. copies not
+    /// yet rebalanced off after a membership change).
+    pub(crate) fn prefer(&self, bid: u64, hosts: &[NodeId]) -> Vec<NodeId> {
+        let ring_order = self.topology.replicas(bid);
+        let mut out: Vec<NodeId> = ring_order
+            .iter()
+            .copied()
+            .filter(|n| hosts.contains(n))
+            .collect();
+        let mut rest: Vec<NodeId> = hosts.iter().copied().filter(|n| !out.contains(n)).collect();
+        rest.sort_unstable();
+        out.extend(rest);
+        out
+    }
+
+    /// Cluster DDL: creates the cube on every slot (dormant ones too,
+    /// so a later join already holds the metadata) with shared schema
+    /// and dictionaries.
     pub fn create_cube(&self, schema: CubeSchema) -> Result<Cube, CubrickError> {
         let cube = Cube::new(schema);
         for engine in &self.engines {
@@ -104,7 +317,12 @@ impl DistributedEngine {
     }
 
     /// Loads `rows` through coordinator `origin` in one implicit
-    /// distributed transaction.
+    /// distributed transaction, fanning each brick's records to every
+    /// live replica. Replicas known to be down are skipped (degraded
+    /// write): they are demoted from the affected bricks' readable
+    /// sets and their missed epoch recorded, holding the cluster
+    /// purge floor down until they heal. A brick with **no** live
+    /// replica aborts the load.
     pub fn load(
         &self,
         origin: NodeId,
@@ -127,29 +345,87 @@ impl DistributedEngine {
         }
         let (accepted, rejected) = (batch.accepted, batch.rejected);
 
+        // Route + flush under the write gate so a handoff capture is
+        // atomic with respect to this load: either our runs are in
+        // the captured brick state, or we saw the subscribed pending
+        // host and fanned out to it.
+        let _wg = self.write_gate.read();
+        let active = self.protocol.active_nodes();
+        let down: BTreeSet<NodeId> = active
+            .iter()
+            .copied()
+            .filter(|&n| self.is_node_down(n))
+            .collect();
+
         // 2. Validate & forward: transaction + routing.
         let mut txn = self.protocol.begin_rw(origin);
         let forward_started = Instant::now();
-        // The begin broadcast rides on the data fan-out. If a remote
-        // stays unreachable through the retry budget the load cannot
-        // take an SI-consistent snapshot of the cluster, so it rolls
-        // back (nothing was flushed yet) instead of half-starting.
-        if let Err(e) = self.protocol.broadcast_begin(&mut txn, 0) {
+        // The begin broadcast rides on the data fan-out, skipping
+        // known-dark nodes entirely (they missed the epoch; the
+        // tracker records it below). A *surprise* unreachable remote
+        // still aborts: the load cannot take an SI-consistent
+        // snapshot of nodes it cannot reach but believed alive.
+        if let Err(e) = self.protocol.broadcast_begin_excluding(&mut txn, 0, &down) {
             let _ = self.protocol.rollback(&txn);
             return Err(e.into());
         }
+
+        // Route every brick to all its live replicas; demote dark
+        // readable hosts.
         let mut per_node: HashMap<NodeId, ParsedBatch> = HashMap::new();
-        for (bid, records) in batch.by_bid {
-            let node = self.ring.node_for(bid);
-            let target = per_node.entry(node).or_default();
-            target.accepted += records.len();
-            target.by_bid.insert(bid, records);
+        let mut demoted: Vec<(String, u64, NodeId)> = Vec::new();
+        {
+            let mut dir = self.directory.write();
+            for (bid, records) in batch.by_bid {
+                let key = (cube_name.to_owned(), bid);
+                let entry = dir.entry(key.clone()).or_insert_with(|| BrickHosts {
+                    readable: self
+                        .topology
+                        .replicas(bid)
+                        .into_iter()
+                        .filter(|n| !down.contains(n))
+                        .collect(),
+                    pending: Vec::new(),
+                });
+                let dark: Vec<NodeId> = entry
+                    .readable
+                    .iter()
+                    .copied()
+                    .filter(|n| down.contains(n))
+                    .collect();
+                for node in dark {
+                    entry.readable.retain(|&n| n != node);
+                    demoted.push((key.0.clone(), bid, node));
+                }
+                let targets: Vec<NodeId> = entry
+                    .readable
+                    .iter()
+                    .chain(entry.pending.iter())
+                    .copied()
+                    .filter(|n| !down.contains(n))
+                    .collect();
+                if targets.is_empty() {
+                    // Revert nothing: the rollback below unwinds the
+                    // txn, and demotions are conservative (re-adding
+                    // a host requires a re-stream anyway).
+                    drop(dir);
+                    let _ = self.protocol.rollback(&txn);
+                    return Err(CubrickError::NoReplicaAvailable {
+                        cube: cube_name.to_owned(),
+                        bid,
+                    });
+                }
+                for &node in &targets {
+                    let target = per_node.entry(node).or_default();
+                    target.accepted += records.len();
+                    target.by_bid.insert(bid, records.clone());
+                }
+            }
         }
         let nodes_touched = per_node.len();
         // Forward the record groups (records that stay on the origin
-        // do not cross the wire). The forwards carry the origin's
-        // clock like any operation fan-out; an undeliverable forward
-        // aborts the load before anything flushes.
+        // do not cross the wire). An undeliverable forward aborts the
+        // load before anything flushes.
         for (&node, node_batch) in &per_node {
             if node != origin {
                 let bytes: usize = node_batch
@@ -165,7 +441,7 @@ impl DistributedEngine {
         }
         let forward = forward_started.elapsed();
 
-        // 3. Flush on each owning node.
+        // 3. Flush on every live replica.
         let flush_started = Instant::now();
         std::thread::scope(|scope| {
             for (node, node_batch) in per_node {
@@ -178,6 +454,18 @@ impl DistributedEngine {
         let flush = flush_started.elapsed();
 
         self.protocol.commit(&txn)?;
+        // Durability acks: every reachable member acked the epoch;
+        // the dark ones missed it, capping the purge floor (§III-D).
+        for &node in &active {
+            if down.contains(&node) {
+                self.tracker.mark_missed(node, txn.epoch);
+            } else {
+                self.tracker.mark_flushed(node, txn.epoch);
+            }
+        }
+        if !down.is_empty() || !demoted.is_empty() {
+            self.rebal.degraded_writes.inc();
+        }
         Ok(DistributedLoadOutcome {
             epoch: txn.epoch,
             accepted,
@@ -192,8 +480,9 @@ impl DistributedEngine {
         })
     }
 
-    /// Runs a query from coordinator `origin` under `mode`, fanning
-    /// out to every node and merging partial aggregates.
+    /// Runs a query from coordinator `origin` under `mode`, routing
+    /// every brick to one live replica and merging partial
+    /// aggregates.
     pub fn query(
         &self,
         origin: NodeId,
@@ -244,6 +533,42 @@ impl DistributedEngine {
         self.fan_out_query(origin, &cube, &resolved, Some(snapshot))
     }
 
+    /// Assigns every directory brick of `cube` to the first live host
+    /// in its replica preference order. Returns the per-node brick
+    /// assignment plus the set of directory-known bids (bricks *not*
+    /// in the directory — state planted directly on an engine — fall
+    /// back to scanning on whichever node stores them).
+    fn route_reads(&self, cube: &str) -> Result<ReadRouting, CubrickError> {
+        let mut assigned: HashMap<NodeId, HashSet<u64>> = HashMap::new();
+        let mut known: HashSet<u64> = HashSet::new();
+        let dir = self.directory.read();
+        for ((cube_name, bid), hosts) in dir.iter() {
+            if cube_name != cube {
+                continue;
+            }
+            known.insert(*bid);
+            let pref = self.prefer(*bid, &hosts.readable);
+            match pref.iter().copied().find(|&n| !self.is_node_down(n)) {
+                Some(node) => {
+                    if Some(&node) == pref.first() && Some(&node) == hosts.readable.first() {
+                        self.rebal.replica_reads.inc();
+                    } else {
+                        self.rebal.fallback_reads.inc();
+                    }
+                    assigned.entry(node).or_default().insert(*bid);
+                }
+                None => {
+                    self.rebal.unanswered_reads.inc();
+                    return Err(CubrickError::NoReplicaAvailable {
+                        cube: cube.to_owned(),
+                        bid: *bid,
+                    });
+                }
+            }
+        }
+        Ok((assigned, known))
+    }
+
     fn fan_out_query(
         &self,
         origin: NodeId,
@@ -251,25 +576,41 @@ impl DistributedEngine {
         resolved: &ResolvedQuery,
         snapshot: Option<Snapshot>,
     ) -> Result<QueryResult, CubrickError> {
+        // Shared scan gate: no brick retire may run mid-fan-out.
+        let _sg = self.scan_gate.read();
+        let (mut assigned, known) = self.route_reads(cube.name())?;
+        let known = Arc::new(known);
+        // Every live member participates: it scans its assigned
+        // bricks plus anything it stores that the directory has never
+        // heard of (legacy direct flushes).
+        let participants: Vec<NodeId> = self
+            .protocol
+            .active_nodes()
+            .into_iter()
+            .filter(|&n| !self.is_node_down(n))
+            .collect();
         let mut merged = PartialResult::default();
         // Partials are joined in node order so the merge is
         // deterministic; a scan failure on any node fails the whole
         // distributed query.
         let partials: Vec<Result<PartialResult, CubrickError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .engines
+            let handles: Vec<_> = participants
                 .iter()
-                .enumerate()
-                .map(|(idx, engine)| {
-                    let node = idx as u64 + 1;
+                .map(|&node| {
                     if node != origin {
                         // Query shipping + result return.
                         self.network().transmit_typed(MsgKind::Forward, 128, 0, 0);
                     }
+                    let engine = self.engine(node);
                     let cube = cube.clone();
                     let resolved = resolved.clone();
                     let snapshot = snapshot.clone();
-                    scope.spawn(move || engine.execute_partial(&cube, &resolved, snapshot))
+                    let mine: HashSet<u64> = assigned.remove(&node).unwrap_or_default();
+                    let known = Arc::clone(&known);
+                    scope.spawn(move || {
+                        let allow = |bid: u64| mine.contains(&bid) || !known.contains(&bid);
+                        engine.execute_partial_filtered(&cube, &resolved, snapshot, &allow)
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -282,7 +623,9 @@ impl DistributedEngine {
 
     /// Distributed partition delete from coordinator `origin`
     /// (Section IV: "delete operations must test the user's
-    /// predicates against each partition on every node").
+    /// predicates against each partition on every node"). Dark
+    /// members are skipped like a degraded load: they miss the delete
+    /// epoch and the tracker caps their watermark below it.
     pub fn delete_where(
         &self,
         origin: NodeId,
@@ -293,16 +636,23 @@ impl DistributedEngine {
         // transaction; the distributed version needs one shared
         // epoch, so it drives the brick marking directly.
         let cube = self.engine(origin).cube(cube_name)?;
+        let _wg = self.write_gate.read();
+        let active = self.protocol.active_nodes();
+        let down: BTreeSet<NodeId> = active
+            .iter()
+            .copied()
+            .filter(|&n| self.is_node_down(n))
+            .collect();
         let mut txn = self.protocol.begin_rw(origin);
-        if let Err(e) = self.protocol.broadcast_begin(&mut txn, 64) {
+        if let Err(e) = self.protocol.broadcast_begin_excluding(&mut txn, 64, &down) {
             let _ = self.protocol.rollback(&txn);
             return Err(e.into());
         }
         // Ship the predicate everywhere before marking anything, so
         // an unreachable node aborts the delete while it is still
         // side-effect free.
-        for node in 1..=self.num_nodes() {
-            if node != origin {
+        for &node in &active {
+            if node != origin && !down.contains(&node) {
                 if let Err(e) = self.protocol.forward_op(&txn, &[node], 64) {
                     let _ = self.protocol.rollback(&txn);
                     return Err(e.into());
@@ -310,35 +660,85 @@ impl DistributedEngine {
             }
         }
         let mut marked_total = 0u64;
-        for engine in &self.engines {
-            marked_total += engine.mark_delete_where(&cube, filters, txn.epoch)?;
+        for &node in &active {
+            if !down.contains(&node) {
+                marked_total += self
+                    .engine(node)
+                    .mark_delete_where(&cube, filters, txn.epoch)?;
+            }
         }
         self.protocol.commit(&txn)?;
+        for &node in &active {
+            if down.contains(&node) {
+                self.tracker.mark_missed(node, txn.epoch);
+            } else {
+                self.tracker.mark_flushed(node, txn.epoch);
+            }
+        }
+        if !down.is_empty() {
+            self.rebal.degraded_writes.inc();
+        }
         Ok((txn.epoch, marked_total))
     }
 
-    /// Advances LSE to LCE and purges on every node. Returns the
+    /// Advances LSE and purges on every member, **gated cluster-wide**
+    /// by the replica durability floor: no node's LSE may pass the
+    /// minimum acked watermark over all replicas, and nothing purges
+    /// at all while any replica is offline (§III-D). Returns the
     /// aggregate stats.
     pub fn purge_all(&self) -> PurgeStats {
-        self.engines.iter().map(Engine::advance_lse_and_purge).fold(
-            PurgeStats::default(),
-            |mut a, s| {
-                a.rows_purged += s.rows_purged;
-                a.entries_reclaimed += s.entries_reclaimed;
-                a.bricks_changed += s.bricks_changed;
-                a
-            },
-        )
+        let Some(floor) = self.tracker.safe_epoch() else {
+            // A replica is offline: the paper says LSE must not
+            // advance at all.
+            return PurgeStats::default();
+        };
+        let mut total = PurgeStats::default();
+        for node in self.protocol.active_nodes() {
+            let engine = self.engine(node);
+            let manager = engine.manager();
+            let target = floor.min(manager.lce()).max(manager.lse());
+            if manager.advance_lse(target).is_ok() {
+                let s = engine.purge();
+                total.rows_purged += s.rows_purged;
+                total.entries_reclaimed += s.entries_reclaimed;
+                total.bricks_changed += s.bricks_changed;
+            }
+        }
+        total
     }
 
     /// Renders the cluster-wide metrics report: the `[cluster]`
-    /// network section (per-type message counts, piggybacked
-    /// pendingTxs/clock bytes) followed by every node's `[aosi]`,
-    /// `[engine]`, and `[shards]` sections prefixed `node{n}.`.
+    /// network section, the protocol fault counters, the
+    /// `[cluster.replication]` durability watermarks, the
+    /// `[cluster.rebalance]` routing/handoff counters, then every
+    /// node's `[aosi]`, `[engine]`, and `[shards]` sections prefixed
+    /// `node{n}.`.
     pub fn metrics_report(&self) -> String {
         let mut report = ReportBuilder::new();
         self.network().report(&mut report);
         self.protocol.report(&mut report);
+        {
+            let section = report.section("cluster.replication");
+            match self.tracker.safe_epoch() {
+                Some(e) => section.metric("safe_epoch", e),
+                None => section.metric("safe_epoch_withheld", 1u64),
+            };
+            for (node, watermark) in self.tracker.watermarks() {
+                section.metric(&format!("watermark.node{node}"), watermark);
+            }
+        }
+        report
+            .section("cluster.rebalance")
+            .counter("replica_reads", &self.rebal.replica_reads)
+            .counter("fallback_reads", &self.rebal.fallback_reads)
+            .counter("unanswered_reads", &self.rebal.unanswered_reads)
+            .counter("degraded_writes", &self.rebal.degraded_writes)
+            .counter("handoffs_started", &self.rebal.handoffs_started)
+            .counter("handoffs_completed", &self.rebal.handoffs_completed)
+            .counter("handoffs_failed", &self.rebal.handoffs_failed)
+            .counter("handoff_chunks", &self.rebal.handoff_chunks)
+            .counter("handoff_chunk_retries", &self.rebal.handoff_chunk_retries)
+            .counter("bricks_moved", &self.rebal.bricks_moved);
         for (idx, engine) in self.engines.iter().enumerate() {
             engine.report_into(&mut report, &format!("node{}.", idx + 1));
         }
@@ -363,7 +763,7 @@ impl DistributedEngine {
 }
 
 /// Rough wire size of one parsed record for traffic accounting.
-fn approx_record_bytes(cube: &Cube) -> usize {
+pub(crate) fn approx_record_bytes(cube: &Cube) -> usize {
     cube.schema().dimensions.len() * 4 + cube.schema().metrics.len() * 8
 }
 
@@ -491,7 +891,7 @@ mod tests {
             cube.dictionaries(),
             &[row("us", 0, 7)],
         );
-        let node = d.ring.node_for(*batch.by_bid.keys().next().unwrap());
+        let node = d.primary(*batch.by_bid.keys().next().unwrap());
         d.engine(node).flush_batch(&cube, txn.epoch, batch);
         assert_eq!(total_likes(&d, 1, IsolationMode::Snapshot), 0.0);
         assert_eq!(total_likes(&d, 1, IsolationMode::ReadUncommitted), 7.0);
@@ -543,6 +943,12 @@ mod tests {
             report.contains("messages.begin_request"),
             "report:\n{report}"
         );
+        assert!(
+            report.contains("[cluster.replication]"),
+            "report:\n{report}"
+        );
+        assert!(report.contains("[cluster.rebalance]"), "report:\n{report}");
+        assert!(report.contains("replica_reads"), "report:\n{report}");
         for node in 1..=3 {
             for section in ["aosi", "engine", "shards"] {
                 let needle = format!("[node{node}.{section}]");
@@ -564,5 +970,96 @@ mod tests {
         assert_eq!(m.rows, 300);
         assert_eq!(m.mvcc_baseline_bytes, 4800);
         assert!(m.aosi_bytes > 0);
+    }
+
+    #[test]
+    fn replicated_load_stores_every_brick_twice() {
+        let d = DistributedEngine::elastic(
+            ElasticConfig {
+                capacity: 3,
+                active: vec![1, 2, 3],
+                shards_per_node: 2,
+                replication: 2,
+                retry: RetryPolicy::default(),
+            },
+            SimulatedNetwork::instant(),
+        );
+        d.create_cube(
+            CubeSchema::new(
+                "events",
+                vec![Dimension::int("day", 32, 4)],
+                vec![Metric::int("likes")],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..128)
+            .map(|i| vec![Value::from((i % 32) as i64), Value::from(1i64)])
+            .collect();
+        d.load(1, "events", &rows, 0).unwrap();
+        // Two copies of every row...
+        let stored: u64 = (1..=3).map(|n| d.engine(n).memory().rows).sum();
+        assert_eq!(stored, 256, "rf=2 stores each row twice");
+        for bid in d.known_bricks("events") {
+            assert_eq!(d.brick_hosts("events", bid).len(), 2, "bid {bid}");
+        }
+        // ...but every read counts each brick exactly once.
+        assert_eq!(total_likes(&d, 2, IsolationMode::Snapshot), 128.0);
+        assert!(d.rebal.replica_reads.get() > 0);
+    }
+
+    #[test]
+    fn reads_fall_back_to_surviving_replica_and_purge_freezes() {
+        let d = DistributedEngine::elastic(
+            ElasticConfig {
+                capacity: 3,
+                active: vec![1, 2, 3],
+                shards_per_node: 2,
+                replication: 2,
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    base_backoff: std::time::Duration::ZERO,
+                    max_backoff: std::time::Duration::ZERO,
+                },
+            },
+            SimulatedNetwork::with_faults(
+                cluster::LatencyModel::instant(),
+                cluster::FaultPlan::seeded(7),
+            ),
+        );
+        d.create_cube(
+            CubeSchema::new(
+                "events",
+                vec![Dimension::int("day", 32, 4)],
+                vec![Metric::int("likes")],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..64)
+            .map(|i| vec![Value::from((i % 32) as i64), Value::from(1i64)])
+            .collect();
+        d.load(1, "events", &rows, 0).unwrap();
+        assert_eq!(total_likes(&d, 1, IsolationMode::Snapshot), 64.0);
+
+        d.crash_node(3);
+        // Every brick still answers from a surviving replica.
+        assert_eq!(total_likes(&d, 1, IsolationMode::Snapshot), 64.0);
+        assert!(
+            d.tracker().safe_epoch().is_none(),
+            "offline replica must freeze the purge floor"
+        );
+        // A delete while node 3 is dark commits degraded...
+        let (epoch, _) = d.delete_where(1, "events", &[]).unwrap();
+        assert_eq!(total_likes(&d, 1, IsolationMode::Snapshot), 0.0);
+        // ...and purging reclaims nothing: the floor is withheld.
+        let stats = d.purge_all();
+        assert_eq!(stats.rows_purged, 0, "LSE must not advance");
+
+        // Back online: still capped below the missed epoch until healed.
+        d.restart_node(3);
+        assert!(d.tracker().safe_epoch().unwrap() < epoch);
+        assert!(!d.tracker().covers(3, epoch));
+        assert!(d.rebal.degraded_writes.get() >= 1);
     }
 }

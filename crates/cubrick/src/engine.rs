@@ -816,6 +816,7 @@ impl Engine {
             None,
             None,
             None,
+            None,
         )?;
         Ok(QueryResult::finalize(&cube, &resolved, merged))
     }
@@ -846,6 +847,7 @@ impl Engine {
             self.scan_config,
             self.vis_cache.clone(),
             self.agg_cache.clone(),
+            None,
             Some(&mut forward),
         )?;
         Ok(QueryResult::finalize(&cube, &resolved, merged))
@@ -1014,6 +1016,30 @@ impl Engine {
             self.vis_cache.clone(),
             self.agg_cache.clone(),
             None,
+            None,
+        )
+    }
+
+    /// [`Engine::execute_partial`] restricted to bricks `allowed`
+    /// admits. The replica-routed distributed scan uses this: each
+    /// node scans only the bricks the read router assigned to it, so
+    /// a brick replicated on three hosts is counted exactly once.
+    pub(crate) fn execute_partial_filtered(
+        &self,
+        cube: &Cube,
+        resolved: &ResolvedQuery,
+        snapshot: Option<Snapshot>,
+        allowed: &dyn Fn(u64) -> bool,
+    ) -> Result<PartialResult, CubrickError> {
+        self.execute_partial_with(
+            cube,
+            resolved,
+            snapshot,
+            self.scan_config,
+            self.vis_cache.clone(),
+            self.agg_cache.clone(),
+            Some(allowed),
+            None,
         )
     }
 
@@ -1053,6 +1079,7 @@ impl Engine {
         config: ScanConfig,
         cache: Option<Arc<VisibilityCache<BrickKey>>>,
         agg_cache: Option<Arc<AggCache>>,
+        allowed: Option<&dyn Fn(u64) -> bool>,
         mut progress: Option<&mut dyn FnMut(&PartialResult)>,
     ) -> Result<PartialResult, CubrickError> {
         let shape = Arc::new(AggQueryShape::of(resolved, config.kernel));
@@ -1075,6 +1102,14 @@ impl Engine {
         for bids in per_shard_bids {
             let mut targets = Vec::with_capacity(bids.len());
             for bid in bids {
+                // Bricks the read router assigned to another replica
+                // are someone else's to scan — not "pruned" (the
+                // cluster still reads them, just elsewhere).
+                if let Some(allowed) = allowed {
+                    if !allowed(bid) {
+                        continue;
+                    }
+                }
                 if resolved.brick_can_match(cube, bid) {
                     targets.push(bid);
                 } else {
@@ -1472,6 +1507,67 @@ impl Engine {
         } else {
             PurgeStats::default()
         }
+    }
+
+    /// Drops any cached visibility/aggregate artifacts for one brick
+    /// (crate-internal: the handoff install path mutates bricks
+    /// outside the flush machinery).
+    pub(crate) fn invalidate_brick_caches(&self, cube: &str, bid: u64) {
+        invalidate_brick(&self.vis_cache, &self.agg_cache, &(Arc::from(cube), bid));
+    }
+
+    /// Brick ids this node currently stores for `cube`, ascending.
+    pub(crate) fn brick_bids(&self, cube: &str) -> Vec<u64> {
+        let name = cube.to_owned();
+        let per_shard: Vec<Vec<u64>> = self.shards.map_shards(|_| {
+            let name = name.clone();
+            Box::new(move |bricks: &mut crate::shard::ShardBricks| {
+                bricks
+                    .get(&name)
+                    .map(|m| m.keys().copied().collect())
+                    .unwrap_or_default()
+            })
+        });
+        let mut bids: Vec<u64> = per_shard.into_iter().flatten().collect();
+        bids.sort_unstable();
+        bids
+    }
+
+    /// Whether this node stores `bid` of `cube`.
+    pub(crate) fn has_brick(&self, cube: &str, bid: u64) -> bool {
+        let name = cube.to_owned();
+        self.shards
+            .map_shards(|shard| {
+                let name = name.clone();
+                let here = shard == self.shards.shard_of(bid);
+                Box::new(move |bricks: &mut crate::shard::ShardBricks| {
+                    here && bricks.get(&name).is_some_and(|m| m.contains_key(&bid))
+                })
+            })
+            .into_iter()
+            .any(|b| b)
+    }
+
+    /// Removes one brick from its shard (rebalance retire / failed
+    /// handoff cleanup), invalidating its cached artifacts. Returns
+    /// whether the brick existed. The caller owns read-safety: no
+    /// query may be routed here for this brick anymore.
+    pub(crate) fn remove_brick(&self, cube: &str, bid: u64) -> bool {
+        let shard = self.shards.shard_of(bid);
+        let name = cube.to_owned();
+        let removed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&removed);
+        self.shards.submit(shard, move |bricks| {
+            if let Some(cube_bricks) = bricks.get_mut(&name) {
+                flag.store(
+                    cube_bricks.remove(&bid).is_some(),
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }
+        });
+        self.shards.submit_and_wait(shard, |_| ());
+        invalidate_brick(&self.vis_cache, &self.agg_cache, &(Arc::from(cube), bid));
+        removed.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Memory accounting across all bricks of all cubes.

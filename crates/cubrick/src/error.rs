@@ -48,6 +48,28 @@ pub enum CubrickError {
         /// path can attribute it (`None` for a sequential shard walk).
         bid: Option<u64>,
     },
+    /// No live replica could answer a read for this brick at the
+    /// requested snapshot: every host was down, still catching up, or
+    /// mid-handoff.
+    NoReplicaAvailable {
+        /// Cube the read targeted.
+        cube: String,
+        /// The brick no replica could serve.
+        bid: u64,
+    },
+    /// A brick handoff (rebalance transfer) could not complete: the
+    /// stream or its ack exhausted the retry budget. The source
+    /// replica keeps the brick.
+    HandoffFailed {
+        /// Cube the brick belongs to.
+        cube: String,
+        /// The brick being moved.
+        bid: u64,
+        /// Source replica.
+        from: u64,
+        /// Destination replica.
+        to: u64,
+    },
     /// A protocol-layer error bubbled up.
     Protocol(aosi::AosiError),
 }
@@ -81,6 +103,19 @@ impl std::fmt::Display for CubrickError {
                 Some(bid) => write!(f, "scan task for cube {cube:?} brick {bid} panicked"),
                 None => write!(f, "a scan task for cube {cube:?} panicked"),
             },
+            CubrickError::NoReplicaAvailable { cube, bid } => write!(
+                f,
+                "no live replica can answer for cube {cube:?} brick {bid} at this snapshot"
+            ),
+            CubrickError::HandoffFailed {
+                cube,
+                bid,
+                from,
+                to,
+            } => write!(
+                f,
+                "handoff of cube {cube:?} brick {bid} from node {from} to node {to} failed"
+            ),
             CubrickError::Protocol(e) => write!(f, "protocol error: {e}"),
         }
     }

@@ -60,6 +60,7 @@ mod brick;
 mod cube;
 mod ddl;
 mod distributed;
+mod elastic;
 mod engine;
 mod error;
 mod ingest;
@@ -73,7 +74,9 @@ pub use agg::AggState;
 pub use brick::{Brick, BrickMemory, DimStorage};
 pub use cube::{Cube, CubeMemory};
 pub use ddl::{CubeSchema, Dimension, Metric, MetricType};
-pub use distributed::{DistributedEngine, DistributedLoadOutcome};
+pub use distributed::{DistributedEngine, DistributedLoadOutcome, ElasticConfig};
+#[doc(hidden)]
+pub use elastic::HandoffBreak;
 pub use engine::{
     Engine, EngineMemory, EngineOpStats, IsolationMode, LoadOutcome, LoadStageTimings, MergePath,
     PurgeStats, ScanConfig,

@@ -112,6 +112,106 @@ impl Engine {
         per_shard.into_iter().flatten().collect()
     }
 
+    /// Extracts **every** run of one brick, in epochs-vector order —
+    /// the payload a rebalance handoff streams to the brick's new
+    /// host. Returns an empty vector when the brick does not exist
+    /// here.
+    pub(crate) fn export_brick(&self, cube: &str, bid: u64) -> Vec<DeltaRun> {
+        let shard = self.shards().shard_of(bid);
+        let name = cube.to_owned();
+        let out = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&out);
+        self.shards().submit(shard, move |bricks| {
+            let Some(brick) = bricks.get(&name).and_then(|m| m.get(&bid)) else {
+                return;
+            };
+            let mut runs = Vec::new();
+            let mut start = 0u64;
+            for entry in brick.epochs().entries() {
+                if entry.is_delete() {
+                    runs.push(DeltaRun::Delete {
+                        epoch: entry.epoch(),
+                    });
+                    continue;
+                }
+                let end = entry.end();
+                let records = (start..end)
+                    .map(|row| {
+                        let row = row as usize;
+                        let coords = (0..brick_num_dims(brick))
+                            .map(|d| brick.dim_value(d, row))
+                            .collect();
+                        let metrics = (0..brick_num_metrics(brick))
+                            .map(|m| metric_value(brick, m, row))
+                            .collect();
+                        ParsedRecord {
+                            bid,
+                            coords,
+                            metrics,
+                        }
+                    })
+                    .collect();
+                runs.push(DeltaRun::Insert {
+                    epoch: entry.epoch(),
+                    records,
+                });
+                start = end;
+            }
+            *sink.lock() = runs;
+        });
+        self.shards().submit_and_wait(shard, |_| ());
+        std::sync::Arc::try_unwrap(out)
+            .map(|m| m.into_inner())
+            .unwrap_or_default()
+    }
+
+    /// Installs handoff runs into one brick, **idempotently by
+    /// epoch**: a run whose `(epoch, kind)` the brick already holds is
+    /// skipped. This is what makes the handoff protocol safe under
+    /// duplicated chunks and under writes that fanned out to the
+    /// pending host while the stream was in flight — each epoch's data
+    /// lands exactly once no matter which path delivered it first.
+    pub(crate) fn install_brick_runs(
+        &self,
+        cube: &crate::cube::Cube,
+        bid: u64,
+        runs: Vec<DeltaRun>,
+    ) {
+        let shard = self.shards().shard_of(bid);
+        let cube_name = cube.name().to_owned();
+        let cube = cube.clone();
+        let storage = self.dim_storage();
+        self.shards().submit(shard, move |bricks| {
+            let brick = bricks
+                .entry(cube.name().to_owned())
+                .or_default()
+                .entry(bid)
+                .or_insert_with(|| crate::brick::Brick::with_storage(cube.schema(), storage));
+            let existing: std::collections::HashSet<(Epoch, bool)> = brick
+                .epochs()
+                .entries()
+                .iter()
+                .map(|e| (e.epoch(), e.is_delete()))
+                .collect();
+            for run in runs {
+                match run {
+                    DeltaRun::Insert { epoch, records } => {
+                        if !existing.contains(&(epoch, false)) {
+                            brick.append(epoch, &records);
+                        }
+                    }
+                    DeltaRun::Delete { epoch } => {
+                        if !existing.contains(&(epoch, true)) {
+                            brick.mark_delete(epoch);
+                        }
+                    }
+                }
+            }
+        });
+        self.shards().submit_and_wait(shard, |_| ());
+        self.invalidate_brick_caches(&cube_name, bid);
+    }
+
     /// Replays exported deltas (recovery). Rounds must be imported in
     /// flush order so that each brick's runs reassemble in their
     /// original relative order.
