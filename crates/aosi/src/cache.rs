@@ -167,6 +167,40 @@ impl<K: Eq + Hash + Clone, T: Eq + Hash + Clone, V: Clone> SnapshotCache<K, T, V
         (built, false)
     }
 
+    /// The cached value for `(partition, vector, snapshot, tag)` if
+    /// one exists, **without** building on a miss. Counts as a normal
+    /// hit/miss and refreshes the slot's LRU position on a hit.
+    ///
+    /// This is the probe a tiered-storage residency manager uses to
+    /// answer a query over an *evicted* partition from a still-warm
+    /// cached value (the retained epochs vector supplies the
+    /// generation key) instead of faulting the partition's data back
+    /// in.
+    pub fn peek(&self, partition: &K, vector: &EpochsVector, snapshot: &Snapshot, tag: T) -> Option<V> {
+        let key = SlotKey::new(vector, snapshot, tag);
+        self.probe(partition, &key)
+    }
+
+    /// How recently any of `partition`'s slots was used, as a
+    /// fraction of the cache's current use clock: `1.0` means "hit by
+    /// the latest probe", values near `0.0` mean long-cold, `None`
+    /// means nothing is cached for the partition. Clock positions
+    /// from different caches are not comparable, but these fractions
+    /// are — the engine's residency manager takes the max across the
+    /// visibility and aggregate caches so cache-warm bricks are
+    /// deprioritized for eviction.
+    pub fn partition_recency(&self, partition: &K) -> Option<f64> {
+        let inner = self.inner.lock();
+        if inner.tick == 0 {
+            return None;
+        }
+        inner
+            .partitions
+            .get(partition)
+            .and_then(|slots| slots.values().map(|slot| slot.last_used).max())
+            .map(|last| last as f64 / inner.tick as f64)
+    }
+
     /// Drops every value cached for `partition`, returning how many
     /// slots were reclaimed. Called by the engine after any mutation
     /// of the partition (append, delete, purge, rollback); the
@@ -396,6 +430,13 @@ impl<K: Eq + Hash + Clone> VisibilityCache<K> {
     /// slots were reclaimed.
     pub fn invalidate(&self, partition: &K) -> usize {
         self.cache.invalidate(partition)
+    }
+
+    /// How recently any of `partition`'s artifacts was used, as a
+    /// fraction of the cache's use clock (see
+    /// [`SnapshotCache::partition_recency`]).
+    pub fn partition_recency(&self, partition: &K) -> Option<f64> {
+        self.cache.partition_recency(partition)
     }
 
     /// Drops everything.
@@ -715,6 +756,41 @@ mod tests {
         assert!(!hit);
         assert_eq!(c, 20);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn peek_probes_without_building() {
+        let cache: SnapshotCache<&'static str, u8, u64> = SnapshotCache::new(64);
+        let v = vector(&[(1, 3)]);
+        let s = Snapshot::committed(1);
+        assert_eq!(cache.peek(&"p", &v, &s, 0), None, "cold probe builds nothing");
+        cache.get_or_build(&"p", &v, &s, 0, || 7);
+        assert_eq!(cache.peek(&"p", &v, &s, 0), Some(7));
+        assert_eq!(cache.peek(&"p", &v, &s, 1), None, "tag is part of the key");
+        // A mutated vector (new generation) must never serve the old
+        // value — the exact property that makes peek safe for evicted
+        // partitions whose retained epochs vector supplies the key.
+        let mut moved = vector(&[(1, 3)]);
+        moved.append(2, 1);
+        assert_eq!(cache.peek(&"p", &moved, &s, 0), None);
+    }
+
+    #[test]
+    fn partition_recency_tracks_the_use_clock() {
+        let cache: SnapshotCache<&'static str, u8, u64> = SnapshotCache::new(64);
+        let v = vector(&[(1, 3)]);
+        let s = Snapshot::committed(1);
+        assert_eq!(cache.partition_recency(&"p"), None, "empty cache");
+        cache.get_or_build(&"p", &v, &s, 0, || 1);
+        cache.get_or_build(&"q", &v, &s, 0, || 2);
+        let p = cache.partition_recency(&"p").unwrap();
+        let q = cache.partition_recency(&"q").unwrap();
+        assert!(q > p, "q touched last: {q} vs {p}");
+        assert!(q <= 1.0);
+        // Re-probing p makes it the warmer partition again.
+        cache.get_or_build(&"p", &v, &s, 0, || 1);
+        assert!(cache.partition_recency(&"p").unwrap() > cache.partition_recency(&"q").unwrap());
+        assert_eq!(cache.partition_recency(&"missing"), None);
     }
 
     #[test]

@@ -81,6 +81,28 @@ impl EpochsVector {
         }
     }
 
+    /// Rebuilds a vector from parts **including its exact mutation
+    /// generation** — the reload half of tiered storage. A spilled
+    /// partition's snapshot stores the generation alongside the
+    /// entries; restoring it verbatim keeps every cache slot keyed
+    /// before the eviction valid (the contents are bit-identical),
+    /// and — because spill-eligible partitions are immutable-cold —
+    /// no mutation can have advanced the counter in between, so the
+    /// value can never alias different contents.
+    ///
+    /// # Panics
+    /// In debug builds, panics under the same validation as
+    /// [`EpochsVector::from_parts`].
+    pub fn from_parts_with_generation(
+        entries: Vec<EpochEntry>,
+        rows: u64,
+        generation: u64,
+    ) -> Self {
+        let mut vector = EpochsVector::from_parts(entries, rows);
+        vector.generation = generation;
+        vector
+    }
+
     /// The mutation generation (see the field docs). Starts at 0 for a
     /// fresh partition and increases on every content change.
     pub fn generation(&self) -> u64 {
@@ -318,6 +340,28 @@ mod tests {
     #[should_panic(expected = "rows must equal")]
     fn from_parts_validates_rows() {
         EpochsVector::from_parts(vec![EpochEntry::insert(1, 3)], 5);
+    }
+
+    #[test]
+    fn from_parts_with_generation_restores_the_counter_exactly() {
+        let mut v = EpochsVector::new();
+        v.append(1, 3);
+        v.mark_delete(2);
+        assert_eq!(v.generation(), 2);
+        let rebuilt = EpochsVector::from_parts_with_generation(
+            v.entries().to_vec(),
+            v.row_count(),
+            v.generation(),
+        );
+        assert_eq!(rebuilt, v);
+        assert_eq!(rebuilt.generation(), v.generation());
+        // Plain from_parts restarts the counter — the reload path must
+        // not use it, or cache keys minted before an eviction would
+        // alias a generation the rebuilt vector re-earns later.
+        assert_eq!(
+            EpochsVector::from_parts(v.entries().to_vec(), v.row_count()).generation(),
+            0
+        );
     }
 
     #[test]

@@ -174,9 +174,13 @@ impl BessVector {
         out
     }
 
-    /// Heap bytes used by the packed words.
+    /// Heap bytes owned by this vector: the packed words plus the
+    /// per-dimension field table. The table is small (8 bytes per
+    /// dimension) but real — eviction budgets that relied on this
+    /// accounting would otherwise undercount every bess brick.
     pub fn heap_bytes(&self) -> usize {
         self.words.capacity() * std::mem::size_of::<u64>()
+            + self.fields.capacity() * std::mem::size_of::<(u32, u32)>()
     }
 
     fn set_bits(&mut self, bit: u64, width: u32, value: u64) {
@@ -339,6 +343,33 @@ mod tests {
     fn get_out_of_range_panics() {
         let bess = BessVector::new(&[4]);
         bess.get(0, 0);
+    }
+
+    #[test]
+    fn heap_bytes_counts_the_field_table_too() {
+        // A rowless 40-dimension vector owns no packed words yet, but
+        // its field table (8 bytes per dimension) is heap all the
+        // same; heap_bytes used to report 0 here, undercounting every
+        // bess brick by 8 B x dims.
+        let empty = BessVector::new(&vec![4u32; 40]);
+        assert!(
+            empty.heap_bytes() >= 40 * std::mem::size_of::<(u32, u32)>(),
+            "field table uncounted: {}",
+            empty.heap_bytes()
+        );
+
+        // With rows, both parts must be present: at least the packed
+        // bits plus the table.
+        let mut filled = BessVector::new(&[8, 256]);
+        for i in 0..1000u32 {
+            filled.push(&[i % 8, i % 256]);
+        }
+        let min_words = (filled.bits_per_row() as usize * 1000).div_ceil(64);
+        assert!(
+            filled.heap_bytes() >= min_words * 8 + 2 * std::mem::size_of::<(u32, u32)>(),
+            "words or table uncounted: {}",
+            filled.heap_bytes()
+        );
     }
 
     #[test]

@@ -80,6 +80,84 @@ impl Brick {
         }
     }
 
+    /// The dimension layout this brick uses.
+    pub fn storage_kind(&self) -> DimStorage {
+        match &self.dims {
+            DimStore::Plain(_) => DimStorage::Plain,
+            DimStore::Bess(_) => DimStorage::Bess,
+        }
+    }
+
+    /// Materializes dimension `dim` as an owned coordinate column,
+    /// for either layout — what the tier spill codec writes. Cold
+    /// path: scans use [`Brick::dim_slice`] / [`Brick::gather_dim`].
+    pub fn dim_coords(&self, dim: usize) -> Vec<u32> {
+        match &self.dims {
+            DimStore::Plain(dims) => dims[dim].clone(),
+            DimStore::Bess(bess) => {
+                let rows: Vec<u32> = (0..self.row_count() as u32).collect();
+                let mut out = Vec::new();
+                bess.gather_dim(dim, &rows, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Reassembles a brick from a spilled snapshot: per-dimension
+    /// coordinate columns, typed metric columns, and the epochs
+    /// vector carrying its **original generation** (see
+    /// [`EpochsVector::from_parts_with_generation`]) so cache slots
+    /// keyed before the eviction stay valid. The result is
+    /// bit-identical to the spilled brick under every scan path: a
+    /// plain layout adopts the columns directly, a bess layout
+    /// repacks the same coordinates deterministically.
+    ///
+    /// # Panics
+    /// Panics when the parts disagree with each other or with
+    /// `schema` — a snapshot that decoded to mismatched lengths must
+    /// never be installed.
+    pub fn restore(
+        schema: &CubeSchema,
+        storage: DimStorage,
+        dim_columns: Vec<Vec<u32>>,
+        metrics: Vec<Column>,
+        epochs: EpochsVector,
+    ) -> Self {
+        let rows = epochs.row_count();
+        assert_eq!(
+            dim_columns.len(),
+            schema.dimensions.len(),
+            "dimension count mismatch"
+        );
+        assert_eq!(metrics.len(), schema.metrics.len(), "metric count mismatch");
+        for d in &dim_columns {
+            assert_eq!(d.len() as u64, rows, "dimension column length mismatch");
+        }
+        for m in &metrics {
+            assert_eq!(m.len() as u64, rows, "metric column length mismatch");
+        }
+        let dims = match storage {
+            DimStorage::Plain => DimStore::Plain(dim_columns),
+            DimStorage::Bess => {
+                let cards: Vec<u32> = schema.dimensions.iter().map(|d| d.cardinality).collect();
+                let mut bess = BessVector::new(&cards);
+                let mut coords = vec![0u32; dim_columns.len()];
+                for row in 0..rows as usize {
+                    for (d, col) in dim_columns.iter().enumerate() {
+                        coords[d] = col[row];
+                    }
+                    bess.push(&coords);
+                }
+                DimStore::Bess(bess)
+            }
+        };
+        Brick {
+            dims,
+            metrics,
+            epochs,
+        }
+    }
+
     /// Appends parsed records on behalf of transaction `epoch`.
     ///
     /// Applied by the owning shard thread only, so the append is
@@ -276,13 +354,20 @@ impl Brick {
         self.metrics[metric] = column;
     }
 
-    /// Memory accounting for the overhead experiments.
+    /// Memory accounting for the overhead experiments and the
+    /// eviction budget. Counts every heap allocation the brick owns:
+    /// for plain storage that includes the outer spine (one `Vec`
+    /// header per dimension lives on the heap too), for bess the
+    /// packed words plus the field table.
     pub fn memory(&self) -> BrickMemory {
         let dim_bytes: usize = match &self.dims {
-            DimStore::Plain(dims) => dims
-                .iter()
-                .map(|d| d.capacity() * std::mem::size_of::<u32>())
-                .sum(),
+            DimStore::Plain(dims) => {
+                dims.capacity() * std::mem::size_of::<Vec<u32>>()
+                    + dims
+                        .iter()
+                        .map(|d| d.capacity() * std::mem::size_of::<u32>())
+                        .sum::<usize>()
+            }
             DimStore::Bess(bess) => bess.heap_bytes(),
         };
         let metric_bytes: usize = self.metrics.iter().map(Column::heap_bytes).sum();
@@ -377,6 +462,124 @@ mod tests {
         assert!(m.data_bytes >= 2000);
         // One epochs entry regardless of row count.
         assert!(m.aosi_bytes >= 16 && m.aosi_bytes < 1024);
+    }
+
+    /// Audit (ISSUE 10 satellite): the eviction budget is driven by
+    /// `memory()`, so it must agree with an *independent* enumeration
+    /// of every allocation the brick owns — catching omissions like
+    /// the plain-layout spine or the bess field table, which the
+    /// composed accessors used to drop.
+    #[test]
+    fn memory_matches_an_independent_allocation_walk() {
+        let schema = CubeSchema::new(
+            "wide",
+            (0..6)
+                .map(|i| Dimension::int(&format!("d{i}"), 8, 2))
+                .collect(),
+            vec![Metric::int("m"), Metric::float("f")],
+        )
+        .unwrap();
+        let mut b = Brick::with_storage(&schema, DimStorage::Plain);
+        let recs: Vec<ParsedRecord> = (0..300)
+            .map(|i| ParsedRecord {
+                bid: 0,
+                coords: vec![i % 8; 6],
+                metrics: vec![Value::I64(i as i64), Value::F64(0.5)],
+            })
+            .collect();
+        b.append(1, &recs);
+        b.mark_delete(2);
+        b.append(3, &recs[..50]);
+
+        // Walk the actual structures allocation by allocation.
+        let DimStore::Plain(dims) = &b.dims else {
+            unreachable!()
+        };
+        let mut expected_data = dims.capacity() * std::mem::size_of::<Vec<u32>>();
+        for d in dims {
+            expected_data += d.capacity() * std::mem::size_of::<u32>();
+        }
+        for col in &b.metrics {
+            expected_data += match col {
+                Column::I64(v) => v.capacity() * std::mem::size_of::<i64>(),
+                Column::F64(v) => v.capacity() * std::mem::size_of::<f64>(),
+                Column::Str(v) => v.capacity() * std::mem::size_of::<u32>(),
+            };
+        }
+        let m = b.memory();
+        assert_eq!(m.data_bytes, expected_data);
+        assert!(m.aosi_bytes >= b.epochs.entries().len() * 16);
+    }
+
+    #[test]
+    fn restore_roundtrips_both_layouts_bit_identically() {
+        let schema = schema();
+        let recs: Vec<ParsedRecord> = (0..200)
+            .map(|i| rec(i % 8, i as i64, i as f64 / 2.0))
+            .collect();
+        for storage in [DimStorage::Plain, DimStorage::Bess] {
+            let mut original = Brick::with_storage(&schema, storage);
+            original.append(1, &recs[..120]);
+            original.mark_delete(2);
+            original.append(3, &recs[120..]);
+
+            let dims: Vec<Vec<u32>> = (0..original.num_dims())
+                .map(|d| original.dim_coords(d))
+                .collect();
+            let metrics: Vec<Column> = (0..original.num_metrics())
+                .map(|m| original.metric_column(m).clone())
+                .collect();
+            let epochs = EpochsVector::from_parts_with_generation(
+                original.epochs().entries().to_vec(),
+                original.row_count(),
+                original.epochs().generation(),
+            );
+            let restored = Brick::restore(&schema, storage, dims, metrics, epochs);
+
+            assert_eq!(restored.storage_kind(), storage);
+            assert_eq!(restored.row_count(), original.row_count());
+            assert_eq!(
+                restored.epochs().generation(),
+                original.epochs().generation(),
+                "reload must carry the cache-invalidation token verbatim"
+            );
+            for row in 0..original.row_count() as usize {
+                assert_eq!(restored.dim_value(0, row), original.dim_value(0, row));
+                assert_eq!(
+                    restored.metric_column(0).get_i64(row),
+                    original.metric_column(0).get_i64(row)
+                );
+                assert_eq!(
+                    restored.metric_column(1).get_f64(row),
+                    original.metric_column(1).get_f64(row)
+                );
+            }
+            for reader in 1..=4 {
+                let snap = Snapshot::committed(reader);
+                assert_eq!(
+                    restored.visibility(&snap).to_bit_string(),
+                    original.visibility(&snap).to_bit_string(),
+                    "reader {reader}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plain_memory_includes_the_dimension_spine() {
+        // A freshly materialized 6-dimension plain brick owns six Vec
+        // headers on the heap before any row arrives; this read 0
+        // before the audit fix.
+        let schema = CubeSchema::new(
+            "wide",
+            (0..6)
+                .map(|i| Dimension::int(&format!("d{i}"), 8, 2))
+                .collect(),
+            vec![Metric::int("m")],
+        )
+        .unwrap();
+        let b = Brick::with_storage(&schema, DimStorage::Plain);
+        assert!(b.memory().data_bytes >= 6 * std::mem::size_of::<Vec<u32>>());
     }
 
     #[test]

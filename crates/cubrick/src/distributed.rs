@@ -448,7 +448,14 @@ impl DistributedEngine {
                 let engine = self.engine(node);
                 let cube = cube.clone();
                 let epoch = txn.epoch;
-                scope.spawn(move || engine.flush_batch(&cube, epoch, node_batch));
+                scope.spawn(move || {
+                    // Only a failed tier fault-in can error, and the
+                    // distributed nodes do not run tiered storage; if
+                    // that ever changes, crashing beats losing rows.
+                    engine
+                        .flush_batch(&cube, epoch, node_batch)
+                        .expect("distributed flush failed");
+                });
             }
         });
         let flush = flush_started.elapsed();
@@ -892,7 +899,9 @@ mod tests {
             &[row("us", 0, 7)],
         );
         let node = d.primary(*batch.by_bid.keys().next().unwrap());
-        d.engine(node).flush_batch(&cube, txn.epoch, batch);
+        d.engine(node)
+            .flush_batch(&cube, txn.epoch, batch)
+            .unwrap();
         assert_eq!(total_likes(&d, 1, IsolationMode::Snapshot), 0.0);
         assert_eq!(total_likes(&d, 1, IsolationMode::ReadUncommitted), 7.0);
         d.protocol().commit(&txn).unwrap();

@@ -116,6 +116,21 @@ impl DistributedEngine {
             drop(dir);
             self.engine(from).export_brick(cube_name, bid)
         };
+        // A failed capture (the export task panicked, or a spilled
+        // brick could not be reloaded) aborts the handoff before
+        // anything streams: unsubscribe the destination and fail —
+        // treating it as an empty brick would stream nothing, mark
+        // the copy readable, and retire the source.
+        let runs = match runs {
+            Ok(runs) => runs,
+            Err(_) => {
+                let mut dir = self.directory.write();
+                if let Some(entry) = dir.get_mut(&key) {
+                    entry.pending.retain(|&n| n != to);
+                }
+                return fail(self);
+            }
+        };
 
         // 2. Stream the capture in chunks over the simulated wire.
         let sabotage = self.armed_break();
@@ -171,7 +186,16 @@ impl DistributedEngine {
                 install.remove(pos);
             }
         }
-        self.engine(to).install_brick_runs(&cube, bid, install);
+        if self.engine(to).install_brick_runs(&cube, bid, install).is_err() {
+            // The destination could not fault its spilled copy back
+            // in: nothing was installed, so unsubscribe and fail —
+            // the source keeps the brick.
+            let mut dir = self.directory.write();
+            if let Some(entry) = dir.get_mut(&key) {
+                entry.pending.retain(|&n| n != to);
+            }
+            return fail(self);
+        }
 
         // Flip: pending → readable.
         {

@@ -41,6 +41,7 @@ use crate::query::{
     AggQueryShape, CachedAgg, PartialResult, Query, QueryResult, ResolvedQuery, ScanKernel,
 };
 use crate::shard::ShardPool;
+use crate::tier::{BrickStore, TierEnforcement, TierStats, TieredStore};
 
 /// Partition key the engine caches visibility artifacts under. Brick
 /// ids are only unique within a cube, so the cube name is part of the
@@ -269,6 +270,8 @@ pub struct Engine {
     agg_cache: Option<Arc<AggCache>>,
     /// Bids whose scan tasks panic on purpose (test injection only).
     panic_bids: RwLock<HashSet<u64>>,
+    /// Cold-tier residency manager, when tiered storage is enabled.
+    tier: Option<Arc<TieredStore>>,
     ops: OpCounters,
     metrics: EngineMetrics,
 }
@@ -293,9 +296,31 @@ impl Engine {
             vis_cache: Some(Arc::new(VisibilityCache::new(scan_config.cache_capacity))),
             agg_cache: Some(Arc::new(AggCache::new(scan_config.agg_cache_capacity))),
             panic_bids: RwLock::new(HashSet::new()),
+            tier: None,
             ops: OpCounters::default(),
             metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Enables tiered storage: cold bricks spill into `store` whenever
+    /// resident brick bytes exceed `budget_bytes`, and fault back in
+    /// transparently when a scan or mutation touches them. Enforcement
+    /// runs after every load/commit and on demand via
+    /// [`Engine::enforce_tier_budget`].
+    pub fn with_tiered_storage(mut self, store: Box<dyn BrickStore>, budget_bytes: usize) -> Self {
+        self.tier = Some(Arc::new(TieredStore::new(store, budget_bytes)));
+        self
+    }
+
+    /// Cold-tier statistics, when tiered storage is enabled.
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.tier.as_ref().map(|tier| tier.stats())
+    }
+
+    /// The tier manager (crate-internal: persistence consults the
+    /// spilled registry).
+    pub(crate) fn tier(&self) -> Option<&Arc<TieredStore>> {
+        self.tier.as_ref()
     }
 
     /// Reconfigures how scans run (parallel threshold, cache
@@ -367,6 +392,189 @@ impl Engine {
         self.panic_bids.write().clear();
     }
 
+    /// Whether panic injection targets `bid` (the export path shares
+    /// the scan-panic injection set).
+    pub(crate) fn export_panic_injected(&self, bid: u64) -> bool {
+        self.panic_bids.read().contains(&bid)
+    }
+
+    /// Faults one spilled brick back into its shard before a mutation
+    /// or export touches it. Appending into a fresh empty brick while
+    /// a spill snapshot exists would shadow the spilled rows, so every
+    /// write path that targets a brick by id goes through here first.
+    /// A no-op when tiering is off or the brick is resident.
+    pub(crate) fn fault_in_brick(&self, cube: &str, bid: u64) -> Result<(), CubrickError> {
+        let Some(tier) = &self.tier else {
+            return Ok(());
+        };
+        if !tier.is_spilled(cube, bid) {
+            return Ok(());
+        }
+        let cube = self.cube(cube)?;
+        let tier = Arc::clone(tier);
+        let shard = self.shards.shard_of(bid);
+        let task_cube = cube.clone();
+        self.shards
+            .submit_and_wait(shard, move |bricks| {
+                tier.reload_into(&task_cube, bid, bricks).map(|_| ())
+            })
+            .map_err(|reason| CubrickError::TierReloadFailed {
+                cube: cube.name().to_owned(),
+                bid,
+                reason,
+            })
+    }
+
+    /// Faults every spilled brick of `cube` back in (cube-wide
+    /// mutations: partition deletes walk all bricks of the cube).
+    pub(crate) fn fault_in_cube(&self, cube: &str) -> Result<(), CubrickError> {
+        let Some(tier) = &self.tier else {
+            return Ok(());
+        };
+        for bid in tier.spilled_bids(cube) {
+            self.fault_in_brick(cube, bid)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one eviction sweep: while resident brick bytes exceed the
+    /// tier budget, spill the coldest *clean* bricks — newest epoch at
+    /// or below the LSE, which makes them immutable and fully durable
+    /// in the WAL (see [`crate::tier`]) — until the budget holds or
+    /// candidates run out. Ranking takes the hottest signal across the
+    /// tier's own scan clock and both caches' recency clocks, so a
+    /// brick still answering queries from a warm cache keeps its
+    /// residency longer than one nobody asks about.
+    ///
+    /// Runs automatically after loads, commits, and LSE advances; a
+    /// no-op without tiered storage. A failed spill leaves its brick
+    /// resident and is counted, never silent.
+    pub fn enforce_tier_budget(&self) -> TierEnforcement {
+        let Some(tier) = &self.tier else {
+            return TierEnforcement::default();
+        };
+        let lse = self.manager.lse();
+        let per_shard: Vec<Vec<(String, u64, usize, Epoch)>> = self.shards.map_shards(|_| {
+            Box::new(|bricks: &mut crate::shard::ShardBricks| {
+                let mut out = Vec::new();
+                for (cube_name, cube_bricks) in bricks.iter() {
+                    for (&bid, brick) in cube_bricks {
+                        let m = brick.memory();
+                        let newest = brick
+                            .epochs()
+                            .entries()
+                            .last()
+                            .map(|e| e.epoch())
+                            .unwrap_or(0);
+                        out.push((cube_name.clone(), bid, m.data_bytes + m.aosi_bytes, newest));
+                    }
+                }
+                out
+            })
+        });
+        let resident: Vec<(String, u64, usize, Epoch)> =
+            per_shard.into_iter().flatten().collect();
+        let resident_bytes: u64 = resident.iter().map(|r| r.2 as u64).sum();
+        let mut outcome = TierEnforcement {
+            resident_bytes_before: resident_bytes,
+            resident_bytes_after: resident_bytes,
+            ..TierEnforcement::default()
+        };
+        // Rank clean-cold candidates coldest-first; empty bricks
+        // (newest epoch 0) are never worth a file.
+        let mut candidates: Vec<(f64, String, u64, usize)> = resident
+            .into_iter()
+            .filter(|&(_, _, _, newest)| newest != 0 && newest <= lse)
+            .map(|(cube, bid, bytes, _)| {
+                let key: BrickKey = (Arc::from(cube.as_str()), bid);
+                let mut recency = tier.touch_recency(&cube, bid).unwrap_or(0.0);
+                if let Some(cache) = &self.vis_cache {
+                    recency = recency.max(cache.partition_recency(&key).unwrap_or(0.0));
+                }
+                if let Some(cache) = &self.agg_cache {
+                    recency = recency.max(cache.partition_recency(&key).unwrap_or(0.0));
+                }
+                (recency, cube, bid, bytes)
+            })
+            .collect();
+        outcome.eligible_bytes = candidates.iter().map(|c| c.3 as u64).sum();
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        for (_, cube_name, bid, _) in candidates {
+            if outcome.resident_bytes_after <= tier.budget_bytes() as u64 {
+                break;
+            }
+            match self.spill_brick(tier, &cube_name, bid, lse) {
+                Ok(Some(freed)) => {
+                    outcome.evicted += 1;
+                    outcome.resident_bytes_after =
+                        outcome.resident_bytes_after.saturating_sub(freed as u64);
+                }
+                Ok(None) => {}
+                Err(()) => outcome.failed += 1,
+            }
+        }
+        tier.observe_resident_bytes(outcome.resident_bytes_after);
+        outcome
+    }
+
+    /// Spills one brick on its owning shard thread. Eligibility is
+    /// re-checked there — a write may have landed between the sweep's
+    /// enumeration and this task running. Returns the bytes freed
+    /// (`Ok(None)` when the brick vanished or turned ineligible,
+    /// `Err` when the durable write failed and the brick stayed
+    /// resident). Cached artifacts are deliberately *not*
+    /// invalidated: they stay valid across the evict/reload cycle and
+    /// can answer for the brick while it is cold.
+    fn spill_brick(
+        &self,
+        tier: &Arc<TieredStore>,
+        cube_name: &str,
+        bid: u64,
+        lse: Epoch,
+    ) -> Result<Option<usize>, ()> {
+        let Ok(cube) = self.cube(cube_name) else {
+            return Ok(None);
+        };
+        let shard = self.shards.shard_of(bid);
+        let tier = Arc::clone(tier);
+        self.shards.submit_and_wait(shard, move |bricks| {
+            let Some(cube_bricks) = bricks.get_mut(cube.name()) else {
+                return Ok(None);
+            };
+            let Some(brick) = cube_bricks.get(&bid) else {
+                return Ok(None);
+            };
+            let newest = brick
+                .epochs()
+                .entries()
+                .last()
+                .map(|e| e.epoch())
+                .unwrap_or(0);
+            if newest == 0 || newest > lse {
+                return Ok(None);
+            }
+            match tier.store().spill(&cube, bid, brick) {
+                Ok(file_bytes) => {
+                    let epochs = brick.epochs().clone();
+                    let m = brick.memory();
+                    let freed = m.data_bytes + m.aosi_bytes;
+                    cube_bricks.remove(&bid);
+                    tier.note_spilled(cube.name(), bid, epochs, file_bytes, freed);
+                    Ok(Some(freed))
+                }
+                Err(_) => {
+                    tier.note_spill_failure();
+                    Err(())
+                }
+            }
+        })
+    }
+
     /// Cumulative operation counters.
     pub fn op_stats(&self) -> EngineOpStats {
         EngineOpStats {
@@ -421,6 +629,9 @@ impl Engine {
         }
         if let Some(cache) = &self.agg_cache {
             cache.report_as(report, &format!("{prefix}engine.agg_cache"));
+        }
+        if let Some(tier) = &self.tier {
+            tier.report_as(report, &format!("{prefix}storage.tier"));
         }
         self.shards.report_as(report, &format!("{prefix}shards"));
     }
@@ -505,6 +716,18 @@ impl Engine {
                 &(Arc::clone(&cube_key), bid),
             );
         }
+        // Evicted bricks of the dropped cube: forget them and remove
+        // their snapshots.
+        if let Some(tier) = &self.tier {
+            for bid in tier.spilled_bids(&name) {
+                tier.forget(&name, bid);
+                invalidate_brick(
+                    &self.vis_cache,
+                    &self.agg_cache,
+                    &(Arc::clone(&cube_key), bid),
+                );
+            }
+        }
         Ok(())
     }
 
@@ -552,12 +775,22 @@ impl Engine {
         let (accepted, rejected, bricks_touched) =
             (batch.accepted, batch.rejected, batch.bricks_touched());
 
-        // Flush: enqueue per-brick appends, then barrier.
+        // Flush: enqueue per-brick appends, then barrier. The only
+        // failure is a spilled brick that cannot be faulted back in,
+        // detected before any row lands — abort the implicit
+        // transaction so it cannot pin the LCE forever.
         let flush_started = Instant::now();
-        self.flush_batch(&cube, txn.epoch(), batch);
+        if let Err(e) = self.flush_batch(&cube, txn.epoch(), batch) {
+            let _ = self.manager.rollback(&txn);
+            self.manager.clear_rolled_back(&[txn.epoch()]);
+            return Err(e);
+        }
         let flush = flush_started.elapsed();
 
         self.manager.commit(&txn)?;
+        if self.tier.is_some() {
+            self.enforce_tier_budget();
+        }
         if let Some(index) = &self.rollback_index {
             index.forget(txn.epoch());
         }
@@ -581,7 +814,23 @@ impl Engine {
     /// Enqueues a parsed batch under `epoch` and waits for the shard
     /// threads to apply it. Used by `load`, explicit transactions,
     /// and the distributed engine's flush step.
-    pub(crate) fn flush_batch(&self, cube: &Cube, epoch: Epoch, batch: ParsedBatch) {
+    ///
+    /// Spilled target bricks are faulted back in *before* any append
+    /// is submitted: appending into a fresh empty brick while a spill
+    /// snapshot exists would shadow the spilled rows. Failing the
+    /// whole batch before any row lands keeps the error path simple
+    /// for callers.
+    pub(crate) fn flush_batch(
+        &self,
+        cube: &Cube,
+        epoch: Epoch,
+        batch: ParsedBatch,
+    ) -> Result<(), CubrickError> {
+        if self.tier.is_some() {
+            for &bid in batch.by_bid.keys() {
+                self.fault_in_brick(cube.name(), bid)?;
+            }
+        }
         self.ops.flushes.inc();
         let cube_key: Arc<str> = Arc::from(cube.name());
         let mut touched: Vec<usize> = Vec::new();
@@ -615,6 +864,7 @@ impl Engine {
         for shard in touched {
             self.shards.submit_and_wait(shard, |_| ());
         }
+        Ok(())
     }
 
     /// Begins an explicit RW transaction.
@@ -633,7 +883,7 @@ impl Engine {
         let cube = self.cube(cube)?;
         let batch = parse_rows(cube.schema(), cube.layout(), cube.dictionaries(), rows);
         let (accepted, rejected) = (batch.accepted, batch.rejected);
-        self.flush_batch(&cube, txn.epoch(), batch);
+        self.flush_batch(&cube, txn.epoch(), batch)?;
         Ok((accepted, rejected))
     }
 
@@ -642,6 +892,9 @@ impl Engine {
         self.manager.commit(txn)?;
         if let Some(index) = &self.rollback_index {
             index.forget(txn.epoch());
+        }
+        if self.tier.is_some() {
+            self.enforce_tier_budget();
         }
         Ok(())
     }
@@ -899,7 +1152,7 @@ impl Engine {
         let resolved = ResolvedQuery::resolve(&cube, query)?;
         let cube_key: Arc<str> = Arc::from(cube.name());
         let shape = Arc::new(AggQueryShape::of(&resolved, self.scan_config.kernel));
-        let per_shard_bids: Vec<Vec<u64>> = self.shards.map_shards(|_| {
+        let mut per_shard_bids: Vec<Vec<u64>> = self.shards.map_shards(|_| {
             let name = cube.name().to_owned();
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
                 bricks
@@ -912,6 +1165,21 @@ impl Engine {
                     .unwrap_or_default()
             })
         });
+        if let Some(tier) = &self.tier {
+            let mut resort = false;
+            for bid in tier.spilled_bids(cube.name()) {
+                let shard = self.shards.shard_of(bid);
+                if !per_shard_bids[shard].contains(&bid) {
+                    per_shard_bids[shard].push(bid);
+                    resort = true;
+                }
+            }
+            if resort {
+                for bids in &mut per_shard_bids {
+                    bids.sort_unstable();
+                }
+            }
+        }
         let mut out = Vec::new();
         for (shard, bids) in per_shard_bids.into_iter().enumerate() {
             let targets: Vec<u64> = bids
@@ -929,16 +1197,31 @@ impl Engine {
             let cube_key = Arc::clone(&cube_key);
             let shape = Arc::clone(&shape);
             let kernel = self.scan_config.kernel;
+            let tier = self.tier.clone();
             let handle = self.shards.submit_handle(shard, move |bricks| {
                 let mut partials = Vec::new();
-                let Some(cube_bricks) = bricks.get(task_cube.name()) else {
-                    return partials;
-                };
                 for &bid in &targets {
-                    let Some(brick) = cube_bricks.get(&bid) else {
+                    let key: BrickKey = (Arc::clone(&cube_key), bid);
+                    match tier_prepare_brick(
+                        tier.as_ref(),
+                        &task_cube,
+                        bid,
+                        &key,
+                        Some(&snapshot),
+                        agg_cache.as_deref(),
+                        &shape,
+                        bricks,
+                    ) {
+                        Ok(TierPrepared::Resident) | Ok(TierPrepared::Reloaded) => {}
+                        Ok(TierPrepared::Served(served)) => {
+                            partials.push(served);
+                            continue;
+                        }
+                        Err(reason) => return Err((bid, reason)),
+                    }
+                    let Some(brick) = bricks.get(task_cube.name()).and_then(|m| m.get(&bid)) else {
                         continue;
                     };
-                    let key: BrickKey = (Arc::clone(&cube_key), bid);
                     partials.push(scan_one_brick(
                         brick,
                         &resolved,
@@ -950,10 +1233,17 @@ impl Engine {
                         kernel,
                     ));
                 }
-                partials
+                Ok(partials)
             });
             match handle.join() {
-                Ok(partials) => out.extend(partials),
+                Ok(Ok(partials)) => out.extend(partials),
+                Ok(Err((bid, reason))) => {
+                    return Err(CubrickError::TierReloadFailed {
+                        cube: cube.name().to_owned(),
+                        bid,
+                        reason,
+                    });
+                }
                 Err(_) => {
                     return Err(CubrickError::ScanTaskPanicked {
                         cube: cube.name().to_owned(),
@@ -1084,7 +1374,7 @@ impl Engine {
     ) -> Result<PartialResult, CubrickError> {
         let shape = Arc::new(AggQueryShape::of(resolved, config.kernel));
         let cube_key: Arc<str> = Arc::from(cube.name());
-        let per_shard_bids: Vec<Vec<u64>> = self.shards.map_shards(|_| {
+        let mut per_shard_bids: Vec<Vec<u64>> = self.shards.map_shards(|_| {
             let name = cube.name().to_owned();
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
                 bricks
@@ -1097,6 +1387,24 @@ impl Engine {
                     .unwrap_or_default()
             })
         });
+        // Evicted bricks are still part of the cube: union them into
+        // the work list so the scan tasks fault them in (or serve them
+        // from a warm aggregate partial) behind the scan gate.
+        if let Some(tier) = &self.tier {
+            let mut resort = false;
+            for bid in tier.spilled_bids(cube.name()) {
+                let shard = self.shards.shard_of(bid);
+                if !per_shard_bids[shard].contains(&bid) {
+                    per_shard_bids[shard].push(bid);
+                    resort = true;
+                }
+            }
+            if resort {
+                for bids in &mut per_shard_bids {
+                    bids.sort_unstable();
+                }
+            }
+        }
         let mut pruned = 0u64;
         let mut per_shard_targets: Vec<Vec<u64>> = Vec::with_capacity(per_shard_bids.len());
         for bids in per_shard_bids {
@@ -1157,19 +1465,36 @@ impl Engine {
                         .filter(|b| set.contains(b))
                         .collect()
                 };
+                let tier = self.tier.clone();
                 let handle = self.shards.submit_handle(shard, move |bricks| {
                     let mut partial = PartialResult::default();
                     let mut task_nanos = Vec::new();
-                    let Some(cube_bricks) = bricks.get(task_cube.name()) else {
-                        return Ok((partial, task_nanos));
-                    };
                     for &bid in &targets {
-                        let Some(brick) = cube_bricks.get(&bid) else {
+                        let key: BrickKey = (Arc::clone(&cube_key), bid);
+                        match tier_prepare_brick(
+                            tier.as_ref(),
+                            &task_cube,
+                            bid,
+                            &key,
+                            snapshot.as_ref(),
+                            agg_cache.as_deref(),
+                            &shape,
+                            bricks,
+                        ) {
+                            Ok(TierPrepared::Resident) => {}
+                            Ok(TierPrepared::Reloaded) => partial.stats.tier_reloads += 1,
+                            Ok(TierPrepared::Served(served)) => {
+                                partial.merge(served);
+                                continue;
+                            }
+                            Err(reason) => return Err((bid, Some(reason))),
+                        }
+                        let Some(brick) = bricks.get(task_cube.name()).and_then(|m| m.get(&bid))
+                        else {
                             // Dropped between enumeration and scan
                             // (DDL): nothing to see.
                             continue;
                         };
-                        let key: BrickKey = (Arc::clone(&cube_key), bid);
                         let started = Instant::now();
                         let scanned =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -1187,7 +1512,7 @@ impl Engine {
                                     kernel,
                                 )
                             }))
-                            .map_err(|_| bid)?;
+                            .map_err(|_| (bid, None))?;
                         task_nanos.push(started.elapsed().as_nanos() as u64);
                         partial.merge(scanned);
                     }
@@ -1195,8 +1520,9 @@ impl Engine {
                 });
                 handles.push(handle);
             }
-            // Join in shard order: a panicking brick fails the whole
-            // query with a typed error — never a partial result.
+            // Join in shard order: a panicking brick (or a failed
+            // tier reload) fails the whole query with a typed error —
+            // never a partial result.
             for handle in handles {
                 match handle.join() {
                     Ok(Ok((partial, nanos))) => {
@@ -1208,10 +1534,17 @@ impl Engine {
                             observe(&merged);
                         }
                     }
-                    Ok(Err(bid)) => {
+                    Ok(Err((bid, None))) => {
                         return Err(CubrickError::ScanTaskPanicked {
                             cube: cube.name().to_owned(),
                             bid: Some(bid),
+                        });
+                    }
+                    Ok(Err((bid, Some(reason)))) => {
+                        return Err(CubrickError::TierReloadFailed {
+                            cube: cube.name().to_owned(),
+                            bid,
+                            reason,
                         });
                     }
                     Err(_) => {
@@ -1241,20 +1574,35 @@ impl Engine {
                     let shape = Arc::clone(&shape);
                     let kernel = config.kernel;
                     let panic_injected = self.panic_bids.read().contains(&bid);
+                    let tier = self.tier.clone();
                     let handle =
                         self.shards
                             .submit_handle(self.shards.shard_of(bid), move |bricks| {
                                 if panic_injected {
                                     panic!("injected scan panic for brick {bid}");
                                 }
+                                let reloaded = match tier_prepare_brick(
+                                    tier.as_ref(),
+                                    &cube,
+                                    bid,
+                                    &key,
+                                    snapshot.as_ref(),
+                                    agg_cache.as_deref(),
+                                    &shape,
+                                    bricks,
+                                )? {
+                                    TierPrepared::Served(served) => return Ok((served, 0u64)),
+                                    TierPrepared::Resident => false,
+                                    TierPrepared::Reloaded => true,
+                                };
                                 let Some(brick) = bricks.get(cube.name()).and_then(|m| m.get(&bid))
                                 else {
                                     // Dropped between enumeration and
                                     // scan (DDL): nothing to see.
-                                    return (PartialResult::default(), 0u64);
+                                    return Ok((PartialResult::default(), 0u64));
                                 };
                                 let started = Instant::now();
-                                let partial = scan_one_brick(
+                                let mut partial = scan_one_brick(
                                     brick,
                                     &resolved,
                                     snapshot.as_ref(),
@@ -1264,21 +1612,32 @@ impl Engine {
                                     &shape,
                                     kernel,
                                 );
-                                (partial, started.elapsed().as_nanos() as u64)
+                                if reloaded {
+                                    partial.stats.tier_reloads = 1;
+                                }
+                                Ok((partial, started.elapsed().as_nanos() as u64))
                             });
                     handles.push((bid, handle));
                 }
             }
-            // Join in submission order: a panicking task fails the
-            // whole query with a typed error — never a partial result.
+            // Join in submission order: a panicking task (or failed
+            // tier reload) fails the whole query with a typed error —
+            // never a partial result.
             for (bid, handle) in handles {
                 match handle.join() {
-                    Ok((partial, task_nanos)) => {
+                    Ok(Ok((partial, task_nanos))) => {
                         self.metrics.scan_task_nanos.record(task_nanos);
                         merged.merge(partial);
                         if let Some(observe) = progress.as_mut() {
                             observe(&merged);
                         }
+                    }
+                    Ok(Err(reason)) => {
+                        return Err(CubrickError::TierReloadFailed {
+                            cube: cube.name().to_owned(),
+                            bid,
+                            reason,
+                        });
                     }
                     Err(_) => {
                         return Err(CubrickError::ScanTaskPanicked {
@@ -1318,20 +1677,37 @@ impl Engine {
                         .filter(|b| set.contains(b))
                         .collect()
                 };
+                let tier = self.tier.clone();
                 let handle = self.shards.submit_handle(shard, move |bricks| {
                     let mut partial = PartialResult::default();
                     let mut task_nanos = Vec::new();
-                    let Some(cube_bricks) = bricks.get(task_cube.name()) else {
-                        return (partial, task_nanos);
-                    };
                     for &bid in &targets {
                         if panic_injected.contains(&bid) {
                             panic!("injected scan panic for brick {bid}");
                         }
-                        let Some(brick) = cube_bricks.get(&bid) else {
+                        let key: BrickKey = (Arc::clone(&cube_key), bid);
+                        match tier_prepare_brick(
+                            tier.as_ref(),
+                            &task_cube,
+                            bid,
+                            &key,
+                            snapshot.as_ref(),
+                            agg_cache.as_deref(),
+                            &shape,
+                            bricks,
+                        ) {
+                            Ok(TierPrepared::Resident) => {}
+                            Ok(TierPrepared::Reloaded) => partial.stats.tier_reloads += 1,
+                            Ok(TierPrepared::Served(served)) => {
+                                partial.merge(served);
+                                continue;
+                            }
+                            Err(reason) => return Err((bid, reason)),
+                        }
+                        let Some(brick) = bricks.get(task_cube.name()).and_then(|m| m.get(&bid))
+                        else {
                             continue;
                         };
-                        let key: BrickKey = (Arc::clone(&cube_key), bid);
                         let started = Instant::now();
                         let scanned = scan_one_brick(
                             brick,
@@ -1346,10 +1722,10 @@ impl Engine {
                         task_nanos.push(started.elapsed().as_nanos() as u64);
                         partial.merge(scanned);
                     }
-                    (partial, task_nanos)
+                    Ok((partial, task_nanos))
                 });
                 match handle.join() {
-                    Ok((partial, nanos)) => {
+                    Ok(Ok((partial, nanos))) => {
                         for n in nanos {
                             self.metrics.scan_task_nanos.record(n);
                         }
@@ -1357,6 +1733,13 @@ impl Engine {
                         if let Some(observe) = progress.as_mut() {
                             observe(&merged);
                         }
+                    }
+                    Ok(Err((bid, reason))) => {
+                        return Err(CubrickError::TierReloadFailed {
+                            cube: cube.name().to_owned(),
+                            bid,
+                            reason,
+                        });
                     }
                     Err(_) => {
                         return Err(CubrickError::ScanTaskPanicked {
@@ -1414,6 +1797,10 @@ impl Engine {
         filters: &[crate::query::DimFilter],
         epoch: Epoch,
     ) -> Result<u64, CubrickError> {
+        // A partition delete walks every brick of the cube, so every
+        // spilled brick must be resident first — an evicted brick the
+        // walk misses would silently keep its rows.
+        self.fault_in_cube(cube.name())?;
         // Resolve filter values to coordinate sets.
         let mut resolved: Vec<(usize, std::collections::HashSet<u32>)> = Vec::new();
         for f in filters {
@@ -1502,11 +1889,17 @@ impl Engine {
     /// purge. Durability gating belongs to the `wal` crate.
     pub fn advance_lse_and_purge(&self) -> PurgeStats {
         let lce = self.manager.lce();
-        if self.manager.advance_lse(lce).is_ok() {
+        let stats = if self.manager.advance_lse(lce).is_ok() {
             self.purge()
         } else {
             PurgeStats::default()
+        };
+        // An LSE advance is what turns bricks clean-cold, so this is
+        // the natural eviction point.
+        if self.tier.is_some() {
+            self.enforce_tier_budget();
         }
+        stats
     }
 
     /// Drops any cached visibility/aggregate artifacts for one brick
@@ -1529,6 +1922,13 @@ impl Engine {
             })
         });
         let mut bids: Vec<u64> = per_shard.into_iter().flatten().collect();
+        if let Some(tier) = &self.tier {
+            for bid in tier.spilled_bids(cube) {
+                if !bids.contains(&bid) {
+                    bids.push(bid);
+                }
+            }
+        }
         bids.sort_unstable();
         bids
     }
@@ -1546,6 +1946,10 @@ impl Engine {
             })
             .into_iter()
             .any(|b| b)
+            || self
+                .tier
+                .as_ref()
+                .is_some_and(|tier| tier.is_spilled(cube, bid))
     }
 
     /// Removes one brick from its shard (rebalance retire / failed
@@ -1567,7 +1971,11 @@ impl Engine {
         });
         self.shards.submit_and_wait(shard, |_| ());
         invalidate_brick(&self.vis_cache, &self.agg_cache, &(Arc::from(cube), bid));
-        removed.load(std::sync::atomic::Ordering::Relaxed)
+        let spilled = self
+            .tier
+            .as_ref()
+            .is_some_and(|tier| tier.forget(cube, bid));
+        removed.load(std::sync::atomic::Ordering::Relaxed) || spilled
     }
 
     /// Memory accounting across all bricks of all cubes.
@@ -1616,6 +2024,66 @@ fn invalidate_brick(
     if let Some(cache) = agg {
         cache.invalidate(key);
     }
+}
+
+/// What [`tier_prepare_brick`] decided about one work-list brick.
+enum TierPrepared {
+    /// Nothing tiered to do: the brick is resident (or gone entirely,
+    /// which the caller's own map lookup handles).
+    Resident,
+    /// The brick was evicted and has been faulted back in; scan it.
+    Reloaded,
+    /// The brick stays on disk: a warm aggregate-cache partial — keyed
+    /// on the retained epochs vector, whose generation eviction
+    /// preserved — answered for it.
+    Served(PartialResult),
+}
+
+/// Runs on the owning shard thread before a work-list brick is
+/// scanned, when tiered storage is on. Resident bricks get a recency
+/// touch (feeding eviction ranking); evicted bricks are either
+/// answered from the aggregate cache without touching disk or faulted
+/// back in behind the scan gate. `Err` carries the reload failure
+/// reason — the query must fail, a partial aggregate missing one
+/// brick's rows would be silently wrong.
+#[allow(clippy::too_many_arguments)]
+fn tier_prepare_brick(
+    tier: Option<&Arc<TieredStore>>,
+    cube: &Cube,
+    bid: u64,
+    key: &BrickKey,
+    snapshot: Option<&Snapshot>,
+    agg_cache: Option<&AggCache>,
+    shape: &Arc<AggQueryShape>,
+    bricks: &mut crate::shard::ShardBricks,
+) -> Result<TierPrepared, String> {
+    let Some(tier) = tier else {
+        return Ok(TierPrepared::Resident);
+    };
+    if bricks
+        .get(cube.name())
+        .is_some_and(|m| m.contains_key(&bid))
+    {
+        tier.touch(cube.name(), bid);
+        return Ok(TierPrepared::Resident);
+    }
+    if !tier.is_spilled(cube.name(), bid) {
+        // Dropped between enumeration and scan (DDL): the caller's
+        // map lookup skips it.
+        return Ok(TierPrepared::Resident);
+    }
+    if let (Some(agg_cache), Some(snap)) = (agg_cache, snapshot) {
+        if let Some(epochs) = tier.spilled_epochs(cube.name(), bid) {
+            if let Some(cached) = agg_cache.peek(key, &epochs, snap, Arc::clone(shape)) {
+                tier.note_cache_serve();
+                let mut partial = cached.replay();
+                partial.stats.tier_cache_serves = 1;
+                return Ok(TierPrepared::Served(partial));
+            }
+        }
+    }
+    tier.reload_into(cube, bid, bricks)
+        .map(|_| TierPrepared::Reloaded)
 }
 
 /// Scans one brick, consulting the aggregate cache first: a hit
@@ -1761,21 +2229,21 @@ mod tests {
     use crate::query::{AggFn, Aggregation, DimFilter};
     use columnar::Value;
 
+    fn events_schema() -> CubeSchema {
+        CubeSchema::new(
+            "events",
+            vec![
+                Dimension::string("region", 8, 2),
+                Dimension::int("day", 16, 4),
+            ],
+            vec![Metric::int("likes"), Metric::float("score")],
+        )
+        .unwrap()
+    }
+
     fn engine() -> Engine {
         let engine = Engine::new(4);
-        engine
-            .create_cube(
-                CubeSchema::new(
-                    "events",
-                    vec![
-                        Dimension::string("region", 8, 2),
-                        Dimension::int("day", 16, 4),
-                    ],
-                    vec![Metric::int("likes"), Metric::float("score")],
-                )
-                .unwrap(),
-            )
-            .unwrap();
+        engine.create_cube(events_schema()).unwrap();
         engine
     }
 
@@ -2602,5 +3070,140 @@ mod tests {
             .query_at_reference("events", &query, &snapshot)
             .unwrap();
         assert_rows_identical(&complete, &reference);
+    }
+
+    // ---------------------------------------------------------------
+    // Cold-tier integration (the tier's own registry mechanics are
+    // unit-tested in `crate::tier`; these drive eviction and reload
+    // through the engine's public surface).
+    // ---------------------------------------------------------------
+
+    fn tiered_engine(budget_bytes: usize) -> Engine {
+        let engine = Engine::new(4)
+            .with_tiered_storage(Box::new(crate::tier::MemStore::new()), budget_bytes);
+        engine.create_cube(events_schema()).unwrap();
+        engine
+    }
+
+    #[test]
+    fn evicted_bricks_answer_queries_bit_identically() {
+        let tiered = tiered_engine(1); // evict every clean brick
+        let plain = engine();
+        spread_load(&tiered);
+        spread_load(&plain);
+        tiered.advance_lse_and_purge();
+        plain.advance_lse_and_purge();
+        let stats = tiered.tier_stats().unwrap();
+        assert!(stats.spills > 0, "a 1-byte budget must evict");
+        assert!(stats.spilled_bricks > 0);
+        let snapshot = Snapshot::committed(tiered.manager().lce());
+        let queries = vec![
+            Query::aggregate(vec![
+                Aggregation::new(AggFn::Sum, "likes"),
+                Aggregation::new(AggFn::Avg, "score"),
+            ]),
+            Query::aggregate(vec![Aggregation::new(AggFn::Count, "likes")])
+                .filter(DimFilter::new(
+                    "region",
+                    vec![Value::from("us"), Value::from("mx")],
+                ))
+                .grouped_by("region"),
+            Query::aggregate(vec![Aggregation::new(AggFn::Max, "likes")]).grouped_by("day"),
+        ];
+        for query in &queries {
+            let cold = tiered.query_at("events", query, &snapshot).unwrap();
+            let warm = plain.query_at("events", query, &snapshot).unwrap();
+            assert_rows_identical(&cold, &warm);
+        }
+        assert!(
+            tiered.tier_stats().unwrap().reloads > 0,
+            "scans faulted the evicted bricks back in"
+        );
+    }
+
+    #[test]
+    fn a_write_faults_the_spilled_brick_back_in() {
+        let engine = tiered_engine(1);
+        engine.load("events", &[row("us", 0, 10, 1.0)], 0).unwrap();
+        engine.advance_lse_and_purge();
+        assert!(engine.tier_stats().unwrap().spilled_bricks >= 1);
+        // Appending into a fresh empty brick would shadow the spilled
+        // rows: the load must reload first, then land on top.
+        engine.load("events", &[row("us", 0, 5, 1.0)], 0).unwrap();
+        let stats = engine.tier_stats().unwrap();
+        assert!(stats.reloads >= 1, "the append faulted the brick in");
+        assert_eq!(sum_likes(&engine, IsolationMode::Snapshot), 15.0);
+    }
+
+    #[test]
+    fn warm_agg_cache_serves_a_spilled_brick_without_touching_the_store() {
+        let engine = Engine::new(4)
+            .with_scan_config(ScanConfig::parallel_cached(256))
+            .with_tiered_storage(Box::new(crate::tier::MemStore::new()), 1);
+        engine.create_cube(events_schema()).unwrap();
+        spread_load(&engine);
+        let query =
+            Query::aggregate(vec![Aggregation::new(AggFn::Sum, "likes")]).grouped_by("region");
+        let snapshot = Snapshot::committed(engine.manager().lce());
+        let warm = engine.query_at("events", &query, &snapshot).unwrap();
+        // Advance the LSE without purging: purge rewrites epochs
+        // vectors (a generation bump), which would invalidate the
+        // warm partials this test wants served.
+        engine.manager().advance_lse(engine.manager().lce()).unwrap();
+        engine.enforce_tier_budget();
+        let before = engine.tier_stats().unwrap();
+        assert!(before.spilled_bricks > 0);
+        let cold = engine.query_at("events", &query, &snapshot).unwrap();
+        assert_rows_identical(&cold, &warm);
+        let after = engine.tier_stats().unwrap();
+        assert!(
+            after.cache_serves > before.cache_serves,
+            "the cached partials answered for the evicted bricks"
+        );
+        assert_eq!(
+            after.reloads, before.reloads,
+            "a cache serve must not touch the store"
+        );
+        assert!(cold.stats.tier_cache_serves > 0);
+    }
+
+    #[test]
+    fn dirty_bricks_stay_resident_until_the_lse_catches_up() {
+        let engine = tiered_engine(1);
+        spread_load(&engine);
+        // Everything committed is newer than the LSE (0): nothing is
+        // clean-cold, nothing may spill — the WAL does not hold these
+        // rows yet.
+        let sweep = engine.enforce_tier_budget();
+        assert_eq!(sweep.evicted, 0);
+        assert_eq!(engine.tier_stats().unwrap().spilled_bricks, 0);
+        engine.advance_lse_and_purge();
+        assert!(engine.tier_stats().unwrap().spilled_bricks > 0);
+    }
+
+    #[test]
+    fn enforcement_stops_at_the_budget() {
+        // Measure the workload's resident footprint on a throwaway
+        // engine, then give the real one half that.
+        let probe = tiered_engine(usize::MAX);
+        spread_load(&probe);
+        let total = probe.enforce_tier_budget().resident_bytes_before;
+        assert!(total > 0);
+
+        let engine = tiered_engine((total / 2) as usize);
+        spread_load(&engine);
+        engine.advance_lse_and_purge();
+        let stats = engine.tier_stats().unwrap();
+        assert!(stats.spilled_bricks > 0, "over budget: must evict");
+        assert!(
+            stats.resident_bytes <= total / 2,
+            "resident {} exceeds the budget {}",
+            stats.resident_bytes,
+            total / 2
+        );
+        assert!(
+            stats.resident_bytes > 0,
+            "half the footprint should keep the warmer half resident"
+        );
     }
 }

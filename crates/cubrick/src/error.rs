@@ -57,6 +57,29 @@ pub enum CubrickError {
         /// The brick no replica could serve.
         bid: u64,
     },
+    /// Capturing a brick's runs for a rebalance handoff failed: the
+    /// shard-side export task panicked (or a spilled brick could not
+    /// be reloaded) before producing a capture. The handoff must be
+    /// abandoned — treating this as an empty brick would stream
+    /// nothing, mark the copy readable, and retire the source.
+    BrickExportFailed {
+        /// Cube the brick belongs to.
+        cube: String,
+        /// The brick whose capture failed.
+        bid: u64,
+    },
+    /// A spilled (cold-tier) brick could not be faulted back in: the
+    /// snapshot read or decode failed. The query or mutation that
+    /// needed the brick fails — proceeding without its rows would be
+    /// silently wrong.
+    TierReloadFailed {
+        /// Cube the brick belongs to.
+        cube: String,
+        /// The brick that could not be reloaded.
+        bid: u64,
+        /// What the tier store reported.
+        reason: String,
+    },
     /// A brick handoff (rebalance transfer) could not complete: the
     /// stream or its ack exhausted the retry budget. The source
     /// replica keeps the brick.
@@ -107,6 +130,14 @@ impl std::fmt::Display for CubrickError {
                 f,
                 "no live replica can answer for cube {cube:?} brick {bid} at this snapshot"
             ),
+            CubrickError::BrickExportFailed { cube, bid } => write!(
+                f,
+                "export of cube {cube:?} brick {bid} failed: no capture was produced"
+            ),
+            CubrickError::TierReloadFailed { cube, bid, reason } => write!(
+                f,
+                "reload of spilled cube {cube:?} brick {bid} failed: {reason}"
+            ),
             CubrickError::HandoffFailed {
                 cube,
                 bid,
@@ -146,5 +177,18 @@ mod tests {
         .contains("discarded"));
         let e: CubrickError = aosi::AosiError::TxnFinished(1).into();
         assert!(e.to_string().contains("protocol"));
+        assert!(CubrickError::BrickExportFailed {
+            cube: "c".into(),
+            bid: 3
+        }
+        .to_string()
+        .contains("no capture"));
+        assert!(CubrickError::TierReloadFailed {
+            cube: "c".into(),
+            bid: 3,
+            reason: "checksum".into()
+        }
+        .to_string()
+        .contains("checksum"));
     }
 }

@@ -69,6 +69,7 @@ mod persist;
 mod query;
 mod shard;
 pub mod sql;
+mod tier;
 
 pub use agg::AggState;
 pub use brick::{Brick, BrickMemory, DimStorage};
@@ -90,3 +91,4 @@ pub use query::{
     QueryStats, ScanKernel,
 };
 pub use shard::{ShardPool, TaskHandle};
+pub use tier::{BrickStore, TierEnforcement, TierError, TierStats, TieredStore};

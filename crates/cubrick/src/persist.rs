@@ -56,6 +56,18 @@ impl Engine {
     /// across all bricks of all cubes, preserving epochs-vector order
     /// within each brick.
     pub fn export_delta(&self, lse: Epoch, lse_prime: Epoch) -> Vec<BrickDelta> {
+        // Evicted bricks never overlap a *flush* window — eviction
+        // requires every epoch at or below the LSE, and the LSE only
+        // advances. A caller asking for a wider window (recovery
+        // verification, tests) must see those rows, so fault any
+        // overlapping brick back in; the retained epochs vectors
+        // answer the overlap check without touching disk.
+        if let Some(tier) = self.tier() {
+            for (cube, bid) in tier.spilled_in_window(lse, lse_prime) {
+                self.fault_in_brick(&cube, bid)
+                    .expect("spilled brick overlapping an export window failed to reload");
+            }
+        }
         let per_shard = self.shards().map_shards(|_| {
             Box::new(move |bricks: &mut crate::shard::ShardBricks| {
                 let mut deltas = Vec::new();
@@ -115,16 +127,24 @@ impl Engine {
     /// Extracts **every** run of one brick, in epochs-vector order —
     /// the payload a rebalance handoff streams to the brick's new
     /// host. Returns an empty vector when the brick does not exist
-    /// here.
-    pub(crate) fn export_brick(&self, cube: &str, bid: u64) -> Vec<DeltaRun> {
+    /// here (the legitimate empty-brick handoff edge); a shard task
+    /// that panics mid-capture is a typed error, never an empty
+    /// capture — streaming one would retire the source copy and lose
+    /// the brick.
+    pub(crate) fn export_brick(
+        &self,
+        cube: &str,
+        bid: u64,
+    ) -> Result<Vec<DeltaRun>, crate::error::CubrickError> {
+        self.fault_in_brick(cube, bid)?;
         let shard = self.shards().shard_of(bid);
         let name = cube.to_owned();
-        let out = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
-        let sink = std::sync::Arc::clone(&out);
-        self.shards().submit(shard, move |bricks| {
-            let Some(brick) = bricks.get(&name).and_then(|m| m.get(&bid)) else {
-                return;
-            };
+        let panic_injected = self.export_panic_injected(bid);
+        let handle = self.shards().submit_handle(shard, move |bricks| {
+            if panic_injected {
+                panic!("injected export panic for brick {bid}");
+            }
+            let brick = bricks.get(&name).and_then(|m| m.get(&bid))?;
             let mut runs = Vec::new();
             let mut start = 0u64;
             for entry in brick.epochs().entries() {
@@ -157,12 +177,15 @@ impl Engine {
                 });
                 start = end;
             }
-            *sink.lock() = runs;
+            Some(runs)
         });
-        self.shards().submit_and_wait(shard, |_| ());
-        std::sync::Arc::try_unwrap(out)
-            .map(|m| m.into_inner())
-            .unwrap_or_default()
+        match handle.join() {
+            Ok(runs) => Ok(runs.unwrap_or_default()),
+            Err(_) => Err(crate::error::CubrickError::BrickExportFailed {
+                cube: cube.to_owned(),
+                bid,
+            }),
+        }
     }
 
     /// Installs handoff runs into one brick, **idempotently by
@@ -176,7 +199,11 @@ impl Engine {
         cube: &crate::cube::Cube,
         bid: u64,
         runs: Vec<DeltaRun>,
-    ) {
+    ) -> Result<(), crate::error::CubrickError> {
+        // A spilled destination brick must be resident before runs
+        // dedup against its epochs vector — installing into a fresh
+        // empty brick would shadow the spilled rows.
+        self.fault_in_brick(cube.name(), bid)?;
         let shard = self.shards().shard_of(bid);
         let cube_name = cube.name().to_owned();
         let cube = cube.clone();
@@ -210,16 +237,29 @@ impl Engine {
         });
         self.shards().submit_and_wait(shard, |_| ());
         self.invalidate_brick_caches(&cube_name, bid);
+        Ok(())
     }
 
     /// Replays exported deltas (recovery). Rounds must be imported in
     /// flush order so that each brick's runs reassemble in their
     /// original relative order.
-    pub fn import_delta(&self, deltas: Vec<BrickDelta>) {
+    ///
+    /// Returns the number of deltas that were **dropped** because
+    /// their cube is not registered — flushed rows a caller with
+    /// incomplete DDL replay would otherwise lose without a trace.
+    /// Recovery surfaces this count in its report.
+    pub fn import_delta(&self, deltas: Vec<BrickDelta>) -> usize {
+        let mut unknown_cube_deltas = 0;
         for delta in deltas {
             let Ok(cube) = self.cube(&delta.cube) else {
+                unknown_cube_deltas += 1;
                 continue;
             };
+            // Recovery into a tiered engine: the target brick may
+            // already have been evicted by an earlier enforcement
+            // sweep mid-replay.
+            self.fault_in_brick(&delta.cube, delta.bid)
+                .expect("spilled brick failed to reload during delta import");
             let shard = self.shards().shard_of(delta.bid);
             let bid = delta.bid;
             let storage = self.dim_storage();
@@ -238,6 +278,7 @@ impl Engine {
             });
         }
         self.shards().drain();
+        unknown_cube_deltas
     }
 }
 
@@ -385,13 +426,54 @@ mod tests {
     }
 
     #[test]
-    fn unknown_cube_deltas_are_skipped() {
+    fn unknown_cube_deltas_are_counted_not_silently_skipped() {
         let restored = engine();
-        restored.import_delta(vec![BrickDelta {
-            cube: "nope".into(),
+        let dropped = restored.import_delta(vec![
+            BrickDelta {
+                cube: "nope".into(),
+                bid: 0,
+                runs: vec![DeltaRun::Delete { epoch: 1 }],
+            },
+            BrickDelta {
+                cube: "events".into(),
+                bid: 0,
+                runs: vec![DeltaRun::Delete { epoch: 1 }],
+            },
+        ]);
+        assert_eq!(dropped, 1, "exactly the unknown-cube delta is dropped");
+        assert_eq!(restored.memory().bricks, 1, "the known cube still lands");
+        let clean = restored.import_delta(vec![BrickDelta {
+            cube: "events".into(),
             bid: 0,
-            runs: vec![DeltaRun::Delete { epoch: 1 }],
+            runs: vec![DeltaRun::Delete { epoch: 2 }],
         }]);
-        assert_eq!(restored.memory().bricks, 0);
+        assert_eq!(clean, 0);
+    }
+
+    #[test]
+    fn export_panic_is_a_typed_error_not_an_empty_capture() {
+        let engine = engine();
+        engine.load("events", &[row(0, 5, 0.5)], 0).unwrap();
+        let bid = engine.brick_bids("events")[0];
+        // Before the fix, a panicking export task fell through
+        // `Arc::try_unwrap(..).unwrap_or_default()` and handed the
+        // caller an empty run list — indistinguishable from a
+        // legitimately empty brick, which a rebalance would then
+        // happily stream, retire the source, and lose the rows.
+        engine.inject_scan_panic_for_test(bid);
+        let err = engine.export_brick("events", bid).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::CubrickError::BrickExportFailed {
+                cube: "events".into(),
+                bid
+            }
+        );
+        engine.clear_scan_panics_for_test();
+        let runs = engine.export_brick("events", bid).unwrap();
+        assert!(!runs.is_empty(), "the real capture has the loaded run");
+        // A brick that simply does not exist here is still the
+        // legitimate empty handoff.
+        assert_eq!(engine.export_brick("events", 13).unwrap(), Vec::new());
     }
 }

@@ -263,6 +263,11 @@ pub struct QueryStats {
     pub agg_cache_hits: u64,
     /// Brick partials the aggregate cache had to scan for.
     pub agg_cache_misses: u64,
+    /// Evicted bricks this query faulted back in from the cold tier.
+    pub tier_reloads: u64,
+    /// Evicted bricks answered straight from a warm aggregate-cache
+    /// partial, without reloading them (the brick stayed on disk).
+    pub tier_cache_serves: u64,
 }
 
 impl QueryStats {
@@ -281,6 +286,8 @@ impl QueryStats {
         self.parallel_tasks += other.parallel_tasks;
         self.agg_cache_hits += other.agg_cache_hits;
         self.agg_cache_misses += other.agg_cache_misses;
+        self.tier_reloads += other.tier_reloads;
+        self.tier_cache_serves += other.tier_cache_serves;
     }
 
     /// Total visibility-materialization time.

@@ -76,11 +76,11 @@ const NODE: u64 = 1;
 const FS_SEED_SALT: u64 = 0x70f7_0a7e_c417_b011;
 
 /// The WAL directory inside the simulated filesystem.
-fn sim_dir() -> PathBuf {
+pub(crate) fn sim_dir() -> PathBuf {
     PathBuf::from("/sim/wal")
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -220,7 +220,7 @@ impl fmt::Display for TortureFailure {
     }
 }
 
-fn failure(crash_point: Option<u64>, detail: impl Into<String>) -> TortureFailure {
+pub(crate) fn failure(crash_point: Option<u64>, detail: impl Into<String>) -> TortureFailure {
     TortureFailure {
         crash_point,
         detail: detail.into(),
@@ -232,7 +232,7 @@ fn failure(crash_point: Option<u64>, detail: impl Into<String>) -> TortureFailur
 // ---------------------------------------------------------------
 
 /// Why execution stopped early.
-enum Stop {
+pub(crate) enum Stop {
     /// The simulated power cut fired; disk now holds the durable
     /// image and every further syscall fails.
     PowerCut,
@@ -474,7 +474,7 @@ impl Torture {
 /// diffs each against the reference replay of `log` (pruned to
 /// `through`): no lost acknowledged history below, no phantom rows
 /// above, no hole in between. Returns comparisons performed.
-fn sweep_recovered(
+pub(crate) fn sweep_recovered(
     engine: &Engine,
     log: &[CommittedOp],
     through: u64,
@@ -512,7 +512,7 @@ fn sweep_recovered(
     Ok(comparisons)
 }
 
-fn stop_failure(stop: Stop, crash_point: Option<u64>) -> TortureFailure {
+pub(crate) fn stop_failure(stop: Stop, crash_point: Option<u64>) -> TortureFailure {
     match stop {
         Stop::PowerCut => failure(
             crash_point,

@@ -43,6 +43,10 @@
 //!   oracle (`cargo test -p oracle --test agg_oracle`).
 //! * `AOSI_AGG_REPLAY=/path/a.seed` — replay dumped merge-oracle
 //!   artifacts.
+//! * `AOSI_TIER_SEEDS=7,99` — run extra seeds through the tiered-
+//!   storage torture (`cargo test -p oracle --test tier_torture`).
+//! * `AOSI_TIER_REPLAY=/path/a.seed` — replay dumped tier-torture
+//!   artifacts.
 //!
 //! See `TESTING.md` at the repo root for the full workflow.
 
@@ -55,6 +59,7 @@ pub mod harness;
 pub mod minimize;
 pub mod reference;
 pub mod scan;
+pub mod tier;
 
 pub use agg::{check_agg_seed, compare_merges, run_agg_schedule, AggReport};
 pub use crash::{
@@ -64,6 +69,9 @@ pub use crash::{
 pub use harness::{run, Divergence, Inject, Mode, RunReport};
 pub use minimize::{artifact_dir, minimize, replay_artifact, Minimized};
 pub use scan::{compare_paths, run_scan_schedule, ScanReport};
+pub use tier::{
+    check_tier_seed, replay_tier_artifact, run_tier_torture, TierTortureConfig, TierTortureReport,
+};
 use workload::ops::{GenConfig, Schedule};
 
 /// Generates the schedule for `seed`, runs it under `mode`, and — on

@@ -1,0 +1,114 @@
+//! The pinned tiered-storage torture corpus: each seed runs the full
+//! tier torture (census with forced evict/reload cycles, one power
+//! cut per mutating syscall — spill writes included — and the
+//! snapshot media probes), plus the env replay hooks.
+//!
+//! A red run here means a crash boundary exists from which recovery
+//! does not restore a complete flushed prefix without help from
+//! snapshot files, or that damaged snapshot media was served instead
+//! of failing typed. The failing schedule is minimized and dumped
+//! automatically; reproduce with
+//! `AOSI_TIER_SEEDS=<seed> cargo test -p oracle --test tier_torture`
+//! or `AOSI_TIER_REPLAY=<file> cargo test -p oracle --test tier_torture`.
+
+use std::path::PathBuf;
+
+use oracle::{check_tier_seed, replay_tier_artifact, TierTortureConfig};
+
+fn cfg() -> TierTortureConfig {
+    TierTortureConfig::default()
+}
+
+/// 12 pinned seeds (the tier torture multiplies each schedule by a
+/// larger syscall count than the crash torture, so the corpus is
+/// smaller per-seed but must still cover the interesting shapes:
+/// mid-schedule flushes, spill-then-reload cycles, media probes).
+#[test]
+fn pinned_tier_corpus() {
+    let mut crash_points = 0u64;
+    let mut spills = 0u64;
+    let mut reloads = 0u64;
+    let mut media_probes = 0usize;
+    let mut multi_round_seeds = 0u32;
+    for seed in 501..=512u64 {
+        let report = check_tier_seed(seed, &cfg());
+        assert!(
+            report.crash_points >= 8,
+            "seed {seed} enumerated only {} boundaries",
+            report.crash_points
+        );
+        assert!(report.comparisons > 0, "seed {seed} compared nothing");
+        assert!(
+            report.spills >= 1 && report.reloads >= 1,
+            "seed {seed} never cycled a brick through the cold tier \
+             (spills {}, reloads {})",
+            report.spills,
+            report.reloads
+        );
+        assert!(
+            report.recoveries >= 2 + report.crash_points,
+            "seed {seed}: {} recoveries for {} boundaries",
+            report.recoveries,
+            report.crash_points
+        );
+        crash_points += report.crash_points;
+        spills += report.spills;
+        reloads += report.reloads;
+        media_probes += report.media_probes;
+        if report.rounds_flushed >= 2 {
+            multi_round_seeds += 1;
+        }
+    }
+    assert!(
+        multi_round_seeds >= 3,
+        "only {multi_round_seeds}/12 seeds flushed more than one round"
+    );
+    assert!(
+        media_probes >= 12,
+        "most seeds should damage at least one snapshot, got {media_probes} probes"
+    );
+    eprintln!(
+        "tier corpus: 12 seeds, {crash_points} boundaries cut, \
+         {spills} spills, {reloads} reloads, {media_probes} media probes"
+    );
+}
+
+/// `AOSI_TIER_SEEDS=7,99` runs extra seeds through the tier torture
+/// (the nightly sweep and the red-CI replay path).
+#[test]
+fn env_tier_seeds() {
+    let Ok(spec) = std::env::var("AOSI_TIER_SEEDS") else {
+        return;
+    };
+    for part in spec.split([',', ' ']).filter(|s| !s.is_empty()) {
+        let seed: u64 = part
+            .parse()
+            .unwrap_or_else(|e| panic!("bad seed {part:?} in AOSI_TIER_SEEDS: {e}"));
+        let report = check_tier_seed(seed, &cfg());
+        eprintln!(
+            "tier seed {seed}: {} boundaries clean ({} spills, {} reloads, \
+             {} comparisons)",
+            report.crash_points, report.spills, report.reloads, report.comparisons
+        );
+    }
+}
+
+/// `AOSI_TIER_REPLAY=a.seed,b.seed` re-runs dumped artifacts; the
+/// test fails (reproducing the violation) if any still fails.
+#[test]
+fn env_tier_replay() {
+    let Ok(spec) = std::env::var("AOSI_TIER_REPLAY") else {
+        return;
+    };
+    for path in spec.split(',').filter(|s| !s.is_empty()) {
+        let path = PathBuf::from(path);
+        match replay_tier_artifact(&path) {
+            Ok(report) => eprintln!(
+                "replayed {} clean ({} boundaries)",
+                path.display(),
+                report.crash_points
+            ),
+            Err(fail) => panic!("artifact {} reproduces: {fail}", path.display()),
+        }
+    }
+}

@@ -32,6 +32,7 @@ mod daemon;
 pub mod fault;
 mod flush;
 pub mod recovery;
+pub mod tier;
 pub mod verify;
 
 pub use codec::{DictDelta, FlushRound, WalError};
@@ -39,4 +40,5 @@ pub use daemon::{ClusterFlush, TempWalDir};
 pub use fault::{is_power_cut, RealFs, SimFs, WalFs};
 pub use flush::{FlushController, FlushOutcome};
 pub use recovery::{recover_into, recover_into_with, RecoverOptions, RecoveryReport};
+pub use tier::WalBrickStore;
 pub use verify::{verify_dir, RoundReport, RoundStatus, VerifyReport};

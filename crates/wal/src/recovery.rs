@@ -41,6 +41,10 @@ pub struct RecoveryReport {
     pub rows_recovered: u64,
     /// Highest epoch restored (the recovered LCE).
     pub recovered_epoch: Epoch,
+    /// Deltas dropped because their cube is not registered. Non-zero
+    /// means the caller recovered with incomplete DDL: flushed rows
+    /// exist on disk that this engine could not take.
+    pub unknown_cube_deltas: usize,
 }
 
 impl RecoveryReport {
@@ -52,7 +56,8 @@ impl RecoveryReport {
             .metric("rounds_skipped", self.rounds_skipped)
             .metric("gaps_detected", self.gaps_detected)
             .metric("rows_recovered", self.rows_recovered)
-            .metric("recovered_epoch", self.recovered_epoch);
+            .metric("recovered_epoch", self.recovered_epoch)
+            .metric("unknown_cube_deltas", self.unknown_cube_deltas);
     }
 
     /// This report as a standalone `[wal.recovery]` text block.
@@ -141,7 +146,7 @@ pub fn recover_into_with(
             }
         }
         report.recovered_epoch = report.recovered_epoch.max(round.lse_prime);
-        engine.import_delta(round.deltas);
+        report.unknown_cube_deltas += engine.import_delta(round.deltas);
         report.rounds_applied += 1;
     }
 
@@ -420,6 +425,7 @@ mod tests {
             gaps_detected: 1,
             rows_recovered: 42,
             recovered_epoch: 9,
+            unknown_cube_deltas: 2,
         };
         let text = report.metrics_report();
         assert!(text.starts_with("[wal.recovery]\n"), "{text}");
@@ -428,6 +434,57 @@ mod tests {
         assert!(text.contains("gaps_detected = 1\n"), "{text}");
         assert!(text.contains("rows_recovered = 42\n"), "{text}");
         assert!(text.contains("recovered_epoch = 9\n"), "{text}");
+        assert!(text.contains("unknown_cube_deltas = 2\n"), "{text}");
+    }
+
+    /// The silent-skip regression (satellite 2): recovering into an
+    /// engine missing a cube's DDL used to drop that cube's deltas
+    /// without a trace. The count now surfaces in the report.
+    #[test]
+    fn recovery_with_missing_ddl_reports_dropped_deltas() {
+        let dir = tempdir("missing-ddl");
+        let tracker = ReplicationTracker::new(1);
+        let mut ctl = FlushController::new(&dir, 1).unwrap();
+        let source = engine();
+        source
+            .create_cube(
+                CubeSchema::new(
+                    "orphan",
+                    vec![Dimension::int("day", 8, 4)],
+                    vec![Metric::int("likes")],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        load(&source, 0, 10);
+        source
+            .load("orphan", &[vec![Value::from(1i64), Value::from(5i64)]], 0)
+            .unwrap();
+        ctl.flush_round(&source, &tracker).unwrap();
+
+        // The restored engine only knows "events" — the orphan cube's
+        // delta has nowhere to go, and the report must say so.
+        let restored = engine();
+        let report = recover_into(&dir, &restored).unwrap();
+        assert_eq!(report.rounds_applied, 1);
+        assert_eq!(report.unknown_cube_deltas, 1);
+        assert_eq!(sum(&restored), 10.0, "known cubes still recover");
+
+        // With the full DDL nothing is dropped.
+        let complete = engine();
+        complete
+            .create_cube(
+                CubeSchema::new(
+                    "orphan",
+                    vec![Dimension::int("day", 8, 4)],
+                    vec![Metric::int("likes")],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let report = recover_into(&dir, &complete).unwrap();
+        assert_eq!(report.unknown_cube_deltas, 0);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
